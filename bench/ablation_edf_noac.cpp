@@ -1,0 +1,31 @@
+// Ablation A1: EDF variants — with/without admission control, and with
+// EASY-style backfilling (extension).
+//
+// Paper Section 4: "we find that EDF without job admission control performs
+// much worse as compared to EDF with job admission control, especially when
+// deadlines of jobs are short." This harness quantifies that remark across
+// the workload sweep — without admission control every infeasible job runs
+// anyway, blocking processors that feasible jobs needed — and adds EDF-BF
+// to show how much of plain EDF's loss is head-of-line fragmentation.
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace librisk;
+  const bench::FigureOptions options = bench::parse_figure_options(
+      argc, argv, "ablation_edf_noac",
+      "EDF admission control on/off across workload intensities",
+      "ablation_edf_noac.csv");
+
+  const exp::Scenario base = bench::paper_base_scenario(options);
+  exp::SweepConfig sweep = bench::paper_sweep(
+      options, {0.1, 0.3, 0.5, 0.7, 1.0}, [](exp::Scenario& s, double x) {
+        s.workload.trace.arrival_delay_factor = x;
+      });
+  sweep.policies = {core::Policy::Edf, core::Policy::EdfNoAC,
+                    core::Policy::EdfBackfill};
+
+  bench::run_figure(options, base, sweep, "A1",
+                    "EDF variants: admission control and backfilling",
+                    "arrival delay factor");
+  return 0;
+}

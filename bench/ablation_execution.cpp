@@ -1,0 +1,72 @@
+// Ablation A3b: execution model and risk-prediction model.
+//
+// DESIGN.md §3.2 commits to work-conserving proportional pacing with the
+// current-rate risk prediction. This harness compares that default against
+// the alternatives considered (strict pacing; GridSim-style equal sharing
+// with processor-sharing prediction; the literal proportional-share
+// prediction whose uniform squeeze blinds Eq. 6) so the modelling decision
+// stays inspectable.
+#include "fig_common.hpp"
+
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace librisk;
+  const bench::FigureOptions options = bench::parse_figure_options(
+      argc, argv, "ablation_execution",
+      "Execution-model / prediction-model ablation (trace estimates)",
+      "ablation_execution.csv");
+
+  struct Variant {
+    const char* label;
+    cluster::ExecutionMode mode;
+    bool work_conserving;
+    core::RiskConfig::Prediction prediction;
+  };
+  const std::vector<Variant> variants = {
+      {"pacing+WC / current-rate (default)", cluster::ExecutionMode::ProportionalPacing,
+       true, core::RiskConfig::Prediction::CurrentRate},
+      {"pacing strict / current-rate", cluster::ExecutionMode::ProportionalPacing,
+       false, core::RiskConfig::Prediction::CurrentRate},
+      {"equal-share / processor-sharing", cluster::ExecutionMode::EqualShare,
+       true, core::RiskConfig::Prediction::ProcessorSharing},
+      {"pacing+WC / proportional (degenerate)", cluster::ExecutionMode::ProportionalPacing,
+       true, core::RiskConfig::Prediction::ProportionalShare},
+  };
+
+  std::ofstream csv_file(options.out_csv);
+  csv::Writer writer(csv_file);
+  writer.header({"variant", "policy", "inaccuracy", "fulfilled_pct", "avg_slowdown"});
+
+  std::cout << "== A3b: execution/prediction model ablation ==\n\n";
+  table::Table t({"variant", "policy", "inacc %", "fulfilled %", "avg slowdown"});
+  for (const Variant& v : variants) {
+    for (const double inaccuracy : {0.0, 100.0}) {
+      for (const core::Policy policy : {core::Policy::Libra, core::Policy::LibraRisk}) {
+        stats::Accumulator fulfilled, slowdown;
+        for (int seed = 1; seed <= options.seeds; ++seed) {
+          exp::Scenario s = bench::paper_base_scenario(options);
+          s.policy = policy;
+          s.seed = static_cast<std::uint64_t>(seed);
+          s.workload.inaccuracy_pct = inaccuracy;
+          s.options.share_model.mode = v.mode;
+          s.options.share_model.work_conserving = v.work_conserving;
+          s.options.risk.prediction = v.prediction;
+          const exp::ScenarioResult r = exp::run_scenario(s);
+          fulfilled.add(r.summary.fulfilled_pct);
+          slowdown.add(r.summary.avg_slowdown_fulfilled);
+        }
+        t.add_row({v.label, std::string(core::to_string(policy)),
+                   table::num(inaccuracy, 0), table::pct(fulfilled.mean()),
+                   table::num(slowdown.mean())});
+        writer.row({v.label, std::string(core::to_string(policy)),
+                    csv::Writer::field(inaccuracy),
+                    csv::Writer::field(fulfilled.mean()),
+                    csv::Writer::field(slowdown.mean())});
+      }
+    }
+    t.add_rule();
+  }
+  std::cout << t.str() << "\nseries written to " << options.out_csv << "\n";
+  return 0;
+}

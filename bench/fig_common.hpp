@@ -1,0 +1,108 @@
+// Shared scaffolding for the figure-reproduction harnesses (bench/fig*).
+//
+// Every figure in the paper is a 2x2 grid: {deadlines fulfilled %, average
+// slowdown} x {accurate estimates, actual trace estimates}. Each harness
+// sweeps one axis, runs the paper's three policies over several workload
+// seeds per point, prints the four sub-figures as tables and writes every
+// series to a CSV next to the binary.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/series.hpp"
+#include "exp/sweep.hpp"
+#include "support/cli.hpp"
+
+namespace librisk::bench {
+
+struct FigureOptions {
+  int jobs = 3000;
+  int seeds = 5;
+  int threads = 0;
+  std::string out_csv;
+  bool quick = false;  ///< 1 seed, trimmed axis — for smoke runs
+};
+
+/// Declares the common flags and parses argv. `default_csv` names the
+/// output file, e.g. "fig1_workload.csv".
+inline FigureOptions parse_figure_options(int argc, char** argv,
+                                          const std::string& program,
+                                          const std::string& description,
+                                          const std::string& default_csv) {
+  cli::Parser parser(program, description);
+  auto& jobs = parser.add<int>("jobs", "jobs per simulation", 3000);
+  auto& seeds = parser.add<int>("seeds", "workload seeds per cell", 5);
+  auto& threads = parser.add<int>("threads", "worker threads (0 = all cores)", 0);
+  auto& out = parser.add<std::string>("out", "CSV output path", default_csv);
+  auto& quick = parser.add<bool>("quick", "1 seed, reduced axis (smoke run)", false);
+  parser.parse(argc, argv);
+  FigureOptions o;
+  o.jobs = jobs.value;
+  o.seeds = quick.value ? 1 : seeds.value;
+  o.threads = threads.value;
+  o.out_csv = out.value;
+  o.quick = quick.value;
+  return o;
+}
+
+/// The paper's default scenario (DESIGN.md §3.3): 128-node SDSC SP2, 20%
+/// high-urgency jobs, deadline high:low ratio 4, arrival delay factor 1.
+inline exp::Scenario paper_base_scenario(const FigureOptions& options) {
+  exp::Scenario s;
+  s.workload.trace.job_count = static_cast<std::size_t>(options.jobs);
+  return s;
+}
+
+inline exp::SweepConfig paper_sweep(const FigureOptions& options,
+                                    std::vector<double> axis,
+                                    std::function<void(exp::Scenario&, double)> apply) {
+  exp::SweepConfig cfg;
+  cfg.axis = std::move(axis);
+  if (options.quick && cfg.axis.size() > 3) {
+    const std::vector<double> trimmed{cfg.axis.front(),
+                                      cfg.axis[cfg.axis.size() / 2],
+                                      cfg.axis.back()};
+    cfg.axis = trimmed;
+  }
+  cfg.apply = std::move(apply);
+  cfg.policies = core::paper_policies();
+  cfg.seeds.clear();
+  for (int i = 0; i < options.seeds; ++i) cfg.seeds.push_back(i + 1);
+  cfg.threads = static_cast<std::size_t>(options.threads);
+  return cfg;
+}
+
+/// Runs a sweep under both estimate regimes and emits the figure's four
+/// sub-tables (a/b = fulfilled, c/d = slowdown in the paper's layout).
+inline void run_figure(const FigureOptions& options, const exp::Scenario& base,
+                       const exp::SweepConfig& sweep, const std::string& figure_id,
+                       const std::string& figure_title, const std::string& x_label) {
+  std::ofstream csv_file(options.out_csv);
+  csv::Writer writer(csv_file);
+
+  std::cout << "== " << figure_id << ": " << figure_title << " ==\n"
+            << "(" << sweep.seeds.size() << " seed(s) per cell, " << options.jobs
+            << " jobs, mean ± 95% CI)\n\n";
+
+  struct Regime {
+    const char* tag;
+    const char* label;
+    double inaccuracy;
+  };
+  for (const Regime regime : {Regime{"accurate", "accurate runtime estimates", 0.0},
+                              Regime{"trace", "actual runtime estimates from trace", 100.0}}) {
+    exp::Scenario scenario = base;
+    scenario.workload.inaccuracy_pct = regime.inaccuracy;
+    const std::vector<exp::SweepCell> cells = exp::run_sweep(scenario, sweep);
+    exp::emit_subfigure(std::cout, writer, figure_id + "/" + regime.tag,
+                        std::string(regime.label), x_label, cells);
+    exp::print_significance(std::cout, cells, core::Policy::LibraRisk,
+                            core::Policy::Libra);
+  }
+  std::cout << "series written to " << options.out_csv << "\n";
+}
+
+}  // namespace librisk::bench

@@ -1,0 +1,66 @@
+// Microbenchmark M2: admission-control decision cost.
+//
+// LibraRisk evaluates every node per submission (Algorithm 1 is O(m * n_j));
+// this measures the per-decision cost of the share test and the risk
+// assessment at realistic node populations.
+#include <benchmark/benchmark.h>
+
+#include "core/risk.hpp"
+#include "cluster/share_model.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace librisk;
+
+std::vector<core::RiskJobInput> make_inputs(std::size_t n, std::uint64_t seed) {
+  rng::Stream stream(seed);
+  std::vector<core::RiskJobInput> inputs;
+  inputs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    core::RiskJobInput in;
+    in.remaining_work = stream.uniform(100.0, 50000.0);
+    in.remaining_deadline = stream.uniform(200.0, 100000.0);
+    in.current_rate = stream.uniform(0.05, 1.0);
+    inputs.push_back(in);
+  }
+  if (!inputs.empty()) inputs.back().current_rate = core::RiskJobInput::kNewJob;
+  return inputs;
+}
+
+void BM_RiskAssessNode(benchmark::State& state) {
+  const auto inputs = make_inputs(static_cast<std::size_t>(state.range(0)), 7);
+  const core::RiskConfig config;
+  for (auto _ : state) {
+    const core::RiskAssessment a = core::assess_node(inputs, config, 1.0, 0.3);
+    benchmark::DoNotOptimize(a.sigma);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * inputs.size()));
+}
+BENCHMARK(BM_RiskAssessNode)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_RiskAssessNodeProcessorSharing(benchmark::State& state) {
+  const auto inputs = make_inputs(static_cast<std::size_t>(state.range(0)), 7);
+  core::RiskConfig config;
+  config.prediction = core::RiskConfig::Prediction::ProcessorSharing;
+  for (auto _ : state) {
+    const core::RiskAssessment a = core::assess_node(inputs, config, 1.0, 0.3);
+    benchmark::DoNotOptimize(a.sigma);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * inputs.size()));
+}
+BENCHMARK(BM_RiskAssessNodeProcessorSharing)->Arg(8)->Arg(128);
+
+void BM_TotalShare(benchmark::State& state) {
+  rng::Stream stream(11);
+  std::vector<double> shares(static_cast<std::size_t>(state.range(0)));
+  for (auto& s : shares) s = stream.uniform(0.0, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::total_share(shares));
+  }
+}
+BENCHMARK(BM_TotalShare)->Arg(8)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

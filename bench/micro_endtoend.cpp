@@ -1,0 +1,41 @@
+// Microbenchmark M3: end-to-end simulation throughput per policy.
+//
+// One iteration = a full 3000-job SDSC SP2 simulation (workload generation
+// included). This is the unit of work every sweep cell costs.
+#include <benchmark/benchmark.h>
+
+#include "exp/scenario.hpp"
+
+namespace {
+
+using namespace librisk;
+
+void run_policy(benchmark::State& state, core::Policy policy) {
+  exp::Scenario scenario;
+  scenario.workload.trace.job_count = 3000;
+  scenario.policy = policy;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    scenario.seed = seed++;
+    const exp::ScenarioResult result = exp::run_scenario(scenario);
+    benchmark::DoNotOptimize(result.summary.fulfilled_pct);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * scenario.workload.trace.job_count));
+}
+
+void BM_EndToEnd_EDF(benchmark::State& state) { run_policy(state, core::Policy::Edf); }
+void BM_EndToEnd_Libra(benchmark::State& state) { run_policy(state, core::Policy::Libra); }
+void BM_EndToEnd_LibraRisk(benchmark::State& state) {
+  run_policy(state, core::Policy::LibraRisk);
+}
+void BM_EndToEnd_EASY(benchmark::State& state) { run_policy(state, core::Policy::Easy); }
+
+BENCHMARK(BM_EndToEnd_EDF)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EndToEnd_Libra)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EndToEnd_LibraRisk)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EndToEnd_EASY)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Microbenchmark M1: DES kernel throughput (event queue and simulator).
+#include <benchmark/benchmark.h>
+
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace librisk;
+
+void BM_EventQueueScheduleDrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Stream stream(42);
+  std::vector<double> times(n);
+  for (auto& t : times) t = stream.uniform(0.0, 1e6);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    std::uint64_t fired = 0;
+    for (const double t : times)
+      (void)queue.schedule(t, sim::EventPriority::Internal, [&fired] { ++fired; });
+    while (!queue.empty()) queue.pop().handler();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_EventQueueScheduleDrain)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // Half the scheduled events are cancelled before firing — the executor's
+  // reschedule-one-boundary pattern.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Stream stream(42);
+  std::vector<double> times(n);
+  for (auto& t : times) t = stream.uniform(0.0, 1e6);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    std::vector<sim::EventId> ids;
+    ids.reserve(n);
+    std::uint64_t fired = 0;
+    for (const double t : times)
+      ids.push_back(queue.schedule(t, sim::EventPriority::Internal, [&fired] { ++fired; }));
+    for (std::size_t i = 0; i < n; i += 2) (void)queue.cancel(ids[i]);
+    while (!queue.empty()) queue.pop().handler();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(16384);
+
+void BM_SimulatorSelfScheduling(benchmark::State& state) {
+  // A chain of events each scheduling the next — the latency-critical path.
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t remaining = n;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0)
+        simulator.after(1.0, sim::EventPriority::Internal, tick);
+    };
+    simulator.after(1.0, sim::EventPriority::Internal, tick);
+    simulator.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_SimulatorSelfScheduling)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Quickstart: generate the paper's workload, run the three admission
+// controls on the SDSC SP2 cluster model, and print a comparison — the
+// "does LibraRisk manage inaccurate estimates better?" question in one run.
+//
+//   $ quickstart                      # trace estimates (100% inaccuracy)
+//   $ quickstart --inaccuracy 0       # perfectly accurate estimates
+//   $ quickstart --jobs 1000 --seed 7
+#include <iostream>
+
+#include "exp/scenario.hpp"
+#include "metrics/report.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "workload/workload_stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace librisk;
+
+  cli::Parser parser("quickstart",
+                     "Compare EDF, Libra and LibraRisk on a synthetic SDSC SP2 workload");
+  auto& jobs_opt = parser.add<int>("jobs", "number of jobs", 3000);
+  auto& seed_opt = parser.add<std::uint64_t>("seed", "workload seed", 1);
+  auto& inaccuracy_opt =
+      parser.add<double>("inaccuracy", "estimate inaccuracy % (0=accurate, 100=trace)", 100.0);
+  auto& hu_opt = parser.add<double>("high-urgency", "fraction of high-urgency jobs", 0.20);
+  parser.parse(argc, argv);
+
+  exp::Scenario scenario;
+  scenario.workload.trace.job_count = static_cast<std::size_t>(jobs_opt.value);
+  scenario.workload.inaccuracy_pct = inaccuracy_opt.value;
+  scenario.workload.deadlines.high_urgency_fraction = hu_opt.value;
+  scenario.seed = seed_opt.value;
+
+  // Show what the workload looks like before scheduling it.
+  const auto jobs = workload::make_paper_workload(scenario.workload, scenario.seed);
+  const auto stats = workload::compute_stats(jobs);
+  std::cout << "Synthetic SDSC SP2 workload (seed " << scenario.seed << ", "
+            << inaccuracy_opt.value << "% estimate inaccuracy):\n";
+  workload::print_stats(std::cout, stats);
+  std::cout << "offered utilization on " << scenario.nodes
+            << " nodes: " << table::pct(100.0 * stats.offered_utilization(scenario.nodes))
+            << "%\n\n";
+
+  std::vector<metrics::LabelledSummary> results;
+  for (const core::Policy policy : core::paper_policies()) {
+    scenario.policy = policy;
+    const exp::ScenarioResult result = exp::run_jobs(scenario, jobs);
+    results.push_back({std::string(core::to_string(policy)), result.summary});
+  }
+  metrics::print_comparison(std::cout, results);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Service-provider scenario: two customer classes with different SLAs.
+//
+// The motivation in the paper's introduction: a cluster sells service to
+// urgent (short-deadline) and batch (long-deadline) customers and must
+// decide which jobs to admit. This example runs one day-in-the-life style
+// comparison and reports per-class SLA attainment — the numbers a provider
+// would put in a service report — plus the decision trace for a handful of
+// jobs so the admission logic is visible.
+//
+//   $ service_provider --urgent 0.4 --inaccuracy 100
+#include <iostream>
+
+#include "exp/scenario.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace librisk;
+
+  cli::Parser parser("service_provider",
+                     "Per-SLA-class reporting for urgent vs batch customers");
+  auto& jobs_opt = parser.add<int>("jobs", "number of jobs", 3000);
+  auto& urgent_opt = parser.add<double>("urgent", "fraction of urgent-class jobs", 0.30);
+  auto& inaccuracy_opt = parser.add<double>("inaccuracy", "estimate inaccuracy %", 100.0);
+  auto& seed_opt = parser.add<std::uint64_t>("seed", "workload seed", 1);
+  parser.parse(argc, argv);
+
+  exp::Scenario base;
+  base.workload.trace.job_count = static_cast<std::size_t>(jobs_opt.value);
+  base.workload.inaccuracy_pct = inaccuracy_opt.value;
+  base.workload.deadlines.high_urgency_fraction = urgent_opt.value;
+  base.seed = seed_opt.value;
+
+  std::cout << "SLA report — " << 100.0 * urgent_opt.value
+            << "% urgent customers, " << inaccuracy_opt.value
+            << "% estimate inaccuracy\n\n";
+
+  table::Table report({"policy", "urgent SLA %", "batch SLA %", "overall %",
+                       "accepted", "broken promises"});
+  for (const core::Policy policy : core::paper_policies()) {
+    exp::Scenario scenario = base;
+    scenario.policy = policy;
+    const exp::ScenarioResult r = exp::run_scenario(scenario);
+    report.add_row({std::string(core::to_string(policy)),
+                    table::pct(r.summary.fulfilled_pct_high_urgency),
+                    table::pct(r.summary.fulfilled_pct_low_urgency),
+                    table::pct(r.summary.fulfilled_pct),
+                    std::to_string(r.summary.accepted),
+                    std::to_string(r.summary.completed_late)});
+  }
+  std::cout << report.str() << '\n';
+
+  // Show the first few admission decisions LibraRisk makes, so the API's
+  // decision surface is visible, not just aggregates.
+  exp::Scenario scenario = base;
+  scenario.policy = core::Policy::LibraRisk;
+  const exp::ScenarioResult detail = exp::run_scenario(scenario);
+  table::Table decisions({"job", "class", "outcome", "delay (s)", "slowdown"});
+  int shown = 0;
+  for (const exp::JobOutcome& o : detail.outcomes) {
+    if (shown >= 12) break;
+    decisions.add_row({std::to_string(o.id), workload::to_string(o.urgency),
+                       metrics::to_string(o.fate), table::num(o.delay, 0),
+                       o.slowdown > 0 ? table::num(o.slowdown) : "-"});
+    ++shown;
+  }
+  std::cout << "first decisions under LibraRisk:\n" << decisions.str()
+            << "\n'broken promises' counts accepted jobs that still missed their\n"
+               "deadline — the risk the paper's admission control manages.\n";
+  return 0;
+}

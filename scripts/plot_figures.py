@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the bench harnesses' CSV output.
+
+The bench binaries (fig1_workload ... fig4_inaccuracy) each write a CSV with
+columns  figure,x,policy,measure,mean,ci95,seeds.  This script turns those
+into the paper's 2x2 figure layout (fulfilled % and average slowdown, per
+estimate regime) as PNG files.
+
+Usage:
+    ./build/bench/fig1_workload --out fig1.csv
+    python3 scripts/plot_figures.py fig1.csv            # -> fig1.png
+    python3 scripts/plot_figures.py fig*.csv --outdir plots/
+
+Only needs matplotlib; falls back to a readable error if it is missing.
+"""
+
+import argparse
+import collections
+import csv
+import os
+import sys
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover - environment dependent
+    sys.exit("matplotlib is required: pip install matplotlib")
+
+MEASURES = {
+    "fulfilled_pct": "jobs with deadlines fulfilled (%)",
+    "avg_slowdown": "average slowdown (fulfilled jobs)",
+}
+
+POLICY_STYLE = {
+    "EDF": dict(marker="o", linestyle="-"),
+    "Libra": dict(marker="s", linestyle="--"),
+    "LibraRisk": dict(marker="^", linestyle="-"),
+    "EDF-NoAC": dict(marker="x", linestyle=":"),
+    "EDF-BF": dict(marker="v", linestyle="-."),
+    "FCFS": dict(marker="d", linestyle=":"),
+    "EASY": dict(marker="*", linestyle="--"),
+    "QoPS": dict(marker="P", linestyle="-."),
+}
+
+
+def load(path):
+    """Returns {(figure, measure): {policy: [(x, mean, ci), ...]}}."""
+    panels = collections.defaultdict(lambda: collections.defaultdict(list))
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            measure = row["measure"]
+            if measure not in MEASURES:
+                continue
+            key = (row["figure"], measure)
+            panels[key][row["policy"]].append(
+                (float(row["x"]), float(row["mean"]), float(row["ci95"]))
+            )
+    return panels
+
+
+def plot_file(path, outdir):
+    panels = load(path)
+    if not panels:
+        print(f"{path}: no plottable series, skipped")
+        return
+    names = sorted({fig for fig, _ in panels})
+    rows = len(names)
+    fig, axes = plt.subplots(rows, 2, figsize=(11, 3.4 * rows), squeeze=False)
+    for r, figure_id in enumerate(names):
+        for c, measure in enumerate(MEASURES):
+            ax = axes[r][c]
+            series = panels.get((figure_id, measure), {})
+            for policy, points in series.items():
+                points.sort()
+                xs = [p[0] for p in points]
+                means = [p[1] for p in points]
+                cis = [p[2] for p in points]
+                style = POLICY_STYLE.get(policy, {})
+                ax.errorbar(xs, means, yerr=cis, label=policy, capsize=2, **style)
+            ax.set_title(f"{figure_id} — {MEASURES[measure]}", fontsize=9)
+            ax.grid(True, alpha=0.3)
+            if measure == "fulfilled_pct":
+                ax.set_ylim(0, 100)
+            ax.legend(fontsize=7)
+    fig.tight_layout()
+    base = os.path.splitext(os.path.basename(path))[0]
+    out = os.path.join(outdir, base + ".png")
+    fig.savefig(out, dpi=140)
+    plt.close(fig)
+    print(f"{path} -> {out}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csvs", nargs="+", help="CSV files written by bench/fig*")
+    parser.add_argument("--outdir", default=".", help="directory for PNGs")
+    args = parser.parse_args()
+    os.makedirs(args.outdir, exist_ok=True)
+    for path in args.csvs:
+        plot_file(path, args.outdir)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#include "cluster/spaceshared.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace librisk::cluster {
+
+SpaceSharedExecutor::SpaceSharedExecutor(sim::Simulator& simulator,
+                                         const Cluster& cluster,
+                                         SpaceSharedConfig config)
+    : sim_(simulator), cluster_(cluster), config_(config) {
+  node_owner_.assign(cluster_.size(), -1);
+  free_count_ = cluster_.size();
+}
+
+void SpaceSharedExecutor::set_completion_handler(CompletionHandler handler) {
+  on_completion_ = std::move(handler);
+}
+
+void SpaceSharedExecutor::set_kill_handler(KillHandler handler) {
+  on_kill_ = std::move(handler);
+}
+
+void SpaceSharedExecutor::start(const workload::Job& job, std::vector<NodeId> nodes) {
+  job.validate();
+  LIBRISK_CHECK(static_cast<int>(nodes.size()) == job.num_procs,
+                "job " << job.id << " needs " << job.num_procs << " nodes");
+  LIBRISK_CHECK(!is_running(job.id), "job " << job.id << " already running");
+  // Validate every node before mutating any state, so a failed start
+  // leaves the executor untouched.
+  double slowest = sim::kTimeInfinity;
+  for (const NodeId n : nodes) {
+    LIBRISK_CHECK(n >= 0 && n < cluster_.size(), "node out of range");
+    LIBRISK_CHECK(node_owner_[n] == -1, "node " << n << " is busy");
+    slowest = std::min(slowest, cluster_.speed_factor(n));
+  }
+  for (const NodeId n : nodes) node_owner_[n] = job.id;
+  free_count_ -= job.num_procs;
+
+  Running r;
+  r.job = &job;
+  r.nodes = std::move(nodes);
+  r.start_time = sim_.now();
+  r.will_be_killed =
+      config_.kill_at_estimate && job.scheduler_estimate < job.actual_runtime;
+  if (r.will_be_killed)
+    LIBRISK_CHECK(on_kill_ != nullptr, "kill_at_estimate requires a kill handler");
+  const double held_for =
+      r.will_be_killed ? job.scheduler_estimate : job.actual_runtime;
+  r.finish_time = sim_.now() + held_for / slowest;
+  const std::int64_t id = job.id;
+  running_.emplace(id, r);
+
+  sim_.at(r.finish_time, sim::EventPriority::Completion, [this, id] {
+    const auto it = running_.find(id);
+    LIBRISK_CHECK(it != running_.end(), "completion for unknown job " << id);
+    const Running done = it->second;
+    for (const NodeId n : done.nodes) node_owner_[n] = -1;
+    free_count_ += done.job->num_procs;
+    if (timeline_ != nullptr) {
+      for (const NodeId n : done.nodes) {
+        timeline_->record(TimelineSegment{done.job->id, n, done.start_time,
+                                          done.finish_time,
+                                          cluster_.speed_factor(n)});
+      }
+    }
+    busy_accumulated_ += (done.finish_time - done.start_time) *
+                         static_cast<double>(done.job->num_procs);
+    running_.erase(it);
+    if (done.will_be_killed) on_kill_(*done.job, sim_.now());
+    else if (on_completion_) on_completion_(*done.job, sim_.now());
+  });
+}
+
+bool SpaceSharedExecutor::is_free(NodeId node) const {
+  LIBRISK_CHECK(node >= 0 && node < cluster_.size(), "node out of range");
+  return node_owner_[node] == -1;
+}
+
+std::vector<NodeId> SpaceSharedExecutor::take_free_nodes(int count) const {
+  LIBRISK_CHECK(count >= 0 && count <= free_count_,
+                "requested " << count << " free nodes, have " << free_count_);
+  std::vector<NodeId> out;
+  out.reserve(count);
+  for (NodeId n = 0; n < cluster_.size() && static_cast<int>(out.size()) < count; ++n)
+    if (node_owner_[n] == -1) out.push_back(n);
+  return out;
+}
+
+bool SpaceSharedExecutor::is_running(std::int64_t job_id) const noexcept {
+  return running_.contains(job_id);
+}
+
+double SpaceSharedExecutor::busy_node_seconds(sim::SimTime now) const noexcept {
+  double busy = busy_accumulated_;
+  for (const auto& [id, r] : running_)
+    busy += (std::min(now, r.finish_time) - r.start_time) *
+            static_cast<double>(r.job->num_procs);
+  return busy;
+}
+
+}  // namespace librisk::cluster

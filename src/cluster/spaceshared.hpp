@@ -1,0 +1,80 @@
+// Space-shared node executor: each node runs at most one job at a time,
+// held exclusively until completion (the EDF substrate; paper Section 4:
+// "EDF executes only a single job on a processor at any time").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/timeline.hpp"
+#include "sim/simulator.hpp"
+#include "workload/job.hpp"
+
+namespace librisk::cluster {
+
+struct SpaceSharedConfig {
+  /// Kill-at-limit policy: a job is terminated when its estimate elapses
+  /// (see ShareModelConfig::kill_at_estimate). Requires a kill handler.
+  bool kill_at_estimate = false;
+};
+
+class SpaceSharedExecutor {
+ public:
+  using CompletionHandler =
+      std::function<void(const workload::Job&, sim::SimTime finish)>;
+  using KillHandler = std::function<void(const workload::Job&, sim::SimTime when)>;
+
+  SpaceSharedExecutor(sim::Simulator& simulator, const Cluster& cluster,
+                      SpaceSharedConfig config = {});
+
+  void set_completion_handler(CompletionHandler handler);
+  /// Required when config.kill_at_estimate is set.
+  void set_kill_handler(KillHandler handler);
+
+  /// Optional: record execution segments (one per node, emitted at the
+  /// job's completion). The recorder must outlive the executor.
+  void set_timeline_recorder(TimelineRecorder* recorder) noexcept {
+    timeline_ = recorder;
+  }
+
+  /// Starts `job` now on the given free nodes; it holds them exclusively
+  /// for actual_runtime / min(speed factor) seconds.
+  void start(const workload::Job& job, std::vector<NodeId> nodes);
+
+  [[nodiscard]] int free_count() const noexcept { return free_count_; }
+  [[nodiscard]] bool is_free(NodeId node) const;
+  /// The lowest-numbered `count` free nodes; count must be <= free_count().
+  [[nodiscard]] std::vector<NodeId> take_free_nodes(int count) const;
+  [[nodiscard]] std::size_t running_count() const noexcept { return running_.size(); }
+  [[nodiscard]] bool is_running(std::int64_t job_id) const noexcept;
+
+  /// Busy node-seconds delivered so far, for utilization accounting.
+  [[nodiscard]] double busy_node_seconds(sim::SimTime now) const noexcept;
+
+  [[nodiscard]] const Cluster& cluster() const noexcept { return cluster_; }
+
+ private:
+  struct Running {
+    const workload::Job* job;
+    std::vector<NodeId> nodes;
+    sim::SimTime start_time;
+    sim::SimTime finish_time;
+    bool will_be_killed = false;
+  };
+
+  sim::Simulator& sim_;
+  const Cluster& cluster_;
+  SpaceSharedConfig config_;
+  CompletionHandler on_completion_;
+  KillHandler on_kill_;
+  std::vector<std::int64_t> node_owner_;  // -1 == free
+  std::map<std::int64_t, Running> running_;
+  int free_count_ = 0;
+  double busy_accumulated_ = 0.0;
+  TimelineRecorder* timeline_ = nullptr;
+};
+
+}  // namespace librisk::cluster

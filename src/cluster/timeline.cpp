@@ -1,0 +1,95 @@
+#include "cluster/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace librisk::cluster {
+
+void TimelineRecorder::record(const TimelineSegment& segment) {
+  LIBRISK_CHECK(segment.end >= segment.begin, "segment ends before it begins");
+  LIBRISK_CHECK(segment.rate >= 0.0, "negative execution rate");
+  if (segment.duration() <= 0.0) return;
+  segments_.push_back(segment);
+}
+
+double TimelineRecorder::job_work(std::int64_t job_id) const noexcept {
+  double work = 0.0;
+  for (const TimelineSegment& s : segments_)
+    if (s.job_id == job_id) work += s.work();
+  return work;
+}
+
+double TimelineRecorder::node_busy_seconds(int node) const noexcept {
+  double busy = 0.0;
+  for (const TimelineSegment& s : segments_)
+    if (s.node == node && s.rate > 0.0) busy += s.duration();
+  return busy;
+}
+
+sim::SimTime TimelineRecorder::horizon() const noexcept {
+  sim::SimTime h = 0.0;
+  for (const TimelineSegment& s : segments_) h = std::max(h, s.end);
+  return h;
+}
+
+namespace {
+char job_symbol(std::int64_t id) {
+  constexpr char kSymbols[] =
+      "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  return kSymbols[static_cast<std::size_t>(id % 62)];
+}
+}  // namespace
+
+std::string TimelineRecorder::render_gantt(int node_count, int columns) const {
+  LIBRISK_CHECK(node_count > 0, "need at least one node row");
+  LIBRISK_CHECK(columns > 0, "need at least one column");
+  const sim::SimTime end = horizon();
+  std::ostringstream os;
+  if (end <= 0.0) {
+    os << "(empty timeline)\n";
+    return os.str();
+  }
+  const double bucket = end / columns;
+
+  for (int node = 0; node < node_count; ++node) {
+    // For each bucket, find the job with the largest overlap on this node.
+    std::vector<std::int64_t> owner(columns, -1);
+    std::vector<double> best(columns, 0.0);
+    std::vector<bool> shared(columns, false);
+    for (const TimelineSegment& s : segments_) {
+      if (s.node != node || s.rate <= 0.0) continue;
+      const int first = std::clamp(static_cast<int>(s.begin / bucket), 0, columns - 1);
+      const int last = std::clamp(static_cast<int>((s.end - 1e-9) / bucket), 0,
+                                  columns - 1);
+      for (int c = first; c <= last; ++c) {
+        const double lo = std::max<double>(s.begin, c * bucket);
+        const double hi = std::min<double>(s.end, (c + 1) * bucket);
+        const double overlap = std::max(0.0, hi - lo);
+        if (overlap <= 0.0) continue;
+        if (owner[c] == -1 || owner[c] == s.job_id) {
+          owner[c] = s.job_id;
+          best[c] = std::max(best[c], overlap);
+        } else {
+          shared[c] = true;
+        }
+      }
+    }
+    os << "node " << node << " |";
+    for (int c = 0; c < columns; ++c) {
+      if (owner[c] == -1) os << '.';
+      else if (shared[c]) os << '#';
+      else os << job_symbol(owner[c]);
+    }
+    os << "|\n";
+  }
+  os << "          0";
+  const std::string label = " t=" + std::to_string(static_cast<long long>(end)) + "s";
+  if (columns > static_cast<int>(label.size()))
+    os << std::string(columns - label.size(), ' ') << label;
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace librisk::cluster

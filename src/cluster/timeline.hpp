@@ -1,0 +1,58 @@
+// Execution-timeline recording: who ran where, when, and at what rate.
+//
+// Executors optionally stream execution segments into a TimelineRecorder;
+// the recorder can verify conservation (work integrates to runtimes) and
+// render an ASCII Gantt chart (examples/gantt.cpp). Recording is off unless
+// a recorder is attached, so simulations pay nothing by default.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace librisk::cluster {
+
+/// One piecewise-constant execution interval of a job on a node.
+struct TimelineSegment {
+  std::int64_t job_id = 0;
+  int node = 0;
+  sim::SimTime begin = 0.0;
+  sim::SimTime end = 0.0;
+  double rate = 0.0;  ///< reference-seconds per second during the interval
+
+  [[nodiscard]] double duration() const noexcept { return end - begin; }
+  [[nodiscard]] double work() const noexcept { return rate * duration(); }
+};
+
+class TimelineRecorder {
+ public:
+  /// Appends a segment (zero-duration segments are dropped).
+  void record(const TimelineSegment& segment);
+
+  [[nodiscard]] const std::vector<TimelineSegment>& segments() const noexcept {
+    return segments_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return segments_.size(); }
+
+  /// Total recorded work (reference-seconds) for one job across all nodes.
+  [[nodiscard]] double job_work(std::int64_t job_id) const noexcept;
+  /// Busy time of one node (the union is not computed — segments on a node
+  /// may overlap under time sharing; this sums durations).
+  [[nodiscard]] double node_busy_seconds(int node) const noexcept;
+  /// Latest segment end (the recorded horizon).
+  [[nodiscard]] sim::SimTime horizon() const noexcept;
+
+  /// Renders an ASCII Gantt chart: one row per node, `columns` time buckets
+  /// wide. A cell shows '.' when idle, the job's symbol (id mod 62 as
+  /// [0-9a-zA-Z]) when one job dominates the bucket, '#' when several
+  /// share it.
+  [[nodiscard]] std::string render_gantt(int node_count, int columns = 100) const;
+
+ private:
+  std::vector<TimelineSegment> segments_;
+};
+
+}  // namespace librisk::cluster

@@ -1,0 +1,283 @@
+#include "cluster/timeshared.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/check.hpp"
+#include "support/log.hpp"
+
+namespace librisk::cluster {
+
+namespace {
+/// Work comparison slack, reference-seconds.
+constexpr double kWorkEpsilon = 1e-6;
+}  // namespace
+
+double TaskView::remaining_estimate_raw() const noexcept {
+  return std::max(job->scheduler_estimate - work_done, 0.0);
+}
+
+double TaskView::remaining_estimate_current() const noexcept {
+  return std::max(est_current - work_done, 0.0);
+}
+
+double TaskView::remaining_deadline(sim::SimTime now) const noexcept {
+  return job->absolute_deadline() - now;
+}
+
+TimeSharedExecutor::TimeSharedExecutor(sim::Simulator& simulator,
+                                       const Cluster& cluster,
+                                       ShareModelConfig config)
+    : sim_(simulator), cluster_(cluster), config_(config) {
+  config_.validate();
+  node_jobs_.resize(cluster_.size());
+  last_advance_ = sim_.now();
+}
+
+void TimeSharedExecutor::set_completion_handler(CompletionHandler handler) {
+  on_completion_ = std::move(handler);
+}
+
+void TimeSharedExecutor::set_overrun_handler(OverrunHandler handler) {
+  on_overrun_ = std::move(handler);
+}
+
+void TimeSharedExecutor::set_kill_handler(KillHandler handler) {
+  on_kill_ = std::move(handler);
+}
+
+void TimeSharedExecutor::start(const Job& job, std::vector<NodeId> nodes) {
+  job.validate();
+  LIBRISK_CHECK(static_cast<int>(nodes.size()) == job.num_procs,
+                "job " << job.id << " needs " << job.num_procs << " nodes, got "
+                       << nodes.size());
+  LIBRISK_CHECK(!is_running(job.id), "job " << job.id << " already running");
+  std::unordered_set<NodeId> distinct(nodes.begin(), nodes.end());
+  LIBRISK_CHECK(distinct.size() == nodes.size(),
+                "job " << job.id << " assigned duplicate nodes");
+  for (const NodeId n : nodes)
+    LIBRISK_CHECK(n >= 0 && n < cluster_.size(), "node " << n << " out of range");
+
+  Task task;
+  task.job = &job;
+  task.nodes = std::move(nodes);
+  task.start_time = sim_.now();
+  task.est_current = job.scheduler_estimate;
+  task.actual_total = job.actual_runtime;
+  for (const NodeId n : task.nodes) node_jobs_[n].push_back(job.id);
+  tasks_.emplace(job.id, std::move(task));
+  settle_and_reschedule();
+}
+
+void TimeSharedExecutor::sync() { settle_and_reschedule(); }
+
+bool TimeSharedExecutor::is_running(JobId id) const noexcept {
+  return tasks_.contains(id);
+}
+
+const std::vector<JobId>& TimeSharedExecutor::node_jobs(NodeId node) const {
+  LIBRISK_CHECK(node >= 0 && node < cluster_.size(), "node " << node << " out of range");
+  return node_jobs_[node];
+}
+
+TaskView TimeSharedExecutor::view(JobId id) const {
+  const auto it = tasks_.find(id);
+  LIBRISK_CHECK(it != tasks_.end(), "job " << id << " not running");
+  const Task& t = it->second;
+  TaskView v;
+  v.job = t.job;
+  v.nodes = t.nodes;
+  v.start_time = t.start_time;
+  v.work_done = t.work_done;
+  v.est_original = t.job->scheduler_estimate;
+  v.est_current = t.est_current;
+  v.overrun_bumps = t.bumps;
+  v.rate = t.rate;
+  return v;
+}
+
+double TimeSharedExecutor::node_total_share(NodeId node, EstimateKind kind) const {
+  LIBRISK_CHECK(node >= 0 && node < cluster_.size(), "node " << node << " out of range");
+  const double speed = cluster_.speed_factor(node);
+  const sim::SimTime now = sim_.now();
+  double sum = 0.0;
+  for (const JobId id : node_jobs_[node]) {
+    const Task& t = tasks_.at(id);
+    const double rem_work = kind == EstimateKind::Raw
+                                ? std::max(t.job->scheduler_estimate - t.work_done, 0.0)
+                                : std::max(t.est_current - t.work_done, 0.0);
+    sum += required_share(rem_work, t.job->absolute_deadline() - now,
+                          config_.deadline_clamp, speed);
+  }
+  return sum;
+}
+
+double TimeSharedExecutor::node_available_capacity(NodeId node) const {
+  LIBRISK_CHECK(node >= 0 && node < cluster_.size(), "node " << node << " out of range");
+  // EqualShare has no notion of reserved shares: a non-empty node is fully
+  // used. Pacing modes report the *guaranteed* leftover (1 - total demand)
+  // even when work-conserving, because spare redistribution is a bonus a
+  // new job cannot rely on.
+  if (config_.mode == ExecutionMode::EqualShare)
+    return node_jobs_[node].empty() ? 1.0 : 0.0;
+  const double speed = cluster_.speed_factor(node);
+  double demand = 0.0;
+  for (const JobId id : node_jobs_[node])
+    demand += std::min(1.0, demand_of(tasks_.at(id)) / speed);
+  return std::max(0.0, 1.0 - demand);
+}
+
+double TimeSharedExecutor::demand_of(const Task& task) const {
+  // EqualShare (GridSim time sharing): every resident job weighs the same,
+  // so allocation collapses to capacity / n.
+  if (config_.mode == ExecutionMode::EqualShare) return 1.0;
+  // ProportionalPacing: demand at reference speed (per-node speed applied
+  // by the caller), capped at 1 — a job cannot consume more than a whole
+  // node, however far behind its deadline it is.
+  const double rem_work = std::max(task.est_current - task.work_done, 0.0);
+  return std::min(1.0, required_share(rem_work,
+                                      task.job->absolute_deadline() - sim_.now(),
+                                      config_.deadline_clamp));
+}
+
+void TimeSharedExecutor::advance_to_now() {
+  const sim::SimTime now = sim_.now();
+  const double dt = now - last_advance_;
+  LIBRISK_CHECK(dt >= -sim::kTimeEpsilon, "executor clock ran backwards");
+  if (dt > 0.0) {
+    for (auto& [id, task] : tasks_) {
+      const double progress = task.rate * dt;
+      task.work_done += progress;
+      delivered_ += progress * static_cast<double>(task.job->num_procs);
+      if (timeline_ != nullptr) {
+        for (const NodeId n : task.nodes)
+          timeline_->record(TimelineSegment{id, n, last_advance_, now, task.rate});
+      }
+    }
+  }
+  last_advance_ = now;
+}
+
+void TimeSharedExecutor::complete(JobId id, Task& task) {
+  for (const NodeId n : task.nodes) {
+    auto& jobs = node_jobs_[n];
+    jobs.erase(std::remove(jobs.begin(), jobs.end(), id), jobs.end());
+  }
+}
+
+void TimeSharedExecutor::settle_and_reschedule() {
+  advance_to_now();
+  const sim::SimTime now = sim_.now();
+
+  // Phase 1: classify completions and estimate expiries at this instant.
+  std::vector<const Job*> completed;
+  std::vector<const Job*> killed;
+  std::vector<std::pair<const Job*, int>> overruns;
+  for (auto it = tasks_.begin(); it != tasks_.end();) {
+    Task& t = it->second;
+    if (t.actual_total - t.work_done <= kWorkEpsilon) {
+      completed.push_back(t.job);
+      complete(it->first, t);
+      it = tasks_.erase(it);
+      continue;
+    }
+    if (t.est_current - t.work_done <= kWorkEpsilon) {
+      if (config_.kill_at_estimate) {
+        LIBRISK_CHECK(on_kill_ != nullptr,
+                      "kill_at_estimate requires a kill handler");
+        killed.push_back(t.job);
+        complete(it->first, t);
+        it = tasks_.erase(it);
+        continue;
+      }
+      // User under-estimate: the scheduler observes the job still running
+      // and extends its estimate (DESIGN.md §3.2). One bump always clears
+      // the boundary because the increment is a fraction of the original
+      // estimate, which is >= 1 s by Job::validate.
+      t.est_current += config_.overrun_bump_fraction * t.job->scheduler_estimate;
+      ++t.bumps;
+      overruns.emplace_back(t.job, t.bumps);
+      LIBRISK_LOG(Debug) << "job " << t.job->id << " overran estimate (bump "
+                         << t.bumps << ") at t=" << now;
+    }
+    ++it;
+  }
+
+  // Phase 2: recompute demands and rates (piecewise-constant until the next
+  // boundary).
+  std::vector<double> node_demand(node_jobs_.size(), 0.0);
+  for (auto& [id, task] : tasks_) {
+    const double d = demand_of(task);
+    for (const NodeId n : task.nodes)
+      node_demand[n] += std::min(1.0, d / cluster_.speed_factor(n));
+  }
+  const bool work_conserving =
+      config_.work_conserving || config_.mode == ExecutionMode::EqualShare;
+  sim::SimTime next_boundary = sim::kTimeInfinity;
+  for (auto& [id, task] : tasks_) {
+    const double d = demand_of(task);
+    double rate = sim::kTimeInfinity;
+    for (const NodeId n : task.nodes) {
+      const double speed = cluster_.speed_factor(n);
+      const double demand_here = std::min(1.0, d / speed);
+      const double alloc = allocate_one(demand_here, node_demand[n] - demand_here,
+                                        work_conserving);
+      rate = std::min(rate, alloc * speed);
+    }
+    LIBRISK_CHECK(rate > 0.0 && rate < sim::kTimeInfinity,
+                  "job " << id << " has no execution rate");
+    task.rate = rate;
+    const double to_completion = (task.actual_total - task.work_done) / rate;
+    const double to_expiry = (task.est_current - task.work_done) / rate;
+    next_boundary = std::min(next_boundary, now + std::min(to_completion, to_expiry));
+  }
+
+  // Phase 3: keep exactly one pending boundary event.
+  if (pending_boundary_.valid()) {
+    sim_.cancel(pending_boundary_);
+    pending_boundary_ = sim::EventId{};
+  }
+  if (next_boundary < sim::kTimeInfinity) {
+    pending_boundary_ = sim_.at(next_boundary, sim::EventPriority::Completion,
+                                [this] {
+                                  pending_boundary_ = sim::EventId{};
+                                  settle_and_reschedule();
+                                });
+  }
+
+  // Phase 4: notify. Handlers run after internal state is consistent, so
+  // they may call start()/sync() reentrantly.
+  for (const auto& [job, bumps] : overruns)
+    if (on_overrun_) on_overrun_(*job, bumps);
+  for (const Job* job : killed) on_kill_(*job, now);
+  for (const Job* job : completed)
+    if (on_completion_) on_completion_(*job, now);
+}
+
+void TimeSharedExecutor::check_invariants() const {
+  // Node lists and task node sets agree.
+  std::size_t listed = 0;
+  for (NodeId n = 0; n < cluster_.size(); ++n) {
+    for (const JobId id : node_jobs_[n]) {
+      const auto it = tasks_.find(id);
+      LIBRISK_CHECK(it != tasks_.end(), "node list references dead job " << id);
+      const auto& nodes = it->second.nodes;
+      LIBRISK_CHECK(std::find(nodes.begin(), nodes.end(), n) != nodes.end(),
+                    "node list / task nodes disagree for job " << id);
+      ++listed;
+    }
+  }
+  std::size_t expected = 0;
+  for (const auto& [id, task] : tasks_) {
+    expected += task.nodes.size();
+    LIBRISK_CHECK(task.work_done >= -kWorkEpsilon, "negative work_done");
+    LIBRISK_CHECK(task.work_done <= task.actual_total + 1.0,
+                  "work_done far past completion for job " << id);
+    LIBRISK_CHECK(task.rate >= 0.0, "negative rate");
+    LIBRISK_CHECK(task.est_current >= task.job->scheduler_estimate - kWorkEpsilon,
+                  "estimate shrank for job " << id);
+  }
+  LIBRISK_CHECK(listed == expected, "node lists and tasks out of sync");
+}
+
+}  // namespace librisk::cluster

@@ -1,0 +1,146 @@
+// Time-shared node executor: runs gang jobs under the deadline-based
+// proportional processor-share model (the Libra/LibraRisk substrate).
+//
+// Execution model (DESIGN.md §3.2):
+//  - Every running job i demands share s_i = required_share(remaining
+//    scheduler-estimated work, remaining deadline) on each of its nodes.
+//  - Each node allocates capacity a_ij = s_i / Σ s (work-conserving) and a
+//    gang job progresses at the minimum allocated rate across its nodes.
+//  - Rates are piecewise-constant between events; every arrival, completion
+//    and estimate-expiry triggers a global recompute and the executor keeps
+//    exactly one pending "next boundary" event.
+//  - When a job exhausts its estimate without completing (user under-
+//    estimate), the scheduler's estimate is bumped by overrun_bump_fraction
+//    of the original and an overrun notification fires. This divergence
+//    between the *raw estimate* (what Libra believes, Eq. 1) and the
+//    *current estimate* (what the node is actually contending with) is the
+//    phenomenon the paper's risk metric manages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/share_model.hpp"
+#include "cluster/timeline.hpp"
+#include "sim/simulator.hpp"
+#include "workload/job.hpp"
+
+namespace librisk::cluster {
+
+using workload::Job;
+using JobId = std::int64_t;
+
+/// Read-only snapshot of a running job, as observable by an admission
+/// control (no field leaks the job's actual runtime).
+struct TaskView {
+  const Job* job = nullptr;
+  std::vector<NodeId> nodes;
+  sim::SimTime start_time = 0.0;
+  double work_done = 0.0;       ///< reference-seconds executed so far
+  double est_original = 0.0;    ///< scheduler estimate at start
+  double est_current = 0.0;     ///< estimate including overrun bumps
+  int overrun_bumps = 0;
+  double rate = 0.0;            ///< current ref-seconds per second
+
+  /// Remaining work by the *raw* user/scheduler estimate (Libra's belief,
+  /// Eq. 1): zero once the job has run past its estimate.
+  [[nodiscard]] double remaining_estimate_raw() const noexcept;
+  /// Remaining work by the current (bumped) estimate — always > 0 while
+  /// running.
+  [[nodiscard]] double remaining_estimate_current() const noexcept;
+  /// Seconds until the job's absolute deadline (negative if past it).
+  [[nodiscard]] double remaining_deadline(sim::SimTime now) const noexcept;
+};
+
+class TimeSharedExecutor {
+ public:
+  using CompletionHandler = std::function<void(const Job&, sim::SimTime finish)>;
+  using OverrunHandler = std::function<void(const Job&, int bumps)>;
+  using KillHandler = std::function<void(const Job&, sim::SimTime when)>;
+
+  TimeSharedExecutor(sim::Simulator& simulator, const Cluster& cluster,
+                     ShareModelConfig config = {});
+
+  /// Completion callback (fires once per job, at its finish instant, after
+  /// the executor has removed it from its nodes).
+  void set_completion_handler(CompletionHandler handler);
+  /// Optional: estimate-expiry callback.
+  void set_overrun_handler(OverrunHandler handler);
+  /// Required when config.kill_at_estimate is set: fires instead of the
+  /// overrun bump when a job exhausts its estimate (the job is removed).
+  void set_kill_handler(KillHandler handler);
+
+  /// Optional: stream execution segments into `recorder` (nullptr to stop).
+  /// The recorder must outlive the executor or the detach call.
+  void set_timeline_recorder(TimelineRecorder* recorder) noexcept {
+    timeline_ = recorder;
+  }
+
+  /// Starts `job` now on the given distinct nodes (job.num_procs of them).
+  /// The caller (admission control) retains ownership of the Job, which
+  /// must outlive completion.
+  void start(const Job& job, std::vector<NodeId> nodes);
+
+  /// Brings work_done/rates up to simulator time (call before inspecting
+  /// views mid-simulation; completion events do this automatically).
+  void sync();
+
+  // ---- observation API (used by admission controls and tests) ----
+  [[nodiscard]] std::size_t running_count() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool is_running(JobId id) const noexcept;
+  /// Jobs currently on a node, in start order.
+  [[nodiscard]] const std::vector<JobId>& node_jobs(NodeId node) const;
+  [[nodiscard]] TaskView view(JobId id) const;
+  /// Total demanded share on a node under the raw-estimate belief
+  /// (Libra's Eq. 2) or the current-estimate reality.
+  enum class EstimateKind { Raw, Current };
+  [[nodiscard]] double node_total_share(NodeId node, EstimateKind kind) const;
+  /// Fraction of the node's capacity not currently allocated to jobs
+  /// (always 0 in work-conserving modes, which use everything).
+  [[nodiscard]] double node_available_capacity(NodeId node) const;
+
+  /// Reference-work delivered so far, for utilization accounting.
+  [[nodiscard]] double delivered_node_seconds() const noexcept { return delivered_; }
+  [[nodiscard]] const Cluster& cluster() const noexcept { return cluster_; }
+  [[nodiscard]] const ShareModelConfig& config() const noexcept { return config_; }
+
+  /// Validates internal invariants (tests / failure injection); throws
+  /// CheckError on violation.
+  void check_invariants() const;
+
+ private:
+  struct Task {
+    const Job* job;
+    std::vector<NodeId> nodes;
+    sim::SimTime start_time;
+    double work_done = 0.0;
+    double est_current;
+    double actual_total;
+    double rate = 0.0;
+    int bumps = 0;
+  };
+
+  void advance_to_now();
+  void settle_and_reschedule();
+  void complete(JobId id, Task& task);
+  [[nodiscard]] double demand_of(const Task& task) const;
+
+  sim::Simulator& sim_;
+  const Cluster& cluster_;
+  ShareModelConfig config_;
+  CompletionHandler on_completion_;
+  OverrunHandler on_overrun_;
+  KillHandler on_kill_;
+
+  std::map<JobId, Task> tasks_;  // ordered => deterministic iteration
+  std::vector<std::vector<JobId>> node_jobs_;
+  sim::SimTime last_advance_ = 0.0;
+  sim::EventId pending_boundary_{};
+  double delivered_ = 0.0;
+  TimelineRecorder* timeline_ = nullptr;
+};
+
+}  // namespace librisk::cluster

@@ -1,0 +1,142 @@
+#include "core/edf.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/log.hpp"
+
+namespace librisk::core {
+
+EdfScheduler::EdfScheduler(sim::Simulator& simulator,
+                           cluster::SpaceSharedExecutor& executor,
+                           Collector& collector, EdfConfig config, std::string name)
+    : sim_(simulator),
+      executor_(executor),
+      collector_(collector),
+      config_(config),
+      name_(std::move(name)) {
+  executor_.set_completion_handler([this](const Job& job, sim::SimTime finish) {
+    estimated_finish_.erase(job.id);
+    collector_.record_completed(job, finish);
+    dispatch();  // freed processors may admit the queue head
+  });
+  executor_.set_kill_handler([this](const Job& job, sim::SimTime when) {
+    estimated_finish_.erase(job.id);
+    collector_.record_killed(job, when);
+    dispatch();
+  });
+}
+
+bool EdfScheduler::deadline_feasible(const Job& job) const {
+  const sim::SimTime now = sim_.now();
+  if (now > job.absolute_deadline()) return false;  // deadline expired
+  const double best_runtime =
+      job.scheduler_estimate / executor_.cluster().max_speed_factor();
+  return now + best_runtime <= job.absolute_deadline() + sim::kTimeEpsilon;
+}
+
+void EdfScheduler::on_job_submitted(const Job& job) {
+  // A request larger than the machine can never run; even EDF-NoAC must
+  // reject it or the queue head would block forever.
+  if (job.num_procs > executor_.cluster().size()) {
+    collector_.record_rejected(job, sim_.now(), /*at_dispatch=*/false);
+    return;
+  }
+  queue_.push_back(&job);
+  dispatch();
+}
+
+void EdfScheduler::start_job(const Job& job) {
+  std::vector<cluster::NodeId> nodes = executor_.take_free_nodes(job.num_procs);
+  double slowest = sim::kTimeInfinity;
+  for (const cluster::NodeId n : nodes)
+    slowest = std::min(slowest, executor_.cluster().speed_factor(n));
+  collector_.record_started(job, sim_.now(), job.actual_runtime / slowest);
+  if (config_.backfilling)
+    estimated_finish_[job.id] = sim_.now() + job.scheduler_estimate / slowest;
+  executor_.start(job, std::move(nodes));
+}
+
+EdfScheduler::Reservation EdfScheduler::head_reservation(const Job& head) const {
+  const sim::SimTime now = sim_.now();
+  struct Release {
+    sim::SimTime time;
+    int procs;
+  };
+  std::vector<Release> releases;
+  releases.reserve(estimated_finish_.size());
+  for (const auto& [id, finish] : estimated_finish_)
+    releases.push_back(
+        Release{std::max(finish, now), collector_.record(id).job->num_procs});
+  std::sort(releases.begin(), releases.end(),
+            [](const Release& a, const Release& b) { return a.time < b.time; });
+
+  int available = executor_.free_count();
+  Reservation res;
+  res.shadow_time = now;
+  for (const Release& r : releases) {
+    if (available >= head.num_procs) break;
+    available += r.procs;
+    res.shadow_time = r.time;
+  }
+  LIBRISK_CHECK(available >= head.num_procs,
+                "reservation impossible: releases never free enough nodes");
+  res.extra_nodes = available - head.num_procs;
+  return res;
+}
+
+void EdfScheduler::dispatch() {
+  for (;;) {
+    if (queue_.empty()) return;
+    // Select the earliest-absolute-deadline job (re-evaluated every pass, so
+    // an earlier-deadline arrival can displace the waiting head).
+    const auto deadline_before = [](const Job* a, const Job* b) {
+      if (a->absolute_deadline() != b->absolute_deadline())
+        return a->absolute_deadline() < b->absolute_deadline();
+      return a->id < b->id;
+    };
+    const auto head = std::min_element(queue_.begin(), queue_.end(), deadline_before);
+    const Job* job = *head;
+
+    if (config_.admission_control && !deadline_feasible(*job)) {
+      // The relaxed admission control: reject only at selection time.
+      collector_.record_rejected(*job, sim_.now(), /*at_dispatch=*/true);
+      queue_.erase(head);
+      LIBRISK_LOG(Debug) << name_ << ": rejected job " << job->id
+                         << " at dispatch (deadline infeasible)";
+      continue;
+    }
+    if (executor_.free_count() >= job->num_procs) {
+      queue_.erase(head);
+      start_job(*job);
+      continue;
+    }
+    if (!config_.backfilling) return;  // plain EDF: head-of-line blocking
+
+    // Backfill in deadline order: a later job may start now iff (by
+    // estimates) it finishes before the head's reservation or fits on the
+    // nodes the head will not need.
+    const Reservation res = head_reservation(*job);
+    std::vector<const Job*> ordered(queue_.begin(), queue_.end());
+    std::sort(ordered.begin(), ordered.end(), deadline_before);
+    bool progressed = false;
+    for (const Job* candidate : ordered) {
+      if (candidate == job) continue;
+      if (executor_.free_count() < candidate->num_procs) continue;
+      const double best_runtime =
+          candidate->scheduler_estimate / executor_.cluster().max_speed_factor();
+      const bool fits_window =
+          sim_.now() + best_runtime <= res.shadow_time + sim::kTimeEpsilon;
+      const bool fits_extra = candidate->num_procs <= res.extra_nodes;
+      if (!fits_window && !fits_extra) continue;
+      if (config_.admission_control && !deadline_feasible(*candidate)) continue;
+      queue_.erase(std::find(queue_.begin(), queue_.end(), candidate));
+      start_job(*candidate);
+      progressed = true;
+      break;
+    }
+    if (!progressed) return;
+  }
+}
+
+}  // namespace librisk::core

@@ -1,0 +1,136 @@
+#include "core/fcfs.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace librisk::core {
+
+FcfsScheduler::FcfsScheduler(sim::Simulator& simulator,
+                             cluster::SpaceSharedExecutor& executor,
+                             Collector& collector, FcfsConfig config,
+                             std::string name)
+    : sim_(simulator),
+      executor_(executor),
+      collector_(collector),
+      config_(config),
+      name_(std::move(name)) {
+  executor_.set_completion_handler([this](const Job& job, sim::SimTime finish) {
+    estimated_finish_.erase(job.id);
+    collector_.record_completed(job, finish);
+    dispatch();
+  });
+  executor_.set_kill_handler([this](const Job& job, sim::SimTime when) {
+    estimated_finish_.erase(job.id);
+    collector_.record_killed(job, when);
+    dispatch();
+  });
+}
+
+bool FcfsScheduler::deadline_feasible(const Job& job) const {
+  const sim::SimTime now = sim_.now();
+  if (now > job.absolute_deadline()) return false;
+  const double best_runtime =
+      job.scheduler_estimate / executor_.cluster().max_speed_factor();
+  return now + best_runtime <= job.absolute_deadline() + sim::kTimeEpsilon;
+}
+
+void FcfsScheduler::on_job_submitted(const Job& job) {
+  if (job.num_procs > executor_.cluster().size()) {
+    collector_.record_rejected(job, sim_.now(), /*at_dispatch=*/false);
+    return;
+  }
+  queue_.push_back(&job);
+  dispatch();
+}
+
+void FcfsScheduler::start_job(const Job& job) {
+  std::vector<cluster::NodeId> nodes = executor_.take_free_nodes(job.num_procs);
+  double slowest = sim::kTimeInfinity;
+  for (const cluster::NodeId n : nodes)
+    slowest = std::min(slowest, executor_.cluster().speed_factor(n));
+  collector_.record_started(job, sim_.now(), job.actual_runtime / slowest);
+  estimated_finish_[job.id] = sim_.now() + job.scheduler_estimate / slowest;
+  executor_.start(job, std::move(nodes));
+}
+
+FcfsScheduler::Reservation FcfsScheduler::head_reservation(const Job& head) const {
+  // Releases in estimated-finish order; estimates that already expired are
+  // treated as "any moment now".
+  const sim::SimTime now = sim_.now();
+  struct Release {
+    sim::SimTime time;
+    int procs;
+  };
+  std::vector<Release> releases;
+  releases.reserve(estimated_finish_.size());
+  for (const auto& [id, finish] : estimated_finish_) {
+    const auto& rec = collector_.record(id);
+    releases.push_back(Release{std::max(finish, now), rec.job->num_procs});
+  }
+  std::sort(releases.begin(), releases.end(),
+            [](const Release& a, const Release& b) { return a.time < b.time; });
+
+  int available = executor_.free_count();
+  Reservation res;
+  res.shadow_time = now;
+  for (const Release& r : releases) {
+    if (available >= head.num_procs) break;
+    available += r.procs;
+    res.shadow_time = r.time;
+  }
+  LIBRISK_CHECK(available >= head.num_procs,
+                "reservation impossible: releases never free enough nodes");
+  res.extra_nodes = available - head.num_procs;
+  return res;
+}
+
+void FcfsScheduler::dispatch() {
+  for (;;) {
+    if (queue_.empty()) return;
+
+    // Resolve the head: reject if infeasible (optional), start if it fits.
+    const Job* head = queue_.front();
+    if (config_.deadline_admission && !deadline_feasible(*head)) {
+      collector_.record_rejected(*head, sim_.now(), /*at_dispatch=*/true);
+      queue_.pop_front();
+      continue;
+    }
+    if (executor_.free_count() >= head->num_procs) {
+      queue_.pop_front();
+      start_job(*head);
+      continue;
+    }
+    if (!config_.backfilling) return;
+
+    // EASY backfill: a later job may start now iff (by estimates) it either
+    // finishes before the head's reservation or leaves the head's nodes
+    // untouched.
+    const Reservation res = head_reservation(*head);
+    bool progressed = false;
+    for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+      const Job* job = *it;
+      if (config_.deadline_admission && !deadline_feasible(*job)) {
+        collector_.record_rejected(*job, sim_.now(), /*at_dispatch=*/true);
+        queue_.erase(it);
+        progressed = true;
+        break;
+      }
+      if (executor_.free_count() < job->num_procs) continue;
+      const double best_runtime =
+          job->scheduler_estimate / executor_.cluster().max_speed_factor();
+      const bool fits_window =
+          sim_.now() + best_runtime <= res.shadow_time + sim::kTimeEpsilon;
+      const bool fits_extra = job->num_procs <= res.extra_nodes;
+      if (fits_window || fits_extra) {
+        queue_.erase(it);
+        start_job(*job);
+        progressed = true;
+        break;
+      }
+    }
+    if (!progressed) return;
+  }
+}
+
+}  // namespace librisk::core

@@ -1,0 +1,61 @@
+// FCFS and EASY-backfilling space-shared schedulers.
+//
+// Not part of the paper's comparison but the standard baselines of the
+// scheduling literature it cites (Mu'alem & Feitelson). Included as extra
+// comparators: they show how a throughput-oriented scheduler fares on the
+// deadline-fulfilment metric, and EASY demonstrates a second consumer of
+// runtime estimates (backfill reservations) inside the same framework.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "cluster/spaceshared.hpp"
+#include "core/scheduler.hpp"
+
+namespace librisk::core {
+
+struct FcfsConfig {
+  /// EASY backfilling: later jobs may jump the queue if, by their runtime
+  /// estimates, they do not delay the queue head's reservation.
+  bool backfilling = true;
+  /// Apply the same relaxed deadline admission control as EDF (reject a job
+  /// at selection when its deadline is expired/infeasible). Off by default:
+  /// plain FCFS/EASY accept everything and let deadlines miss.
+  bool deadline_admission = false;
+};
+
+class FcfsScheduler final : public Scheduler {
+ public:
+  FcfsScheduler(sim::Simulator& simulator, cluster::SpaceSharedExecutor& executor,
+                Collector& collector, FcfsConfig config, std::string name = "FCFS");
+
+  void on_job_submitted(const Job& job) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+
+  [[nodiscard]] std::size_t queue_length() const noexcept { return queue_.size(); }
+
+ private:
+  void dispatch();
+  void start_job(const Job& job);
+  [[nodiscard]] bool deadline_feasible(const Job& job) const;
+  /// Earliest time the queue head could start, and the number of nodes that
+  /// will be free *now* without delaying that start (the backfill window).
+  struct Reservation {
+    sim::SimTime shadow_time = 0.0;  ///< estimated start of the queue head
+    int extra_nodes = 0;             ///< free nodes beyond the head's need
+  };
+  [[nodiscard]] Reservation head_reservation(const Job& head) const;
+
+  sim::Simulator& sim_;
+  cluster::SpaceSharedExecutor& executor_;
+  Collector& collector_;
+  FcfsConfig config_;
+  std::string name_;
+  std::deque<const Job*> queue_;
+  /// Estimate-based finish times of running jobs (job id -> time), the
+  /// knowledge EASY reservations are built from.
+  std::map<std::int64_t, sim::SimTime> estimated_finish_;
+};
+
+}  // namespace librisk::core

@@ -1,0 +1,148 @@
+#include "core/libra.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "support/log.hpp"
+
+namespace librisk::core {
+
+LibraConfig LibraConfig::libra() {
+  LibraConfig c;
+  c.admission = Admission::TotalShare;
+  c.selection = Selection::BestFit;
+  c.estimate_kind = cluster::TimeSharedExecutor::EstimateKind::Raw;
+  return c;
+}
+
+LibraConfig LibraConfig::libra_risk() {
+  LibraConfig c;
+  c.admission = Admission::ZeroRisk;
+  c.selection = Selection::FirstFit;
+  c.estimate_kind = cluster::TimeSharedExecutor::EstimateKind::Current;
+  return c;
+}
+
+LibraScheduler::LibraScheduler(sim::Simulator& simulator,
+                               cluster::TimeSharedExecutor& executor,
+                               Collector& collector, LibraConfig config,
+                               std::string name)
+    : sim_(simulator),
+      executor_(executor),
+      collector_(collector),
+      config_(config),
+      name_(std::move(name)) {
+  LIBRISK_CHECK(config_.capacity > 0.0, "node capacity must be positive");
+  executor_.set_completion_handler(
+      [this](const Job& job, sim::SimTime finish) {
+        collector_.record_completed(job, finish);
+      });
+  executor_.set_kill_handler([this](const Job& job, sim::SimTime when) {
+    collector_.record_killed(job, when);
+  });
+}
+
+double LibraScheduler::new_job_share(const Job& job, cluster::NodeId node) const {
+  return cluster::required_share(job.scheduler_estimate, job.deadline,
+                                 executor_.config().deadline_clamp,
+                                 executor_.cluster().speed_factor(node));
+}
+
+RiskAssessment LibraScheduler::assess_with_job(cluster::NodeId node,
+                                               const Job& job) const {
+  const sim::SimTime now = sim_.now();
+  std::vector<RiskJobInput> inputs;
+  const auto& resident = executor_.node_jobs(node);
+  inputs.reserve(resident.size() + 1);
+  const bool raw =
+      config_.estimate_kind == cluster::TimeSharedExecutor::EstimateKind::Raw;
+  for (const cluster::JobId id : resident) {
+    const cluster::TaskView v = executor_.view(id);
+    inputs.push_back(RiskJobInput{
+        raw ? v.remaining_estimate_raw() : v.remaining_estimate_current(),
+        v.remaining_deadline(now), v.rate});
+  }
+  // Algorithm 1, line 2: add the new job temporarily.
+  inputs.push_back(RiskJobInput{job.scheduler_estimate, job.deadline,
+                                RiskJobInput::kNewJob});
+  return assess_node(inputs, config_.risk, executor_.cluster().speed_factor(node),
+                     executor_.node_available_capacity(node));
+}
+
+bool LibraScheduler::node_suitable(cluster::NodeId node, const Job& job,
+                                   double& fit) const {
+  switch (config_.admission) {
+    case LibraConfig::Admission::TotalShare: {
+      const double total =
+          executor_.node_total_share(node, config_.estimate_kind) +
+          new_job_share(job, node);
+      fit = total;
+      return total <= config_.capacity + config_.tolerance;
+    }
+    case LibraConfig::Admission::ZeroRisk: {
+      const RiskAssessment assessment = assess_with_job(node, job);
+      fit = assessment.total_share;
+      return assessment.zero_risk(config_.risk);
+    }
+  }
+  return false;
+}
+
+void LibraScheduler::on_job_submitted(const Job& job) {
+  const sim::SimTime now = sim_.now();
+  if (job.num_procs > executor_.cluster().size()) {
+    collector_.record_rejected(job, now, /*at_dispatch=*/false);
+    return;
+  }
+  executor_.sync();
+
+  struct Candidate {
+    cluster::NodeId node;
+    double fit;  // total share after acceptance; higher = fuller
+  };
+  std::vector<Candidate> suitable;
+  suitable.reserve(executor_.cluster().size());
+  for (cluster::NodeId n = 0; n < executor_.cluster().size(); ++n) {
+    double fit = 0.0;
+    if (node_suitable(n, job, fit)) suitable.push_back(Candidate{n, fit});
+  }
+
+  if (static_cast<int>(suitable.size()) < job.num_procs) {
+    collector_.record_rejected(job, now, /*at_dispatch=*/false);
+    LIBRISK_LOG(Debug) << name_ << ": rejected job " << job.id << " ("
+                       << suitable.size() << '/' << job.num_procs
+                       << " suitable nodes)";
+    return;
+  }
+
+  switch (config_.selection) {
+    case LibraConfig::Selection::FirstFit:
+      break;  // already in node order
+    case LibraConfig::Selection::BestFit:
+      // Fullest after acceptance first; node id breaks ties for determinism.
+      std::stable_sort(suitable.begin(), suitable.end(),
+                       [](const Candidate& a, const Candidate& b) {
+                         return a.fit > b.fit;
+                       });
+      break;
+    case LibraConfig::Selection::WorstFit:
+      std::stable_sort(suitable.begin(), suitable.end(),
+                       [](const Candidate& a, const Candidate& b) {
+                         return a.fit < b.fit;
+                       });
+      break;
+  }
+
+  std::vector<cluster::NodeId> chosen;
+  chosen.reserve(job.num_procs);
+  double slowest = sim::kTimeInfinity;
+  for (int i = 0; i < job.num_procs; ++i) {
+    chosen.push_back(suitable[i].node);
+    slowest = std::min(slowest, executor_.cluster().speed_factor(suitable[i].node));
+  }
+  collector_.record_started(job, now, job.actual_runtime / slowest);
+  executor_.start(job, std::move(chosen));
+}
+
+}  // namespace librisk::core

@@ -1,0 +1,88 @@
+// Libra and LibraRisk: deadline-based proportional-share admission controls
+// (paper Sections 3.1 and 3.3).
+//
+// Both run jobs on the time-shared proportional-share executor and decide
+// accept/reject at submission. They differ in two dials (paper Section 3.3):
+//
+//   admission test per node:
+//     TotalShare (Libra, Eq. 2): the node is suitable iff the sum of
+//       raw-estimate-based shares, including the new job, fits in the node's
+//       capacity. Jobs that have overrun their estimate contribute *zero*
+//       share — this is the "idealistic assumption of accurate runtime
+//       estimates" the paper criticises.
+//     ZeroRisk (LibraRisk, Eq. 4-6 / Algorithm 1): the node is suitable iff
+//       the risk of deadline delay is zero when the new job is temporarily
+//       added, evaluated against the scheduler's *current* knowledge
+//       (including overrun re-estimates).
+//
+//   node selection among suitable nodes:
+//     BestFit (Libra): least capacity left after acceptance — saturate
+//       nodes to their maximum.
+//     FirstFit (LibraRisk, Algorithm 1): zero-risk nodes in node order.
+//     WorstFit: most capacity left first (load-levelling ablation).
+#pragma once
+
+#include <string>
+
+#include "cluster/timeshared.hpp"
+#include "core/risk.hpp"
+#include "core/scheduler.hpp"
+
+namespace librisk::core {
+
+struct LibraConfig {
+  enum class Admission { TotalShare, ZeroRisk };
+  enum class Selection { BestFit, FirstFit, WorstFit };
+
+  Admission admission = Admission::TotalShare;
+  Selection selection = Selection::BestFit;
+  /// Share capacity of each node (1.0 = the whole processor).
+  double capacity = 1.0;
+  /// Which remaining-work estimate the admission test reads: the raw user
+  /// estimate (Libra's Eq. 1) or the scheduler's current overrun-adjusted
+  /// estimate. Libra defaults to Raw, LibraRisk to Current.
+  cluster::TimeSharedExecutor::EstimateKind estimate_kind =
+      cluster::TimeSharedExecutor::EstimateKind::Raw;
+  /// Risk parameters (ZeroRisk admission only).
+  RiskConfig risk;
+  /// Numeric tolerance on the capacity test.
+  double tolerance = 1e-9;
+
+  /// The paper's Libra: total-share admission, best-fit, raw estimates.
+  static LibraConfig libra();
+  /// The paper's LibraRisk: zero-risk admission, node-order selection,
+  /// overrun-aware estimates.
+  static LibraConfig libra_risk();
+};
+
+class LibraScheduler final : public Scheduler {
+ public:
+  /// The executor's completion events feed the collector; the scheduler
+  /// installs its own completion handler on `executor`.
+  LibraScheduler(sim::Simulator& simulator, cluster::TimeSharedExecutor& executor,
+                 Collector& collector, LibraConfig config, std::string name);
+
+  void on_job_submitted(const Job& job) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+
+  /// Decision introspection for tests: evaluates a node's suitability for a
+  /// job right now without side effects. Returns the fit key used for
+  /// selection via `fit` (total share after acceptance).
+  [[nodiscard]] bool node_suitable(cluster::NodeId node, const Job& job,
+                                   double& fit) const;
+
+  [[nodiscard]] const LibraConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] double new_job_share(const Job& job, cluster::NodeId node) const;
+  [[nodiscard]] RiskAssessment assess_with_job(cluster::NodeId node,
+                                               const Job& job) const;
+
+  sim::Simulator& sim_;
+  cluster::TimeSharedExecutor& executor_;
+  Collector& collector_;
+  LibraConfig config_;
+  std::string name_;
+};
+
+}  // namespace librisk::core

@@ -1,0 +1,123 @@
+#include "core/qops.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace librisk::core {
+
+QopsScheduler::QopsScheduler(sim::Simulator& simulator,
+                             cluster::SpaceSharedExecutor& executor,
+                             Collector& collector, QopsConfig config,
+                             std::string name)
+    : sim_(simulator),
+      executor_(executor),
+      collector_(collector),
+      config_(config),
+      name_(std::move(name)) {
+  LIBRISK_CHECK(config_.slack_factor >= 1.0, "slack factor must be at least 1");
+  executor_.set_completion_handler([this](const Job& job, sim::SimTime finish) {
+    estimated_finish_.erase(job.id);
+    collector_.record_completed(job, finish);
+    dispatch();
+  });
+  executor_.set_kill_handler([this](const Job& job, sim::SimTime when) {
+    estimated_finish_.erase(job.id);
+    collector_.record_killed(job, when);
+    dispatch();
+  });
+}
+
+bool QopsScheduler::feasible_with(const Job& candidate) const {
+  const sim::SimTime now = sim_.now();
+  const double speed = executor_.cluster().max_speed_factor();
+
+  // Node releases from running jobs, by estimated completion. An estimate
+  // that already expired is treated as "any moment now".
+  struct Release {
+    sim::SimTime time;
+    int procs;
+  };
+  std::vector<Release> releases;
+  releases.reserve(estimated_finish_.size());
+  for (const auto& [id, finish] : estimated_finish_)
+    releases.push_back(
+        Release{std::max(finish, now), collector_.record(id).job->num_procs});
+  std::sort(releases.begin(), releases.end(),
+            [](const Release& a, const Release& b) { return a.time < b.time; });
+
+  // Pending work in EDF order (the order the dispatcher will use).
+  std::vector<const Job*> pending = queue_;
+  pending.push_back(&candidate);
+  std::sort(pending.begin(), pending.end(), [](const Job* a, const Job* b) {
+    if (a->absolute_deadline() != b->absolute_deadline())
+      return a->absolute_deadline() < b->absolute_deadline();
+    return a->id < b->id;
+  });
+
+  // Forward-simulate the space-shared dispatch with estimates. Started
+  // pending jobs are appended to the release list (kept sorted by a simple
+  // insertion, sizes here are small).
+  int free = executor_.free_count();
+  sim::SimTime clock = now;
+  std::size_t next_release = 0;
+  for (const Job* job : pending) {
+    while (free < job->num_procs) {
+      if (next_release >= releases.size()) return false;  // can never start
+      clock = std::max(clock, releases[next_release].time);
+      free += releases[next_release].procs;
+      ++next_release;
+    }
+    const sim::SimTime start = clock;
+    const sim::SimTime finish = start + job->scheduler_estimate / speed;
+    const double allowed =
+        job->submit_time + config_.slack_factor * job->deadline;
+    if (finish > allowed + sim::kTimeEpsilon) return false;
+    free -= job->num_procs;
+    Release r{finish, job->num_procs};
+    const auto pos = std::upper_bound(
+        releases.begin() + static_cast<std::ptrdiff_t>(next_release),
+        releases.end(), r,
+        [](const Release& a, const Release& b) { return a.time < b.time; });
+    releases.insert(pos, r);
+  }
+  return true;
+}
+
+void QopsScheduler::on_job_submitted(const Job& job) {
+  if (job.num_procs > executor_.cluster().size()) {
+    collector_.record_rejected(job, sim_.now(), /*at_dispatch=*/false);
+    return;
+  }
+  if (!feasible_with(job)) {
+    collector_.record_rejected(job, sim_.now(), /*at_dispatch=*/false);
+    return;
+  }
+  queue_.push_back(&job);
+  dispatch();
+}
+
+void QopsScheduler::dispatch() {
+  while (!queue_.empty()) {
+    const auto head = std::min_element(
+        queue_.begin(), queue_.end(), [](const Job* a, const Job* b) {
+          if (a->absolute_deadline() != b->absolute_deadline())
+            return a->absolute_deadline() < b->absolute_deadline();
+          return a->id < b->id;
+        });
+    const Job* job = *head;
+    if (executor_.free_count() < job->num_procs) return;
+
+    std::vector<cluster::NodeId> nodes = executor_.take_free_nodes(job->num_procs);
+    double slowest = sim::kTimeInfinity;
+    for (const cluster::NodeId n : nodes)
+      slowest = std::min(slowest, executor_.cluster().speed_factor(n));
+    collector_.record_started(*job, sim_.now(), job->actual_runtime / slowest);
+    estimated_finish_[job->id] =
+        sim_.now() + job->scheduler_estimate / slowest;
+    queue_.erase(head);
+    executor_.start(*job, std::move(nodes));
+  }
+}
+
+}  // namespace librisk::core

@@ -1,0 +1,64 @@
+// QoPS-style deadline-feasibility admission control (Islam et al.,
+// Cluster 2004 — the paper's related work [6]).
+//
+// Where EDF's relaxed control rejects a job only when it is *selected* and
+// already infeasible, QoPS tests at *submission* whether a schedule exists
+// (by runtime estimates) in which every queued/running job still meets its
+// deadline — optionally relaxed by a slack factor, the "soft deadline"
+// feature the paper contrasts with its own hard-deadline focus: earlier
+// jobs may be delayed up to slack_factor * deadline to admit later, more
+// urgent jobs.
+//
+// The feasibility test simulates the space-shared EDF dispatch forward
+// using estimates: running jobs release their nodes at their estimated
+// completions, waiting jobs start in deadline order when enough nodes are
+// free. This is the estimate-consuming counterpart of LibraRisk's risk
+// test on the space-shared substrate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/spaceshared.hpp"
+#include "core/scheduler.hpp"
+
+namespace librisk::core {
+
+struct QopsConfig {
+  /// A job's effective deadline during admission is slack_factor * deadline
+  /// (>= 1; exactly 1 enforces hard deadlines at admission). Completion
+  /// accounting still uses the real, hard deadline.
+  double slack_factor = 1.0;
+};
+
+class QopsScheduler final : public Scheduler {
+ public:
+  QopsScheduler(sim::Simulator& simulator, cluster::SpaceSharedExecutor& executor,
+                Collector& collector, QopsConfig config, std::string name = "QoPS");
+
+  void on_job_submitted(const Job& job) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+
+  [[nodiscard]] std::size_t queue_length() const noexcept { return queue_.size(); }
+  [[nodiscard]] const QopsConfig& config() const noexcept { return config_; }
+
+  /// The admission test, exposed for unit testing: would every queued job
+  /// (plus `candidate`) meet its slack-relaxed deadline in the estimated
+  /// forward schedule?
+  [[nodiscard]] bool feasible_with(const Job& candidate) const;
+
+ private:
+  void dispatch();
+
+  sim::Simulator& sim_;
+  cluster::SpaceSharedExecutor& executor_;
+  Collector& collector_;
+  QopsConfig config_;
+  std::string name_;
+  std::vector<const Job*> queue_;
+  /// Estimated completion times of running jobs (job id -> absolute time),
+  /// maintained at start/completion.
+  std::map<std::int64_t, sim::SimTime> estimated_finish_;
+};
+
+}  // namespace librisk::core

@@ -1,0 +1,111 @@
+// The risk-of-deadline-delay metric (paper Section 3.2, Eq. 3-6).
+//
+// Pure functions over small value types so every formula is unit-testable
+// against hand-computed examples (including the paper's own worked example:
+// delay 40 s with remaining deadline 10 s gives deadline_delay 5; the same
+// delay with remaining deadline 20 s gives 3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace librisk::core {
+
+/// What an admission control knows about one job on a node when it
+/// evaluates the node: how much work the scheduler believes remains and how
+/// much wall-clock remains until the job's absolute deadline (negative when
+/// the deadline has already passed).
+struct RiskJobInput {
+  double remaining_work = 0.0;      ///< reference-seconds, >= 0
+  double remaining_deadline = 0.0;  ///< seconds; may be negative
+  /// Observed execution rate (reference-seconds per second) for a job
+  /// already running on the node; kNewJob for the job under admission,
+  /// whose rate must be predicted from the node's spare capacity.
+  double current_rate = kNewJob;
+
+  static constexpr double kNewJob = -1.0;
+};
+
+struct RiskConfig {
+  /// Deadline clamp shared with the share model (see ShareModelConfig).
+  double deadline_clamp = 1.0;
+  /// How completion times on the node are predicted (Algorithm 1, line 4):
+  ///  - CurrentRate (default): residents finish their remaining work at the
+  ///    rate they are *observed* to run at ("based on current workload"),
+  ///    so a node polluted by an overrun job shows real, heterogeneous
+  ///    delays; the job under admission is predicted at min(required share,
+  ///    node spare capacity) — zero spare means an enormous predicted delay
+  ///    and therefore sigma > 0 against any on-time resident.
+  ///  - ProcessorSharing: equal-split time sharing (GridSim TimeShared
+  ///    ablation, pairs with ExecutionMode::EqualShare).
+  ///  - ProportionalShare: every job at its required share, scaled down
+  ///    uniformly on overload. Note the degeneracy: a uniform squeeze
+  ///    inflates every deadline_delay by the same factor, so sigma stays 0
+  ///    on uniformly overloaded nodes — kept for the ablation study only.
+  enum class Prediction { CurrentRate, ProcessorSharing, ProportionalShare };
+  Prediction prediction = Prediction::CurrentRate;
+  /// ProportionalShare prediction only: redistribute spare capacity
+  /// (optimistic) instead of guaranteed shares (conservative).
+  bool work_conserving_prediction = false;
+  /// Numeric tolerance for the zero-risk test.
+  double tolerance = 1e-9;
+  /// Relaxation of the zero-risk rule: a node is suitable when
+  /// sigma <= sigma_threshold (paper: exactly 0). Raising it trades
+  /// deadline safety for acceptance; see bench/ablation_risk_threshold.
+  double sigma_threshold = 0.0;
+  /// Which test declares a node suitable:
+  ///  - SigmaOnly (default): the literal Eq. 6 test, sigma == 0. Note its
+  ///    consequence: a node carrying a *single* predicted-late job still has
+  ///    sigma == 0, so a job whose (over)estimated share exceeds a whole
+  ///    node can be admitted onto an otherwise-empty node — a salvage lane
+  ///    where it runs at full speed and, because user estimates are usually
+  ///    inflated, typically still meets its deadline. This is the mechanism
+  ///    behind LibraRisk's reported gains on short-deadline jobs; Libra's
+  ///    Eq. 2 test rejects those jobs outright.
+  ///  - SigmaAndNoDelay: additionally require that no job has any predicted
+  ///    delay (all deadline_delay == 1). Stricter, closes the salvage lane;
+  ///    kept as an ablation.
+  enum class Rule { SigmaAndNoDelay, SigmaOnly };
+  Rule rule = Rule::SigmaOnly;
+};
+
+/// Eq. 3 clamped at zero: a job completing before its deadline has no delay.
+[[nodiscard]] double job_delay(double finish_time, double submit_time,
+                               double deadline) noexcept;
+
+/// Eq. 4: impact of a delay on the remaining deadline; >= 1, equal to 1 iff
+/// the delay is zero. The remaining deadline is clamped below at
+/// `deadline_clamp` so jobs at/past their deadline register large but finite
+/// impact.
+[[nodiscard]] double deadline_delay_metric(double delay, double remaining_deadline,
+                                           double deadline_clamp) noexcept;
+
+/// Full assessment of one node (Algorithm 1, lines 2-6): predicted delay
+/// and deadline_delay per job, plus Eq. 5-6 aggregates.
+struct RiskAssessment {
+  std::vector<double> predicted_delay;
+  std::vector<double> deadline_delay;
+  double total_share = 0.0;  ///< Eq. 2 over the same inputs
+  double mu = 0.0;           ///< Eq. 5
+  double sigma = 0.0;        ///< Eq. 6
+  double max_deadline_delay = 0.0;
+
+  [[nodiscard]] bool zero_risk(const RiskConfig& config) const noexcept;
+};
+
+/// Predicts each job's completion on a node of the given speed factor under
+/// the configured prediction model and evaluates Eq. 4-6 on the result.
+/// `available_capacity` is the node's unallocated share fraction (used only
+/// by the CurrentRate prediction to rate the job under admission).
+[[nodiscard]] RiskAssessment assess_node(std::span<const RiskJobInput> jobs,
+                                         const RiskConfig& config,
+                                         double speed_factor = 1.0,
+                                         double available_capacity = 1.0);
+
+/// Completion offsets (seconds from now) of jobs with the given remaining
+/// works when a node of speed `speed_factor` splits capacity equally among
+/// unfinished jobs (processor sharing). Returned in input order.
+[[nodiscard]] std::vector<double> processor_sharing_finish_times(
+    std::span<const double> works, double speed_factor);
+
+}  // namespace librisk::core

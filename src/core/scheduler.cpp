@@ -1,0 +1,23 @@
+#include "core/scheduler.hpp"
+
+#include "support/check.hpp"
+
+namespace librisk::core {
+
+void run_trace(sim::Simulator& simulator, Scheduler& scheduler,
+               Collector& collector, const std::vector<Job>& jobs) {
+  workload::validate_trace(jobs);
+  for (const Job& job : jobs) {
+    simulator.at(job.submit_time, sim::EventPriority::Arrival,
+                 [&collector, &scheduler, &job, &simulator] {
+                   collector.record_submitted(job, simulator.now());
+                   scheduler.on_job_submitted(job);
+                 });
+  }
+  simulator.run();
+  LIBRISK_CHECK(collector.all_resolved(),
+                "simulation drained with unresolved jobs (scheduler "
+                    << scheduler.name() << ")");
+}
+
+}  // namespace librisk::core

@@ -1,0 +1,43 @@
+// Common interface for deadline-constrained job admission controls and the
+// trace driver that feeds them.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "sim/simulator.hpp"
+#include "workload/job.hpp"
+
+namespace librisk::core {
+
+using metrics::Collector;
+using workload::Job;
+
+/// A cluster RMS policy: receives each job at its submission instant and is
+/// responsible for eventually resolving it in the collector (reject, or
+/// start + complete). Implementations drive their own executors off the
+/// shared Simulator.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Called exactly once per job, at job.submit_time, after the collector
+  /// has recorded the submission.
+  virtual void on_job_submitted(const Job& job) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+ protected:
+  Scheduler() = default;
+};
+
+/// Schedules every job's arrival event and runs the simulation to
+/// completion. The trace must be validated and submit-ordered; it must
+/// outlive the call (schedulers keep pointers into it).
+void run_trace(sim::Simulator& simulator, Scheduler& scheduler,
+               Collector& collector, const std::vector<Job>& jobs);
+
+}  // namespace librisk::core

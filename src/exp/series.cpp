@@ -1,0 +1,157 @@
+#include "exp/series.hpp"
+
+#include <map>
+#include <ostream>
+
+#include "support/check.hpp"
+#include "support/csv.hpp"
+#include "support/significance.hpp"
+#include "support/table.hpp"
+
+namespace librisk::exp {
+
+const char* to_string(Measure measure) noexcept {
+  switch (measure) {
+    case Measure::FulfilledPct: return "fulfilled_pct";
+    case Measure::AvgSlowdown: return "avg_slowdown";
+    case Measure::Accepted: return "accepted";
+    case Measure::CompletedLate: return "completed_late";
+    case Measure::Utilization: return "utilization";
+    case Measure::FulfilledPctHighUrgency: return "fulfilled_pct_high_urgency";
+  }
+  return "?";
+}
+
+namespace {
+
+const stats::Accumulator& pick(const SweepCell& cell, Measure measure) {
+  switch (measure) {
+    case Measure::FulfilledPct: return cell.fulfilled_pct;
+    case Measure::AvgSlowdown: return cell.avg_slowdown;
+    case Measure::Accepted: return cell.accepted;
+    case Measure::CompletedLate: return cell.completed_late;
+    case Measure::Utilization: return cell.utilization;
+    case Measure::FulfilledPctHighUrgency: return cell.fulfilled_pct_high_urgency;
+  }
+  LIBRISK_CHECK(false, "unhandled measure");
+  return cell.fulfilled_pct;  // unreachable
+}
+
+// Groups cells by axis value preserving order; columns by policy order of
+// first appearance.
+struct Grid {
+  std::vector<double> xs;
+  std::vector<core::Policy> policies;
+  std::map<std::pair<std::size_t, std::size_t>, const SweepCell*> at;  // (xi, pi)
+};
+
+Grid build_grid(const std::vector<SweepCell>& cells) {
+  Grid g;
+  for (const SweepCell& cell : cells) {
+    std::size_t xi = g.xs.size();
+    for (std::size_t i = 0; i < g.xs.size(); ++i)
+      if (g.xs[i] == cell.x) { xi = i; break; }
+    if (xi == g.xs.size()) g.xs.push_back(cell.x);
+    std::size_t pi = g.policies.size();
+    for (std::size_t i = 0; i < g.policies.size(); ++i)
+      if (g.policies[i] == cell.policy) { pi = i; break; }
+    if (pi == g.policies.size()) g.policies.push_back(cell.policy);
+    g.at[{xi, pi}] = &cell;
+  }
+  return g;
+}
+
+std::string format_x(double x) {
+  // Axis values are small round numbers; show a decimal only when needed.
+  const double rounded = static_cast<double>(static_cast<long long>(x));
+  return x == rounded ? table::num(x, 0) : table::num(x, 2);
+}
+
+}  // namespace
+
+void print_series(std::ostream& out, const std::string& title,
+                  const std::string& x_label, const std::vector<SweepCell>& cells,
+                  Measure measure) {
+  const Grid g = build_grid(cells);
+  std::vector<std::string> header{x_label};
+  for (const core::Policy p : g.policies)
+    header.emplace_back(core::to_string(p));
+  table::Table t(std::move(header));
+  for (std::size_t xi = 0; xi < g.xs.size(); ++xi) {
+    std::vector<std::string> row{format_x(g.xs[xi])};
+    for (std::size_t pi = 0; pi < g.policies.size(); ++pi) {
+      const auto it = g.at.find({xi, pi});
+      if (it == g.at.end()) {
+        row.emplace_back("-");
+        continue;
+      }
+      const auto& acc = pick(*it->second, measure);
+      row.push_back(table::num(acc.mean(), 2) + " ±" +
+                    table::num(stats::ci95_halfwidth(acc), 2));
+    }
+    t.add_row(std::move(row));
+  }
+  out << title << '\n' << t.str() << '\n';
+}
+
+void write_series_csv(csv::Writer& writer, const std::string& figure,
+                      const std::vector<SweepCell>& cells,
+                      const std::vector<Measure>& measures) {
+  if (writer.rows_written() == 0)
+    writer.header({"figure", "x", "policy", "measure", "mean", "ci95", "seeds"});
+  for (const SweepCell& cell : cells) {
+    for (const Measure m : measures) {
+      const auto& acc = pick(cell, m);
+      writer.row({figure, csv::Writer::field(cell.x),
+                  std::string(core::to_string(cell.policy)), to_string(m),
+                  csv::Writer::field(acc.mean()),
+                  csv::Writer::field(stats::ci95_halfwidth(acc)),
+                  csv::Writer::field(acc.count())});
+    }
+  }
+}
+
+void print_significance(std::ostream& out, const std::vector<SweepCell>& cells,
+                        core::Policy a, core::Policy b) {
+  const Grid g = build_grid(cells);
+  table::Table t({"x", "mean diff (pp)", "paired p", "bootstrap win"});
+  bool any = false;
+  for (std::size_t xi = 0; xi < g.xs.size(); ++xi) {
+    const SweepCell* cell_a = nullptr;
+    const SweepCell* cell_b = nullptr;
+    for (std::size_t pi = 0; pi < g.policies.size(); ++pi) {
+      const auto it = g.at.find({xi, pi});
+      if (it == g.at.end()) continue;
+      if (g.policies[pi] == a) cell_a = it->second;
+      if (g.policies[pi] == b) cell_b = it->second;
+    }
+    if (cell_a == nullptr || cell_b == nullptr) continue;
+    if (cell_a->fulfilled_pct_by_seed.size() < 2) continue;
+    const stats::PairedComparison cmp = stats::compare_paired(
+        cell_a->fulfilled_pct_by_seed, cell_b->fulfilled_pct_by_seed);
+    any = true;
+    t.add_row({format_x(g.xs[xi]), table::num(cmp.mean_difference, 2),
+               cmp.p_value < 1e-4 ? std::string("<1e-4")
+                                  : table::num(cmp.p_value, 4),
+               table::num(cmp.bootstrap_win_rate, 3)});
+  }
+  if (any) {
+    out << "paired significance, fulfilled %: " << core::to_string(a) << " - "
+        << core::to_string(b) << '\n'
+        << t.str() << '\n';
+  }
+}
+
+void emit_subfigure(std::ostream& out, csv::Writer& writer,
+                    const std::string& figure_id, const std::string& title,
+                    const std::string& x_label, const std::vector<SweepCell>& cells) {
+  print_series(out, title + " — jobs with deadlines fulfilled (%)", x_label, cells,
+               Measure::FulfilledPct);
+  print_series(out, title + " — average slowdown (fulfilled jobs)", x_label, cells,
+               Measure::AvgSlowdown);
+  write_series_csv(writer, figure_id, cells,
+                   {Measure::FulfilledPct, Measure::AvgSlowdown, Measure::Accepted,
+                    Measure::CompletedLate, Measure::Utilization});
+}
+
+}  // namespace librisk::exp

@@ -1,0 +1,51 @@
+// Figure-series formatting: turns sweep cells into the tables and CSV rows
+// the paper's figures plot (one series per policy).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hpp"
+#include "support/csv.hpp"
+
+namespace librisk::exp {
+
+/// Which sweep measurement a printed series shows.
+enum class Measure {
+  FulfilledPct,        ///< paper metric (i)
+  AvgSlowdown,         ///< paper metric (ii)
+  Accepted,
+  CompletedLate,
+  Utilization,
+  FulfilledPctHighUrgency,
+};
+
+[[nodiscard]] const char* to_string(Measure measure) noexcept;
+
+/// Prints one sub-figure: rows = axis values, one column per policy, cell =
+/// mean over seeds with the 95% CI half-width in parentheses.
+void print_series(std::ostream& out, const std::string& title,
+                  const std::string& x_label, const std::vector<SweepCell>& cells,
+                  Measure measure);
+
+/// Appends rows "<figure>,<x>,<policy>,<measure>,<mean>,<ci95>,<n>" for every
+/// cell and the given measures. Writes a header when the writer is fresh.
+void write_series_csv(csv::Writer& writer, const std::string& figure,
+                      const std::vector<SweepCell>& cells,
+                      const std::vector<Measure>& measures);
+
+/// Convenience used by every figure binary: prints fulfilled% + slowdown
+/// tables for a (sub-figure title, cells) pair and appends the CSV rows.
+void emit_subfigure(std::ostream& out, csv::Writer& writer,
+                    const std::string& figure_id, const std::string& title,
+                    const std::string& x_label, const std::vector<SweepCell>& cells);
+
+/// Prints a per-axis paired-significance line for fulfilled % between two
+/// policies (same seeds = same job streams): mean difference, paired
+/// p-value, bootstrap win rate. No-op when either policy is absent or only
+/// one seed was run.
+void print_significance(std::ostream& out, const std::vector<SweepCell>& cells,
+                        core::Policy a, core::Policy b);
+
+}  // namespace librisk::exp

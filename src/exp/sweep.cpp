@@ -1,0 +1,65 @@
+#include "exp/sweep.hpp"
+
+#include <mutex>
+
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace librisk::exp {
+
+std::vector<SweepCell> run_sweep(const Scenario& base, const SweepConfig& config) {
+  LIBRISK_CHECK(!config.axis.empty(), "sweep needs axis values");
+  LIBRISK_CHECK(!config.policies.empty(), "sweep needs policies");
+  LIBRISK_CHECK(!config.seeds.empty(), "sweep needs seeds");
+  LIBRISK_CHECK(config.apply != nullptr, "sweep needs an apply function");
+
+  std::vector<SweepCell> cells;
+  cells.reserve(config.axis.size() * config.policies.size());
+  for (const double x : config.axis) {
+    for (const core::Policy policy : config.policies) {
+      SweepCell cell;
+      cell.x = x;
+      cell.policy = policy;
+      cell.fulfilled_pct_by_seed.assign(config.seeds.size(), 0.0);
+      cell.avg_slowdown_by_seed.assign(config.seeds.size(), 0.0);
+      cells.push_back(cell);
+    }
+  }
+
+  struct Task {
+    std::size_t cell_index;
+    std::size_t seed_index;
+    std::uint64_t seed;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(cells.size() * config.seeds.size());
+  for (std::size_t c = 0; c < cells.size(); ++c)
+    for (std::size_t k = 0; k < config.seeds.size(); ++k)
+      tasks.push_back(Task{c, k, config.seeds[k]});
+
+  std::mutex cells_mutex;
+  support::ThreadPool pool(config.threads);
+  support::parallel_for(pool, tasks.size(), [&](std::size_t i) {
+    const Task& task = tasks[i];
+    Scenario scenario = base;
+    scenario.policy = cells[task.cell_index].policy;
+    scenario.seed = task.seed;
+    config.apply(scenario, cells[task.cell_index].x);
+    const ScenarioResult result = run_scenario(scenario);
+
+    const std::scoped_lock lock(cells_mutex);
+    SweepCell& cell = cells[task.cell_index];
+    cell.fulfilled_pct.add(result.summary.fulfilled_pct);
+    cell.avg_slowdown.add(result.summary.avg_slowdown_fulfilled);
+    cell.fulfilled_pct_by_seed[task.seed_index] = result.summary.fulfilled_pct;
+    cell.avg_slowdown_by_seed[task.seed_index] = result.summary.avg_slowdown_fulfilled;
+    cell.accepted.add(static_cast<double>(result.summary.accepted));
+    cell.completed_late.add(static_cast<double>(result.summary.completed_late));
+    cell.utilization.add(result.summary.utilization);
+    cell.fulfilled_pct_high_urgency.add(result.summary.fulfilled_pct_high_urgency);
+  });
+
+  return cells;
+}
+
+}  // namespace librisk::exp

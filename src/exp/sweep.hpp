@@ -1,0 +1,52 @@
+// Parameter sweeps: the machinery behind every figure reproduction.
+//
+// A sweep varies one axis (arrival delay factor, deadline ratio, ...) over
+// a set of policies, replicating each cell over several workload seeds and
+// averaging. Cells run in parallel on a thread pool; each individual
+// simulation remains single-threaded and deterministic, so the sweep output
+// is independent of the thread count.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "support/stats.hpp"
+
+namespace librisk::exp {
+
+struct SweepConfig {
+  /// Axis values, in presentation order.
+  std::vector<double> axis;
+  /// Applies one axis value to a scenario (e.g. sets the delay factor).
+  std::function<void(Scenario&, double)> apply;
+  /// Policies to compare at every axis value.
+  std::vector<core::Policy> policies;
+  /// Seed replications per cell; results report the mean.
+  std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5};
+  /// Worker threads (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+/// One (axis value, policy) cell aggregated over seeds.
+struct SweepCell {
+  double x = 0.0;
+  core::Policy policy{};
+  stats::Accumulator fulfilled_pct;
+  stats::Accumulator avg_slowdown;
+  stats::Accumulator accepted;
+  stats::Accumulator completed_late;
+  stats::Accumulator utilization;
+  stats::Accumulator fulfilled_pct_high_urgency;
+  /// Raw per-seed samples in SweepConfig::seeds order, so cells of
+  /// different policies can be compared *paired* (same seed = same jobs).
+  std::vector<double> fulfilled_pct_by_seed;
+  std::vector<double> avg_slowdown_by_seed;
+};
+
+/// Runs |axis| x |policies| x |seeds| simulations. Cells are ordered
+/// axis-major then policy (matching SweepConfig order).
+[[nodiscard]] std::vector<SweepCell> run_sweep(const Scenario& base,
+                                               const SweepConfig& config);
+
+}  // namespace librisk::exp

@@ -1,0 +1,61 @@
+#include "metrics/car.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/stats.hpp"
+
+namespace librisk::metrics {
+
+const char* to_string(CarMeasure measure) noexcept {
+  switch (measure) {
+    case CarMeasure::ResponseTime: return "response_time";
+    case CarMeasure::Slowdown: return "slowdown";
+  }
+  return "?";
+}
+
+CarReport computation_at_risk(std::vector<double> sample, CarMeasure measure,
+                              double quantile) {
+  LIBRISK_CHECK(quantile > 0.0 && quantile < 100.0, "quantile must be in (0, 100)");
+  CarReport report;
+  report.measure = measure;
+  report.quantile = quantile;
+  report.jobs = sample.size();
+  if (sample.empty()) return report;
+
+  std::sort(sample.begin(), sample.end());
+  report.at_risk = stats::percentile(sample, quantile);
+  report.max = sample.back();
+
+  double total = 0.0;
+  double tail_total = 0.0;
+  std::size_t tail_count = 0;
+  for (const double x : sample) {
+    total += x;
+    if (x >= report.at_risk) {
+      tail_total += x;
+      ++tail_count;
+    }
+  }
+  report.mean = total / static_cast<double>(sample.size());
+  report.tail_mean =
+      tail_count == 0 ? report.at_risk : tail_total / static_cast<double>(tail_count);
+  return report;
+}
+
+CarReport computation_at_risk(const Collector& collector, CarMeasure measure,
+                              double quantile) {
+  std::vector<double> sample;
+  sample.reserve(collector.records().size());
+  for (const auto& [id, record] : collector.records()) {
+    if (record.fate != JobFate::FulfilledInTime &&
+        record.fate != JobFate::CompletedLate)
+      continue;
+    sample.push_back(measure == CarMeasure::ResponseTime ? record.response_time()
+                                                         : record.slowdown());
+  }
+  return computation_at_risk(std::move(sample), measure, quantile);
+}
+
+}  // namespace librisk::metrics

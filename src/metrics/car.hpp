@@ -1,0 +1,48 @@
+// Computation-at-Risk metrics (Kleban & Clearwater [7][8] — the approach
+// the paper's deadline-delay metric is "analogous to").
+//
+// CaR transplants finance's value-at-risk to job portfolios: given the
+// distribution of a badness measure (makespan/response time, or expansion
+// factor/slowdown), CaR(q) is the q-th percentile — "with probability q the
+// job will cost no more than this" — and the conditional tail expectation
+// (mean badness beyond CaR) quantifies how bad the bad cases are. Useful
+// for comparing how each admission control shapes the *tail* of service,
+// which the mean slowdown of the headline metrics hides.
+#pragma once
+
+#include <vector>
+
+#include "metrics/collector.hpp"
+
+namespace librisk::metrics {
+
+/// Which badness measure the CaR is computed over.
+enum class CarMeasure {
+  ResponseTime,  ///< makespan-style: finish - submit, seconds
+  Slowdown,      ///< expansion-factor-style: response / minimum runtime
+};
+
+[[nodiscard]] const char* to_string(CarMeasure measure) noexcept;
+
+struct CarReport {
+  CarMeasure measure{};
+  std::size_t jobs = 0;       ///< completed jobs the distribution covers
+  double quantile = 95.0;     ///< q used
+  double at_risk = 0.0;       ///< CaR(q): q-th percentile of the measure
+  double tail_mean = 0.0;     ///< mean of the measure beyond CaR(q)
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+/// Computes CaR over every *completed* job in the collector (fulfilled and
+/// late — rejections have no execution to measure). `quantile` in (0, 100).
+[[nodiscard]] CarReport computation_at_risk(const Collector& collector,
+                                            CarMeasure measure,
+                                            double quantile = 95.0);
+
+/// Same, over a pre-extracted sample (for tests / custom filters).
+[[nodiscard]] CarReport computation_at_risk(std::vector<double> sample,
+                                            CarMeasure measure,
+                                            double quantile = 95.0);
+
+}  // namespace librisk::metrics

@@ -1,0 +1,146 @@
+#include "metrics/collector.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace librisk::metrics {
+
+const char* to_string(JobFate fate) noexcept {
+  switch (fate) {
+    case JobFate::Pending: return "pending";
+    case JobFate::RejectedAtSubmit: return "rejected-at-submit";
+    case JobFate::RejectedAtDispatch: return "rejected-at-dispatch";
+    case JobFate::FulfilledInTime: return "fulfilled";
+    case JobFate::CompletedLate: return "completed-late";
+    case JobFate::Killed: return "killed";
+  }
+  return "?";
+}
+
+JobRecord& Collector::fetch(const Job& job, bool must_exist) {
+  const auto it = records_.find(job.id);
+  if (must_exist) {
+    LIBRISK_CHECK(it != records_.end(), "job " << job.id << " was never submitted");
+    return it->second;
+  }
+  LIBRISK_CHECK(it == records_.end(), "job " << job.id << " submitted twice");
+  return records_[job.id];
+}
+
+void Collector::record_submitted(const Job& job, SimTime now) {
+  JobRecord& r = fetch(job, /*must_exist=*/false);
+  r.job = &job;
+  r.submit_time = now;
+}
+
+void Collector::record_rejected(const Job& job, SimTime now, bool at_dispatch) {
+  JobRecord& r = fetch(job, /*must_exist=*/true);
+  LIBRISK_CHECK(r.fate == JobFate::Pending,
+                "job " << job.id << " already resolved as " << to_string(r.fate));
+  LIBRISK_CHECK(!r.started, "job " << job.id << " rejected after starting");
+  r.fate = at_dispatch ? JobFate::RejectedAtDispatch : JobFate::RejectedAtSubmit;
+  r.finish_time = now;
+}
+
+void Collector::record_started(const Job& job, SimTime now, double min_runtime) {
+  JobRecord& r = fetch(job, /*must_exist=*/true);
+  LIBRISK_CHECK(r.fate == JobFate::Pending, "job " << job.id << " started after resolution");
+  LIBRISK_CHECK(!r.started, "job " << job.id << " started twice");
+  LIBRISK_CHECK(min_runtime > 0.0, "min_runtime must be positive");
+  r.started = true;
+  r.start_time = now;
+  r.min_runtime = min_runtime;
+}
+
+void Collector::record_completed(const Job& job, SimTime finish) {
+  JobRecord& r = fetch(job, /*must_exist=*/true);
+  LIBRISK_CHECK(r.started, "job " << job.id << " completed without starting");
+  LIBRISK_CHECK(r.fate == JobFate::Pending, "job " << job.id << " completed twice");
+  r.finish_time = finish;
+  r.delay = std::max(0.0, (finish - r.submit_time) - job.deadline);
+  if (r.delay <= kDelayTolerance) r.delay = 0.0;
+  r.fate = r.delay == 0.0 ? JobFate::FulfilledInTime : JobFate::CompletedLate;
+}
+
+void Collector::record_killed(const Job& job, SimTime when) {
+  JobRecord& r = fetch(job, /*must_exist=*/true);
+  LIBRISK_CHECK(r.started, "job " << job.id << " killed without starting");
+  LIBRISK_CHECK(r.fate == JobFate::Pending, "job " << job.id << " killed after resolution");
+  r.finish_time = when;
+  r.fate = JobFate::Killed;
+}
+
+bool Collector::all_resolved() const noexcept {
+  return std::all_of(records_.begin(), records_.end(), [](const auto& kv) {
+    return kv.second.fate != JobFate::Pending;
+  });
+}
+
+const JobRecord& Collector::record(std::int64_t job_id) const {
+  const auto it = records_.find(job_id);
+  LIBRISK_CHECK(it != records_.end(), "no record for job " << job_id);
+  return it->second;
+}
+
+RunSummary Collector::summarize() const { return summarize(MeasurementWindow{}); }
+
+RunSummary Collector::summarize(const MeasurementWindow& window) const {
+  RunSummary s;
+  stats::Accumulator slowdown_fulfilled, slowdown_completed, delay_late;
+  std::vector<double> fulfilled_slowdowns;
+  std::size_t high_total = 0, high_fulfilled = 0;
+  std::size_t low_total = 0, low_fulfilled = 0;
+
+  for (const auto& [id, r] : records_) {
+    if (r.submit_time < window.begin || r.submit_time > window.end) continue;
+    ++s.submitted;
+    s.makespan = std::max(s.makespan, std::max(r.finish_time, r.submit_time));
+    const bool high = r.job->urgency == workload::Urgency::High;
+    (high ? high_total : low_total) += 1;
+    switch (r.fate) {
+      case JobFate::Pending:
+        break;
+      case JobFate::RejectedAtSubmit:
+        ++s.rejected_at_submit;
+        break;
+      case JobFate::RejectedAtDispatch:
+        ++s.rejected_at_dispatch;
+        break;
+      case JobFate::FulfilledInTime:
+        ++s.accepted;
+        ++s.fulfilled;
+        (high ? high_fulfilled : low_fulfilled) += 1;
+        slowdown_fulfilled.add(r.slowdown());
+        fulfilled_slowdowns.push_back(r.slowdown());
+        slowdown_completed.add(r.slowdown());
+        break;
+      case JobFate::CompletedLate:
+        ++s.accepted;
+        ++s.completed_late;
+        slowdown_completed.add(r.slowdown());
+        delay_late.add(r.delay);
+        s.max_delay = std::max(s.max_delay, r.delay);
+        break;
+      case JobFate::Killed:
+        ++s.accepted;
+        ++s.killed;
+        break;
+    }
+  }
+
+  const auto pct = [](std::size_t part, std::size_t whole) {
+    return whole == 0 ? 0.0
+                      : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+  };
+  s.fulfilled_pct = pct(s.fulfilled, s.submitted);
+  s.fulfilled_pct_high_urgency = pct(high_fulfilled, high_total);
+  s.fulfilled_pct_low_urgency = pct(low_fulfilled, low_total);
+  s.avg_slowdown_fulfilled = slowdown_fulfilled.mean();
+  s.avg_slowdown_completed = slowdown_completed.mean();
+  s.avg_delay_late = delay_late.mean();
+  s.p95_slowdown_fulfilled = stats::percentile(fulfilled_slowdowns, 95.0);
+  return s;
+}
+
+}  // namespace librisk::metrics

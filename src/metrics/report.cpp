@@ -1,0 +1,44 @@
+#include "metrics/report.hpp"
+
+#include <ostream>
+
+#include "support/table.hpp"
+
+namespace librisk::metrics {
+
+void print_summary(std::ostream& out, const std::string& label, const RunSummary& s) {
+  table::Table t({"metric", "value"});
+  t.add_row({"submitted", std::to_string(s.submitted)});
+  t.add_row({"accepted", std::to_string(s.accepted)});
+  t.add_row({"rejected at submit", std::to_string(s.rejected_at_submit)});
+  t.add_row({"rejected at dispatch", std::to_string(s.rejected_at_dispatch)});
+  t.add_row({"fulfilled in time", std::to_string(s.fulfilled)});
+  t.add_row({"completed late", std::to_string(s.completed_late)});
+  if (s.killed > 0) t.add_row({"killed at estimate", std::to_string(s.killed)});
+  t.add_row({"fulfilled %", table::pct(s.fulfilled_pct)});
+  t.add_row({"avg slowdown (fulfilled)", table::num(s.avg_slowdown_fulfilled)});
+  t.add_row({"fulfilled % (high urgency)", table::pct(s.fulfilled_pct_high_urgency)});
+  t.add_row({"fulfilled % (low urgency)", table::pct(s.fulfilled_pct_low_urgency)});
+  t.add_row({"avg delay of late jobs (s)", table::num(s.avg_delay_late, 0)});
+  t.add_row({"makespan (days)", table::num(s.makespan / 86400.0, 2)});
+  if (s.utilization > 0.0) t.add_row({"utilization", table::pct(100.0 * s.utilization)});
+  out << "== " << label << " ==\n" << t.str();
+}
+
+void print_comparison(std::ostream& out, const std::vector<LabelledSummary>& runs) {
+  table::Table t({"policy", "fulfilled %", "avg slowdown", "accepted", "rejected",
+                  "late", "high-urg %", "low-urg %"});
+  for (const auto& run : runs) {
+    const RunSummary& s = run.summary;
+    t.add_row({run.label, table::pct(s.fulfilled_pct),
+               table::num(s.avg_slowdown_fulfilled),
+               std::to_string(s.accepted),
+               std::to_string(s.rejected_at_submit + s.rejected_at_dispatch),
+               std::to_string(s.completed_late),
+               table::pct(s.fulfilled_pct_high_urgency),
+               table::pct(s.fulfilled_pct_low_urgency)});
+  }
+  out << t.str();
+}
+
+}  // namespace librisk::metrics

@@ -1,0 +1,25 @@
+// Human-readable reporting of run summaries (examples and harnesses).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/collector.hpp"
+
+namespace librisk::metrics {
+
+/// One labelled run, for side-by-side comparison tables.
+struct LabelledSummary {
+  std::string label;
+  RunSummary summary;
+};
+
+/// Prints one run's accounting as a small table.
+void print_summary(std::ostream& out, const std::string& label, const RunSummary& s);
+
+/// Prints several runs side by side (one row per policy) — the shape the
+/// paper's figures tabulate.
+void print_comparison(std::ostream& out, const std::vector<LabelledSummary>& runs);
+
+}  // namespace librisk::metrics

@@ -1,0 +1,58 @@
+#include "sim/event_queue.hpp"
+
+#include "support/check.hpp"
+
+namespace librisk::sim {
+
+EventId EventQueue::schedule(SimTime time, EventPriority priority, Handler handler) {
+  LIBRISK_CHECK(handler != nullptr, "null event handler");
+  LIBRISK_CHECK(time == time, "NaN event time");  // NaN never compares equal
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{time, static_cast<int>(priority), id});
+  handlers_.emplace(id, std::move(handler));
+  ++live_;
+  return EventId{id};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  const auto it = handlers_.find(id.value);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  cancelled_.insert(id.value);
+  ++cancelled_total_;
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_dead_top() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const noexcept { return live_ == 0; }
+
+SimTime EventQueue::next_time() const {
+  LIBRISK_CHECK(!empty(), "next_time on empty queue");
+  const_cast<EventQueue*>(this)->drop_dead_top();
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  LIBRISK_CHECK(!empty(), "pop on empty queue");
+  drop_dead_top();
+  const Entry top = heap_.top();
+  heap_.pop();
+  const auto it = handlers_.find(top.id);
+  LIBRISK_CHECK(it != handlers_.end(), "live event without handler");
+  Popped out{top.time, static_cast<EventPriority>(top.priority), std::move(it->second)};
+  handlers_.erase(it);
+  --live_;
+  return out;
+}
+
+}  // namespace librisk::sim

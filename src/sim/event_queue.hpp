@@ -1,0 +1,89 @@
+// Pending-event set for the DES kernel.
+//
+// Ordering is (time, priority, sequence): equal-time events run in priority
+// order, and equal-priority ties run in schedule order, which makes runs
+// bit-reproducible. Cancellation is O(1) by id with lazy deletion at pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace librisk::sim {
+
+/// Identifies a scheduled event; usable to cancel it before it fires.
+struct EventId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const noexcept { return value != 0; }
+  friend bool operator==(EventId, EventId) = default;
+};
+
+/// Scheduling priority at equal timestamps. Lower runs first. Completions
+/// run before arrivals at the same instant so freed capacity is visible to
+/// the admission decision made at that instant.
+enum class EventPriority : int {
+  Completion = 0,
+  Internal = 1,
+  Arrival = 2,
+  Control = 3,
+};
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` at absolute `time`. Returns an id for cancel().
+  EventId schedule(SimTime time, EventPriority priority, Handler handler);
+
+  /// Cancels a pending event; returns false if it already fired or was
+  /// cancelled (both are benign).
+  bool cancel(EventId id);
+
+  /// True when no live events remain.
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Timestamp of the next live event; empty() must be false.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops the next live event. empty() must be false.
+  struct Popped {
+    SimTime time;
+    EventPriority priority;
+    Handler handler;
+  };
+  [[nodiscard]] Popped pop();
+
+  /// Lifetime counters, exposed for tests and the kernel microbenchmark.
+  [[nodiscard]] std::uint64_t scheduled_total() const noexcept { return next_id_ - 1; }
+  [[nodiscard]] std::uint64_t cancelled_total() const noexcept { return cancelled_total_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    int priority;
+    std::uint64_t id;
+    // min-heap via greater-than
+    [[nodiscard]] bool operator>(const Entry& o) const noexcept {
+      if (time != o.time) return time > o.time;
+      if (priority != o.priority) return priority > o.priority;
+      return id > o.id;
+    }
+  };
+
+  void drop_dead_top();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, Handler> handlers_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t cancelled_total_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace librisk::sim

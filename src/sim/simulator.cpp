@@ -1,0 +1,44 @@
+#include "sim/simulator.hpp"
+
+#include "support/check.hpp"
+
+namespace librisk::sim {
+
+EventId Simulator::at(SimTime t, EventPriority priority, Handler handler) {
+  LIBRISK_CHECK(t >= now_ - kTimeEpsilon,
+                "scheduling into the past: t=" << t << " now=" << now_);
+  if (t < now_) t = now_;
+  return queue_.schedule(t, priority, std::move(handler));
+}
+
+EventId Simulator::after(SimTime delay, EventPriority priority, Handler handler) {
+  LIBRISK_CHECK(delay >= -kTimeEpsilon, "negative delay: " << delay);
+  return at(now_ + (delay < 0 ? 0 : delay), priority, std::move(handler));
+}
+
+void Simulator::dispatch_next() {
+  auto [time, priority, handler] = queue_.pop();
+  LIBRISK_CHECK(time >= now_, "event queue returned a past event");
+  now_ = time;
+  in_event_ = true;
+  handler();
+  in_event_ = false;
+  ++processed_;
+}
+
+std::uint64_t Simulator::run() {
+  stopping_ = false;
+  const std::uint64_t start = processed_;
+  while (!queue_.empty() && !stopping_) dispatch_next();
+  return processed_ - start;
+}
+
+std::uint64_t Simulator::run_until(SimTime horizon) {
+  stopping_ = false;
+  const std::uint64_t start = processed_;
+  while (!queue_.empty() && !stopping_ && queue_.next_time() <= horizon)
+    dispatch_next();
+  return processed_ - start;
+}
+
+}  // namespace librisk::sim

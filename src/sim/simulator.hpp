@@ -1,0 +1,58 @@
+// The discrete-event simulation kernel (the GridSim substitute).
+//
+// A Simulator owns the clock and the pending-event set. Components schedule
+// closures at absolute or relative times; run() drains events in
+// deterministic order. Time never goes backwards; scheduling in the past
+// (within kTimeEpsilon, from rate arithmetic) is clamped to `now`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace librisk::sim {
+
+class Simulator {
+ public:
+  using Handler = EventQueue::Handler;
+
+  /// Current simulation time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules at absolute time t (clamped up to now() if slightly past).
+  EventId at(SimTime t, EventPriority priority, Handler handler);
+
+  /// Schedules at now() + delay (delay >= -kTimeEpsilon).
+  EventId after(SimTime delay, EventPriority priority, Handler handler);
+
+  /// Cancels a pending event; false if already fired/cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the event set is empty or stop() is called.
+  /// Returns the number of events processed by this call.
+  std::uint64_t run();
+
+  /// Runs events with time <= horizon (inclusive); the clock advances to
+  /// the last processed event, not to the horizon itself.
+  std::uint64_t run_until(SimTime horizon);
+
+  /// Requests run() to return after the current event completes.
+  void stop() noexcept { stopping_ = true; }
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+  [[nodiscard]] const EventQueue& queue() const noexcept { return queue_; }
+
+ private:
+  void dispatch_next();
+
+  EventQueue queue_;
+  SimTime now_ = kTimeZero;
+  std::uint64_t processed_ = 0;
+  bool stopping_ = false;
+  bool in_event_ = false;
+};
+
+}  // namespace librisk::sim

@@ -1,0 +1,18 @@
+// Shared simulation-time vocabulary.
+#pragma once
+
+#include <limits>
+
+namespace librisk::sim {
+
+/// Simulation time in seconds since simulation start. Double precision keeps
+/// sub-second resolution over multi-month traces (2^53 ulp ≫ trace spans).
+using SimTime = double;
+
+inline constexpr SimTime kTimeZero = 0.0;
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<SimTime>::infinity();
+
+/// Comparison slack for derived times (rate divisions accumulate rounding).
+inline constexpr double kTimeEpsilon = 1e-6;
+
+}  // namespace librisk::sim

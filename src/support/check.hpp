@@ -1,0 +1,55 @@
+// Runtime invariant checking for librisk.
+//
+// LIBRISK_CHECK(cond, msg) throws librisk::CheckError when `cond` is false.
+// Checks are always on: the library is a simulator whose value is the
+// trustworthiness of its numbers, and the checks are cheap relative to the
+// event-processing they guard.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace librisk {
+
+/// Thrown when a LIBRISK_CHECK invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "LIBRISK_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+// Builds the failure message lazily so the happy path never allocates.
+class CheckMessage {
+ public:
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace librisk
+
+#define LIBRISK_CHECK(cond, ...)                                             \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      ::librisk::detail::check_failed(                                       \
+          #cond, __FILE__, __LINE__,                                         \
+          (::librisk::detail::CheckMessage{} << "" __VA_ARGS__).str());      \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,186 @@
+#include "support/cli.hpp"
+
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace librisk::cli {
+
+namespace {
+
+template <typename T>
+T parse_value(const std::string& name, const std::string& text);
+
+template <>
+std::string parse_value<std::string>(const std::string&, const std::string& text) {
+  return text;
+}
+
+template <>
+int parse_value<int>(const std::string& name, const std::string& text) {
+  int v = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    throw ParseError("--" + name + ": expected integer, got '" + text + "'");
+  return v;
+}
+
+template <>
+std::uint64_t parse_value<std::uint64_t>(const std::string& name, const std::string& text) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    throw ParseError("--" + name + ": expected unsigned integer, got '" + text + "'");
+  return v;
+}
+
+template <>
+double parse_value<double>(const std::string& name, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError("--" + name + ": expected number, got '" + text + "'");
+  }
+}
+
+template <>
+bool parse_value<bool>(const std::string& name, const std::string& text) {
+  if (text == "true" || text == "1" || text == "yes" || text == "on") return true;
+  if (text == "false" || text == "0" || text == "no" || text == "off") return false;
+  throw ParseError("--" + name + ": expected bool, got '" + text + "'");
+}
+
+template <typename T>
+std::string show(const T& v) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return v.empty() ? "\"\"" : v;
+  } else if constexpr (std::is_same_v<T, bool>) {
+    return v ? "true" : "false";
+  } else {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+}
+
+struct OptionEntry {
+  std::string name;
+  std::string help;
+  std::string default_text;
+  bool is_bool = false;
+  // Consumes the textual value and stores it in the typed Option.
+  std::function<void(const std::string&)> assign;
+};
+
+}  // namespace
+
+struct Parser::Impl {
+  std::string program;
+  std::string description;
+  std::vector<OptionEntry> entries;
+  // Typed options are heap-allocated so references returned by add() remain
+  // stable as more options are declared.
+  std::vector<std::shared_ptr<void>> storage;
+
+  OptionEntry* find(const std::string& name) {
+    for (auto& e : entries)
+      if (e.name == name) return &e;
+    return nullptr;
+  }
+};
+
+Parser::Parser(std::string program, std::string description)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->program = std::move(program);
+  impl_->description = std::move(description);
+}
+
+Parser::~Parser() = default;
+
+template <typename T>
+Option<T>& Parser::add(std::string name, std::string help, T default_value) {
+  LIBRISK_CHECK(!name.empty(), "option name must not be empty");
+  LIBRISK_CHECK(impl_->find(name) == nullptr, "duplicate option --" << name);
+  auto opt = std::make_shared<Option<T>>();
+  opt->name = name;
+  opt->help = help;
+  opt->value = std::move(default_value);
+  impl_->storage.push_back(opt);
+  OptionEntry entry;
+  entry.name = std::move(name);
+  entry.help = std::move(help);
+  entry.default_text = show(opt->value);
+  entry.is_bool = std::is_same_v<T, bool>;
+  entry.assign = [opt](const std::string& text) {
+    opt->value = parse_value<T>(opt->name, text);
+    opt->set = true;
+  };
+  impl_->entries.push_back(std::move(entry));
+  return *opt;
+}
+
+template Option<int>& Parser::add<int>(std::string, std::string, int);
+template Option<double>& Parser::add<double>(std::string, std::string, double);
+template Option<bool>& Parser::add<bool>(std::string, std::string, bool);
+template Option<std::string>& Parser::add<std::string>(std::string, std::string, std::string);
+template Option<std::uint64_t>& Parser::add<std::uint64_t>(std::string, std::string, std::uint64_t);
+
+void Parser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  parse(args);
+}
+
+void Parser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0)
+      throw ParseError("unexpected positional argument '" + arg + "'");
+    std::string name = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      have_value = true;
+    }
+    OptionEntry* entry = impl_->find(name);
+    if (entry == nullptr) throw ParseError("unknown option --" + name);
+    if (!have_value) {
+      if (entry->is_bool) {
+        value = "true";  // bare --flag enables a bool
+      } else {
+        if (i + 1 >= args.size())
+          throw ParseError("--" + name + " requires a value");
+        value = args[++i];
+      }
+    }
+    entry->assign(value);
+  }
+}
+
+std::string Parser::usage() const {
+  std::ostringstream os;
+  os << impl_->program << " — " << impl_->description << "\n\nOptions:\n";
+  for (const auto& e : impl_->entries) {
+    os << "  --" << e.name;
+    if (!e.is_bool) os << "=<value>";
+    os << "\n      " << e.help << " (default: " << e.default_text << ")\n";
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+}  // namespace librisk::cli

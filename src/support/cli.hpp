@@ -1,0 +1,58 @@
+// Small typed command-line parser for the bench harnesses and examples.
+//
+//   cli::Parser p("fig1_workload", "Reproduces Figure 1");
+//   auto& seeds = p.add<int>("seeds", "number of RNG replications", 5);
+//   auto& out   = p.add<std::string>("out", "CSV output path", "fig1.csv");
+//   p.parse(argc, argv);            // exits(0) on --help, throws on errors
+//   run(seeds.value, out.value);
+//
+// Accepted spellings: --name=value, --name value, and --flag for bools.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace librisk::cli {
+
+/// Thrown on malformed or unknown arguments.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A declared option holding its current (default or parsed) value.
+template <typename T>
+struct Option {
+  std::string name;
+  std::string help;
+  T value{};
+  bool set = false;  ///< true when the user supplied the option
+};
+
+class Parser {
+ public:
+  Parser(std::string program, std::string description);
+  ~Parser();
+  Parser(const Parser&) = delete;
+  Parser& operator=(const Parser&) = delete;
+
+  /// Declares an option; the returned reference stays valid for the life of
+  /// the parser. T in {int, double, bool, std::string, std::uint64_t}.
+  template <typename T>
+  Option<T>& add(std::string name, std::string help, T default_value = T{});
+
+  /// Parses argv. Prints usage and std::exit(0) on --help/-h.
+  void parse(int argc, const char* const* argv);
+  /// Parses a pre-split argument list (no program name), for tests.
+  void parse(const std::vector<std::string>& args);
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace librisk::cli

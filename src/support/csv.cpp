@@ -1,0 +1,77 @@
+#include "support/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace librisk::csv {
+
+std::string escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void Writer::header(std::span<const std::string> names) {
+  LIBRISK_CHECK(!header_written_, "CSV header written twice");
+  LIBRISK_CHECK(rows_ == 0, "CSV header after data rows");
+  LIBRISK_CHECK(!names.empty(), "CSV header must not be empty");
+  arity_ = names.size();
+  header_written_ = true;
+  write_line(names);
+}
+
+void Writer::header(std::initializer_list<std::string_view> names) {
+  std::vector<std::string> v(names.begin(), names.end());
+  header(std::span<const std::string>(v));
+}
+
+void Writer::row(std::span<const std::string> fields) {
+  if (arity_ == 0) arity_ = fields.size();
+  LIBRISK_CHECK(fields.size() == arity_,
+                "CSV row arity " << fields.size() << " != " << arity_);
+  ++rows_;
+  write_line(fields);
+}
+
+void Writer::row(std::initializer_list<std::string_view> fields) {
+  std::vector<std::string> v(fields.begin(), fields.end());
+  row(std::span<const std::string>(v));
+}
+
+std::string Writer::field(double v) {
+  // Shortest representation that still parses back to the same double.
+  char buf[64];
+  for (const int precision : {6, 12, 15, 17}) {
+    const int n = std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    double parsed = 0.0;
+    const auto [ptr, ec] = std::from_chars(buf, buf + n, parsed);
+    if (ec == std::errc{} && ptr == buf + n && parsed == v)
+      return std::string(buf, static_cast<std::size_t>(n));
+  }
+  const int n = std::snprintf(buf, sizeof buf, "%.17g", v);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::string Writer::field(std::size_t v) { return std::to_string(v); }
+std::string Writer::field(long long v) { return std::to_string(v); }
+
+void Writer::write_line(std::span<const std::string> fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) (*out_) << ',';
+    (*out_) << escape(fields[i]);
+  }
+  (*out_) << '\n';
+}
+
+}  // namespace librisk::csv

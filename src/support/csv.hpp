@@ -1,0 +1,47 @@
+// Minimal CSV emission (RFC 4180 quoting) for experiment results.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace librisk::csv {
+
+/// Quotes a single CSV field if it contains a comma, quote or newline.
+[[nodiscard]] std::string escape(std::string_view field);
+
+/// Row-at-a-time CSV writer over any ostream. The header is written by the
+/// first call to `header`; subsequent rows must have the same arity.
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(&out) {}
+
+  /// Writes the header row; must be called at most once, before any row.
+  void header(std::span<const std::string> names);
+  void header(std::initializer_list<std::string_view> names);
+
+  /// Writes one data row of pre-formatted fields.
+  void row(std::span<const std::string> fields);
+  void row(std::initializer_list<std::string_view> fields);
+
+  /// Convenience: formats doubles with enough digits to round-trip.
+  [[nodiscard]] static std::string field(double v);
+  [[nodiscard]] static std::string field(std::size_t v);
+  [[nodiscard]] static std::string field(long long v);
+  [[nodiscard]] static std::string field(std::string_view v) { return std::string(v); }
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void write_line(std::span<const std::string> fields);
+
+  std::ostream* out_;
+  std::size_t arity_ = 0;
+  std::size_t rows_ = 0;
+  bool header_written_ = false;
+};
+
+}  // namespace librisk::csv

@@ -1,0 +1,83 @@
+// Minimal strict JSON parser (RFC 8259 subset) — no external dependencies.
+//
+// Exists so `librisk-sim --config experiment.json` can describe whole
+// experiments in files. Deliberately small: parses into an immutable value
+// tree; no serialisation-to-JSON beyond what the tool needs, no comments,
+// no trailing commas. Errors carry line/column.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace librisk::json {
+
+/// Thrown on malformed input, with position information in what().
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class Type { Null, Bool, Number, String, Array, Object };
+
+class Value;
+using Array = std::vector<Value>;
+/// std::map keeps key order deterministic for tests and dumps.
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : type_(Type::Null) {}
+  explicit Value(bool b) : type_(Type::Bool), bool_(b) {}
+  explicit Value(double n) : type_(Type::Number), number_(n) {}
+  explicit Value(std::string s) : type_(Type::String), string_(std::move(s)) {}
+  explicit Value(Array elements)
+      : type_(Type::Array), array_(std::make_shared<Array>(std::move(elements))) {}
+  explicit Value(Object members)
+      : type_(Type::Object), object_(std::make_shared<Object>(std::move(members))) {}
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+
+  /// Typed accessors; throw ParseError naming the expected type on mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  /// as_number, additionally requiring an integral value within int range.
+  [[nodiscard]] int as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; returns nullptr when absent (or not an object).
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+  /// Typed member access with defaults (the config-reading workhorses).
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const;
+  [[nodiscard]] int int_or(const std::string& key, int fallback) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      const std::string& fallback) const;
+
+  /// Compact single-line JSON rendering (diagnostics and tests).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Parses a complete JSON document (one value, optionally surrounded by
+/// whitespace; trailing garbage is an error).
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Parses the contents of a file.
+[[nodiscard]] Value parse_file(const std::string& path);
+
+}  // namespace librisk::json

@@ -1,0 +1,51 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace librisk::log {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(Level::Warn)};
+std::mutex g_write_mutex;
+
+constexpr std::string_view name_of(Level level) {
+  switch (level) {
+    case Level::Debug: return "debug";
+    case Level::Info: return "info";
+    case Level::Warn: return "warn";
+    case Level::Error: return "error";
+    case Level::Off: return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Level level() noexcept {
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+bool enabled(Level lvl) noexcept {
+  return static_cast<int>(lvl) >= g_level.load(std::memory_order_relaxed);
+}
+
+Level parse_level(std::string_view name) {
+  for (const Level l : {Level::Debug, Level::Info, Level::Warn, Level::Error, Level::Off})
+    if (name == name_of(l)) return l;
+  throw std::invalid_argument("unknown log level: " + std::string(name));
+}
+
+void write(Level lvl, std::string_view message) {
+  if (!enabled(lvl)) return;
+  const std::scoped_lock lock(g_write_mutex);
+  std::cerr << '[' << name_of(lvl) << "] " << message << '\n';
+}
+
+}  // namespace librisk::log

@@ -1,0 +1,48 @@
+// Leveled logging to stderr. Simulation hot paths log at Debug, which is
+// filtered by a branch on an atomic level — cheap enough to leave in.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace librisk::log {
+
+enum class Level : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are dropped. Default: Warn, so
+/// library code is silent in tests and benches unless something is wrong.
+void set_level(Level level) noexcept;
+[[nodiscard]] Level level() noexcept;
+[[nodiscard]] bool enabled(Level level) noexcept;
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (throws otherwise).
+[[nodiscard]] Level parse_level(std::string_view name);
+
+/// Emits one line: "[level] message". Thread-safe.
+void write(Level level, std::string_view message);
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level level) : level_(level) {}
+  ~LineBuilder() { write(level_, os_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace librisk::log
+
+#define LIBRISK_LOG(lvl)                              \
+  if (!::librisk::log::enabled(::librisk::log::Level::lvl)) { \
+  } else                                              \
+    ::librisk::log::detail::LineBuilder(::librisk::log::Level::lvl)

@@ -1,0 +1,117 @@
+#include "support/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace librisk::rng {
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+// splitmix64 finalizer: spreads related (root, purpose, index) triples into
+// well-separated engine seeds.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t root, std::string_view purpose,
+                          std::uint64_t index) noexcept {
+  return mix(mix(root ^ fnv1a(purpose)) + index);
+}
+
+double Stream::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Stream::uniform(double lo, double hi) {
+  LIBRISK_CHECK(lo <= hi, "uniform bounds inverted: " << lo << " > " << hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Stream::uniform_int(std::int64_t lo, std::int64_t hi) {
+  LIBRISK_CHECK(lo <= hi, "uniform_int bounds inverted");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+bool Stream::bernoulli(double p) {
+  return uniform() < std::clamp(p, 0.0, 1.0);
+}
+
+double Stream::exponential(double mean) {
+  LIBRISK_CHECK(mean > 0.0, "exponential mean must be positive, got " << mean);
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Stream::normal(double mean, double sd) {
+  LIBRISK_CHECK(sd >= 0.0, "normal sd must be non-negative");
+  if (sd == 0.0) return mean;
+  return std::normal_distribution<double>(mean, sd)(engine_);
+}
+
+double Stream::truncated_normal(double mean, double sd, double lo, double hi) {
+  LIBRISK_CHECK(lo <= hi, "truncated_normal bounds inverted");
+  if (sd == 0.0) return std::clamp(mean, lo, hi);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = normal(mean, sd);
+    if (x >= lo && x <= hi) return x;
+  }
+  return std::clamp(mean, lo, hi);
+}
+
+double Stream::lognormal_mean_cv(double mean, double cv) {
+  LIBRISK_CHECK(mean > 0.0, "lognormal mean must be positive");
+  LIBRISK_CHECK(cv > 0.0, "lognormal cv must be positive");
+  // If X ~ LogNormal(mu, sigma): E[X] = exp(mu + sigma^2/2),
+  // CV[X]^2 = exp(sigma^2) - 1. Invert for (mu, sigma).
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return std::lognormal_distribution<double>(mu, std::sqrt(sigma2))(engine_);
+}
+
+double Stream::hyperexponential(double mean, double cv) {
+  LIBRISK_CHECK(mean > 0.0, "hyperexponential mean must be positive");
+  LIBRISK_CHECK(cv >= 1.0, "hyperexponential requires cv >= 1, got " << cv);
+  if (cv == 1.0) return exponential(mean);
+  // Balanced-means two-phase H2: phase probabilities p and 1-p with
+  // p = (1 + sqrt((c2-1)/(c2+1))) / 2, rates chosen so each phase
+  // contributes half the mean (Allen, "Probability, Statistics and
+  // Queueing Theory", §5).
+  const double c2 = cv * cv;
+  const double p = 0.5 * (1.0 + std::sqrt((c2 - 1.0) / (c2 + 1.0)));
+  const double mean1 = mean / (2.0 * p);
+  const double mean2 = mean / (2.0 * (1.0 - p));
+  return bernoulli(p) ? exponential(mean1) : exponential(mean2);
+}
+
+std::size_t Stream::weighted_index(std::span<const double> weights) {
+  LIBRISK_CHECK(!weights.empty(), "weighted_index needs at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    LIBRISK_CHECK(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  LIBRISK_CHECK(total > 0.0, "weights must not all be zero");
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: land on the last bucket
+}
+
+}  // namespace librisk::rng

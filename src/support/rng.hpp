@@ -1,0 +1,80 @@
+// Deterministic random-number streams.
+//
+// All randomness in librisk flows through named Streams derived from a root
+// seed: Stream("workload", root) and Stream("deadlines", root) are
+// independent, and a simulation run is a pure function of (root seed,
+// parameters). This is what makes sweeps replayable and results citable.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace librisk::rng {
+
+/// Stable 64-bit FNV-1a hash, used to derive per-purpose stream seeds from a
+/// root seed and a purpose name.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view s) noexcept;
+
+/// Mixes a root seed with a purpose name (and optional index) into an
+/// independent stream seed.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t root, std::string_view purpose,
+                                        std::uint64_t index = 0) noexcept;
+
+/// A named deterministic random stream with the distributions the workload
+/// models need. Thin wrapper over std::mt19937_64; cheap to copy.
+class Stream {
+ public:
+  /// Stream with an explicit raw seed.
+  explicit Stream(std::uint64_t seed) : engine_(seed) {}
+
+  /// Stream derived from a root seed and a purpose name, e.g.
+  /// `Stream("interarrival", root_seed)`.
+  Stream(std::string_view purpose, std::uint64_t root_seed, std::uint64_t index = 0)
+      : engine_(derive_seed(root_seed, purpose, index)) {}
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform();
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  [[nodiscard]] bool bernoulli(double p);
+  /// Exponential with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean);
+  /// Normal(mean, sd).
+  [[nodiscard]] double normal(double mean, double sd);
+  /// Normal truncated to [lo, hi] by resampling (falls back to clamping
+  /// after 64 attempts so pathological bounds cannot hang a simulation).
+  [[nodiscard]] double truncated_normal(double mean, double sd, double lo, double hi);
+  /// Lognormal parameterised by the *target* mean and coefficient of
+  /// variation of the resulting distribution (not of the underlying normal).
+  [[nodiscard]] double lognormal_mean_cv(double mean, double cv);
+  /// Two-phase hyper-exponential with the given overall mean and
+  /// coefficient of variation cv >= 1 (balanced-means parameterisation).
+  [[nodiscard]] double hyperexponential(double mean, double cv);
+  /// Index drawn from unnormalised non-negative weights (at least one > 0).
+  [[nodiscard]] std::size_t weighted_index(std::span<const double> weights);
+
+  /// Underlying engine, for std::shuffle and custom distributions.
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Fisher-Yates shuffle driven by a Stream (avoids std::shuffle's
+/// implementation-defined draws so results are stable across stdlibs).
+template <typename T>
+void shuffle(std::vector<T>& v, Stream& stream) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(stream.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace librisk::rng

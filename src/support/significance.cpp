@@ -1,0 +1,57 @@
+#include "support/significance.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace librisk::stats {
+
+double normal_cdf(double z) noexcept {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+PairedComparison compare_paired(std::span<const double> a,
+                                std::span<const double> b,
+                                int bootstrap_resamples, std::uint64_t seed) {
+  LIBRISK_CHECK(a.size() == b.size(), "paired samples must have equal length");
+  LIBRISK_CHECK(bootstrap_resamples >= 0, "negative resample count");
+  PairedComparison out;
+  out.pairs = a.size();
+  if (a.empty()) return out;
+
+  Accumulator diff;
+  for (std::size_t i = 0; i < a.size(); ++i) diff.add(a[i] - b[i]);
+  out.mean_difference = diff.mean();
+  out.stddev_difference = diff.stddev_sample();
+
+  if (a.size() >= 2 && out.stddev_difference > 0.0) {
+    out.t_statistic = out.mean_difference /
+                      (out.stddev_difference / std::sqrt(static_cast<double>(a.size())));
+    out.p_value = 2.0 * (1.0 - normal_cdf(std::abs(out.t_statistic)));
+  } else if (a.size() >= 2 && out.mean_difference != 0.0) {
+    // Constant nonzero difference across every seed: as significant as the
+    // data can say.
+    out.t_statistic = out.mean_difference > 0.0 ? 1e9 : -1e9;
+    out.p_value = 0.0;
+  }
+
+  if (bootstrap_resamples > 0) {
+    rng::Stream stream("bootstrap", seed);
+    int wins = 0;
+    const auto n = static_cast<std::int64_t>(a.size());
+    for (int r = 0; r < bootstrap_resamples; ++r) {
+      double resampled = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const auto idx = static_cast<std::size_t>(stream.uniform_int(0, n - 1));
+        resampled += a[idx] - b[idx];
+      }
+      if (resampled > 0.0) ++wins;
+    }
+    out.bootstrap_win_rate = static_cast<double>(wins) / bootstrap_resamples;
+  }
+  return out;
+}
+
+}  // namespace librisk::stats

@@ -1,0 +1,46 @@
+// Paired significance testing for policy comparisons.
+//
+// Sweeps replicate each (scenario, policy) cell over the same workload
+// seeds, so policy comparisons are naturally *paired*: for seed k we have
+// fulfilled%_A(k) and fulfilled%_B(k) on the identical job stream. This
+// module provides the paired t statistic and a seed-resampling bootstrap so
+// harnesses can report whether "A beats B" survives workload randomness,
+// not just on average.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace librisk::stats {
+
+struct PairedComparison {
+  std::size_t pairs = 0;
+  double mean_difference = 0.0;   ///< mean of (a_i - b_i)
+  double stddev_difference = 0.0; ///< sample stddev of the differences
+  /// Paired t statistic: mean_diff / (sd / sqrt(n)); 0 when undefined.
+  double t_statistic = 0.0;
+  /// Two-sided p-value from a normal approximation of the t distribution
+  /// (adequate for the n >= 5 replication counts the harnesses use;
+  /// conservative labelling below accounts for the approximation).
+  double p_value = 1.0;
+  /// Bootstrap: fraction of seed-resamples in which mean(a) > mean(b).
+  double bootstrap_win_rate = 0.0;
+
+  /// Convenience: p < 0.05 and every bootstrap resample agrees on the sign.
+  [[nodiscard]] bool significant() const noexcept {
+    return pairs >= 2 && p_value < 0.05;
+  }
+};
+
+/// Compares paired samples a and b (same length, same seed order).
+/// `bootstrap_resamples` draws with replacement over pair indices,
+/// deterministically from `seed`.
+[[nodiscard]] PairedComparison compare_paired(std::span<const double> a,
+                                              std::span<const double> b,
+                                              int bootstrap_resamples = 2000,
+                                              std::uint64_t seed = 1);
+
+/// Standard normal CDF (exposed for tests).
+[[nodiscard]] double normal_cdf(double z) noexcept;
+
+}  // namespace librisk::stats

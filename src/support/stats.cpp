@@ -1,0 +1,104 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace librisk::stats {
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::variance_population() const noexcept {
+  return n_ < 2 ? 0.0 : std::max(0.0, m2_ / static_cast<double>(n_));
+}
+
+double Accumulator::variance_sample() const noexcept {
+  return n_ < 2 ? 0.0 : std::max(0.0, m2_ / static_cast<double>(n_ - 1));
+}
+
+double Accumulator::stddev_population() const noexcept {
+  return std::sqrt(variance_population());
+}
+
+double Accumulator::stddev_sample() const noexcept {
+  return std::sqrt(variance_sample());
+}
+
+Summary summarize(std::span<const double> values) noexcept {
+  Accumulator acc;
+  for (const double v : values) acc.add(v);
+  return Summary{.count = acc.count(),
+                 .mean = acc.mean(),
+                 .stddev = acc.stddev_sample(),
+                 .min = acc.empty() ? 0.0 : acc.min(),
+                 .max = acc.empty() ? 0.0 : acc.max()};
+}
+
+double percentile(std::span<const double> values, double q) {
+  LIBRISK_CHECK(q >= 0.0 && q <= 100.0, "percentile q out of range: " << q);
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (const double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double stddev_population_eq6(std::span<const double> values) noexcept {
+  if (values.size() < 2) return 0.0;
+  double s = 0.0;
+  double s2 = 0.0;
+  for (const double v : values) {
+    s += v;
+    s2 += v * v;
+  }
+  const double n = static_cast<double>(values.size());
+  const double m = s / n;
+  return std::sqrt(std::max(0.0, s2 / n - m * m));
+}
+
+double ci95_halfwidth(const Accumulator& acc) noexcept {
+  if (acc.count() < 2) return 0.0;
+  return 1.96 * acc.stddev_sample() / std::sqrt(static_cast<double>(acc.count()));
+}
+
+}  // namespace librisk::stats

@@ -1,0 +1,69 @@
+// Streaming and batch statistics used by the risk metric, the metrics
+// collector and the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace librisk::stats {
+
+/// Numerically stable streaming accumulator (Welford) for mean/variance,
+/// plus min/max. Default-constructed state is "no samples".
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  /// Merges another accumulator (parallel reduction; Chan et al.).
+  void merge(const Accumulator& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  /// Mean of the samples; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  /// Population variance (divides by n); 0 when fewer than 2 samples.
+  [[nodiscard]] double variance_population() const noexcept;
+  /// Sample variance (divides by n-1); 0 when fewer than 2 samples.
+  [[nodiscard]] double variance_sample() const noexcept;
+  /// Population standard deviation.
+  [[nodiscard]] double stddev_population() const noexcept;
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev_sample() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return n_ == 0 ? 0.0 : mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Immutable summary of a sample set (what reports carry around).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample stddev
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Summarises a span of values in one pass.
+[[nodiscard]] Summary summarize(std::span<const double> values) noexcept;
+
+/// Linear-interpolation percentile, q in [0, 100]. Sorts a copy; 0 when empty.
+[[nodiscard]] double percentile(std::span<const double> values, double q);
+
+/// Mean of a span; 0 when empty.
+[[nodiscard]] double mean(std::span<const double> values) noexcept;
+
+/// Population standard deviation of a span computed exactly as the paper's
+/// Eq. 6 does: sqrt(mean(x^2) - mean(x)^2), clamped at 0 against rounding.
+[[nodiscard]] double stddev_population_eq6(std::span<const double> values) noexcept;
+
+/// 95% confidence half-width of the mean assuming normality (1.96 * sem);
+/// 0 when fewer than 2 samples.
+[[nodiscard]] double ci95_halfwidth(const Accumulator& acc) noexcept;
+
+}  // namespace librisk::stats

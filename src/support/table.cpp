@@ -1,0 +1,74 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace librisk::table {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  LIBRISK_CHECK(!header_.empty(), "table needs at least one column");
+  align_.assign(header_.size(), Align::Right);
+  align_[0] = Align::Left;
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  LIBRISK_CHECK(column < align_.size(), "column " << column << " out of range");
+  align_[column] = align;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  LIBRISK_CHECK(cells.size() == header_.size(),
+                "row arity " << cells.size() << " != " << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_rule() { rows_.emplace_back(); }
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  std::ostringstream os;
+  const auto emit_cell = [&](const std::string& text, std::size_t c) {
+    const auto pad = width[c] - text.size();
+    if (align_[c] == Align::Right) os << std::string(pad, ' ') << text;
+    else os << text << std::string(pad, ' ');
+  };
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << "  ";
+      emit_cell(row[c], c);
+    }
+    os << '\n';
+  };
+  const auto emit_rule = [&] {
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+  };
+
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) emit_rule();
+    else emit_row(row);
+  }
+  return os.str();
+}
+
+std::string num(double v, int decimals) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::string pct(double v) { return num(v, 1); }
+
+}  // namespace librisk::table

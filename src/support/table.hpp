@@ -1,0 +1,46 @@
+// Aligned plain-text tables for bench/report output — the harnesses print
+// each paper figure as one of these.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace librisk::table {
+
+/// Column alignment inside a Table.
+enum class Align { Left, Right };
+
+/// Builds an aligned monospace table. Cells are preformatted strings; use
+/// `num` to format doubles consistently.
+class Table {
+ public:
+  /// Declares the header row (fixes the column count).
+  explicit Table(std::vector<std::string> header);
+
+  /// Per-column alignment; defaults to Right for every column but the first.
+  void set_align(std::size_t column, Align align);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders with 2-space column gaps and a rule under the header.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> align_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == rule
+};
+
+/// Formats a double with fixed decimals (the figure harness default).
+[[nodiscard]] std::string num(double v, int decimals = 2);
+
+/// Formats a percentage (already in 0..100) with one decimal, e.g. "63.4".
+[[nodiscard]] std::string pct(double v);
+
+}  // namespace librisk::table

@@ -1,0 +1,56 @@
+#include "workload/deadlines.hpp"
+
+#include "support/check.hpp"
+
+namespace librisk::workload {
+
+void DeadlineConfig::validate() const {
+  LIBRISK_CHECK(high_urgency_fraction >= 0.0 && high_urgency_fraction <= 1.0,
+                "high_urgency_fraction domain");
+  LIBRISK_CHECK(high_urgency_mean_factor >= 1.0,
+                "mean deadline factor must be at least 1");
+  LIBRISK_CHECK(high_low_ratio >= 1.0, "high:low ratio must be at least 1");
+  LIBRISK_CHECK(stddev_fraction >= 0.0, "negative stddev fraction");
+  LIBRISK_CHECK(min_factor >= 1.0, "min_factor below 1 would allow infeasible deadlines");
+}
+
+void assign_deadlines(std::vector<Job>& jobs, const DeadlineConfig& config,
+                      rng::Stream& stream) {
+  config.validate();
+  // Upper truncation keeps the class means meaningful under truncation while
+  // allowing the full intended spread.
+  const auto draw_factor = [&](double mean) {
+    const double sd = mean * config.stddev_fraction;
+    return stream.truncated_normal(mean, sd, config.min_factor, mean + 4.0 * sd);
+  };
+  for (Job& j : jobs) {
+    LIBRISK_CHECK(j.actual_runtime > 0.0, "job " << j.id << " has no runtime yet");
+    const bool high = stream.bernoulli(config.high_urgency_fraction);
+    j.urgency = high ? Urgency::High : Urgency::Low;
+    const double mean = high ? config.high_urgency_mean_factor
+                             : config.low_urgency_mean_factor();
+    j.deadline = draw_factor(mean) * j.actual_runtime;
+  }
+}
+
+double high_urgency_fraction(const std::vector<Job>& jobs) noexcept {
+  if (jobs.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const Job& j : jobs)
+    if (j.urgency == Urgency::High) ++n;
+  return static_cast<double>(n) / static_cast<double>(jobs.size());
+}
+
+double mean_deadline_factor(const std::vector<Job>& jobs, Urgency urgency) noexcept {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Job& j : jobs) {
+    if (urgency != Urgency::Unspecified && j.urgency != urgency) continue;
+    if (j.actual_runtime <= 0.0) continue;
+    sum += j.deadline / j.actual_runtime;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace librisk::workload

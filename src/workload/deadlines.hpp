@@ -1,0 +1,53 @@
+// Deadline synthesis (paper Section 4).
+//
+// SWF traces carry no deadlines, so the paper assigns each job to one of two
+// urgency classes and draws deadline = factor * runtime with the factor
+// normally distributed within the class:
+//   - high-urgency jobs (default 20% [cal]) get a *low* mean factor,
+//   - low-urgency jobs get mean = low_mean * high_low_ratio (default 4 [cal]).
+// Factors are truncated below at min_factor so a deadline is always a
+// "higher factored value based on the real runtime" as the paper states.
+#pragma once
+
+#include <vector>
+
+#include "support/rng.hpp"
+#include "workload/job.hpp"
+
+namespace librisk::workload {
+
+struct DeadlineConfig {
+  /// Fraction of jobs in the high-urgency (short-deadline) class.
+  double high_urgency_fraction = 0.20;
+  /// Mean deadline/runtime factor of the high-urgency class.
+  double high_urgency_mean_factor = 2.0;
+  /// Ratio of class means: low-urgency mean = high_urgency_mean * ratio.
+  double high_low_ratio = 4.0;
+  /// Std-dev as a fraction of the class mean (values "normally distributed
+  /// within each class").
+  double stddev_fraction = 0.25;
+  /// Truncation floor for the factor (deadline strictly above runtime).
+  double min_factor = 1.05;
+
+  void validate() const;
+
+  [[nodiscard]] double low_urgency_mean_factor() const noexcept {
+    return high_urgency_mean_factor * high_low_ratio;
+  }
+};
+
+/// Assigns urgency classes and deadlines to every job. The class sequence is
+/// randomly interleaved across arrivals (paper: "the arrival sequence of
+/// jobs from the high urgency and low urgency job classes is randomly
+/// distributed"). Deterministic in `stream`.
+void assign_deadlines(std::vector<Job>& jobs, const DeadlineConfig& config,
+                      rng::Stream& stream);
+
+/// Observed fraction of jobs in the high-urgency class.
+[[nodiscard]] double high_urgency_fraction(const std::vector<Job>& jobs) noexcept;
+
+/// Mean deadline/runtime factor over a class (Urgency::Unspecified = all).
+[[nodiscard]] double mean_deadline_factor(const std::vector<Job>& jobs,
+                                          Urgency urgency) noexcept;
+
+}  // namespace librisk::workload

@@ -1,0 +1,107 @@
+#include "workload/estimates.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace librisk::workload {
+
+void UserEstimateConfig::validate() const {
+  LIBRISK_CHECK(!modal_limits.empty(), "need at least one modal limit");
+  LIBRISK_CHECK(std::is_sorted(modal_limits.begin(), modal_limits.end()),
+                "modal limits must ascend");
+  LIBRISK_CHECK(modal_limits.front() > 0.0, "modal limits must be positive");
+  LIBRISK_CHECK(exact_fraction >= 0.0 && exact_fraction <= 1.0, "exact_fraction domain");
+  LIBRISK_CHECK(underestimate_fraction >= 0.0 && underestimate_fraction <= 1.0,
+                "underestimate_fraction domain");
+  LIBRISK_CHECK(exact_fraction + underestimate_fraction <= 1.0,
+                "exact + underestimate fractions exceed 1");
+  LIBRISK_CHECK(max_underestimate_overrun > 1.0, "overrun factor must exceed 1");
+  LIBRISK_CHECK(overestimate_median_factor >= 1.0, "over-estimate median below 1");
+  LIBRISK_CHECK(overestimate_sigma >= 0.0, "negative sigma");
+  LIBRISK_CHECK(user_bias_sigma >= 0.0, "negative user bias sigma");
+}
+
+namespace {
+
+// Smallest modal limit >= x; if x exceeds every limit, round up to the next
+// multiple of the largest limit (users of >18h jobs ask for whole extra
+// slots).
+double round_up_to_modal(double x, const std::vector<double>& limits) {
+  const auto it = std::lower_bound(limits.begin(), limits.end(), x);
+  if (it != limits.end()) return *it;
+  const double top = limits.back();
+  return std::ceil(x / top) * top;
+}
+
+}  // namespace
+
+void assign_user_estimates(std::vector<Job>& jobs, const UserEstimateConfig& config,
+                           rng::Stream& stream) {
+  config.validate();
+  // Draw each user's habitual over-estimation bias up front (in user-id
+  // order, so the draw sequence is independent of job order).
+  int max_user = 0;
+  for (const Job& j : jobs) max_user = std::max(max_user, j.user_id);
+  std::vector<double> user_bias(max_user + 1, 1.0);
+  if (config.user_bias_sigma > 0.0) {
+    for (double& b : user_bias)
+      b = std::exp(stream.normal(0.0, config.user_bias_sigma));
+  }
+
+  for (Job& j : jobs) {
+    LIBRISK_CHECK(j.actual_runtime > 0.0, "job " << j.id << " has no runtime yet");
+    const double u = stream.uniform();
+    if (u < config.underestimate_fraction) {
+      // Under-estimate: the job will overrun its promise by a uniform factor.
+      const double overrun =
+          stream.uniform(1.05, config.max_underestimate_overrun);
+      j.user_estimate = j.actual_runtime / overrun;
+    } else if (u < config.underestimate_fraction + config.exact_fraction) {
+      // Killed-at-limit spike: estimate equals runtime exactly.
+      j.user_estimate = j.actual_runtime;
+    } else {
+      // Over-estimate: pad by a lognormal factor scaled by the user's
+      // habitual bias, then round up to a modal limit the user would
+      // actually have typed.
+      const double bias = j.user_id >= 0 ? user_bias[j.user_id] : 1.0;
+      const double mu = std::log(config.overestimate_median_factor * bias);
+      const double factor =
+          std::exp(stream.normal(mu, config.overestimate_sigma));
+      const double padded = j.actual_runtime * std::max(1.0, factor);
+      j.user_estimate = round_up_to_modal(padded, config.modal_limits);
+    }
+    j.scheduler_estimate = j.user_estimate;
+  }
+}
+
+void apply_inaccuracy(std::vector<Job>& jobs, double inaccuracy_pct) {
+  LIBRISK_CHECK(inaccuracy_pct >= 0.0 && inaccuracy_pct <= 100.0,
+                "inaccuracy must be within [0, 100], got " << inaccuracy_pct);
+  const double alpha = inaccuracy_pct / 100.0;
+  for (Job& j : jobs) {
+    j.scheduler_estimate =
+        j.actual_runtime + alpha * (j.user_estimate - j.actual_runtime);
+    // Guard against degenerate zero estimates when user_estimate underran
+    // and alpha lands exactly on it.
+    j.scheduler_estimate = std::max(j.scheduler_estimate, 1.0);
+  }
+}
+
+double underestimated_fraction(const std::vector<Job>& jobs) noexcept {
+  if (jobs.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const Job& j : jobs)
+    if (j.user_estimate < j.actual_runtime) ++n;
+  return static_cast<double>(n) / static_cast<double>(jobs.size());
+}
+
+double mean_overestimate_factor(const std::vector<Job>& jobs) noexcept {
+  if (jobs.empty()) return 0.0;
+  double s = 0.0;
+  for (const Job& j : jobs) s += j.user_estimate / j.actual_runtime;
+  return s / static_cast<double>(jobs.size());
+}
+
+}  // namespace librisk::workload

@@ -1,0 +1,45 @@
+#include "workload/job.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace librisk::workload {
+
+const char* to_string(Urgency u) noexcept {
+  switch (u) {
+    case Urgency::High: return "high";
+    case Urgency::Low: return "low";
+    case Urgency::Unspecified: return "unspecified";
+  }
+  return "?";
+}
+
+void Job::validate() const {
+  LIBRISK_CHECK(submit_time >= 0.0, "job " << id << ": negative submit time");
+  LIBRISK_CHECK(actual_runtime > 0.0, "job " << id << ": non-positive runtime");
+  LIBRISK_CHECK(user_estimate > 0.0, "job " << id << ": non-positive estimate");
+  LIBRISK_CHECK(scheduler_estimate > 0.0,
+                "job " << id << ": non-positive scheduler estimate");
+  LIBRISK_CHECK(num_procs >= 1, "job " << id << ": needs at least one processor");
+  LIBRISK_CHECK(deadline > 0.0, "job " << id << ": non-positive deadline");
+}
+
+void validate_trace(const std::vector<Job>& jobs) {
+  SimTime last = 0.0;
+  for (const Job& j : jobs) {
+    j.validate();
+    LIBRISK_CHECK(j.submit_time >= last,
+                  "trace not sorted by submit time at job " << j.id);
+    last = j.submit_time;
+  }
+}
+
+void sort_by_submit(std::vector<Job>& jobs) {
+  std::stable_sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    if (a.submit_time != b.submit_time) return a.submit_time < b.submit_time;
+    return a.id < b.id;
+  });
+}
+
+}  // namespace librisk::workload

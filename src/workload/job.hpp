@@ -1,0 +1,73 @@
+// The job model shared by every scheduler and executor.
+//
+// Runtimes are expressed in seconds at a reference node rating (the SDSC SP2
+// SPEC rating by default); a node of rating R executes reference-seconds at
+// R / R_ref per wall-clock second. A job's SLA is its relative deadline:
+// it must complete within `deadline` seconds of submission to be useful
+// (hard deadline, Section 3 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace librisk::workload {
+
+using sim::SimTime;
+
+/// Deadline-urgency class a job was generated into (Section 4 of the paper:
+/// high-urgency jobs get low deadline/runtime factors).
+enum class Urgency : std::uint8_t { Unspecified = 0, High = 1, Low = 2 };
+
+[[nodiscard]] const char* to_string(Urgency u) noexcept;
+
+struct Job {
+  /// Trace-unique id (SWF job number for parsed traces).
+  std::int64_t id = 0;
+  /// Submission time, seconds since trace start.
+  SimTime submit_time = 0.0;
+  /// True runtime in reference-seconds (unknown to the scheduler).
+  double actual_runtime = 0.0;
+  /// The user-supplied runtime estimate from the trace, reference-seconds.
+  double user_estimate = 0.0;
+  /// The estimate the *scheduler* sees. Defaults to user_estimate; the
+  /// inaccuracy model (Section 5.5) interpolates it between actual_runtime
+  /// (0% inaccuracy) and user_estimate (100%).
+  double scheduler_estimate = 0.0;
+  /// Minimum number of processors (= nodes, one CPU each) required.
+  int num_procs = 1;
+  /// Relative hard deadline in seconds; absolute deadline is
+  /// submit_time + deadline.
+  double deadline = 0.0;
+  /// Which urgency class generated the deadline.
+  Urgency urgency = Urgency::Unspecified;
+  /// SWF provenance fields (kept for round-tripping real traces).
+  int user_id = -1;
+  int group_id = -1;
+  int queue = -1;
+  int status = -1;
+
+  [[nodiscard]] SimTime absolute_deadline() const noexcept {
+    return submit_time + deadline;
+  }
+
+  /// deadline / runtime factor this job was assigned (>= 1 for feasible jobs).
+  [[nodiscard]] double deadline_factor() const noexcept {
+    return actual_runtime > 0.0 ? deadline / actual_runtime : 0.0;
+  }
+
+  /// Throws CheckError when a field is out of domain (called by every
+  /// pipeline stage that hands jobs to a scheduler).
+  void validate() const;
+};
+
+/// Validates a whole trace: per-job domains plus non-decreasing submit
+/// times (schedulers rely on arrival order).
+void validate_trace(const std::vector<Job>& jobs);
+
+/// Sorts by (submit_time, id) — canonical arrival order.
+void sort_by_submit(std::vector<Job>& jobs);
+
+}  // namespace librisk::workload

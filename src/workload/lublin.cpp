@@ -1,0 +1,123 @@
+#include "workload/lublin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace librisk::workload {
+
+void LublinConfig::validate() const {
+  LIBRISK_CHECK(job_count > 0, "job_count must be positive");
+  LIBRISK_CHECK(mean_interarrival > 0.0, "mean_interarrival must be positive");
+  LIBRISK_CHECK(daily_peak_trough_ratio >= 1.0, "peak/trough ratio below 1");
+  LIBRISK_CHECK(peak_hour >= 0.0 && peak_hour < 24.0, "peak hour domain");
+  LIBRISK_CHECK(arrival_delay_factor > 0.0, "arrival_delay_factor must be positive");
+  LIBRISK_CHECK(max_procs >= 1, "max_procs must be positive");
+  LIBRISK_CHECK(serial_prob >= 0.0 && serial_prob <= 1.0, "serial_prob domain");
+  LIBRISK_CHECK(pow2_prob >= 0.0 && pow2_prob <= 1.0, "pow2_prob domain");
+  LIBRISK_CHECK(low_range_prob >= 0.0 && low_range_prob <= 1.0,
+                "low_range_prob domain");
+  LIBRISK_CHECK(log2_low >= 0.0 && log2_low <= std::log2(max_procs),
+                "log2_low out of range");
+  LIBRISK_CHECK(gamma1_shape > 0.0 && gamma1_scale > 0.0, "gamma1 parameters");
+  LIBRISK_CHECK(gamma2_shape > 0.0 && gamma2_scale > 0.0, "gamma2 parameters");
+  LIBRISK_CHECK(min_runtime > 0.0 && min_runtime < max_runtime, "runtime bounds");
+}
+
+namespace {
+
+// Arrival-rate multiplier at a given time of day: a raised cosine between
+// trough (ratio^-1/2) and peak (ratio^1/2), so the mean rate stays ~1.
+double daily_rate(const LublinConfig& config, double time_of_day_seconds) {
+  if (config.daily_peak_trough_ratio == 1.0) return 1.0;
+  const double hours = time_of_day_seconds / 3600.0;
+  const double phase = 2.0 * M_PI * (hours - config.peak_hour) / 24.0;
+  const double amplitude = std::sqrt(config.daily_peak_trough_ratio);
+  // cos(phase)=1 at the peak hour: rate = amplitude; at the trough:
+  // rate = 1/amplitude. Exponential interpolation keeps rates positive.
+  return std::pow(amplitude, std::cos(phase));
+}
+
+int draw_nodes(const LublinConfig& config, rng::Stream& stream) {
+  if (stream.bernoulli(config.serial_prob)) return 1;
+  const double hi = std::log2(static_cast<double>(config.max_procs));
+  const double split = std::max(config.log2_low, hi - config.log2_split_offset);
+  const double log2_size = stream.bernoulli(config.low_range_prob)
+                               ? stream.uniform(config.log2_low, split)
+                               : stream.uniform(split, hi);
+  int nodes;
+  if (stream.bernoulli(config.pow2_prob)) {
+    nodes = 1 << static_cast<int>(std::lround(log2_size));
+  } else {
+    nodes = static_cast<int>(std::lround(std::exp2(log2_size)));
+  }
+  return std::clamp(nodes, 1, config.max_procs);
+}
+
+double draw_runtime(const LublinConfig& config, int nodes, rng::Stream& stream) {
+  const double p_long = std::clamp(
+      config.mix_a * std::log2(static_cast<double>(std::max(nodes, 1))) + config.mix_b,
+      0.05, 0.95);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    double r;
+    if (stream.bernoulli(p_long)) {
+      std::gamma_distribution<double> gamma(config.gamma2_shape, config.gamma2_scale);
+      r = gamma(stream.engine());
+    } else {
+      std::gamma_distribution<double> gamma(config.gamma1_shape, config.gamma1_scale);
+      r = gamma(stream.engine());
+    }
+    if (r >= config.min_runtime && r <= config.max_runtime) return r;
+  }
+  return std::clamp(config.gamma1_shape * config.gamma1_scale, config.min_runtime,
+                    config.max_runtime);
+}
+
+}  // namespace
+
+std::vector<Job> generate_lublin_trace(const LublinConfig& config,
+                                       rng::Stream& stream) {
+  config.validate();
+  std::vector<Job> jobs;
+  jobs.reserve(config.job_count);
+  SimTime clock = 0.0;
+  for (std::size_t i = 0; i < config.job_count; ++i) {
+    // Thinning-free approximation: scale the exponential gap by the
+    // instantaneous daily rate at the current clock.
+    const double rate = daily_rate(config, std::fmod(clock, 86400.0));
+    clock += config.arrival_delay_factor *
+             stream.exponential(config.mean_interarrival / rate);
+
+    Job job;
+    job.id = static_cast<std::int64_t>(i) + 1;
+    job.submit_time = clock;
+    job.num_procs = draw_nodes(config, stream);
+    job.actual_runtime = draw_runtime(config, job.num_procs, stream);
+    job.user_id = static_cast<int>(stream.uniform_int(0, 63));
+    job.user_estimate = job.actual_runtime;
+    job.scheduler_estimate = job.actual_runtime;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+double serial_fraction(const std::vector<Job>& jobs) noexcept {
+  if (jobs.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const Job& j : jobs)
+    if (j.num_procs == 1) ++n;
+  return static_cast<double>(n) / static_cast<double>(jobs.size());
+}
+
+double power_of_two_fraction(const std::vector<Job>& jobs) noexcept {
+  if (jobs.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const Job& j : jobs) {
+    const unsigned v = static_cast<unsigned>(j.num_procs);
+    if ((v & (v - 1)) == 0) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(jobs.size());
+}
+
+}  // namespace librisk::workload

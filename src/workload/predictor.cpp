@@ -1,0 +1,87 @@
+#include "workload/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace librisk::workload {
+
+void PredictorConfig::validate() const {
+  LIBRISK_CHECK(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+  LIBRISK_CHECK(min_user_history >= 0, "negative history threshold");
+  LIBRISK_CHECK(correction_floor > 0.0 && correction_floor <= 1.0,
+                "correction floor must be in (0, 1]");
+  LIBRISK_CHECK(safety_margin >= 1.0, "safety margin must be at least 1");
+}
+
+OnlinePredictor::OnlinePredictor(PredictorConfig config) : config_(config) {
+  config_.validate();
+}
+
+void OnlinePredictor::observe(const Job& job) {
+  LIBRISK_CHECK(job.user_estimate > 0.0, "estimate required for feedback");
+  const double ratio =
+      std::clamp(job.actual_runtime / job.user_estimate, 0.0, 4.0);
+  const auto update = [&](UserState& s) {
+    s.ratio_ema = s.count == 0
+                      ? ratio
+                      : (1.0 - config_.alpha) * s.ratio_ema + config_.alpha * ratio;
+    ++s.count;
+  };
+  update(global_);
+  if (job.user_id >= 0) update(users_[job.user_id]);
+  ++observed_;
+}
+
+double OnlinePredictor::correction_factor(const Job& job) const {
+  const UserState* state = &global_;
+  if (job.user_id >= 0) {
+    const auto it = users_.find(job.user_id);
+    if (it != users_.end() && it->second.count >= config_.min_user_history)
+      state = &it->second;
+  }
+  if (state->count == 0) return 1.0;  // no history anywhere: trust the user
+  const double corrected = state->ratio_ema * config_.safety_margin;
+  return std::clamp(corrected, config_.correction_floor, 1.0);
+}
+
+double OnlinePredictor::predict(const Job& job) const {
+  return std::max(1.0, job.user_estimate * correction_factor(job));
+}
+
+std::size_t apply_predictor_causally(std::vector<Job>& jobs,
+                                     const PredictorConfig& config) {
+  OnlinePredictor predictor(config);
+
+  // Min-heap of (earliest possible completion, job index) pending feedback.
+  using Pending = std::pair<double, std::size_t>;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending;
+
+  std::size_t shrunk = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    // Feed back every job that could have completed by this submission.
+    while (!pending.empty() && pending.top().first <= jobs[i].submit_time) {
+      predictor.observe(jobs[pending.top().second]);
+      pending.pop();
+    }
+    const double corrected = predictor.predict(jobs[i]);
+    if (corrected < jobs[i].scheduler_estimate) {
+      jobs[i].scheduler_estimate = corrected;
+      ++shrunk;
+    }
+    pending.emplace(jobs[i].submit_time + jobs[i].actual_runtime, i);
+  }
+  return shrunk;
+}
+
+double mean_estimate_error(const std::vector<Job>& jobs) noexcept {
+  if (jobs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Job& j : jobs)
+    sum += std::abs(j.scheduler_estimate - j.actual_runtime) / j.actual_runtime;
+  return sum / static_cast<double>(jobs.size());
+}
+
+}  // namespace librisk::workload

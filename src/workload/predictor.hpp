@@ -1,0 +1,80 @@
+// Online per-user runtime-estimate correction (Tsafrir et al. [17] style).
+//
+// Users over-estimate habitually; a system can observe each user's history
+// of actual/estimate ratios and shrink future estimates accordingly. This
+// module provides:
+//  - OnlinePredictor: streaming per-user correction state (exponential
+//    moving average of actual/estimate, with a global fallback for users
+//    without history and a safety floor so corrections never promise more
+//    than the user did... less, rather: never *extend* an estimate).
+//  - apply_predictor_causally: rewrites scheduler_estimate across a trace,
+//    feeding each completed job back in timestamp order. Feedback for job i
+//    uses only jobs whose earliest possible completion (submit + actual
+//    runtime) precedes i's submission — causal with respect to any
+//    work-conserving schedule, i.e. an upper bound on what a deployed
+//    predictor could know. The experiment this enables: would corrected
+//    estimates close Libra's gap to LibraRisk? (bench/ablation_predictor)
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace librisk::workload {
+
+struct PredictorConfig {
+  /// EMA weight of the newest observation (0 < alpha <= 1).
+  double alpha = 0.3;
+  /// Observations needed before a user's own EMA is trusted; below this the
+  /// global EMA is used.
+  int min_user_history = 3;
+  /// Corrected estimate = estimate * clamp(ratio EMA, floor, 1.0) — the
+  /// predictor only ever *shrinks* estimates (a correction above the user's
+  /// own estimate would get jobs killed on a real kill-at-limit system).
+  double correction_floor = 0.05;
+  /// Safety margin multiplied onto the learned ratio (>= 1) so corrections
+  /// stay conservative; 1.0 = aggressive.
+  double safety_margin = 1.1;
+
+  void validate() const;
+};
+
+class OnlinePredictor {
+ public:
+  explicit OnlinePredictor(PredictorConfig config = {});
+
+  /// Feeds back a completed job's (estimate, actual) pair.
+  void observe(const Job& job);
+
+  /// Corrected scheduler estimate for a job about to be submitted.
+  [[nodiscard]] double predict(const Job& job) const;
+
+  /// The correction multiplier predict() would apply (diagnostics/tests).
+  [[nodiscard]] double correction_factor(const Job& job) const;
+
+  [[nodiscard]] std::size_t observations() const noexcept { return observed_; }
+
+ private:
+  struct UserState {
+    double ratio_ema = 1.0;
+    int count = 0;
+  };
+
+  PredictorConfig config_;
+  std::unordered_map<int, UserState> users_;
+  UserState global_;
+  std::size_t observed_ = 0;
+};
+
+/// Rewrites scheduler_estimate across a submit-ordered trace using an
+/// OnlinePredictor fed causally (see file comment). Returns the number of
+/// jobs whose estimate was actually shrunk.
+std::size_t apply_predictor_causally(std::vector<Job>& jobs,
+                                     const PredictorConfig& config = {});
+
+/// Mean absolute relative error |estimate - actual| / actual of the
+/// scheduler-visible estimates — the accuracy measure predictors improve.
+[[nodiscard]] double mean_estimate_error(const std::vector<Job>& jobs) noexcept;
+
+}  // namespace librisk::workload

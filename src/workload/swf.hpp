@@ -1,0 +1,64 @@
+// Standard Workload Format (SWF) reader/writer.
+//
+// SWF is the Parallel Workloads Archive's 18-field line format; the paper's
+// workload is the SDSC SP2 trace in this format. The parser maps the fields
+// librisk uses (submit, run time, requested time = user estimate, requested
+// processors) and preserves provenance fields. Deadlines are *not* part of
+// SWF — the paper synthesises them (see workload/deadlines.hpp); our writer
+// can optionally carry them in a librisk comment extension so synthetic
+// traces round-trip exactly.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace librisk::workload::swf {
+
+/// Thrown on malformed SWF input.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ReadOptions {
+  /// Drop jobs whose runtime or processor count is missing (-1) or zero —
+  /// the usual cleaning step before simulation.
+  bool skip_invalid = true;
+  /// When an estimate is missing (-1), substitute the actual runtime
+  /// (the archive's recommended fallback). If false, such jobs are dropped.
+  bool estimate_fallback_to_runtime = true;
+  /// Keep at most the *last* n jobs of the trace (0 = all). The paper uses
+  /// the last 3000 jobs of SDSC SP2.
+  std::size_t last_n = 0;
+};
+
+/// Parses an SWF stream. Comment lines (';') are ignored except for the
+/// librisk deadline extension `;librisk-deadline: <id> <deadline> <urgency>`.
+/// Jobs are returned in submit order with submit times rebased to 0.
+[[nodiscard]] std::vector<Job> read(std::istream& in, const ReadOptions& opts = {});
+
+/// Convenience: parses a file by path.
+[[nodiscard]] std::vector<Job> read_file(const std::string& path,
+                                         const ReadOptions& opts = {});
+
+struct WriteOptions {
+  /// Emit `;librisk-deadline:` comments so deadlines survive a round-trip.
+  bool include_deadlines = true;
+  /// Free-text header comment lines (each emitted as "; <line>").
+  std::vector<std::string> header;
+};
+
+/// Writes jobs as SWF (18 fields, unknown fields as -1).
+void write(std::ostream& out, const std::vector<Job>& jobs,
+           const WriteOptions& opts = {});
+
+/// Convenience: writes a file by path (throws on I/O failure).
+void write_file(const std::string& path, const std::vector<Job>& jobs,
+                const WriteOptions& opts = {});
+
+}  // namespace librisk::workload::swf

@@ -1,0 +1,66 @@
+#include "workload/workload_stats.hpp"
+
+#include <ostream>
+
+#include "support/table.hpp"
+#include "workload/deadlines.hpp"
+#include "workload/estimates.hpp"
+
+namespace librisk::workload {
+
+double WorkloadStats::offered_utilization(int nodes) const noexcept {
+  if (nodes <= 0 || span <= 0.0) return 0.0;
+  return total_proc_seconds / (static_cast<double>(nodes) * span);
+}
+
+WorkloadStats compute_stats(const std::vector<Job>& jobs) {
+  WorkloadStats out;
+  out.job_count = jobs.size();
+  if (jobs.empty()) return out;
+
+  std::vector<double> inter, runtime, estimate, procs, factor;
+  inter.reserve(jobs.size());
+  runtime.reserve(jobs.size());
+  estimate.reserve(jobs.size());
+  procs.reserve(jobs.size());
+  factor.reserve(jobs.size());
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& j = jobs[i];
+    if (i > 0) inter.push_back(j.submit_time - jobs[i - 1].submit_time);
+    runtime.push_back(j.actual_runtime);
+    estimate.push_back(j.user_estimate);
+    procs.push_back(static_cast<double>(j.num_procs));
+    if (j.deadline > 0.0) factor.push_back(j.deadline_factor());
+    out.total_proc_seconds += j.actual_runtime * j.num_procs;
+  }
+
+  out.interarrival = stats::summarize(inter);
+  out.runtime = stats::summarize(runtime);
+  out.user_estimate = stats::summarize(estimate);
+  out.num_procs = stats::summarize(procs);
+  out.deadline_factor = stats::summarize(factor);
+  out.span = jobs.back().submit_time - jobs.front().submit_time;
+  out.underestimated_fraction = underestimated_fraction(jobs);
+  out.high_urgency_fraction = high_urgency_fraction(jobs);
+  return out;
+}
+
+void print_stats(std::ostream& out, const WorkloadStats& s) {
+  table::Table t({"metric", "mean", "stddev", "min", "max"});
+  const auto row = [&](const char* name, const stats::Summary& sum, int dec = 1) {
+    t.add_row({name, table::num(sum.mean, dec), table::num(sum.stddev, dec),
+               table::num(sum.min, dec), table::num(sum.max, dec)});
+  };
+  row("inter-arrival (s)", s.interarrival);
+  row("runtime (s)", s.runtime);
+  row("user estimate (s)", s.user_estimate);
+  row("processors", s.num_procs);
+  row("deadline factor", s.deadline_factor, 2);
+  out << "jobs: " << s.job_count << ", span: " << table::num(s.span / 86400.0, 1)
+      << " days, under-estimated: " << table::pct(100.0 * s.underestimated_fraction)
+      << "%, high-urgency: " << table::pct(100.0 * s.high_urgency_fraction) << "%\n"
+      << t.str();
+}
+
+}  // namespace librisk::workload

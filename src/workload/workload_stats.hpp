@@ -1,0 +1,34 @@
+// Summary statistics over a trace — used to verify that synthetic workloads
+// match the paper's reported subset statistics, and by examples/reports.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "support/stats.hpp"
+#include "workload/job.hpp"
+
+namespace librisk::workload {
+
+struct WorkloadStats {
+  std::size_t job_count = 0;
+  stats::Summary interarrival;      ///< seconds between consecutive submits
+  stats::Summary runtime;           ///< actual runtimes, reference-seconds
+  stats::Summary user_estimate;     ///< user estimates, reference-seconds
+  stats::Summary num_procs;         ///< processors requested
+  stats::Summary deadline_factor;   ///< deadline / runtime
+  double span = 0.0;                ///< last submit - first submit, seconds
+  double underestimated_fraction = 0.0;
+  double high_urgency_fraction = 0.0;
+  /// Offered load against a cluster of `nodes` processors: total
+  /// processor-seconds demanded / (nodes * span).
+  [[nodiscard]] double offered_utilization(int nodes) const noexcept;
+  double total_proc_seconds = 0.0;
+};
+
+[[nodiscard]] WorkloadStats compute_stats(const std::vector<Job>& jobs);
+
+/// Human-readable one-block report.
+void print_stats(std::ostream& out, const WorkloadStats& stats);
+
+}  // namespace librisk::workload

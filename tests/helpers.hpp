@@ -1,0 +1,67 @@
+// Shared builders for the test suite.
+#pragma once
+
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace librisk::testing {
+
+/// Fluent Job builder with sane defaults: 1 processor, accurate estimate,
+/// deadline = 2x runtime, submitted at t = 0.
+class JobBuilder {
+ public:
+  explicit JobBuilder(std::int64_t id) { job_.id = id; set_runtime(100.0); }
+
+  JobBuilder& submit(double t) {
+    job_.submit_time = t;
+    return *this;
+  }
+  /// Sets runtime and, unless overridden later, estimate = runtime and
+  /// deadline = 2x runtime.
+  JobBuilder& set_runtime(double r) {
+    job_.actual_runtime = r;
+    if (!estimate_set_) {
+      job_.user_estimate = r;
+      job_.scheduler_estimate = r;
+    }
+    if (!deadline_set_) job_.deadline = 2.0 * r;
+    return *this;
+  }
+  JobBuilder& estimate(double e) {
+    estimate_set_ = true;
+    job_.user_estimate = e;
+    job_.scheduler_estimate = e;
+    return *this;
+  }
+  JobBuilder& deadline(double d) {
+    deadline_set_ = true;
+    job_.deadline = d;
+    return *this;
+  }
+  JobBuilder& procs(int n) {
+    job_.num_procs = n;
+    return *this;
+  }
+  JobBuilder& urgency(workload::Urgency u) {
+    job_.urgency = u;
+    return *this;
+  }
+
+  [[nodiscard]] workload::Job build() const { return job_; }
+  operator workload::Job() const { return job_; }  // NOLINT(google-explicit-constructor)
+
+ private:
+  workload::Job job_;
+  bool estimate_set_ = false;
+  bool deadline_set_ = false;
+};
+
+inline workload::Job make_job(std::int64_t id, double submit, double runtime,
+                              double deadline, int procs = 1) {
+  return JobBuilder(id).submit(submit).set_runtime(runtime).deadline(deadline)
+      .procs(procs)
+      .build();
+}
+
+}  // namespace librisk::testing

@@ -1,0 +1,73 @@
+#include "metrics/car.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "support/check.hpp"
+
+namespace librisk::metrics {
+namespace {
+
+using librisk::testing::make_job;
+
+TEST(Car, EmptySample) {
+  const CarReport r = computation_at_risk(std::vector<double>{}, CarMeasure::Slowdown);
+  EXPECT_EQ(r.jobs, 0u);
+  EXPECT_DOUBLE_EQ(r.at_risk, 0.0);
+  EXPECT_DOUBLE_EQ(r.tail_mean, 0.0);
+}
+
+TEST(Car, HandComputedPercentiles) {
+  std::vector<double> sample;
+  for (int i = 1; i <= 100; ++i) sample.push_back(static_cast<double>(i));
+  const CarReport r = computation_at_risk(sample, CarMeasure::Slowdown, 90.0);
+  EXPECT_NEAR(r.at_risk, 90.1, 0.2);  // linear interpolation over 1..100
+  EXPECT_DOUBLE_EQ(r.max, 100.0);
+  EXPECT_DOUBLE_EQ(r.mean, 50.5);
+  // Tail = values >= ~90.1, i.e. {91..100}: mean 95.5.
+  EXPECT_NEAR(r.tail_mean, 95.5, 0.5);
+}
+
+TEST(Car, DegenerateConstantSample) {
+  const CarReport r =
+      computation_at_risk(std::vector<double>{2.0, 2.0, 2.0}, CarMeasure::Slowdown);
+  EXPECT_DOUBLE_EQ(r.at_risk, 2.0);
+  EXPECT_DOUBLE_EQ(r.tail_mean, 2.0);
+  EXPECT_DOUBLE_EQ(r.max, 2.0);
+}
+
+TEST(Car, QuantileValidated) {
+  EXPECT_THROW((void)computation_at_risk(std::vector<double>{}, CarMeasure::Slowdown, 0.0), CheckError);
+  EXPECT_THROW((void)computation_at_risk(std::vector<double>{}, CarMeasure::Slowdown, 100.0), CheckError);
+}
+
+TEST(Car, CollectorIntegrationSkipsRejections) {
+  const workload::Job a = make_job(1, 0.0, 100.0, 1000.0);
+  const workload::Job b = make_job(2, 0.0, 100.0, 1000.0);
+  const workload::Job c = make_job(3, 0.0, 100.0, 1000.0);
+  Collector collector;
+  for (const auto* j : {&a, &b, &c}) collector.record_submitted(*j, 0.0);
+  collector.record_started(a, 0.0, 100.0);
+  collector.record_completed(a, 200.0);  // response 200, slowdown 2
+  collector.record_started(b, 0.0, 100.0);
+  collector.record_completed(b, 400.0);  // response 400, slowdown 4
+  collector.record_rejected(c, 0.0, false);
+
+  const CarReport response =
+      computation_at_risk(collector, CarMeasure::ResponseTime, 50.0);
+  EXPECT_EQ(response.jobs, 2u);
+  EXPECT_DOUBLE_EQ(response.mean, 300.0);
+  EXPECT_DOUBLE_EQ(response.at_risk, 300.0);
+
+  const CarReport slowdown = computation_at_risk(collector, CarMeasure::Slowdown, 50.0);
+  EXPECT_DOUBLE_EQ(slowdown.mean, 3.0);
+  EXPECT_DOUBLE_EQ(slowdown.max, 4.0);
+}
+
+TEST(Car, MeasureNames) {
+  EXPECT_STREQ(to_string(CarMeasure::ResponseTime), "response_time");
+  EXPECT_STREQ(to_string(CarMeasure::Slowdown), "slowdown");
+}
+
+}  // namespace
+}  // namespace librisk::metrics

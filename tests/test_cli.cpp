@@ -1,0 +1,107 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace librisk::cli {
+namespace {
+
+TEST(Parser, DefaultsSurviveEmptyArgs) {
+  Parser p("prog", "test");
+  auto& n = p.add<int>("n", "count", 5);
+  auto& name = p.add<std::string>("name", "label", "x");
+  p.parse({});
+  EXPECT_EQ(n.value, 5);
+  EXPECT_EQ(name.value, "x");
+  EXPECT_FALSE(n.set);
+}
+
+TEST(Parser, EqualsAndSpaceSyntax) {
+  Parser p("prog", "test");
+  auto& a = p.add<int>("a", "", 0);
+  auto& b = p.add<double>("b", "", 0.0);
+  p.parse({"--a=7", "--b", "2.5"});
+  EXPECT_EQ(a.value, 7);
+  EXPECT_DOUBLE_EQ(b.value, 2.5);
+  EXPECT_TRUE(a.set);
+  EXPECT_TRUE(b.set);
+}
+
+TEST(Parser, BoolFlagForms) {
+  Parser p("prog", "test");
+  auto& flag = p.add<bool>("flag", "", false);
+  p.parse({"--flag"});
+  EXPECT_TRUE(flag.value);
+
+  Parser q("prog", "test");
+  auto& flag2 = q.add<bool>("flag", "", true);
+  q.parse({"--flag=false"});
+  EXPECT_FALSE(flag2.value);
+
+  // Bare bool flags do not consume the next token; a value needs '='.
+  Parser r("prog", "test");
+  (void)r.add<bool>("flag", "", false);
+  EXPECT_THROW(r.parse({"--flag", "on"}), ParseError);
+}
+
+TEST(Parser, Uint64RoundTrip) {
+  Parser p("prog", "test");
+  auto& seed = p.add<std::uint64_t>("seed", "", 0);
+  p.parse({"--seed=18446744073709551615"});
+  EXPECT_EQ(seed.value, 18446744073709551615ULL);
+}
+
+TEST(Parser, UnknownOptionThrows) {
+  Parser p("prog", "test");
+  (void)p.add<int>("a", "", 0);
+  EXPECT_THROW(p.parse({"--bogus=1"}), ParseError);
+}
+
+TEST(Parser, MalformedValuesThrow) {
+  Parser p("prog", "test");
+  (void)p.add<int>("n", "", 0);
+  (void)p.add<double>("x", "", 0.0);
+  (void)p.add<bool>("b", "", false);
+  EXPECT_THROW(p.parse({"--n=abc"}), ParseError);
+  EXPECT_THROW(p.parse({"--n=1.5"}), ParseError);
+  EXPECT_THROW(p.parse({"--x=1.2.3"}), ParseError);
+  EXPECT_THROW(p.parse({"--b=maybe"}), ParseError);
+}
+
+TEST(Parser, MissingValueThrows) {
+  Parser p("prog", "test");
+  (void)p.add<int>("n", "", 0);
+  EXPECT_THROW(p.parse({"--n"}), ParseError);
+}
+
+TEST(Parser, PositionalArgumentsRejected) {
+  Parser p("prog", "test");
+  EXPECT_THROW(p.parse({"stray"}), ParseError);
+}
+
+TEST(Parser, DuplicateDeclarationThrows) {
+  Parser p("prog", "test");
+  (void)p.add<int>("n", "", 0);
+  EXPECT_THROW((void)p.add<double>("n", "", 0.0), CheckError);
+}
+
+TEST(Parser, LaterOptionOverridesEarlier) {
+  Parser p("prog", "test");
+  auto& n = p.add<int>("n", "", 0);
+  p.parse({"--n=1", "--n=2"});
+  EXPECT_EQ(n.value, 2);
+}
+
+TEST(Parser, UsageMentionsOptionsAndDefaults) {
+  Parser p("prog", "does things");
+  (void)p.add<int>("jobs", "number of jobs", 3000);
+  const std::string usage = p.usage();
+  EXPECT_NE(usage.find("--jobs"), std::string::npos);
+  EXPECT_NE(usage.find("number of jobs"), std::string::npos);
+  EXPECT_NE(usage.find("3000"), std::string::npos);
+  EXPECT_NE(usage.find("does things"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace librisk::cli

@@ -1,0 +1,53 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace librisk::cluster {
+namespace {
+
+TEST(Cluster, HomogeneousConstruction) {
+  const Cluster c = Cluster::homogeneous(4, 168.0);
+  EXPECT_EQ(c.size(), 4);
+  EXPECT_DOUBLE_EQ(c.reference_rating(), 168.0);
+  for (NodeId n = 0; n < c.size(); ++n) {
+    EXPECT_EQ(c.node(n).id, n);
+    EXPECT_DOUBLE_EQ(c.speed_factor(n), 1.0);
+  }
+}
+
+TEST(Cluster, SdscSp2Shape) {
+  const Cluster c = Cluster::sdsc_sp2();
+  EXPECT_EQ(c.size(), 128);
+  EXPECT_DOUBLE_EQ(c.node(0).rating, 168.0);
+  EXPECT_DOUBLE_EQ(c.min_speed_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(c.max_speed_factor(), 1.0);
+}
+
+TEST(Cluster, HeterogeneousSpeedFactors) {
+  const Cluster c({{0, 100.0}, {1, 200.0}, {2, 50.0}}, 100.0);
+  EXPECT_DOUBLE_EQ(c.speed_factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(c.speed_factor(1), 2.0);
+  EXPECT_DOUBLE_EQ(c.speed_factor(2), 0.5);
+  EXPECT_DOUBLE_EQ(c.min_speed_factor(), 0.5);
+  EXPECT_DOUBLE_EQ(c.max_speed_factor(), 2.0);
+}
+
+TEST(Cluster, RejectsBadConstruction) {
+  EXPECT_THROW(Cluster({}, 100.0), CheckError);
+  EXPECT_THROW(Cluster({{0, 100.0}}, 0.0), CheckError);
+  EXPECT_THROW(Cluster({{1, 100.0}}, 100.0), CheckError);  // non-dense ids
+  EXPECT_THROW(Cluster({{0, -5.0}}, 100.0), CheckError);
+  EXPECT_THROW(Cluster::homogeneous(0, 100.0), CheckError);
+}
+
+TEST(Cluster, NodeIdBoundsChecked) {
+  const Cluster c = Cluster::homogeneous(2, 100.0);
+  EXPECT_THROW((void)c.node(-1), CheckError);
+  EXPECT_THROW((void)c.node(2), CheckError);
+  EXPECT_THROW((void)c.speed_factor(5), CheckError);
+}
+
+}  // namespace
+}  // namespace librisk::cluster

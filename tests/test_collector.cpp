@@ -1,0 +1,194 @@
+#include "metrics/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "support/check.hpp"
+
+namespace librisk::metrics {
+namespace {
+
+using librisk::testing::JobBuilder;
+using librisk::testing::make_job;
+
+TEST(Collector, LifecycleFulfilled) {
+  const Job job = make_job(1, 100.0, 50.0, 200.0);
+  Collector c;
+  c.record_submitted(job, 100.0);
+  EXPECT_FALSE(c.all_resolved());
+  c.record_started(job, 110.0, 50.0);
+  c.record_completed(job, 180.0);
+  EXPECT_TRUE(c.all_resolved());
+
+  const JobRecord& r = c.record(1);
+  EXPECT_EQ(r.fate, JobFate::FulfilledInTime);
+  EXPECT_DOUBLE_EQ(r.response_time(), 80.0);
+  EXPECT_DOUBLE_EQ(r.slowdown(), 80.0 / 50.0);
+  EXPECT_DOUBLE_EQ(r.delay, 0.0);
+}
+
+TEST(Collector, LifecycleLate) {
+  const Job job = make_job(1, 0.0, 50.0, 100.0);
+  Collector c;
+  c.record_submitted(job, 0.0);
+  c.record_started(job, 0.0, 50.0);
+  c.record_completed(job, 160.0);
+  const JobRecord& r = c.record(1);
+  EXPECT_EQ(r.fate, JobFate::CompletedLate);
+  EXPECT_DOUBLE_EQ(r.delay, 60.0);
+}
+
+TEST(Collector, SubSecondDelayCountsAsFulfilled) {
+  // Pacing finishes jobs within floating-point residue of the deadline.
+  const Job job = make_job(1, 0.0, 50.0, 100.0);
+  Collector c;
+  c.record_submitted(job, 0.0);
+  c.record_started(job, 0.0, 50.0);
+  c.record_completed(job, 100.0 + 0.4 * kDelayTolerance);
+  EXPECT_EQ(c.record(1).fate, JobFate::FulfilledInTime);
+  EXPECT_DOUBLE_EQ(c.record(1).delay, 0.0);
+}
+
+TEST(Collector, Rejections) {
+  const Job a = make_job(1, 0.0, 50.0, 100.0);
+  const Job b = make_job(2, 5.0, 50.0, 100.0);
+  Collector c;
+  c.record_submitted(a, 0.0);
+  c.record_submitted(b, 5.0);
+  c.record_rejected(a, 0.0, /*at_dispatch=*/false);
+  c.record_rejected(b, 30.0, /*at_dispatch=*/true);
+  EXPECT_EQ(c.record(1).fate, JobFate::RejectedAtSubmit);
+  EXPECT_EQ(c.record(2).fate, JobFate::RejectedAtDispatch);
+  EXPECT_TRUE(c.all_resolved());
+}
+
+TEST(Collector, ProtocolViolationsThrow) {
+  const Job job = make_job(1, 0.0, 50.0, 100.0);
+  Collector c;
+  EXPECT_THROW(c.record_started(job, 0.0, 50.0), CheckError);  // not submitted
+  c.record_submitted(job, 0.0);
+  EXPECT_THROW(c.record_submitted(job, 0.0), CheckError);  // twice
+  EXPECT_THROW(c.record_completed(job, 10.0), CheckError);  // not started
+  c.record_started(job, 0.0, 50.0);
+  EXPECT_THROW(c.record_started(job, 1.0, 50.0), CheckError);  // started twice
+  EXPECT_THROW(c.record_rejected(job, 1.0, false), CheckError);  // after start
+  c.record_completed(job, 60.0);
+  EXPECT_THROW(c.record_completed(job, 61.0), CheckError);  // completed twice
+  EXPECT_THROW((void)c.record(99), CheckError);
+}
+
+TEST(Collector, SummaryPaperMetrics) {
+  // 4 submitted: 1 fulfilled, 1 late, 1 rejected at submit, 1 at dispatch.
+  const Job j1 = make_job(1, 0.0, 100.0, 300.0);
+  const Job j2 = make_job(2, 0.0, 100.0, 150.0);
+  const Job j3 = make_job(3, 0.0, 100.0, 200.0);
+  const Job j4 = make_job(4, 0.0, 100.0, 200.0);
+  Collector c;
+  for (const Job* j : {&j1, &j2, &j3, &j4}) c.record_submitted(*j, j->submit_time);
+  c.record_started(j1, 0.0, 100.0);
+  c.record_completed(j1, 250.0);  // fulfilled, slowdown 2.5
+  c.record_started(j2, 0.0, 100.0);
+  c.record_completed(j2, 200.0);  // late by 50, slowdown 2.0
+  c.record_rejected(j3, 0.0, false);
+  c.record_rejected(j4, 10.0, true);
+
+  const RunSummary s = c.summarize();
+  EXPECT_EQ(s.submitted, 4u);
+  EXPECT_EQ(s.accepted, 2u);
+  EXPECT_EQ(s.fulfilled, 1u);
+  EXPECT_EQ(s.completed_late, 1u);
+  EXPECT_EQ(s.rejected_at_submit, 1u);
+  EXPECT_EQ(s.rejected_at_dispatch, 1u);
+  // Metric (i): fulfilled out of *submitted*.
+  EXPECT_DOUBLE_EQ(s.fulfilled_pct, 25.0);
+  // Metric (ii): slowdown over fulfilled jobs only.
+  EXPECT_DOUBLE_EQ(s.avg_slowdown_fulfilled, 2.5);
+  EXPECT_DOUBLE_EQ(s.avg_slowdown_completed, 2.25);
+  EXPECT_DOUBLE_EQ(s.avg_delay_late, 50.0);
+  EXPECT_DOUBLE_EQ(s.makespan, 250.0);
+}
+
+TEST(Collector, PerUrgencyBreakdown) {
+  const Job high = JobBuilder(1).set_runtime(10.0).deadline(100.0)
+                       .urgency(workload::Urgency::High).build();
+  const Job low = JobBuilder(2).set_runtime(10.0).deadline(100.0)
+                      .urgency(workload::Urgency::Low).build();
+  Collector c;
+  c.record_submitted(high, 0.0);
+  c.record_submitted(low, 0.0);
+  c.record_started(high, 0.0, 10.0);
+  c.record_completed(high, 50.0);
+  c.record_rejected(low, 0.0, false);
+  const RunSummary s = c.summarize();
+  EXPECT_DOUBLE_EQ(s.fulfilled_pct_high_urgency, 100.0);
+  EXPECT_DOUBLE_EQ(s.fulfilled_pct_low_urgency, 0.0);
+}
+
+TEST(Collector, EmptySummary) {
+  const RunSummary s = Collector{}.summarize();
+  EXPECT_EQ(s.submitted, 0u);
+  EXPECT_DOUBLE_EQ(s.fulfilled_pct, 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_slowdown_fulfilled, 0.0);
+}
+
+TEST(Collector, TailMetrics) {
+  // Five fulfilled jobs with slowdowns 1..5 and one late job, delay 60.
+  std::vector<Job> jobs;
+  Collector c;
+  for (int i = 1; i <= 5; ++i) {
+    jobs.push_back(make_job(i, 0.0, 100.0, 1000.0));
+  }
+  jobs.push_back(make_job(6, 0.0, 100.0, 140.0));
+  for (const Job& j : jobs) c.record_submitted(j, 0.0);
+  for (int i = 1; i <= 5; ++i) {
+    c.record_started(jobs[i - 1], 0.0, 100.0);
+    c.record_completed(jobs[i - 1], 100.0 * i);  // slowdown i
+  }
+  c.record_started(jobs[5], 0.0, 100.0);
+  c.record_completed(jobs[5], 200.0);  // deadline 140 -> delay 60
+
+  const RunSummary s = c.summarize();
+  EXPECT_DOUBLE_EQ(s.p95_slowdown_fulfilled, 4.8);  // interpolated over 1..5
+  EXPECT_DOUBLE_EQ(s.max_delay, 60.0);
+}
+
+TEST(Collector, TailMetricsZeroWhenNoCompletions) {
+  const Job j = make_job(1, 0.0, 100.0, 1000.0);
+  Collector c;
+  c.record_submitted(j, 0.0);
+  c.record_rejected(j, 0.0, false);
+  const RunSummary s = c.summarize();
+  EXPECT_DOUBLE_EQ(s.p95_slowdown_fulfilled, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_delay, 0.0);
+}
+
+TEST(Collector, MeasurementWindowFiltersBySubmitTime) {
+  // Jobs at t=0, 100, 200; window [50, 150] keeps only the middle one.
+  std::vector<Job> jobs{make_job(1, 0.0, 10.0, 1000.0),
+                        make_job(2, 100.0, 10.0, 1000.0),
+                        make_job(3, 200.0, 10.0, 1000.0)};
+  Collector c;
+  for (const Job& j : jobs) {
+    c.record_submitted(j, j.submit_time);
+    c.record_started(j, j.submit_time, 10.0);
+    c.record_completed(j, j.submit_time + 10.0);
+  }
+  const RunSummary full = c.summarize();
+  EXPECT_EQ(full.submitted, 3u);
+  const RunSummary windowed =
+      c.summarize(Collector::MeasurementWindow{.begin = 50.0, .end = 150.0});
+  EXPECT_EQ(windowed.submitted, 1u);
+  EXPECT_EQ(windowed.fulfilled, 1u);
+  EXPECT_DOUBLE_EQ(windowed.fulfilled_pct, 100.0);
+}
+
+TEST(JobFateNames, AllDistinct) {
+  EXPECT_STREQ(to_string(JobFate::Pending), "pending");
+  EXPECT_STREQ(to_string(JobFate::RejectedAtSubmit), "rejected-at-submit");
+  EXPECT_STREQ(to_string(JobFate::RejectedAtDispatch), "rejected-at-dispatch");
+  EXPECT_STREQ(to_string(JobFate::FulfilledInTime), "fulfilled");
+  EXPECT_STREQ(to_string(JobFate::CompletedLate), "completed-late");
+}
+
+}  // namespace
+}  // namespace librisk::metrics

@@ -1,0 +1,73 @@
+#include "support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace librisk::csv {
+namespace {
+
+TEST(Escape, PlainFieldUnchanged) {
+  EXPECT_EQ(escape("hello"), "hello");
+  EXPECT_EQ(escape(""), "");
+}
+
+TEST(Escape, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Writer, HeaderAndRows) {
+  std::ostringstream out;
+  Writer w(out);
+  w.header({"a", "b"});
+  w.row({"1", "2"});
+  w.row({"x,y", "z"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n\"x,y\",z\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(Writer, RowsWithoutHeaderFixArity) {
+  std::ostringstream out;
+  Writer w(out);
+  w.row({"1", "2", "3"});
+  EXPECT_THROW(w.row({"only", "two"}), CheckError);
+}
+
+TEST(Writer, ArityMismatchThrows) {
+  std::ostringstream out;
+  Writer w(out);
+  w.header({"a", "b"});
+  EXPECT_THROW(w.row({"just one"}), CheckError);
+}
+
+TEST(Writer, DoubleHeaderThrows) {
+  std::ostringstream out;
+  Writer w(out);
+  w.header({"a"});
+  EXPECT_THROW(w.header({"b"}), CheckError);
+}
+
+TEST(Writer, EmptyHeaderThrows) {
+  std::ostringstream out;
+  Writer w(out);
+  EXPECT_THROW(w.header(std::initializer_list<std::string_view>{}), CheckError);
+}
+
+TEST(Writer, DoubleFieldRoundTrips) {
+  EXPECT_EQ(Writer::field(1.5), "1.5");
+  EXPECT_EQ(Writer::field(0.0), "0");
+  const std::string s = Writer::field(2131.000244140625);
+  EXPECT_EQ(std::stod(s), 2131.000244140625);
+}
+
+TEST(Writer, IntegerFields) {
+  EXPECT_EQ(Writer::field(std::size_t{42}), "42");
+  EXPECT_EQ(Writer::field(-7LL), "-7");
+}
+
+}  // namespace
+}  // namespace librisk::csv

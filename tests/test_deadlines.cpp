@@ -1,0 +1,134 @@
+#include "workload/deadlines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "support/check.hpp"
+
+namespace librisk::workload {
+namespace {
+
+std::vector<Job> runtime_jobs(std::size_t n, std::uint64_t seed) {
+  rng::Stream stream(seed);
+  std::vector<Job> jobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.push_back(librisk::testing::make_job(
+        static_cast<std::int64_t>(i + 1), static_cast<double>(i),
+        stream.uniform(60.0, 50000.0), 1e9));
+  }
+  return jobs;
+}
+
+TEST(DeadlineConfig, Validation) {
+  DeadlineConfig c;
+  EXPECT_NO_THROW(c.validate());
+  c.high_urgency_fraction = 1.5;
+  EXPECT_THROW(c.validate(), CheckError);
+  c = DeadlineConfig{};
+  c.high_low_ratio = 0.5;
+  EXPECT_THROW(c.validate(), CheckError);
+  c = DeadlineConfig{};
+  c.min_factor = 0.9;
+  EXPECT_THROW(c.validate(), CheckError);
+  c = DeadlineConfig{};
+  c.high_urgency_mean_factor = 0.5;
+  EXPECT_THROW(c.validate(), CheckError);
+}
+
+TEST(DeadlineConfig, LowUrgencyMeanFollowsRatio) {
+  DeadlineConfig c;
+  c.high_urgency_mean_factor = 2.0;
+  c.high_low_ratio = 4.0;
+  EXPECT_DOUBLE_EQ(c.low_urgency_mean_factor(), 8.0);
+}
+
+TEST(AssignDeadlines, EveryJobGetsFeasibleDeadline) {
+  auto jobs = runtime_jobs(5000, 1);
+  DeadlineConfig config;
+  rng::Stream stream("deadlines", 1);
+  assign_deadlines(jobs, config, stream);
+  for (const Job& j : jobs) {
+    EXPECT_NE(j.urgency, Urgency::Unspecified);
+    // "The deadline of a job is thus always assigned a higher factored
+    // value based on the real runtime."
+    EXPECT_GE(j.deadline_factor(), config.min_factor - 1e-9);
+  }
+}
+
+TEST(AssignDeadlines, ClassFractionsMatch) {
+  auto jobs = runtime_jobs(20000, 2);
+  DeadlineConfig config;
+  config.high_urgency_fraction = 0.20;
+  rng::Stream stream("deadlines", 2);
+  assign_deadlines(jobs, config, stream);
+  EXPECT_NEAR(high_urgency_fraction(jobs), 0.20, 0.015);
+}
+
+TEST(AssignDeadlines, ClassMeansMatchConfiguration) {
+  auto jobs = runtime_jobs(40000, 3);
+  DeadlineConfig config;  // high mean 2, ratio 4 => low mean 8
+  rng::Stream stream("deadlines", 3);
+  assign_deadlines(jobs, config, stream);
+  EXPECT_NEAR(mean_deadline_factor(jobs, Urgency::High), 2.0, 0.1);
+  EXPECT_NEAR(mean_deadline_factor(jobs, Urgency::Low), 8.0, 0.3);
+  // Overall mean interpolates the class means.
+  const double overall = mean_deadline_factor(jobs, Urgency::Unspecified);
+  EXPECT_GT(overall, 2.0);
+  EXPECT_LT(overall, 8.0);
+}
+
+TEST(AssignDeadlines, RatioOneCollapsesClasses) {
+  auto jobs = runtime_jobs(20000, 4);
+  DeadlineConfig config;
+  config.high_low_ratio = 1.0;
+  rng::Stream stream("deadlines", 4);
+  assign_deadlines(jobs, config, stream);
+  EXPECT_NEAR(mean_deadline_factor(jobs, Urgency::High),
+              mean_deadline_factor(jobs, Urgency::Low), 0.15);
+}
+
+TEST(AssignDeadlines, ZeroAndFullHighUrgency) {
+  auto jobs = runtime_jobs(1000, 5);
+  DeadlineConfig config;
+  config.high_urgency_fraction = 0.0;
+  rng::Stream s1("deadlines", 5);
+  assign_deadlines(jobs, config, s1);
+  EXPECT_DOUBLE_EQ(high_urgency_fraction(jobs), 0.0);
+  config.high_urgency_fraction = 1.0;
+  rng::Stream s2("deadlines", 5);
+  assign_deadlines(jobs, config, s2);
+  EXPECT_DOUBLE_EQ(high_urgency_fraction(jobs), 1.0);
+}
+
+TEST(AssignDeadlines, HighUrgencyDeadlinesAreShorter) {
+  auto jobs = runtime_jobs(20000, 6);
+  DeadlineConfig config;
+  rng::Stream stream("deadlines", 6);
+  assign_deadlines(jobs, config, stream);
+  EXPECT_LT(mean_deadline_factor(jobs, Urgency::High),
+            mean_deadline_factor(jobs, Urgency::Low));
+}
+
+TEST(AssignDeadlines, Deterministic) {
+  auto a = runtime_jobs(500, 7);
+  auto b = runtime_jobs(500, 7);
+  DeadlineConfig config;
+  rng::Stream s1("deadlines", 7), s2("deadlines", 7);
+  assign_deadlines(a, config, s1);
+  assign_deadlines(b, config, s2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].deadline, b[i].deadline);
+    EXPECT_EQ(a[i].urgency, b[i].urgency);
+  }
+}
+
+TEST(MeanDeadlineFactor, EmptyAndFiltered) {
+  EXPECT_DOUBLE_EQ(mean_deadline_factor({}, Urgency::High), 0.0);
+  std::vector<Job> jobs{librisk::testing::make_job(1, 0.0, 100.0, 300.0)};
+  jobs[0].urgency = Urgency::Low;
+  EXPECT_DOUBLE_EQ(mean_deadline_factor(jobs, Urgency::High), 0.0);
+  EXPECT_DOUBLE_EQ(mean_deadline_factor(jobs, Urgency::Low), 3.0);
+}
+
+}  // namespace
+}  // namespace librisk::workload

@@ -1,0 +1,145 @@
+#include "workload/estimates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "helpers.hpp"
+#include "support/check.hpp"
+
+namespace librisk::workload {
+namespace {
+
+std::vector<Job> runtime_jobs(std::size_t n, std::uint64_t seed) {
+  rng::Stream stream(seed);
+  std::vector<Job> jobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.push_back(librisk::testing::make_job(
+        static_cast<std::int64_t>(i + 1), static_cast<double>(i),
+        stream.uniform(60.0, 50000.0), 1e9));
+  }
+  return jobs;
+}
+
+TEST(UserEstimateConfig, Validation) {
+  UserEstimateConfig c;
+  EXPECT_NO_THROW(c.validate());
+  c.exact_fraction = 0.9;
+  c.underestimate_fraction = 0.2;  // sums beyond 1
+  EXPECT_THROW(c.validate(), CheckError);
+  c = UserEstimateConfig{};
+  c.modal_limits = {1800.0, 900.0};  // not ascending
+  EXPECT_THROW(c.validate(), CheckError);
+  c = UserEstimateConfig{};
+  c.modal_limits.clear();
+  EXPECT_THROW(c.validate(), CheckError);
+  c = UserEstimateConfig{};
+  c.max_underestimate_overrun = 1.0;
+  EXPECT_THROW(c.validate(), CheckError);
+}
+
+TEST(AssignUserEstimates, FractionsMatchConfiguration) {
+  auto jobs = runtime_jobs(20000, 3);
+  UserEstimateConfig config;
+  rng::Stream stream("estimates", 3);
+  assign_user_estimates(jobs, config, stream);
+
+  std::size_t exact = 0, under = 0, over = 0;
+  for (const Job& j : jobs) {
+    if (j.user_estimate == j.actual_runtime) ++exact;
+    else if (j.user_estimate < j.actual_runtime) ++under;
+    else ++over;
+  }
+  const double n = static_cast<double>(jobs.size());
+  EXPECT_NEAR(static_cast<double>(exact) / n, config.exact_fraction, 0.02);
+  EXPECT_NEAR(static_cast<double>(under) / n, config.underestimate_fraction, 0.02);
+  EXPECT_GT(static_cast<double>(over) / n, 0.5);  // "often over estimated"
+}
+
+TEST(AssignUserEstimates, OverestimatesLandOnModalLimits) {
+  auto jobs = runtime_jobs(5000, 4);
+  UserEstimateConfig config;
+  rng::Stream stream("estimates", 4);
+  assign_user_estimates(jobs, config, stream);
+  const double top = config.modal_limits.back();
+  for (const Job& j : jobs) {
+    if (j.user_estimate <= j.actual_runtime) continue;  // not an over-estimate
+    if (j.user_estimate <= top) {
+      EXPECT_TRUE(std::find(config.modal_limits.begin(), config.modal_limits.end(),
+                            j.user_estimate) != config.modal_limits.end())
+          << "estimate " << j.user_estimate << " is not a modal limit";
+    } else {
+      // Beyond the largest limit users ask for whole extra slots.
+      EXPECT_NEAR(std::fmod(j.user_estimate, top), 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(AssignUserEstimates, UnderestimateOverrunBounded) {
+  auto jobs = runtime_jobs(20000, 5);
+  UserEstimateConfig config;
+  rng::Stream stream("estimates", 5);
+  assign_user_estimates(jobs, config, stream);
+  for (const Job& j : jobs) {
+    if (j.user_estimate >= j.actual_runtime) continue;
+    const double overrun = j.actual_runtime / j.user_estimate;
+    EXPECT_GE(overrun, 1.05 - 1e-9);
+    EXPECT_LE(overrun, config.max_underestimate_overrun + 1e-9);
+  }
+}
+
+TEST(AssignUserEstimates, SchedulerEstimateResets) {
+  auto jobs = runtime_jobs(100, 6);
+  for (Job& j : jobs) j.scheduler_estimate = 123.0;
+  UserEstimateConfig config;
+  rng::Stream stream("estimates", 6);
+  assign_user_estimates(jobs, config, stream);
+  for (const Job& j : jobs) EXPECT_DOUBLE_EQ(j.scheduler_estimate, j.user_estimate);
+}
+
+TEST(ApplyInaccuracy, EndpointsAndInterpolation) {
+  std::vector<Job> jobs{librisk::testing::JobBuilder(1).estimate(400.0).set_runtime(100.0).build()};
+  apply_inaccuracy(jobs, 0.0);
+  EXPECT_DOUBLE_EQ(jobs[0].scheduler_estimate, 100.0);
+  apply_inaccuracy(jobs, 100.0);
+  EXPECT_DOUBLE_EQ(jobs[0].scheduler_estimate, 400.0);
+  apply_inaccuracy(jobs, 50.0);
+  EXPECT_DOUBLE_EQ(jobs[0].scheduler_estimate, 250.0);
+  apply_inaccuracy(jobs, 25.0);
+  EXPECT_DOUBLE_EQ(jobs[0].scheduler_estimate, 175.0);
+}
+
+TEST(ApplyInaccuracy, WorksForUnderestimates) {
+  std::vector<Job> jobs{librisk::testing::JobBuilder(1).estimate(50.0).set_runtime(100.0).build()};
+  apply_inaccuracy(jobs, 100.0);
+  EXPECT_DOUBLE_EQ(jobs[0].scheduler_estimate, 50.0);
+  apply_inaccuracy(jobs, 50.0);
+  EXPECT_DOUBLE_EQ(jobs[0].scheduler_estimate, 75.0);
+}
+
+TEST(ApplyInaccuracy, RejectsOutOfRange) {
+  std::vector<Job> jobs;
+  EXPECT_THROW(apply_inaccuracy(jobs, -1.0), CheckError);
+  EXPECT_THROW(apply_inaccuracy(jobs, 101.0), CheckError);
+}
+
+TEST(ApplyInaccuracy, FloorsDegenerateEstimates) {
+  std::vector<Job> jobs{librisk::testing::JobBuilder(1).estimate(0.5).set_runtime(0.6).build()};
+  jobs[0].actual_runtime = 0.6;
+  apply_inaccuracy(jobs, 100.0);
+  EXPECT_GE(jobs[0].scheduler_estimate, 1.0);
+}
+
+TEST(EstimateDiagnostics, FractionAndFactor) {
+  std::vector<Job> jobs{
+      librisk::testing::JobBuilder(1).estimate(200.0).set_runtime(100.0).build(),
+      librisk::testing::JobBuilder(2).estimate(50.0).set_runtime(100.0).build(),
+      librisk::testing::JobBuilder(3).estimate(100.0).set_runtime(100.0).build()};
+  EXPECT_NEAR(underestimated_fraction(jobs), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(mean_overestimate_factor(jobs), (2.0 + 0.5 + 1.0) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(underestimated_fraction({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_overestimate_factor({}), 0.0);
+}
+
+}  // namespace
+}  // namespace librisk::workload

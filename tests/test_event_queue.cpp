@@ -1,0 +1,135 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace librisk::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_THROW((void)q.next_time(), CheckError);
+  EXPECT_THROW((void)q.pop(), CheckError);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  (void)q.schedule(3.0, EventPriority::Internal, [&] { fired.push_back(3); });
+  (void)q.schedule(1.0, EventPriority::Internal, [&] { fired.push_back(1); });
+  (void)q.schedule(2.0, EventPriority::Internal, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().handler();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimePriorityOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  (void)q.schedule(5.0, EventPriority::Arrival, [&] { fired.push_back(2); });
+  (void)q.schedule(5.0, EventPriority::Completion, [&] { fired.push_back(0); });
+  (void)q.schedule(5.0, EventPriority::Internal, [&] { fired.push_back(1); });
+  (void)q.schedule(5.0, EventPriority::Control, [&] { fired.push_back(3); });
+  while (!q.empty()) q.pop().handler();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimeAndPriorityFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i)
+    (void)q.schedule(1.0, EventPriority::Internal, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop().handler();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(1.0, EventPriority::Internal, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, DoubleCancelIsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, EventPriority::Internal, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(EventId{}));  // invalid id
+}
+
+TEST(EventQueue, CancelAfterFireIsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, EventPriority::Internal, [] {});
+  q.pop().handler();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(1.0, EventPriority::Internal, [] {});
+  (void)q.schedule(2.0, EventPriority::Internal, [] {});
+  (void)q.cancel(early);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, CountersTrackLifetime) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, EventPriority::Internal, [] {});
+  (void)q.schedule(2.0, EventPriority::Internal, [] {});
+  (void)q.cancel(a);
+  EXPECT_EQ(q.scheduled_total(), 2u);
+  EXPECT_EQ(q.cancelled_total(), 1u);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RejectsNullHandlerAndNanTime) {
+  EventQueue q;
+  EXPECT_THROW((void)q.schedule(1.0, EventPriority::Internal, nullptr), CheckError);
+  EXPECT_THROW(
+      (void)q.schedule(std::numeric_limits<double>::quiet_NaN(),
+                       EventPriority::Internal, [] {}),
+      CheckError);
+}
+
+TEST(EventQueue, RandomizedOrderingProperty) {
+  rng::Stream stream(42);
+  EventQueue q;
+  for (int i = 0; i < 2000; ++i)
+    (void)q.schedule(stream.uniform(0.0, 1e6), EventPriority::Internal, [] {});
+  double last = -1.0;
+  while (!q.empty()) {
+    const auto popped = q.pop();
+    EXPECT_GE(popped.time, last);
+    last = popped.time;
+  }
+}
+
+TEST(EventQueue, RandomizedCancellationProperty) {
+  rng::Stream stream(43);
+  EventQueue q;
+  std::vector<EventId> ids;
+  int expected = 0;
+  for (int i = 0; i < 1000; ++i)
+    ids.push_back(q.schedule(stream.uniform(0.0, 100.0), EventPriority::Internal, [] {}));
+  for (const EventId id : ids) {
+    if (stream.bernoulli(0.5)) (void)q.cancel(id);
+    else ++expected;
+  }
+  int fired = 0;
+  while (!q.empty()) {
+    (void)q.pop();
+    ++fired;
+  }
+  EXPECT_EQ(fired, expected);
+}
+
+}  // namespace
+}  // namespace librisk::sim

@@ -1,0 +1,118 @@
+// Cross-module integration tests: full simulations on paper-shaped
+// workloads, checking end-to-end behaviour rather than single modules.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/scenario.hpp"
+#include "workload/swf.hpp"
+#include "workload/workload_stats.hpp"
+
+namespace librisk {
+namespace {
+
+exp::Scenario base_scenario(core::Policy policy, double inaccuracy) {
+  exp::Scenario s;
+  s.workload.trace.job_count = 800;
+  s.workload.inaccuracy_pct = inaccuracy;
+  s.nodes = 64;
+  s.policy = policy;
+  s.seed = 3;
+  return s;
+}
+
+TEST(Integration, PaperHeadlineOrderingUnderTraceEstimates) {
+  // The paper's central result: with real (inaccurate) estimates LibraRisk
+  // fulfils decidedly more jobs than Libra, at lower average slowdown.
+  const auto libra = exp::run_scenario(base_scenario(core::Policy::Libra, 100.0));
+  const auto risk = exp::run_scenario(base_scenario(core::Policy::LibraRisk, 100.0));
+  EXPECT_GT(risk.summary.fulfilled_pct, libra.summary.fulfilled_pct + 5.0);
+  EXPECT_LT(risk.summary.avg_slowdown_fulfilled,
+            libra.summary.avg_slowdown_fulfilled);
+}
+
+TEST(Integration, AccurateEstimatesEraseTheRiskAdvantage) {
+  const auto libra = exp::run_scenario(base_scenario(core::Policy::Libra, 0.0));
+  const auto risk = exp::run_scenario(base_scenario(core::Policy::LibraRisk, 0.0));
+  EXPECT_NEAR(risk.summary.fulfilled_pct, libra.summary.fulfilled_pct, 3.0);
+  EXPECT_NEAR(risk.summary.avg_slowdown_fulfilled,
+              libra.summary.avg_slowdown_fulfilled, 0.5);
+}
+
+TEST(Integration, NoDeadlineViolationsWithAccurateEstimates) {
+  // With accurate estimates the admission controls' promises hold exactly:
+  // every accepted job completes within its deadline.
+  for (const core::Policy policy : core::paper_policies()) {
+    const auto r = exp::run_scenario(base_scenario(policy, 0.0));
+    EXPECT_EQ(r.summary.completed_late, 0u) << core::to_string(policy);
+  }
+}
+
+TEST(Integration, EdfAdmissionControlBeatsNoAdmissionControl) {
+  // Paper Section 4: EDF without admission control performs much worse.
+  exp::Scenario with_ac = base_scenario(core::Policy::Edf, 0.0);
+  exp::Scenario without_ac = base_scenario(core::Policy::EdfNoAC, 0.0);
+  // Short deadlines are where the difference shows.
+  with_ac.workload.deadlines.high_urgency_fraction = 0.8;
+  without_ac.workload.deadlines.high_urgency_fraction = 0.8;
+  with_ac.workload.trace.arrival_delay_factor = 0.5;
+  without_ac.workload.trace.arrival_delay_factor = 0.5;
+  const auto ac = exp::run_scenario(with_ac);
+  const auto noac = exp::run_scenario(without_ac);
+  EXPECT_GT(ac.summary.fulfilled_pct, noac.summary.fulfilled_pct);
+  EXPECT_GT(noac.summary.completed_late, ac.summary.completed_late);
+}
+
+TEST(Integration, RiskHoldsUpUnderHighUrgency) {
+  // Paper Figure 3: at 80% high-urgency jobs LibraRisk fulfils roughly
+  // double what Libra does under trace estimates.
+  exp::Scenario libra_s = base_scenario(core::Policy::Libra, 100.0);
+  exp::Scenario risk_s = base_scenario(core::Policy::LibraRisk, 100.0);
+  libra_s.workload.deadlines.high_urgency_fraction = 0.8;
+  risk_s.workload.deadlines.high_urgency_fraction = 0.8;
+  const auto libra = exp::run_scenario(libra_s);
+  const auto risk = exp::run_scenario(risk_s);
+  EXPECT_GT(risk.summary.fulfilled_pct, 1.5 * libra.summary.fulfilled_pct);
+}
+
+TEST(Integration, SwfTraceRoundTripsThroughSimulation) {
+  // Generate a paper workload, serialise to SWF, parse it back, and verify
+  // the simulation sees the identical world.
+  exp::Scenario scenario = base_scenario(core::Policy::LibraRisk, 100.0);
+  scenario.workload.trace.job_count = 300;
+  const auto jobs = workload::make_paper_workload(scenario.workload, scenario.seed);
+
+  std::stringstream buffer;
+  workload::swf::write(buffer, jobs);
+  auto parsed = workload::swf::read(buffer);
+  ASSERT_EQ(parsed.size(), jobs.size());
+  // SWF stores whole seconds; timestamps were integral already? No — the
+  // generator emits fractional times, which round. Re-derive estimates for
+  // the scheduler and compare outcomes approximately.
+  workload::apply_inaccuracy(parsed, scenario.workload.inaccuracy_pct);
+  const auto direct = exp::run_jobs(scenario, jobs);
+  const auto roundtrip = exp::run_jobs(scenario, parsed);
+  EXPECT_NEAR(direct.summary.fulfilled_pct, roundtrip.summary.fulfilled_pct, 2.0);
+}
+
+TEST(Integration, UtilizationRisesAsLoadRises) {
+  exp::Scenario light = base_scenario(core::Policy::LibraRisk, 100.0);
+  exp::Scenario heavy = light;
+  heavy.workload.trace.arrival_delay_factor = 0.3;
+  const auto l = exp::run_scenario(light);
+  const auto h = exp::run_scenario(heavy);
+  EXPECT_GT(h.summary.utilization, l.summary.utilization);
+}
+
+TEST(Integration, WorkloadStatisticsSurviveThePipeline) {
+  exp::Scenario s = base_scenario(core::Policy::Libra, 100.0);
+  s.workload.trace.job_count = 3000;
+  const auto jobs = workload::make_paper_workload(s.workload, 1);
+  const auto stats = workload::compute_stats(jobs);
+  EXPECT_NEAR(stats.high_urgency_fraction, 0.20, 0.03);
+  EXPECT_GT(stats.user_estimate.mean, stats.runtime.mean);  // over-estimation
+  EXPECT_NEAR(stats.underestimated_fraction, 0.05, 0.02);
+}
+
+}  // namespace
+}  // namespace librisk

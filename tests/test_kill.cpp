@@ -1,0 +1,159 @@
+// Kill-at-limit execution mode: jobs are terminated when their estimate
+// elapses, as real kill-at-limit systems (the SDSC SP2 among them) do.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cluster/spaceshared.hpp"
+#include "cluster/timeshared.hpp"
+#include "exp/scenario.hpp"
+#include "helpers.hpp"
+#include "support/check.hpp"
+
+namespace librisk {
+namespace {
+
+using cluster::Cluster;
+using librisk::testing::JobBuilder;
+using workload::Job;
+
+TEST(KillAtEstimate, TimeSharedKillsUnderestimatedJob) {
+  sim::Simulator simulator;
+  const Cluster cluster = Cluster::homogeneous(1, 1.0);
+  cluster::ShareModelConfig config;
+  config.kill_at_estimate = true;
+  cluster::TimeSharedExecutor executor(simulator, cluster, config);
+  std::map<std::int64_t, sim::SimTime> killed, completed;
+  executor.set_kill_handler([&](const Job& job, sim::SimTime t) { killed[job.id] = t; });
+  executor.set_completion_handler(
+      [&](const Job& job, sim::SimTime t) { completed[job.id] = t; });
+
+  // Estimate 50, actual 200: at full work-conserving speed the estimate
+  // elapses at t=50 and the job dies there.
+  const Job doomed =
+      JobBuilder(1).estimate(50.0).set_runtime(200.0).deadline(500.0).build();
+  executor.start(doomed, {0});
+  simulator.run();
+  ASSERT_TRUE(killed.contains(1));
+  EXPECT_NEAR(killed[1], 50.0, 1e-6);
+  EXPECT_TRUE(completed.empty());
+  EXPECT_TRUE(executor.node_jobs(0).empty());
+}
+
+TEST(KillAtEstimate, TimeSharedSparesAccurateJobs) {
+  sim::Simulator simulator;
+  const Cluster cluster = Cluster::homogeneous(1, 1.0);
+  cluster::ShareModelConfig config;
+  config.kill_at_estimate = true;
+  cluster::TimeSharedExecutor executor(simulator, cluster, config);
+  std::map<std::int64_t, sim::SimTime> killed, completed;
+  executor.set_kill_handler([&](const Job& job, sim::SimTime t) { killed[job.id] = t; });
+  executor.set_completion_handler(
+      [&](const Job& job, sim::SimTime t) { completed[job.id] = t; });
+
+  const Job fine =
+      JobBuilder(1).estimate(250.0).set_runtime(200.0).deadline(500.0).build();
+  executor.start(fine, {0});
+  simulator.run();
+  EXPECT_TRUE(killed.empty());
+  EXPECT_NEAR(completed[1], 200.0, 1e-6);
+}
+
+TEST(KillAtEstimate, TimeSharedRequiresHandler) {
+  sim::Simulator simulator;
+  const Cluster cluster = Cluster::homogeneous(1, 1.0);
+  cluster::ShareModelConfig config;
+  config.kill_at_estimate = true;
+  cluster::TimeSharedExecutor executor(simulator, cluster, config);
+  const Job doomed =
+      JobBuilder(1).estimate(50.0).set_runtime(200.0).deadline(500.0).build();
+  executor.start(doomed, {0});
+  EXPECT_THROW(simulator.run(), CheckError);
+}
+
+TEST(KillAtEstimate, SpaceSharedKillsAtEstimateBoundary) {
+  sim::Simulator simulator;
+  const Cluster cluster = Cluster::homogeneous(2, 1.0);
+  cluster::SpaceSharedExecutor executor(simulator, cluster,
+                                        {.kill_at_estimate = true});
+  std::map<std::int64_t, sim::SimTime> killed, completed;
+  executor.set_kill_handler([&](const Job& job, sim::SimTime t) { killed[job.id] = t; });
+  executor.set_completion_handler(
+      [&](const Job& job, sim::SimTime t) { completed[job.id] = t; });
+
+  const Job doomed =
+      JobBuilder(1).estimate(80.0).set_runtime(200.0).deadline(1000.0).build();
+  const Job fine = JobBuilder(2).set_runtime(50.0).deadline(1000.0).build();
+  executor.start(doomed, {0});
+  executor.start(fine, {1});
+  simulator.run();
+  EXPECT_NEAR(killed[1], 80.0, 1e-9);
+  EXPECT_NEAR(completed[2], 50.0, 1e-9);
+  EXPECT_EQ(executor.free_count(), 2);  // killed job released its node
+}
+
+TEST(KillAtEstimate, CollectorRecordsKilledFate) {
+  const Job job = JobBuilder(1).estimate(50.0).set_runtime(200.0).deadline(500.0).build();
+  metrics::Collector collector;
+  collector.record_submitted(job, 0.0);
+  collector.record_started(job, 0.0, 200.0);
+  collector.record_killed(job, 50.0);
+  EXPECT_EQ(collector.record(1).fate, metrics::JobFate::Killed);
+  const metrics::RunSummary s = collector.summarize();
+  EXPECT_EQ(s.killed, 1u);
+  EXPECT_EQ(s.accepted, 1u);
+  EXPECT_EQ(s.fulfilled, 0u);
+  EXPECT_DOUBLE_EQ(s.fulfilled_pct, 0.0);
+}
+
+TEST(KillAtEstimate, CollectorProtocolChecks) {
+  const Job job = JobBuilder(1).set_runtime(100.0).deadline(500.0).build();
+  metrics::Collector collector;
+  collector.record_submitted(job, 0.0);
+  EXPECT_THROW(collector.record_killed(job, 10.0), CheckError);  // not started
+  collector.record_started(job, 0.0, 100.0);
+  collector.record_killed(job, 50.0);
+  EXPECT_THROW(collector.record_killed(job, 60.0), CheckError);  // twice
+  EXPECT_THROW(collector.record_completed(job, 70.0), CheckError);
+}
+
+class KillModeEndToEnd : public ::testing::TestWithParam<core::Policy> {};
+
+TEST_P(KillModeEndToEnd, EveryPolicyResolvesAllJobs) {
+  exp::Scenario s;
+  s.workload.trace.job_count = 400;
+  s.workload.inaccuracy_pct = 100.0;
+  s.nodes = 32;
+  s.policy = GetParam();
+  s.seed = 3;
+  s.options.share_model.kill_at_estimate = true;
+  const exp::ScenarioResult r = exp::run_scenario(s);
+  EXPECT_EQ(r.summary.accepted,
+            r.summary.fulfilled + r.summary.completed_late + r.summary.killed);
+  // The synthetic trace contains under-estimating users: some kills happen
+  // under every accepting policy.
+  EXPECT_GT(r.summary.killed, 0u) << core::to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, KillModeEndToEnd,
+                         ::testing::ValuesIn(core::all_policies()),
+                         [](const ::testing::TestParamInfo<core::Policy>& param_info) {
+                           std::string name(core::to_string(param_info.param));
+                           for (auto& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(KillAtEstimate, AccurateEstimatesNeverKill) {
+  exp::Scenario s;
+  s.workload.trace.job_count = 400;
+  s.workload.inaccuracy_pct = 0.0;  // estimates equal runtimes: never killed
+  s.nodes = 32;
+  s.policy = core::Policy::LibraRisk;
+  s.options.share_model.kill_at_estimate = true;
+  const exp::ScenarioResult r = exp::run_scenario(s);
+  EXPECT_EQ(r.summary.killed, 0u);
+}
+
+}  // namespace
+}  // namespace librisk

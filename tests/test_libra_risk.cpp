@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "core/libra.hpp"
+#include "helpers.hpp"
+#include "support/rng.hpp"
+
+namespace librisk::core {
+namespace {
+
+using librisk::testing::JobBuilder;
+
+struct Fixture {
+  explicit Fixture(int nodes, LibraConfig config = LibraConfig::libra_risk())
+      : cluster(cluster::Cluster::homogeneous(nodes, 1.0)),
+        executor(simulator, cluster),
+        scheduler(simulator, executor, collector, config, "LibraRisk") {}
+
+  void submit(const workload::Job& job) {
+    collector.record_submitted(job, simulator.now());
+    scheduler.on_job_submitted(job);
+  }
+
+  sim::Simulator simulator;
+  cluster::Cluster cluster;
+  cluster::TimeSharedExecutor executor;
+  metrics::Collector collector;
+  LibraScheduler scheduler;
+};
+
+TEST(LibraRisk, AcceptsFeasibleJobLikeLibra) {
+  Fixture f(2);
+  const workload::Job job = JobBuilder(1).set_runtime(100.0).deadline(400.0).build();
+  f.submit(job);
+  EXPECT_TRUE(f.executor.is_running(1));
+  f.simulator.run();
+  EXPECT_EQ(f.collector.record(1).fate, metrics::JobFate::FulfilledInTime);
+}
+
+TEST(LibraRisk, SalvageLaneAcceptsOverestimatedUrgentJob) {
+  // Estimated share 3 > 1: Libra rejects outright; LibraRisk's literal
+  // sigma-only test admits it alone on an empty node (single predicted-late
+  // job has zero dispersion), where it runs at full speed and — because the
+  // estimate was inflated — still meets its deadline.
+  Fixture f(2);
+  const workload::Job job =
+      JobBuilder(1).estimate(300.0).set_runtime(80.0).deadline(100.0).build();
+  f.submit(job);
+  EXPECT_TRUE(f.executor.is_running(1));
+  f.simulator.run();
+  EXPECT_EQ(f.collector.record(1).fate, metrics::JobFate::FulfilledInTime);
+}
+
+TEST(LibraRisk, SalvagedNodeIsQuarantined) {
+  // A node holding a predicted-late job has sigma > 0 against any on-time
+  // addition, so later feasible jobs route to other nodes.
+  Fixture f(2);
+  const workload::Job risky =
+      JobBuilder(1).estimate(300.0).set_runtime(80.0).deadline(100.0).build();
+  f.submit(risky);
+  ASSERT_EQ(f.executor.node_jobs(0).size(), 1u);
+  const workload::Job tame = JobBuilder(2).set_runtime(10.0).deadline(100.0).build();
+  f.submit(tame);
+  EXPECT_TRUE(f.executor.is_running(2));
+  EXPECT_EQ(f.executor.node_jobs(0).size(), 1u);  // not stacked on the risky node
+  EXPECT_EQ(f.executor.node_jobs(1).size(), 1u);
+}
+
+TEST(LibraRisk, RejectsWhenOnlyRiskyNodesRemain) {
+  Fixture f(1);
+  const workload::Job risky =
+      JobBuilder(1).estimate(300.0).set_runtime(80.0).deadline(100.0).build();
+  f.submit(risky);
+  const workload::Job tame = JobBuilder(2).set_runtime(10.0).deadline(100.0).build();
+  f.submit(tame);
+  EXPECT_EQ(f.collector.record(2).fate, metrics::JobFate::RejectedAtSubmit);
+}
+
+TEST(LibraRisk, SeesOverrunJobsLibraMisses) {
+  // Same setup as Libra.BlindToOverrunJobs — but LibraRisk must refuse the
+  // node because the overrun resident is predicted to finish late.
+  Fixture f(1);
+  const workload::Job sneaky =
+      JobBuilder(1).estimate(50.0).set_runtime(200.0).deadline(60.0).build();
+  f.submit(sneaky);  // share 50/60 < 1: a normal acceptance
+  // By t=70 the estimate is long exhausted and the deadline (t=60) missed;
+  // the node carries a visibly late overrun job.
+  f.simulator.run_until(70.0);
+  f.executor.sync();
+  ASSERT_TRUE(f.executor.is_running(1));
+  ASSERT_GT(f.executor.view(1).overrun_bumps, 0);
+
+  double fit = 0.0;
+  const workload::Job newcomer =
+      JobBuilder(2).submit(70.0).set_runtime(5.0).deadline(50.0).build();
+  // The overrun resident is now predicted late while the newcomer would be
+  // on time: heterogeneous deadline_delay, sigma > 0, node unsuitable.
+  EXPECT_FALSE(f.scheduler.node_suitable(0, newcomer, fit));
+}
+
+TEST(LibraRisk, FirstFitTakesZeroRiskNodesInOrder) {
+  Fixture f(3);
+  const workload::Job a = JobBuilder(1).set_runtime(10.0).deadline(100.0).build();
+  const workload::Job b = JobBuilder(2).set_runtime(10.0).deadline(100.0).build();
+  f.submit(a);
+  f.submit(b);
+  // First-fit keeps choosing node 0 while it stays zero-risk.
+  EXPECT_EQ(f.executor.node_jobs(0).size(), 2u);
+  EXPECT_TRUE(f.executor.node_jobs(1).empty());
+}
+
+TEST(LibraRisk, GangJobCountsZeroRiskNodes) {
+  Fixture f(3);
+  const workload::Job risky =
+      JobBuilder(1).estimate(300.0).set_runtime(80.0).deadline(100.0).build();
+  f.submit(risky);  // occupies node 0 as a quarantined lane
+  const workload::Job gang =
+      JobBuilder(2).set_runtime(10.0).deadline(100.0).procs(3).build();
+  f.submit(gang);  // needs 3 zero-risk nodes, only 2 remain
+  EXPECT_EQ(f.collector.record(2).fate, metrics::JobFate::RejectedAtSubmit);
+  const workload::Job gang2 =
+      JobBuilder(3).set_runtime(10.0).deadline(100.0).procs(2).build();
+  f.submit(gang2);
+  EXPECT_TRUE(f.executor.is_running(3));
+  // Allocated to nodes 1 and 2, skipping the risky node 0.
+  EXPECT_EQ(f.executor.node_jobs(1).size(), 1u);
+  EXPECT_EQ(f.executor.node_jobs(2).size(), 1u);
+}
+
+TEST(LibraRisk, StricterRuleClosesSalvageLane) {
+  LibraConfig config = LibraConfig::libra_risk();
+  config.risk.rule = RiskConfig::Rule::SigmaAndNoDelay;
+  Fixture f(2, config);
+  const workload::Job job =
+      JobBuilder(1).estimate(300.0).set_runtime(80.0).deadline(100.0).build();
+  f.submit(job);
+  EXPECT_EQ(f.collector.record(1).fate, metrics::JobFate::RejectedAtSubmit);
+}
+
+TEST(LibraRisk, AgreesWithLibraOnAccurateEstimates) {
+  // Under accurate estimates and no overruns the acceptance decisions of
+  // the two policies coincide (DESIGN.md §3.2); selection differs.
+  sim::Simulator sim_a, sim_b;
+  const auto cl = cluster::Cluster::homogeneous(4, 1.0);
+  cluster::TimeSharedExecutor exec_a(sim_a, cl), exec_b(sim_b, cl);
+  metrics::Collector col_a, col_b;
+  LibraScheduler libra(sim_a, exec_a, col_a, LibraConfig::libra(), "Libra");
+  LibraScheduler risk(sim_b, exec_b, col_b, LibraConfig::libra_risk(), "LibraRisk");
+
+  rng::Stream stream(21);
+  std::vector<workload::Job> jobs;
+  jobs.reserve(60);
+  for (int i = 0; i < 60; ++i) {
+    jobs.push_back(JobBuilder(i + 1)
+                       .submit(static_cast<double>(i) * 50.0)
+                       .set_runtime(stream.uniform(20.0, 300.0))
+                       .deadline(stream.uniform(1000.0, 4000.0))
+                       .procs(static_cast<int>(stream.uniform_int(1, 2)))
+                       .build());
+  }
+  run_trace(sim_a, libra, col_a, jobs);
+  run_trace(sim_b, risk, col_b, jobs);
+  for (const auto& job : jobs) {
+    const bool rejected_a =
+        col_a.record(job.id).fate == metrics::JobFate::RejectedAtSubmit;
+    const bool rejected_b =
+        col_b.record(job.id).fate == metrics::JobFate::RejectedAtSubmit;
+    EXPECT_EQ(rejected_a, rejected_b) << "job " << job.id;
+  }
+}
+
+}  // namespace
+}  // namespace librisk::core

@@ -1,0 +1,64 @@
+#include "support/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace librisk::log {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_level(Level::Warn); }
+};
+
+TEST_F(LogTest, LevelThresholding) {
+  set_level(Level::Warn);
+  EXPECT_FALSE(enabled(Level::Debug));
+  EXPECT_FALSE(enabled(Level::Info));
+  EXPECT_TRUE(enabled(Level::Warn));
+  EXPECT_TRUE(enabled(Level::Error));
+
+  set_level(Level::Debug);
+  EXPECT_TRUE(enabled(Level::Debug));
+
+  set_level(Level::Off);
+  EXPECT_FALSE(enabled(Level::Error));
+}
+
+TEST_F(LogTest, ParseLevelRoundTrip) {
+  EXPECT_EQ(parse_level("debug"), Level::Debug);
+  EXPECT_EQ(parse_level("info"), Level::Info);
+  EXPECT_EQ(parse_level("warn"), Level::Warn);
+  EXPECT_EQ(parse_level("error"), Level::Error);
+  EXPECT_EQ(parse_level("off"), Level::Off);
+  EXPECT_THROW((void)parse_level("verbose"), std::invalid_argument);
+}
+
+TEST_F(LogTest, MacroCompilesAndFilters) {
+  set_level(Level::Off);
+  int evaluations = 0;
+  // The message expression must not be evaluated when filtered.
+  LIBRISK_LOG(Debug) << "never " << ++evaluations;
+  EXPECT_EQ(evaluations, 0);
+
+  set_level(Level::Debug);
+  ::testing::internal::CaptureStderr();
+  LIBRISK_LOG(Debug) << "hello " << ++evaluations;
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(err.find("[debug] hello 1"), std::string::npos);
+}
+
+TEST_F(LogTest, WriteRespectsLevel) {
+  set_level(Level::Error);
+  ::testing::internal::CaptureStderr();
+  write(Level::Info, "dropped");
+  write(Level::Error, "kept");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("dropped"), std::string::npos);
+  EXPECT_NE(err.find("[error] kept"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace librisk::log

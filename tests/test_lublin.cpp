@@ -1,0 +1,145 @@
+#include "workload/lublin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/stats.hpp"
+#include "workload/deadlines.hpp"
+#include "workload/estimates.hpp"
+#include "workload/workload_stats.hpp"
+
+namespace librisk::workload {
+namespace {
+
+LublinConfig big_config() {
+  LublinConfig c;
+  c.job_count = 20000;
+  return c;
+}
+
+TEST(LublinConfig, Validation) {
+  LublinConfig c;
+  EXPECT_NO_THROW(c.validate());
+  c.serial_prob = 1.5;
+  EXPECT_THROW(c.validate(), CheckError);
+  c = LublinConfig{};
+  c.daily_peak_trough_ratio = 0.5;
+  EXPECT_THROW(c.validate(), CheckError);
+  c = LublinConfig{};
+  c.gamma1_scale = 0.0;
+  EXPECT_THROW(c.validate(), CheckError);
+  c = LublinConfig{};
+  c.peak_hour = 24.0;
+  EXPECT_THROW(c.validate(), CheckError);
+}
+
+TEST(Lublin, ProducesSortedValidJobs) {
+  rng::Stream stream("lublin", 1);
+  LublinConfig c;
+  c.job_count = 3000;
+  const auto jobs = generate_lublin_trace(c, stream);
+  ASSERT_EQ(jobs.size(), 3000u);
+  double last = 0.0;
+  for (const Job& j : jobs) {
+    EXPECT_GE(j.submit_time, last);
+    last = j.submit_time;
+    EXPECT_GE(j.num_procs, 1);
+    EXPECT_LE(j.num_procs, c.max_procs);
+    EXPECT_GE(j.actual_runtime, c.min_runtime);
+    EXPECT_LE(j.actual_runtime, c.max_runtime);
+    EXPECT_GE(j.user_id, 0);
+  }
+}
+
+TEST(Lublin, SerialAndPowerOfTwoFractions) {
+  rng::Stream stream("lublin", 2);
+  const auto jobs = generate_lublin_trace(big_config(), stream);
+  // Serial probability is direct; power-of-two covers serial jobs, the
+  // rounded non-serial draws, and log-uniform values that land on powers.
+  EXPECT_NEAR(serial_fraction(jobs), 0.24, 0.02);
+  EXPECT_GT(power_of_two_fraction(jobs), 0.7);
+}
+
+TEST(Lublin, WiderJobsRunLonger) {
+  // The hyper-Gamma mixing ties runtime to node count — the structural
+  // property the lognormal SDSC model lacks.
+  rng::Stream stream("lublin", 3);
+  const auto jobs = generate_lublin_trace(big_config(), stream);
+  stats::Accumulator narrow, wide;
+  for (const Job& j : jobs)
+    (j.num_procs <= 4 ? narrow : wide).add(j.actual_runtime);
+  ASSERT_GT(narrow.count(), 100u);
+  ASSERT_GT(wide.count(), 100u);
+  EXPECT_GT(wide.mean(), 1.3 * narrow.mean());
+}
+
+TEST(Lublin, DailyCycleModulatesArrivals) {
+  // Hourly arrival counts around the peak hour must exceed the trough's.
+  rng::Stream stream("lublin", 4);
+  LublinConfig c = big_config();
+  c.job_count = 50000;
+  const auto jobs = generate_lublin_trace(c, stream);
+  std::vector<double> hourly(24, 0.0);
+  for (const Job& j : jobs)
+    hourly[static_cast<int>(std::fmod(j.submit_time, 86400.0) / 3600.0)] += 1.0;
+  const double peak = hourly[static_cast<int>(c.peak_hour)];
+  const double trough = hourly[(static_cast<int>(c.peak_hour) + 12) % 24];
+  EXPECT_GT(peak, 1.5 * trough);
+}
+
+TEST(Lublin, FlatCycleWhenRatioIsOne) {
+  rng::Stream stream("lublin", 5);
+  LublinConfig c = big_config();
+  c.daily_peak_trough_ratio = 1.0;
+  const auto jobs = generate_lublin_trace(c, stream);
+  const auto stats = compute_stats(jobs);
+  EXPECT_NEAR(stats.interarrival.mean, c.mean_interarrival,
+              0.05 * c.mean_interarrival);
+}
+
+TEST(Lublin, ArrivalDelayFactorScales) {
+  LublinConfig c;
+  c.job_count = 5000;
+  rng::Stream s1("lublin", 6);
+  const auto base = generate_lublin_trace(c, s1);
+  c.arrival_delay_factor = 0.5;
+  rng::Stream s2("lublin", 6);
+  const auto heavy = generate_lublin_trace(c, s2);
+  EXPECT_NEAR(heavy.back().submit_time / base.back().submit_time, 0.5, 0.05);
+}
+
+TEST(Lublin, Deterministic) {
+  LublinConfig c;
+  c.job_count = 500;
+  rng::Stream a("lublin", 7), b("lublin", 7);
+  const auto ja = generate_lublin_trace(c, a);
+  const auto jb = generate_lublin_trace(c, b);
+  for (std::size_t i = 0; i < ja.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ja[i].submit_time, jb[i].submit_time);
+    EXPECT_DOUBLE_EQ(ja[i].actual_runtime, jb[i].actual_runtime);
+    EXPECT_EQ(ja[i].num_procs, jb[i].num_procs);
+  }
+}
+
+TEST(Lublin, FeedsThePaperPipeline) {
+  // The Lublin trace must compose with the estimate/deadline models just
+  // like the SDSC generator's output does.
+  rng::Stream stream("lublin", 8);
+  LublinConfig c;
+  c.job_count = 1000;
+  auto jobs = generate_lublin_trace(c, stream);
+
+  UserEstimateConfig estimates;
+  rng::Stream est_stream("estimates", 8);
+  assign_user_estimates(jobs, estimates, est_stream);
+  DeadlineConfig deadlines;
+  rng::Stream dl_stream("deadlines", 8);
+  assign_deadlines(jobs, deadlines, dl_stream);
+  apply_inaccuracy(jobs, 100.0);
+  EXPECT_NO_THROW(validate_trace(jobs));
+}
+
+}  // namespace
+}  // namespace librisk::workload

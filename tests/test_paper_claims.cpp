@@ -1,0 +1,133 @@
+// Executable versions of the paper's figure-level claims (EXPERIMENTS.md),
+// at reduced scale so they run inside the unit-test budget. Each test names
+// the figure it guards. Integration-level mechanism tests live in
+// test_integration.cpp; these are the *orderings* the figures plot.
+#include <gtest/gtest.h>
+
+#include "exp/scenario.hpp"
+#include "support/stats.hpp"
+
+namespace librisk {
+namespace {
+
+// Mean fulfilled% / slowdown over a couple of seeds at reduced scale.
+struct Point {
+  double fulfilled = 0.0;
+  double slowdown = 0.0;
+};
+
+Point measure(core::Policy policy, double inaccuracy, double delay_factor,
+              double high_urgency, double ratio) {
+  stats::Accumulator fulfilled, slowdown;
+  for (const std::uint64_t seed : {1ull, 2ull}) {
+    exp::Scenario s;
+    s.workload.trace.job_count = 1500;
+    s.workload.inaccuracy_pct = inaccuracy;
+    s.workload.trace.arrival_delay_factor = delay_factor;
+    s.workload.deadlines.high_urgency_fraction = high_urgency;
+    s.workload.deadlines.high_low_ratio = ratio;
+    s.policy = policy;
+    s.seed = seed;
+    const exp::ScenarioResult r = exp::run_scenario(s);
+    fulfilled.add(r.summary.fulfilled_pct);
+    slowdown.add(r.summary.avg_slowdown_fulfilled);
+  }
+  return Point{fulfilled.mean(), slowdown.mean()};
+}
+
+Point at_defaults(core::Policy policy, double inaccuracy) {
+  return measure(policy, inaccuracy, 1.0, 0.20, 4.0);
+}
+
+TEST(PaperClaims, Fig1_HeavyLoadEdfLeads) {
+  // "When the workload is heavy (arrival delay factor < 0.3), EDF fulfils
+  // more jobs than Libra and LibraRisk."
+  for (const double inaccuracy : {0.0, 100.0}) {
+    const Point edf = measure(core::Policy::Edf, inaccuracy, 0.1, 0.2, 4.0);
+    const Point libra = measure(core::Policy::Libra, inaccuracy, 0.1, 0.2, 4.0);
+    const Point risk = measure(core::Policy::LibraRisk, inaccuracy, 0.1, 0.2, 4.0);
+    EXPECT_GT(edf.fulfilled, libra.fulfilled) << "inaccuracy " << inaccuracy;
+    EXPECT_GT(edf.fulfilled, risk.fulfilled) << "inaccuracy " << inaccuracy;
+  }
+}
+
+TEST(PaperClaims, Fig1_LightLoadRiskLeadsUnderTraceEstimates) {
+  const Point edf = at_defaults(core::Policy::Edf, 100.0);
+  const Point libra = at_defaults(core::Policy::Libra, 100.0);
+  const Point risk = at_defaults(core::Policy::LibraRisk, 100.0);
+  EXPECT_GT(risk.fulfilled, edf.fulfilled + 5.0);
+  EXPECT_GT(risk.fulfilled, libra.fulfilled + 10.0);
+}
+
+TEST(PaperClaims, Fig1_EdfSlowdownLowest) {
+  for (const double inaccuracy : {0.0, 100.0}) {
+    const Point edf = at_defaults(core::Policy::Edf, inaccuracy);
+    const Point libra = at_defaults(core::Policy::Libra, inaccuracy);
+    const Point risk = at_defaults(core::Policy::LibraRisk, inaccuracy);
+    EXPECT_LT(edf.slowdown, libra.slowdown);
+    EXPECT_LT(edf.slowdown, risk.slowdown);
+  }
+}
+
+TEST(PaperClaims, Fig2_RiskAdvantageLargestAtLowRatio) {
+  // "The improvement is higher when the deadline high:low ratio is low."
+  const double gap_low = measure(core::Policy::LibraRisk, 100.0, 1.0, 0.2, 1.0).fulfilled -
+                         measure(core::Policy::Libra, 100.0, 1.0, 0.2, 1.0).fulfilled;
+  const double gap_high = measure(core::Policy::LibraRisk, 100.0, 1.0, 0.2, 10.0).fulfilled -
+                          measure(core::Policy::Libra, 100.0, 1.0, 0.2, 10.0).fulfilled;
+  EXPECT_GT(gap_low, gap_high + 5.0);
+  EXPECT_GT(gap_high, 0.0);
+}
+
+TEST(PaperClaims, Fig2_SlowdownRisesWithRatioExceptEdf) {
+  for (const core::Policy policy : {core::Policy::Libra, core::Policy::LibraRisk}) {
+    const Point tight = measure(policy, 0.0, 1.0, 0.2, 1.0);
+    const Point loose = measure(policy, 0.0, 1.0, 0.2, 10.0);
+    EXPECT_GT(loose.slowdown, 2.0 * tight.slowdown) << core::to_string(policy);
+  }
+  const Point edf_tight = measure(core::Policy::Edf, 0.0, 1.0, 0.2, 1.0);
+  const Point edf_loose = measure(core::Policy::Edf, 0.0, 1.0, 0.2, 10.0);
+  EXPECT_LT(edf_loose.slowdown, 3.0 * edf_tight.slowdown);  // only marginal growth
+}
+
+TEST(PaperClaims, Fig3_RiskHoldsWhileOthersCollapse) {
+  // Under trace estimates, EDF and Libra lose most of their fulfilment as
+  // high-urgency jobs grow from 20% to 80%; LibraRisk barely moves.
+  const auto drop = [](core::Policy policy) {
+    return measure(policy, 100.0, 1.0, 0.2, 4.0).fulfilled -
+           measure(policy, 100.0, 1.0, 0.8, 4.0).fulfilled;
+  };
+  EXPECT_GT(drop(core::Policy::Edf), 15.0);
+  EXPECT_GT(drop(core::Policy::Libra), 15.0);
+  EXPECT_LT(std::abs(drop(core::Policy::LibraRisk)), 6.0);
+}
+
+TEST(PaperClaims, Fig4_FulfilmentFallsWithInaccuracy) {
+  for (const core::Policy policy : core::paper_policies()) {
+    const double at0 = at_defaults(policy, 0.0).fulfilled;
+    const double at50 = at_defaults(policy, 50.0).fulfilled;
+    const double at100 = at_defaults(policy, 100.0).fulfilled;
+    EXPECT_GT(at0, at50 - 1.0) << core::to_string(policy);
+    EXPECT_GT(at50, at100 - 1.0) << core::to_string(policy);
+  }
+}
+
+TEST(PaperClaims, Fig4_RiskDegradesMostGracefully) {
+  const auto degradation = [](core::Policy policy) {
+    return at_defaults(policy, 0.0).fulfilled - at_defaults(policy, 100.0).fulfilled;
+  };
+  const double risk_loss = degradation(core::Policy::LibraRisk);
+  EXPECT_LT(risk_loss, degradation(core::Policy::Libra));
+  EXPECT_LT(risk_loss, degradation(core::Policy::Edf));
+}
+
+TEST(PaperClaims, Fig4_LibraFamilySlowdownFallsWithInaccuracy) {
+  for (const core::Policy policy : {core::Policy::Libra, core::Policy::LibraRisk}) {
+    EXPECT_GT(at_defaults(policy, 0.0).slowdown,
+              at_defaults(policy, 100.0).slowdown)
+        << core::to_string(policy);
+  }
+}
+
+}  // namespace
+}  // namespace librisk

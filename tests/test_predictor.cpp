@@ -1,0 +1,163 @@
+#include "workload/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "support/check.hpp"
+#include "support/stats.hpp"
+#include "workload/synthetic.hpp"
+#include <map>
+
+namespace librisk::workload {
+namespace {
+
+using librisk::testing::JobBuilder;
+
+Job user_job(std::int64_t id, int user, double runtime, double estimate,
+             double submit = 0.0) {
+  Job j = JobBuilder(id).submit(submit).estimate(estimate).set_runtime(runtime).build();
+  j.deadline = 10.0 * runtime;
+  j.user_id = user;
+  return j;
+}
+
+TEST(PredictorConfig, Validation) {
+  PredictorConfig c;
+  EXPECT_NO_THROW(c.validate());
+  c.alpha = 0.0;
+  EXPECT_THROW(c.validate(), CheckError);
+  c = PredictorConfig{};
+  c.correction_floor = 0.0;
+  EXPECT_THROW(c.validate(), CheckError);
+  c = PredictorConfig{};
+  c.safety_margin = 0.9;
+  EXPECT_THROW(c.validate(), CheckError);
+}
+
+TEST(OnlinePredictor, NoHistoryTrustsTheUser) {
+  OnlinePredictor p;
+  const Job j = user_job(1, 5, 100.0, 400.0);
+  EXPECT_DOUBLE_EQ(p.correction_factor(j), 1.0);
+  EXPECT_DOUBLE_EQ(p.predict(j), 400.0);
+}
+
+TEST(OnlinePredictor, LearnsAUsersHabit) {
+  PredictorConfig config;
+  config.min_user_history = 3;
+  config.safety_margin = 1.0;
+  OnlinePredictor p(config);
+  // User 7 always asks for 4x what they use.
+  for (int i = 0; i < 10; ++i) p.observe(user_job(i, 7, 100.0, 400.0));
+  const Job next = user_job(99, 7, 100.0, 400.0);
+  EXPECT_NEAR(p.correction_factor(next), 0.25, 1e-9);
+  EXPECT_NEAR(p.predict(next), 100.0, 1e-6);
+}
+
+TEST(OnlinePredictor, GlobalFallbackForUnknownUsers) {
+  PredictorConfig config;
+  config.safety_margin = 1.0;
+  OnlinePredictor p(config);
+  for (int i = 0; i < 10; ++i) p.observe(user_job(i, 1, 100.0, 200.0));
+  // User 42 has no history: the global EMA (ratio 0.5) applies.
+  const Job stranger = user_job(99, 42, 100.0, 1000.0);
+  EXPECT_NEAR(p.correction_factor(stranger), 0.5, 1e-9);
+}
+
+TEST(OnlinePredictor, NeverInflatesAnEstimate) {
+  PredictorConfig config;
+  OnlinePredictor p(config);
+  // A user who under-estimates: ratio > 1, but corrections clamp at 1.
+  for (int i = 0; i < 10; ++i) p.observe(user_job(i, 3, 300.0, 100.0));
+  const Job next = user_job(99, 3, 300.0, 100.0);
+  EXPECT_DOUBLE_EQ(p.correction_factor(next), 1.0);
+  EXPECT_DOUBLE_EQ(p.predict(next), 100.0);
+}
+
+TEST(OnlinePredictor, CorrectionFloorHolds) {
+  PredictorConfig config;
+  config.correction_floor = 0.2;
+  config.safety_margin = 1.0;
+  OnlinePredictor p(config);
+  for (int i = 0; i < 10; ++i) p.observe(user_job(i, 2, 1.0, 1000.0));
+  EXPECT_DOUBLE_EQ(p.correction_factor(user_job(99, 2, 1.0, 1000.0)), 0.2);
+}
+
+TEST(OnlinePredictor, MinHistoryGatesUserState) {
+  PredictorConfig config;
+  config.min_user_history = 5;
+  config.safety_margin = 1.0;
+  OnlinePredictor p(config);
+  // Two observations for user 9 (below threshold) but plenty globally.
+  for (int i = 0; i < 20; ++i) p.observe(user_job(i, 1, 100.0, 200.0));   // 0.5
+  p.observe(user_job(50, 9, 100.0, 1000.0));                              // 0.1
+  p.observe(user_job(51, 9, 100.0, 1000.0));
+  // User 9 falls back to the global EMA (pulled slightly below 0.5 by
+  // their own two observations), not their personal 0.1.
+  EXPECT_GT(p.correction_factor(user_job(99, 9, 100.0, 1000.0)), 0.25);
+}
+
+TEST(ApplyPredictorCausally, ShrinksLaterJobsOnly) {
+  std::vector<Job> jobs;
+  // Same user, strongly over-estimating; jobs 1 h apart, runtime 10 min.
+  for (int i = 0; i < 10; ++i)
+    jobs.push_back(user_job(i + 1, 4, 600.0, 2400.0, i * 3600.0));
+  PredictorConfig config;
+  config.min_user_history = 2;
+  const std::size_t shrunk = apply_predictor_causally(jobs, config);
+  EXPECT_GT(shrunk, 0u);
+  // The very first job has no feedback: untouched.
+  EXPECT_DOUBLE_EQ(jobs[0].scheduler_estimate, 2400.0);
+  // A late job has plenty of feedback: corrected towards 600 * margin.
+  EXPECT_LT(jobs[9].scheduler_estimate, 1000.0);
+  EXPECT_GE(jobs[9].scheduler_estimate, 600.0);
+}
+
+TEST(ApplyPredictorCausally, CausalityRespectsRunningJobs) {
+  std::vector<Job> jobs;
+  // Job 1 runs long (finishes at t=5000 at the earliest); job 2 submits at
+  // t=100 — before any feedback can exist.
+  jobs.push_back(user_job(1, 4, 5000.0, 20000.0, 0.0));
+  jobs.push_back(user_job(2, 4, 600.0, 2400.0, 100.0));
+  (void)apply_predictor_causally(jobs);
+  EXPECT_DOUBLE_EQ(jobs[1].scheduler_estimate, 2400.0);
+}
+
+TEST(ApplyPredictorCausally, ImprovesAccuracyOnPaperWorkload) {
+  PaperWorkloadConfig config;
+  config.trace.job_count = 2000;
+  auto jobs = make_paper_workload(config, 1);
+  const double before = mean_estimate_error(jobs);
+  const std::size_t shrunk = apply_predictor_causally(jobs);
+  const double after = mean_estimate_error(jobs);
+  EXPECT_GT(shrunk, jobs.size() / 4);  // plenty of corrections fire
+  EXPECT_LT(after, before * 0.8);      // and they measurably help
+  for (const Job& j : jobs) EXPECT_GE(j.scheduler_estimate, 1.0);
+}
+
+TEST(MeanEstimateError, HandComputed) {
+  std::vector<Job> jobs{user_job(1, 0, 100.0, 300.0),   // error 2.0
+                        user_job(2, 0, 100.0, 50.0)};   // error 0.5
+  EXPECT_DOUBLE_EQ(mean_estimate_error(jobs), 1.25);
+  EXPECT_DOUBLE_EQ(mean_estimate_error({}), 0.0);
+}
+
+TEST(UserBias, GeneratorGivesUsersConsistentHabits) {
+  // With per-user bias, the dispersion of per-user mean ratios must exceed
+  // what user-free sampling noise would produce.
+  PaperWorkloadConfig config;
+  config.trace.job_count = 6000;
+  const auto jobs = make_paper_workload(config, 3);
+  std::map<int, stats::Accumulator> per_user;
+  for (const Job& j : jobs)
+    if (j.user_estimate > j.actual_runtime)  // over-estimates carry the bias
+      per_user[j.user_id].add(j.user_estimate / j.actual_runtime);
+  stats::Accumulator user_means;
+  for (const auto& [user, acc] : per_user)
+    if (acc.count() >= 20) user_means.add(acc.mean());
+  ASSERT_GE(user_means.count(), 5u);
+  // Users genuinely differ: the spread of user means is substantial.
+  EXPECT_GT(user_means.stddev_sample(), 0.5);
+}
+
+}  // namespace
+}  // namespace librisk::workload

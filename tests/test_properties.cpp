@@ -1,0 +1,269 @@
+// Property-based and parameterized sweeps over the whole system: invariants
+// that must hold for every policy, seed and estimate regime.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/risk.hpp"
+#include "exp/scenario.hpp"
+#include "support/rng.hpp"
+
+namespace librisk {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Whole-simulation invariants, swept over (policy, inaccuracy, seed).
+// ---------------------------------------------------------------------------
+
+using SimParam = std::tuple<core::Policy, double, std::uint64_t>;
+
+class SimulationInvariants : public ::testing::TestWithParam<SimParam> {};
+
+TEST_P(SimulationInvariants, AccountingAndMetricDomains) {
+  const auto [policy, inaccuracy, seed] = GetParam();
+  exp::Scenario s;
+  s.workload.trace.job_count = 500;
+  s.workload.inaccuracy_pct = inaccuracy;
+  s.nodes = 32;
+  s.policy = policy;
+  s.seed = seed;
+  const exp::ScenarioResult r = exp::run_scenario(s);
+  const auto& sum = r.summary;
+
+  // Conservation: every job ends in exactly one terminal state.
+  EXPECT_EQ(sum.submitted, 500u);
+  EXPECT_EQ(sum.submitted,
+            sum.accepted + sum.rejected_at_submit + sum.rejected_at_dispatch);
+  EXPECT_EQ(sum.accepted, sum.fulfilled + sum.completed_late + sum.killed);
+
+  // Metric domains.
+  EXPECT_GE(sum.fulfilled_pct, 0.0);
+  EXPECT_LE(sum.fulfilled_pct, 100.0);
+  if (sum.fulfilled > 0) {
+    EXPECT_GE(sum.avg_slowdown_fulfilled, 1.0 - 1e-9);
+  }
+  EXPECT_GE(sum.utilization, 0.0);
+  EXPECT_LE(sum.utilization, 1.0 + 1e-9);
+  EXPECT_GE(sum.makespan, 0.0);
+
+  // Per-job outcome domains.
+  for (const exp::JobOutcome& o : r.outcomes) {
+    EXPECT_NE(o.fate, metrics::JobFate::Pending);
+    EXPECT_GE(o.delay, 0.0);
+    if (o.fate == metrics::JobFate::FulfilledInTime) {
+      EXPECT_DOUBLE_EQ(o.delay, 0.0);
+    }
+    if (o.fate == metrics::JobFate::CompletedLate) {
+      EXPECT_GT(o.delay, 0.0);
+    }
+  }
+}
+
+std::string sim_param_name(const ::testing::TestParamInfo<SimParam>& info) {
+  std::string name(core::to_string(std::get<0>(info.param)));
+  for (auto& c : name)
+    if (c == '-') c = '_';
+  return name + "_inacc" +
+         std::to_string(static_cast<int>(std::get<1>(info.param))) + "_seed" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndRegimes, SimulationInvariants,
+    ::testing::Combine(
+        ::testing::Values(core::Policy::Edf, core::Policy::EdfNoAC,
+                          core::Policy::Libra, core::Policy::LibraRisk,
+                          core::Policy::Fcfs, core::Policy::Easy),
+        ::testing::Values(0.0, 50.0, 100.0),
+        ::testing::Values<std::uint64_t>(1, 2)),
+    sim_param_name);
+
+// ---------------------------------------------------------------------------
+// Admission-control promise: with accurate estimates, accepted jobs never
+// miss their deadlines (the paper's premise for the admission controls).
+// ---------------------------------------------------------------------------
+
+using PromiseParam = std::tuple<core::Policy, std::uint64_t>;
+
+class AccuratePromise : public ::testing::TestWithParam<PromiseParam> {};
+
+TEST_P(AccuratePromise, NoAcceptedJobMissesItsDeadline) {
+  const auto [policy, seed] = GetParam();
+  exp::Scenario s;
+  s.workload.trace.job_count = 600;
+  s.workload.inaccuracy_pct = 0.0;
+  s.nodes = 48;
+  s.policy = policy;
+  s.seed = seed;
+  const exp::ScenarioResult r = exp::run_scenario(s);
+  EXPECT_EQ(r.summary.completed_late, 0u);
+}
+
+std::string promise_param_name(const ::testing::TestParamInfo<PromiseParam>& info) {
+  return std::string(core::to_string(std::get<0>(info.param))) + "_seed" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AdmissionControlled, AccuratePromise,
+    ::testing::Combine(::testing::Values(core::Policy::Edf, core::Policy::Libra,
+                                         core::Policy::LibraRisk),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)),
+    promise_param_name);
+
+// ---------------------------------------------------------------------------
+// Risk-metric properties over randomized inputs.
+// ---------------------------------------------------------------------------
+
+class RiskMetricProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RiskMetricProperties, AssessmentDomains) {
+  rng::Stream stream(GetParam());
+  core::RiskConfig config;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(stream.uniform_int(1, 12));
+    std::vector<core::RiskJobInput> jobs;
+    jobs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      core::RiskJobInput in;
+      in.remaining_work = stream.uniform(0.0, 5000.0);
+      in.remaining_deadline = stream.uniform(-1000.0, 10000.0);
+      in.current_rate =
+          stream.bernoulli(0.8) ? stream.uniform(0.01, 1.0) : core::RiskJobInput::kNewJob;
+      jobs.push_back(in);
+    }
+    const core::RiskAssessment a =
+        core::assess_node(jobs, config, 1.0, stream.uniform(0.0, 1.0));
+
+    ASSERT_EQ(a.deadline_delay.size(), n);
+    ASSERT_EQ(a.predicted_delay.size(), n);
+    EXPECT_GE(a.sigma, 0.0);
+    EXPECT_GE(a.total_share, 0.0);
+    double min_dd = 1e300, max_dd = 0.0, sum_dd = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GE(a.predicted_delay[i], 0.0);
+      EXPECT_GE(a.deadline_delay[i], 1.0 - 1e-9);  // Eq. 4 minimum
+      min_dd = std::min(min_dd, a.deadline_delay[i]);
+      max_dd = std::max(max_dd, a.deadline_delay[i]);
+      sum_dd += a.deadline_delay[i];
+    }
+    EXPECT_DOUBLE_EQ(a.max_deadline_delay, max_dd);
+    // mu is the mean, bounded by min and max.
+    EXPECT_NEAR(a.mu, sum_dd / static_cast<double>(n), 1e-9 * sum_dd + 1e-12);
+    EXPECT_LE(a.sigma, (max_dd - min_dd) + 1e-9);  // stddev <= range
+    // sigma == 0 exactly when all deadline_delays coincide.
+    if (max_dd - min_dd < 1e-12) {
+      EXPECT_NEAR(a.sigma, 0.0, 1e-6);
+    }
+  }
+}
+
+TEST_P(RiskMetricProperties, ProcessorSharingConservation) {
+  rng::Stream stream(GetParam() + 100);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(stream.uniform_int(1, 20));
+    std::vector<double> works(n);
+    double total = 0.0;
+    for (auto& w : works) {
+      w = stream.uniform(0.0, 1000.0);
+      total += w;
+    }
+    const double speed = stream.uniform(0.1, 4.0);
+    const auto finish = core::processor_sharing_finish_times(works, speed);
+    double max_finish = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      max_finish = std::max(max_finish, finish[i]);
+      // More remaining work never finishes earlier.
+      for (std::size_t j = 0; j < n; ++j) {
+        if (works[i] < works[j]) {
+          EXPECT_LE(finish[i], finish[j] + 1e-9);
+        }
+      }
+      // No job can beat its dedicated-node time or the full-serial time.
+      EXPECT_GE(finish[i], works[i] / speed - 1e-9);
+      EXPECT_LE(finish[i], total / speed + 1e-9);
+    }
+    // Work conservation: the node is busy until all work is done.
+    EXPECT_NEAR(max_finish, total / speed, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RiskMetricProperties,
+                         ::testing::Values<std::uint64_t>(11, 22, 33));
+
+// ---------------------------------------------------------------------------
+// Estimate-inaccuracy monotonicity at the system level.
+// ---------------------------------------------------------------------------
+
+class InaccuracyDegradesService : public ::testing::TestWithParam<core::Policy> {};
+
+TEST_P(InaccuracyDegradesService, AccurateBeatsTraceEstimates) {
+  exp::Scenario s;
+  s.workload.trace.job_count = 700;
+  s.nodes = 48;
+  s.policy = GetParam();
+  s.seed = 4;
+  s.workload.inaccuracy_pct = 0.0;
+  const auto accurate = exp::run_scenario(s);
+  s.workload.inaccuracy_pct = 100.0;
+  const auto trace = exp::run_scenario(s);
+  // Inaccurate estimates must not *help* (small slack for noise).
+  EXPECT_GE(accurate.summary.fulfilled_pct + 2.0, trace.summary.fulfilled_pct)
+      << core::to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperPolicies, InaccuracyDegradesService,
+                         ::testing::Values(core::Policy::Edf, core::Policy::Libra,
+                                           core::Policy::LibraRisk),
+                         [](const ::testing::TestParamInfo<core::Policy>& param_info) {
+                           return std::string(core::to_string(param_info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Input shaking (Tsafrir & Feitelson): tiny perturbations of submit times
+// must not change aggregate conclusions. Guards against knife-edge
+// sensitivity in the schedulers' tie-breaking.
+// ---------------------------------------------------------------------------
+
+class TraceShaking : public ::testing::TestWithParam<core::Policy> {};
+
+TEST_P(TraceShaking, AggregatesStableUnderSubmitJitter) {
+  exp::Scenario s;
+  s.workload.trace.job_count = 800;
+  s.workload.inaccuracy_pct = 100.0;
+  s.nodes = 64;
+  s.policy = GetParam();
+  s.seed = 6;
+
+  auto jobs = workload::make_paper_workload(s.workload, s.seed);
+  const exp::ScenarioResult base = exp::run_jobs(s, jobs);
+
+  // Shake: jitter each inter-arrival by up to ±1% (preserving order).
+  rng::Stream jitter("shake", 99);
+  std::vector<workload::Job> shaken = jobs;
+  double shift = 0.0;
+  for (std::size_t i = 1; i < shaken.size(); ++i) {
+    const double gap = jobs[i].submit_time - jobs[i - 1].submit_time;
+    shift += gap * jitter.uniform(-0.01, 0.01);
+    shaken[i].submit_time = std::max(shaken[i - 1].submit_time,
+                                     jobs[i].submit_time + shift);
+  }
+  const exp::ScenarioResult moved = exp::run_jobs(s, shaken);
+
+  EXPECT_NEAR(base.summary.fulfilled_pct, moved.summary.fulfilled_pct, 3.0)
+      << core::to_string(GetParam());
+  EXPECT_NEAR(base.summary.avg_slowdown_fulfilled,
+              moved.summary.avg_slowdown_fulfilled,
+              0.35 * base.summary.avg_slowdown_fulfilled + 0.2)
+      << core::to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperPolicies, TraceShaking,
+                         ::testing::Values(core::Policy::Edf, core::Policy::Libra,
+                                           core::Policy::LibraRisk),
+                         [](const ::testing::TestParamInfo<core::Policy>& param_info) {
+                           return std::string(core::to_string(param_info.param));
+                         });
+
+}  // namespace
+}  // namespace librisk

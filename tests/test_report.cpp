@@ -1,0 +1,64 @@
+#include "metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace librisk::metrics {
+namespace {
+
+RunSummary sample_summary() {
+  RunSummary s;
+  s.submitted = 100;
+  s.accepted = 80;
+  s.rejected_at_submit = 15;
+  s.rejected_at_dispatch = 5;
+  s.fulfilled = 70;
+  s.completed_late = 10;
+  s.fulfilled_pct = 70.0;
+  s.avg_slowdown_fulfilled = 2.34;
+  s.fulfilled_pct_high_urgency = 55.5;
+  s.fulfilled_pct_low_urgency = 75.1;
+  s.avg_delay_late = 1234.0;
+  s.makespan = 86400.0 * 3;
+  s.utilization = 0.62;
+  return s;
+}
+
+TEST(PrintSummary, ContainsAllFields) {
+  std::ostringstream out;
+  print_summary(out, "LibraRisk", sample_summary());
+  const std::string text = out.str();
+  for (const char* needle :
+       {"LibraRisk", "submitted", "100", "fulfilled %", "70.0", "2.34",
+        "rejected at submit", "15", "utilization", "62.0", "3.00"})
+    EXPECT_NE(text.find(needle), std::string::npos) << "missing: " << needle;
+}
+
+TEST(PrintSummary, OmitsUtilizationWhenUnknown) {
+  RunSummary s = sample_summary();
+  s.utilization = 0.0;
+  std::ostringstream out;
+  print_summary(out, "x", s);
+  EXPECT_EQ(out.str().find("utilization"), std::string::npos);
+}
+
+TEST(PrintComparison, OneRowPerPolicy) {
+  std::ostringstream out;
+  print_comparison(out, {{"EDF", sample_summary()}, {"Libra", sample_summary()}});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("EDF"), std::string::npos);
+  EXPECT_NE(text.find("Libra"), std::string::npos);
+  EXPECT_NE(text.find("policy"), std::string::npos);
+  // Rejected column merges both rejection kinds: 15 + 5 = 20.
+  EXPECT_NE(text.find("20"), std::string::npos);
+}
+
+TEST(PrintComparison, EmptyInputJustHeader) {
+  std::ostringstream out;
+  print_comparison(out, {});
+  EXPECT_NE(out.str().find("policy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace librisk::metrics

@@ -1,0 +1,210 @@
+#include "core/risk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace librisk::core {
+namespace {
+
+TEST(JobDelay, PaperEquationThree) {
+  // delay = (finish - submit) - deadline, floored at zero.
+  EXPECT_DOUBLE_EQ(job_delay(150.0, 0.0, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(job_delay(90.0, 0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(job_delay(260.0, 100.0, 100.0), 60.0);
+}
+
+TEST(DeadlineDelayMetric, PaperWorkedExample) {
+  // Paper Section 3.2: delay 40 s with remaining deadline 10 s gives 5;
+  // the same delay with remaining deadline 20 s gives 3.
+  EXPECT_DOUBLE_EQ(deadline_delay_metric(40.0, 10.0, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(deadline_delay_metric(40.0, 20.0, 1.0), 3.0);
+}
+
+TEST(DeadlineDelayMetric, MinimumValueIsOne) {
+  EXPECT_DOUBLE_EQ(deadline_delay_metric(0.0, 100.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(deadline_delay_metric(-5.0, 100.0, 1.0), 1.0);
+}
+
+TEST(DeadlineDelayMetric, ShorterRemainingDeadlineHitsHarder) {
+  EXPECT_GT(deadline_delay_metric(40.0, 10.0, 1.0),
+            deadline_delay_metric(40.0, 100.0, 1.0));
+}
+
+TEST(DeadlineDelayMetric, ClampGuardsNonPositiveDeadlines) {
+  EXPECT_DOUBLE_EQ(deadline_delay_metric(10.0, 0.0, 2.0), 6.0);
+  EXPECT_DOUBLE_EQ(deadline_delay_metric(10.0, -50.0, 2.0), 6.0);
+}
+
+TEST(ProcessorSharingFinishTimes, SingleJob) {
+  const std::vector<double> works{100.0};
+  const auto f = processor_sharing_finish_times(works, 1.0);
+  EXPECT_DOUBLE_EQ(f[0], 100.0);
+}
+
+TEST(ProcessorSharingFinishTimes, TwoEqualJobs) {
+  const std::vector<double> works{100.0, 100.0};
+  const auto f = processor_sharing_finish_times(works, 1.0);
+  EXPECT_DOUBLE_EQ(f[0], 200.0);
+  EXPECT_DOUBLE_EQ(f[1], 200.0);
+}
+
+TEST(ProcessorSharingFinishTimes, ClassicStaircase) {
+  // Works 10, 20, 40 under equal split: F1 = 30, F2 = 30+20 = 50,
+  // F3 = 50 + 20 = 70. Input deliberately unsorted.
+  const std::vector<double> works{40.0, 10.0, 20.0};
+  const auto f = processor_sharing_finish_times(works, 1.0);
+  EXPECT_DOUBLE_EQ(f[1], 30.0);
+  EXPECT_DOUBLE_EQ(f[2], 50.0);
+  EXPECT_DOUBLE_EQ(f[0], 70.0);
+}
+
+TEST(ProcessorSharingFinishTimes, SpeedScales) {
+  const std::vector<double> works{10.0, 20.0};
+  const auto f = processor_sharing_finish_times(works, 2.0);
+  EXPECT_DOUBLE_EQ(f[0], 10.0);
+  EXPECT_DOUBLE_EQ(f[1], 15.0);
+}
+
+TEST(ProcessorSharingFinishTimes, ZeroWorkFinishesImmediately) {
+  const std::vector<double> works{0.0, 30.0};
+  const auto f = processor_sharing_finish_times(works, 1.0);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  EXPECT_DOUBLE_EQ(f[1], 30.0);  // 0-work job releases its half instantly
+}
+
+TEST(ProcessorSharingFinishTimes, TotalWorkConserved) {
+  const std::vector<double> works{5.0, 25.0, 10.0, 60.0};
+  const auto f = processor_sharing_finish_times(works, 1.0);
+  // The last completion equals the total work (unit capacity).
+  double max_finish = 0.0, total = 0.0;
+  for (const double w : works) total += w;
+  for (const double x : f) max_finish = std::max(max_finish, x);
+  EXPECT_DOUBLE_EQ(max_finish, total);
+}
+
+TEST(AssessNode, EmptyNodeIsZeroRisk) {
+  const RiskConfig config;
+  const RiskAssessment a = assess_node({}, config);
+  EXPECT_DOUBLE_EQ(a.sigma, 0.0);
+  EXPECT_TRUE(a.zero_risk(config));
+  EXPECT_DOUBLE_EQ(a.total_share, 0.0);
+}
+
+TEST(AssessNode, AllOnTimeGivesSigmaZero) {
+  RiskConfig config;
+  // Residents running exactly at the rate they need.
+  const std::vector<RiskJobInput> jobs{
+      {100.0, 200.0, 0.5},
+      {50.0, 500.0, 0.1},
+      {80.0, 400.0, RiskJobInput::kNewJob},  // fits into spare 0.4
+  };
+  const RiskAssessment a = assess_node(jobs, config, 1.0, 0.4);
+  EXPECT_NEAR(a.sigma, 0.0, 1e-9);
+  EXPECT_TRUE(a.zero_risk(config));
+  for (const double d : a.predicted_delay) EXPECT_NEAR(d, 0.0, 1e-9);
+  for (const double dd : a.deadline_delay) EXPECT_NEAR(dd, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(a.mu, 1.0);
+}
+
+TEST(AssessNode, SingleLateJobStillSigmaZero) {
+  // The literal Eq. 6 salvage-lane property: one job, even predicted late,
+  // has zero dispersion.
+  RiskConfig config;
+  const std::vector<RiskJobInput> jobs{{300.0, 100.0, RiskJobInput::kNewJob}};
+  const RiskAssessment a = assess_node(jobs, config, 1.0, 1.0);
+  EXPECT_GT(a.predicted_delay[0], 0.0);
+  EXPECT_GT(a.max_deadline_delay, 1.0);
+  EXPECT_DOUBLE_EQ(a.sigma, 0.0);
+  EXPECT_TRUE(a.zero_risk(config));  // SigmaOnly default
+  RiskConfig strict = config;
+  strict.rule = RiskConfig::Rule::SigmaAndNoDelay;
+  EXPECT_FALSE(a.zero_risk(strict));
+}
+
+TEST(AssessNode, LateResidentMakesNodeRisky) {
+  RiskConfig config;
+  const std::vector<RiskJobInput> jobs{
+      {200.0, 100.0, 0.5},                    // resident: needs 400 s, has 100
+      {50.0, 500.0, RiskJobInput::kNewJob},   // harmless new job
+  };
+  const RiskAssessment a = assess_node(jobs, config, 1.0, 0.5);
+  EXPECT_GT(a.predicted_delay[0], 0.0);
+  EXPECT_NEAR(a.predicted_delay[1], 0.0, 1e-9);
+  EXPECT_GT(a.sigma, 0.0);
+  EXPECT_FALSE(a.zero_risk(config));
+}
+
+TEST(AssessNode, NewJobStarvedOnFullNode) {
+  RiskConfig config;
+  const std::vector<RiskJobInput> jobs{
+      {100.0, 200.0, 0.5},
+      {100.0, 200.0, 0.5},
+      {10.0, 100.0, RiskJobInput::kNewJob},  // no spare capacity left
+  };
+  const RiskAssessment a = assess_node(jobs, config, 1.0, 0.0);
+  EXPECT_GT(a.predicted_delay[2], 1e6);  // effectively never finishes
+  EXPECT_FALSE(a.zero_risk(config));
+}
+
+TEST(AssessNode, BelievedDoneButPastDeadlineRegistersDelay) {
+  RiskConfig config;
+  const std::vector<RiskJobInput> jobs{{0.0, -30.0, 0.5}};
+  const RiskAssessment a = assess_node(jobs, config);
+  EXPECT_DOUBLE_EQ(a.predicted_delay[0], 30.0);
+}
+
+TEST(AssessNode, TotalShareMatchesEquationTwo) {
+  RiskConfig config;
+  const std::vector<RiskJobInput> jobs{{50.0, 100.0, 0.5}, {30.0, 300.0, 0.1}};
+  const RiskAssessment a = assess_node(jobs, config);
+  EXPECT_NEAR(a.total_share, 0.5 + 0.1, 1e-12);
+}
+
+TEST(AssessNode, ProcessorSharingPredictionDiscriminatesOverload) {
+  RiskConfig config;
+  config.prediction = RiskConfig::Prediction::ProcessorSharing;
+  // Two jobs that would each need ~0.66 of the node: equal split makes the
+  // long one late but the short one on time -> sigma > 0.
+  const std::vector<RiskJobInput> jobs{{60.0, 90.0}, {100.0, 150.0}};
+  const RiskAssessment a = assess_node(jobs, config);
+  EXPECT_GT(a.sigma, 0.0);
+}
+
+TEST(AssessNode, ProportionalPredictionDegeneracyDocumented) {
+  // The uniform squeeze gives every job deadline_delay == total_share, so
+  // sigma stays 0 — the documented reason this prediction is ablation-only.
+  RiskConfig config;
+  config.prediction = RiskConfig::Prediction::ProportionalShare;
+  const std::vector<RiskJobInput> jobs{{90.0, 100.0}, {45.0, 50.0}};
+  const RiskAssessment a = assess_node(jobs, config);
+  EXPECT_NEAR(a.deadline_delay[0], a.total_share, 1e-9);
+  EXPECT_NEAR(a.deadline_delay[1], a.total_share, 1e-9);
+  EXPECT_NEAR(a.sigma, 0.0, 1e-9);
+}
+
+TEST(AssessNode, SigmaMatchesEquationSix) {
+  RiskConfig config;
+  const std::vector<RiskJobInput> jobs{
+      {200.0, 100.0, 0.5},  // finish 400 => delay 300 => dd = (300+100)/100 = 4
+      {50.0, 100.0, 0.5},   // finish 100 => delay 0 => dd = 1
+  };
+  const RiskAssessment a = assess_node(jobs, config, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(a.deadline_delay[0], 4.0);
+  EXPECT_DOUBLE_EQ(a.deadline_delay[1], 1.0);
+  EXPECT_DOUBLE_EQ(a.mu, 2.5);
+  EXPECT_DOUBLE_EQ(a.sigma, 1.5);  // population stddev of {4, 1}
+  EXPECT_DOUBLE_EQ(a.max_deadline_delay, 4.0);
+}
+
+TEST(AssessNode, RejectsBadInputs) {
+  RiskConfig config;
+  EXPECT_THROW((void)assess_node({}, config, 0.0), CheckError);
+  const std::vector<RiskJobInput> bad{{-1.0, 100.0, 0.5}};
+  EXPECT_THROW((void)assess_node(bad, config), CheckError);
+}
+
+}  // namespace
+}  // namespace librisk::core

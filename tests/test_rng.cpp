@@ -1,0 +1,201 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/stats.hpp"
+
+namespace librisk::rng {
+namespace {
+
+TEST(Fnv1a, MatchesKnownVectors) {
+  // Reference values for 64-bit FNV-1a.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(DeriveSeed, DistinctPurposesGiveDistinctSeeds) {
+  const auto a = derive_seed(1, "workload");
+  const auto b = derive_seed(1, "deadlines");
+  const auto c = derive_seed(2, "workload");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+TEST(DeriveSeed, IndexedStreamsDiffer) {
+  EXPECT_NE(derive_seed(1, "x", 0), derive_seed(1, "x", 1));
+}
+
+TEST(DeriveSeed, Deterministic) {
+  EXPECT_EQ(derive_seed(99, "trace", 7), derive_seed(99, "trace", 7));
+}
+
+TEST(Stream, SameSeedSameSequence) {
+  Stream a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Stream, UniformInUnitInterval) {
+  Stream s(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = s.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Stream, UniformRangeRespectsBounds) {
+  Stream s(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = s.uniform(5.0, 7.5);
+    EXPECT_GE(x, 5.0);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(Stream, UniformRejectsInvertedBounds) {
+  Stream s(3);
+  EXPECT_THROW((void)s.uniform(2.0, 1.0), CheckError);
+}
+
+TEST(Stream, UniformIntCoversInclusiveRange) {
+  Stream s(4);
+  bool seen_lo = false, seen_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = s.uniform_int(0, 5);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 5);
+    seen_lo |= x == 0;
+    seen_hi |= x == 5;
+  }
+  EXPECT_TRUE(seen_lo);
+  EXPECT_TRUE(seen_hi);
+}
+
+TEST(Stream, BernoulliMatchesProbability) {
+  Stream s(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += s.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Stream, BernoulliDegenerateProbabilities) {
+  Stream s(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(s.bernoulli(0.0));
+    EXPECT_TRUE(s.bernoulli(1.0));
+  }
+}
+
+TEST(Stream, ExponentialHasRequestedMean) {
+  Stream s(7);
+  stats::Accumulator acc;
+  for (int i = 0; i < 50000; ++i) acc.add(s.exponential(2131.0));
+  EXPECT_NEAR(acc.mean(), 2131.0, 2131.0 * 0.03);
+}
+
+TEST(Stream, ExponentialRejectsNonPositiveMean) {
+  Stream s(8);
+  EXPECT_THROW((void)s.exponential(0.0), CheckError);
+  EXPECT_THROW((void)s.exponential(-1.0), CheckError);
+}
+
+TEST(Stream, NormalMomentsMatch) {
+  Stream s(9);
+  stats::Accumulator acc;
+  for (int i = 0; i < 50000; ++i) acc.add(s.normal(10.0, 3.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.1);
+  EXPECT_NEAR(acc.stddev_sample(), 3.0, 0.1);
+}
+
+TEST(Stream, NormalZeroSdReturnsMean) {
+  Stream s(10);
+  EXPECT_DOUBLE_EQ(s.normal(5.0, 0.0), 5.0);
+}
+
+TEST(Stream, TruncatedNormalStaysInBounds) {
+  Stream s(11);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = s.truncated_normal(2.0, 1.0, 1.05, 6.0);
+    EXPECT_GE(x, 1.05);
+    EXPECT_LE(x, 6.0);
+  }
+}
+
+TEST(Stream, TruncatedNormalPathologicalBoundsClamp) {
+  Stream s(12);
+  // The mass of N(0, 0.001) lies far outside [100, 101]; after the retry
+  // budget the value must clamp instead of hanging.
+  const double x = s.truncated_normal(0.0, 0.001, 100.0, 101.0);
+  EXPECT_GE(x, 100.0);
+  EXPECT_LE(x, 101.0);
+}
+
+TEST(Stream, LognormalMeanCvMatches) {
+  Stream s(13);
+  stats::Accumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(s.lognormal_mean_cv(9720.0, 2.2));
+  EXPECT_NEAR(acc.mean(), 9720.0, 9720.0 * 0.05);
+  EXPECT_NEAR(acc.stddev_sample() / acc.mean(), 2.2, 0.15);
+}
+
+TEST(Stream, HyperexponentialMeanAndCv) {
+  Stream s(14);
+  stats::Accumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(s.hyperexponential(2131.0, 2.4));
+  EXPECT_NEAR(acc.mean(), 2131.0, 2131.0 * 0.05);
+  EXPECT_NEAR(acc.stddev_sample() / acc.mean(), 2.4, 0.2);
+}
+
+TEST(Stream, HyperexponentialCvOneIsExponential) {
+  Stream a(15);
+  Stream b(15);
+  // cv == 1 must draw exactly one exponential with the same engine state.
+  EXPECT_DOUBLE_EQ(a.hyperexponential(100.0, 1.0), b.exponential(100.0));
+}
+
+TEST(Stream, HyperexponentialRejectsCvBelowOne) {
+  Stream s(16);
+  EXPECT_THROW((void)s.hyperexponential(10.0, 0.5), CheckError);
+}
+
+TEST(Stream, WeightedIndexFollowsWeights) {
+  Stream s(17);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[s.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Stream, WeightedIndexRejectsDegenerateInput) {
+  Stream s(18);
+  EXPECT_THROW((void)s.weighted_index({}), CheckError);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW((void)s.weighted_index(zeros), CheckError);
+  const std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW((void)s.weighted_index(negative), CheckError);
+}
+
+TEST(Shuffle, PermutesDeterministically) {
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> w = v;
+  Stream a(19), b(19);
+  shuffle(v, a);
+  shuffle(w, b);
+  EXPECT_EQ(v, w);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+}  // namespace
+}  // namespace librisk::rng

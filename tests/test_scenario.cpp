@@ -1,0 +1,118 @@
+#include "exp/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "support/check.hpp"
+
+namespace librisk::exp {
+namespace {
+
+Scenario small_scenario(core::Policy policy) {
+  Scenario s;
+  s.workload.trace.job_count = 400;
+  s.nodes = 32;
+  s.policy = policy;
+  s.seed = 1;
+  return s;
+}
+
+TEST(RunScenario, ProducesConsistentAccounting) {
+  for (const core::Policy policy : core::paper_policies()) {
+    const ScenarioResult r = run_scenario(small_scenario(policy));
+    const auto& s = r.summary;
+    EXPECT_EQ(s.submitted, 400u) << core::to_string(policy);
+    EXPECT_EQ(s.submitted, s.accepted + s.rejected_at_submit + s.rejected_at_dispatch)
+        << core::to_string(policy);
+    EXPECT_EQ(s.accepted, s.fulfilled + s.completed_late + s.killed) << core::to_string(policy);
+    EXPECT_GE(s.fulfilled_pct, 0.0);
+    EXPECT_LE(s.fulfilled_pct, 100.0);
+    EXPECT_GT(s.makespan, 0.0);
+    EXPECT_GT(s.utilization, 0.0);
+    EXPECT_LE(s.utilization, 1.0 + 1e-9);
+    EXPECT_GT(r.events_processed, 400u);
+    EXPECT_EQ(r.outcomes.size(), 400u);
+  }
+}
+
+TEST(RunScenario, SlowdownAtLeastOneForFulfilledJobs) {
+  const ScenarioResult r = run_scenario(small_scenario(core::Policy::LibraRisk));
+  EXPECT_GE(r.summary.avg_slowdown_fulfilled, 1.0);
+  for (const JobOutcome& o : r.outcomes) {
+    if (o.fate == metrics::JobFate::FulfilledInTime) {
+      EXPECT_GE(o.slowdown, 1.0 - 1e-9);
+    }
+  }
+}
+
+TEST(RunScenario, OutcomesMatchSummaryCounts) {
+  const ScenarioResult r = run_scenario(small_scenario(core::Policy::Edf));
+  std::size_t fulfilled = 0, late = 0, rejected = 0;
+  for (const JobOutcome& o : r.outcomes) {
+    switch (o.fate) {
+      case metrics::JobFate::FulfilledInTime: ++fulfilled; break;
+      case metrics::JobFate::CompletedLate: ++late; break;
+      case metrics::JobFate::RejectedAtSubmit:
+      case metrics::JobFate::RejectedAtDispatch: ++rejected; break;
+      default: FAIL() << "unresolved outcome";
+    }
+  }
+  EXPECT_EQ(fulfilled, r.summary.fulfilled);
+  EXPECT_EQ(late, r.summary.completed_late);
+  EXPECT_EQ(rejected, r.summary.rejected_at_submit + r.summary.rejected_at_dispatch);
+}
+
+TEST(RunJobs, AcceptsExternalTrace) {
+  std::vector<workload::Job> jobs;
+  for (int i = 0; i < 20; ++i) {
+    jobs.push_back(librisk::testing::JobBuilder(i + 1)
+                       .submit(static_cast<double>(i) * 100.0)
+                       .set_runtime(50.0)
+                       .deadline(500.0)
+                       .build());
+  }
+  Scenario s = small_scenario(core::Policy::Libra);
+  const ScenarioResult r = run_jobs(s, jobs);
+  EXPECT_EQ(r.summary.submitted, 20u);
+  EXPECT_EQ(r.summary.fulfilled, 20u);  // light load, everything fits
+}
+
+TEST(RunScenario, MeasurementWindowTrimsBothEnds) {
+  Scenario base = small_scenario(core::Policy::LibraRisk);
+  const ScenarioResult full = run_scenario(base);
+  Scenario trimmed = base;
+  trimmed.warmup_fraction = 0.2;
+  trimmed.cooldown_fraction = 0.2;
+  const ScenarioResult windowed = run_scenario(trimmed);
+  EXPECT_LT(windowed.summary.submitted, full.summary.submitted);
+  EXPECT_GT(windowed.summary.submitted, full.summary.submitted / 2);
+  // Fractions out of domain must throw.
+  Scenario bad = base;
+  bad.warmup_fraction = 0.6;
+  bad.cooldown_fraction = 0.5;
+  EXPECT_THROW((void)run_scenario(bad), CheckError);
+}
+
+TEST(RunScenario, HeterogeneousNodeRatings) {
+  Scenario s = small_scenario(core::Policy::LibraRisk);
+  s.node_ratings.assign(32, 168.0);
+  for (std::size_t i = 0; i < s.node_ratings.size(); i += 2)
+    s.node_ratings[i] = 336.0;
+  const ScenarioResult mixed = run_scenario(s);
+  EXPECT_EQ(mixed.summary.submitted, 400u);
+  EXPECT_LE(mixed.summary.utilization, 1.0 + 1e-9);
+  // Faster halves of the cluster fulfil at least as much as all-reference.
+  const ScenarioResult base = run_scenario(small_scenario(core::Policy::LibraRisk));
+  EXPECT_GE(mixed.summary.fulfilled_pct + 1e-9, base.summary.fulfilled_pct);
+}
+
+TEST(RunScenario, DeterministicAcrossCalls) {
+  const ScenarioResult a = run_scenario(small_scenario(core::Policy::LibraRisk));
+  const ScenarioResult b = run_scenario(small_scenario(core::Policy::LibraRisk));
+  EXPECT_DOUBLE_EQ(a.summary.fulfilled_pct, b.summary.fulfilled_pct);
+  EXPECT_DOUBLE_EQ(a.summary.avg_slowdown_fulfilled, b.summary.avg_slowdown_fulfilled);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+}  // namespace
+}  // namespace librisk::exp

@@ -1,0 +1,125 @@
+#include "exp/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace librisk::exp {
+namespace {
+
+std::vector<SweepCell> sample_cells() {
+  std::vector<SweepCell> cells;
+  for (const double x : {0.5, 1.0}) {
+    for (const core::Policy p : {core::Policy::Edf, core::Policy::LibraRisk}) {
+      SweepCell cell;
+      cell.x = x;
+      cell.policy = p;
+      for (int seed = 0; seed < 3; ++seed) {
+        cell.fulfilled_pct.add(50.0 + x * 10.0 + seed);
+        cell.avg_slowdown.add(2.0 + seed * 0.1);
+        cell.accepted.add(100.0);
+        cell.completed_late.add(5.0);
+        cell.utilization.add(0.5);
+        cell.fulfilled_pct_high_urgency.add(40.0);
+      }
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+TEST(PrintSeries, TableHasAxisRowsAndPolicyColumns) {
+  std::ostringstream out;
+  print_series(out, "title", "factor", sample_cells(), Measure::FulfilledPct);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("title"), std::string::npos);
+  EXPECT_NE(text.find("factor"), std::string::npos);
+  EXPECT_NE(text.find("EDF"), std::string::npos);
+  EXPECT_NE(text.find("LibraRisk"), std::string::npos);
+  EXPECT_NE(text.find("0.50"), std::string::npos);
+  EXPECT_NE(text.find("1"), std::string::npos);
+  // mean of {56, 57, 58} = 57.00 at x=0.5 plus a CI.
+  EXPECT_NE(text.find("56.00 ±"), std::string::npos);
+}
+
+TEST(PrintSeries, MissingCellRendersDash) {
+  auto cells = sample_cells();
+  cells.pop_back();  // drop (1.0, LibraRisk)
+  std::ostringstream out;
+  print_series(out, "t", "x", cells, Measure::FulfilledPct);
+  EXPECT_NE(out.str().find('-'), std::string::npos);
+}
+
+TEST(WriteSeriesCsv, OneRowPerCellPerMeasure) {
+  std::ostringstream out;
+  csv::Writer writer(out);
+  write_series_csv(writer, "figX", sample_cells(),
+                   {Measure::FulfilledPct, Measure::AvgSlowdown});
+  // header + 4 cells x 2 measures.
+  EXPECT_EQ(writer.rows_written(), 8u);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("figure,x,policy,measure,mean,ci95,seeds"), std::string::npos);
+  EXPECT_NE(text.find("figX,0.5,EDF,fulfilled_pct"), std::string::npos);
+  EXPECT_NE(text.find("avg_slowdown"), std::string::npos);
+}
+
+TEST(WriteSeriesCsv, HeaderWrittenOnlyOnce) {
+  std::ostringstream out;
+  csv::Writer writer(out);
+  write_series_csv(writer, "a", sample_cells(), {Measure::FulfilledPct});
+  write_series_csv(writer, "b", sample_cells(), {Measure::FulfilledPct});
+  std::size_t headers = 0;
+  std::string line;
+  std::istringstream in(out.str());
+  while (std::getline(in, line))
+    if (line.rfind("figure,", 0) == 0) ++headers;
+  EXPECT_EQ(headers, 1u);
+}
+
+TEST(EmitSubfigure, PrintsBothPaperMetrics) {
+  std::ostringstream text_out, csv_out;
+  csv::Writer writer(csv_out);
+  emit_subfigure(text_out, writer, "fig9/test", "some regime", "x-axis",
+                 sample_cells());
+  const std::string text = text_out.str();
+  EXPECT_NE(text.find("jobs with deadlines fulfilled"), std::string::npos);
+  EXPECT_NE(text.find("average slowdown"), std::string::npos);
+  EXPECT_GT(writer.rows_written(), 0u);
+}
+
+TEST(PrintSignificance, EmitsPairedTablePerAxisPoint) {
+  auto cells = sample_cells();
+  // Give the policies distinct, strongly separated per-seed samples.
+  for (SweepCell& cell : cells) {
+    const double base = cell.policy == core::Policy::LibraRisk ? 80.0 : 60.0;
+    cell.fulfilled_pct_by_seed = {base, base + 1.0, base - 1.0};
+  }
+  std::ostringstream out;
+  print_significance(out, cells, core::Policy::LibraRisk, core::Policy::Edf);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("paired significance"), std::string::npos);
+  EXPECT_NE(text.find("LibraRisk - EDF"), std::string::npos);
+  EXPECT_NE(text.find("20.00"), std::string::npos);  // mean difference
+  EXPECT_NE(text.find("<1e-4"), std::string::npos);
+}
+
+TEST(PrintSignificance, SilentWithoutEnoughSeedsOrPolicies) {
+  auto cells = sample_cells();
+  for (SweepCell& cell : cells) cell.fulfilled_pct_by_seed = {50.0};  // 1 seed
+  std::ostringstream out;
+  print_significance(out, cells, core::Policy::LibraRisk, core::Policy::Edf);
+  EXPECT_TRUE(out.str().empty());
+  print_significance(out, cells, core::Policy::LibraRisk, core::Policy::Fcfs);
+  EXPECT_TRUE(out.str().empty());  // FCFS absent from the cells
+}
+
+TEST(MeasureNames, Stable) {
+  EXPECT_STREQ(to_string(Measure::FulfilledPct), "fulfilled_pct");
+  EXPECT_STREQ(to_string(Measure::AvgSlowdown), "avg_slowdown");
+  EXPECT_STREQ(to_string(Measure::Accepted), "accepted");
+  EXPECT_STREQ(to_string(Measure::CompletedLate), "completed_late");
+  EXPECT_STREQ(to_string(Measure::Utilization), "utilization");
+}
+
+}  // namespace
+}  // namespace librisk::exp

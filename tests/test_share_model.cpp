@@ -1,0 +1,111 @@
+#include "cluster/share_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace librisk::cluster {
+namespace {
+
+TEST(RequiredShare, PaperEquationOne) {
+  // share = remaining_runtime / remaining_deadline (Eq. 1).
+  EXPECT_DOUBLE_EQ(required_share(50.0, 100.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(required_share(100.0, 100.0, 1.0), 1.0);
+}
+
+TEST(RequiredShare, NotCappedAtOne) {
+  // A value above 1 signals an infeasible job — the admission tests must
+  // see it (DESIGN.md: executors cap at allocation time instead).
+  EXPECT_DOUBLE_EQ(required_share(300.0, 100.0, 1.0), 3.0);
+}
+
+TEST(RequiredShare, ZeroWorkNeedsNothing) {
+  EXPECT_DOUBLE_EQ(required_share(0.0, 100.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(required_share(-5.0, 100.0, 1.0), 0.0);
+}
+
+TEST(RequiredShare, DeadlineClampGuardsPastDeadlines) {
+  // Remaining deadline at/past zero clamps to the configured floor.
+  EXPECT_DOUBLE_EQ(required_share(10.0, 0.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(required_share(10.0, -50.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(required_share(10.0, -50.0, 2.0), 5.0);
+}
+
+TEST(RequiredShare, FasterNodesNeedSmallerShares) {
+  EXPECT_DOUBLE_EQ(required_share(50.0, 100.0, 1.0, 2.0), 0.25);
+  EXPECT_DOUBLE_EQ(required_share(50.0, 100.0, 1.0, 0.5), 1.0);
+}
+
+TEST(TotalShare, PaperEquationTwo) {
+  const std::vector<double> shares{0.25, 0.5, 0.1};
+  EXPECT_NEAR(total_share(shares), 0.85, 1e-12);
+  EXPECT_DOUBLE_EQ(total_share({}), 0.0);
+}
+
+TEST(AllocateCapacity, WorkConservingUsesWholeNode) {
+  const std::vector<double> demands{0.2, 0.3};
+  const auto alloc = allocate_capacity(demands, /*work_conserving=*/true);
+  ASSERT_EQ(alloc.size(), 2u);
+  EXPECT_NEAR(alloc[0] + alloc[1], 1.0, 1e-12);
+  EXPECT_NEAR(alloc[0] / alloc[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(AllocateCapacity, GuaranteedSharesWhenNotConserving) {
+  const std::vector<double> demands{0.2, 0.3};
+  const auto alloc = allocate_capacity(demands, /*work_conserving=*/false);
+  EXPECT_DOUBLE_EQ(alloc[0], 0.2);
+  EXPECT_DOUBLE_EQ(alloc[1], 0.3);
+}
+
+TEST(AllocateCapacity, OverloadScalesProportionally) {
+  const std::vector<double> demands{1.0, 0.5};
+  for (const bool wc : {true, false}) {
+    const auto alloc = allocate_capacity(demands, wc);
+    EXPECT_NEAR(alloc[0], 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(alloc[1], 1.0 / 3.0, 1e-12);
+  }
+}
+
+TEST(AllocateCapacity, ZeroDemandsGetNothing) {
+  const std::vector<double> demands{0.0, 0.4};
+  const auto alloc = allocate_capacity(demands, true);
+  EXPECT_DOUBLE_EQ(alloc[0], 0.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 1.0);
+  const auto none = allocate_capacity(std::vector<double>{0.0, 0.0}, true);
+  EXPECT_DOUBLE_EQ(none[0], 0.0);
+  EXPECT_DOUBLE_EQ(none[1], 0.0);
+}
+
+TEST(AllocateOne, MatchesVectorVersion) {
+  const std::vector<double> demands{0.25, 0.5, 0.75};
+  for (const bool wc : {true, false}) {
+    const auto full = allocate_capacity(demands, wc);
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      const double other = total_share(demands) - demands[i];
+      EXPECT_NEAR(allocate_one(demands[i], other, wc), full[i], 1e-12) << i;
+    }
+  }
+}
+
+TEST(AllocateOne, HandlesNegativeResidue) {
+  // Floating-point subtraction can leave a tiny negative "other" total.
+  EXPECT_NEAR(allocate_one(0.5, -1e-15, false), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(allocate_one(0.0, 0.3, true), 0.0);
+}
+
+TEST(ShareModelConfig, Validation) {
+  ShareModelConfig c;
+  EXPECT_NO_THROW(c.validate());
+  c.deadline_clamp = 0.0;
+  EXPECT_THROW(c.validate(), CheckError);
+  c = ShareModelConfig{};
+  c.overrun_bump_fraction = 0.0;
+  EXPECT_THROW(c.validate(), CheckError);
+  c.overrun_bump_fraction = 1.5;
+  EXPECT_THROW(c.validate(), CheckError);
+}
+
+}  // namespace
+}  // namespace librisk::cluster

@@ -1,0 +1,115 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace librisk::sim {
+namespace {
+
+TEST(Simulator, StartsAtZeroAndIdle) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.run(), 0u);
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator s;
+  std::vector<double> observed;
+  (void)s.at(10.0, EventPriority::Internal, [&] { observed.push_back(s.now()); });
+  (void)s.at(5.0, EventPriority::Internal, [&] { observed.push_back(s.now()); });
+  EXPECT_EQ(s.run(), 2u);
+  EXPECT_EQ(observed, (std::vector<double>{5.0, 10.0}));
+  EXPECT_DOUBLE_EQ(s.now(), 10.0);
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator s;
+  double fired_at = -1.0;
+  (void)s.at(100.0, EventPriority::Internal, [&] {
+    (void)s.after(50.0, EventPriority::Internal, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 150.0);
+}
+
+TEST(Simulator, PastSchedulingRejectedBeyondEpsilon) {
+  Simulator s;
+  (void)s.at(10.0, EventPriority::Internal, [&] {
+    EXPECT_THROW((void)s.at(9.0, EventPriority::Internal, [] {}), CheckError);
+    EXPECT_THROW((void)s.after(-1.0, EventPriority::Internal, [] {}), CheckError);
+  });
+  s.run();
+}
+
+TEST(Simulator, TinyNegativeDelayClampsToNow) {
+  Simulator s;
+  double fired_at = -1.0;
+  (void)s.at(10.0, EventPriority::Internal, [&] {
+    (void)s.after(-1e-9, EventPriority::Internal, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(Simulator, StopEndsRunEarly) {
+  Simulator s;
+  int fired = 0;
+  (void)s.at(1.0, EventPriority::Internal, [&] {
+    ++fired;
+    s.stop();
+  });
+  (void)s.at(2.0, EventPriority::Internal, [&] { ++fired; });
+  EXPECT_EQ(s.run(), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(s.idle());
+  EXPECT_EQ(s.run(), 1u);  // resumes with the remaining event
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilHonoursInclusiveHorizon) {
+  Simulator s;
+  std::vector<double> fired;
+  for (const double t : {1.0, 2.0, 3.0, 4.0})
+    (void)s.at(t, EventPriority::Internal, [&fired, &s] { fired.push_back(s.now()); });
+  EXPECT_EQ(s.run_until(2.0), 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);
+  EXPECT_EQ(s.run(), 2u);
+}
+
+TEST(Simulator, CancelledEventsNeverFire) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.at(5.0, EventPriority::Internal, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, SelfSchedulingChainTerminates) {
+  Simulator s;
+  int remaining = 1000;
+  std::function<void()> tick = [&] {
+    if (--remaining > 0) (void)s.after(1.0, EventPriority::Internal, tick);
+  };
+  (void)s.after(1.0, EventPriority::Internal, tick);
+  EXPECT_EQ(s.run(), 1000u);
+  EXPECT_DOUBLE_EQ(s.now(), 1000.0);
+  EXPECT_EQ(s.events_processed(), 1000u);
+}
+
+TEST(Simulator, SameTimePriorityOrderAcrossKinds) {
+  Simulator s;
+  std::vector<int> order;
+  (void)s.at(1.0, EventPriority::Arrival, [&] { order.push_back(1); });
+  (void)s.at(1.0, EventPriority::Completion, [&] { order.push_back(0); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+}  // namespace
+}  // namespace librisk::sim

@@ -1,0 +1,110 @@
+#include "cluster/spaceshared.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "helpers.hpp"
+#include "support/check.hpp"
+
+namespace librisk::cluster {
+namespace {
+
+using librisk::testing::JobBuilder;
+using workload::Job;
+
+struct Fixture {
+  explicit Fixture(int nodes = 4)
+      : cluster(Cluster::homogeneous(nodes, 1.0)), executor(simulator, cluster) {
+    executor.set_completion_handler(
+        [this](const Job& job, sim::SimTime t) { completions[job.id] = t; });
+  }
+  sim::Simulator simulator;
+  Cluster cluster;
+  SpaceSharedExecutor executor;
+  std::map<std::int64_t, sim::SimTime> completions;
+};
+
+TEST(SpaceShared, RunsAtFullSpeed) {
+  Fixture f;
+  const Job job = JobBuilder(1).set_runtime(100.0).deadline(500.0).build();
+  f.executor.start(job, {0});
+  EXPECT_EQ(f.executor.free_count(), 3);
+  f.simulator.run();
+  EXPECT_NEAR(f.completions[1], 100.0, 1e-9);
+  EXPECT_EQ(f.executor.free_count(), 4);
+}
+
+TEST(SpaceShared, NodesHeldExclusively) {
+  Fixture f;
+  const Job a = JobBuilder(1).set_runtime(100.0).deadline(500.0).procs(2).build();
+  f.executor.start(a, {0, 1});
+  EXPECT_FALSE(f.executor.is_free(0));
+  EXPECT_FALSE(f.executor.is_free(1));
+  EXPECT_TRUE(f.executor.is_free(2));
+  const Job b = JobBuilder(2).set_runtime(10.0).deadline(100.0).build();
+  EXPECT_THROW(f.executor.start(b, {0}), CheckError);  // node busy
+}
+
+TEST(SpaceShared, TakeFreeNodesReturnsLowestIds) {
+  Fixture f;
+  const Job a = JobBuilder(1).set_runtime(100.0).deadline(500.0).build();
+  f.executor.start(a, {1});
+  const auto nodes = f.executor.take_free_nodes(2);
+  EXPECT_EQ(nodes, (std::vector<NodeId>{0, 2}));
+  EXPECT_THROW((void)f.executor.take_free_nodes(4), CheckError);
+  EXPECT_TRUE(f.executor.take_free_nodes(0).empty());
+}
+
+TEST(SpaceShared, GangRunsAtSlowestNode) {
+  sim::Simulator simulator;
+  const Cluster cluster({{0, 2.0}, {1, 1.0}}, 1.0);
+  SpaceSharedExecutor executor(simulator, cluster);
+  std::map<std::int64_t, sim::SimTime> done;
+  executor.set_completion_handler(
+      [&](const Job& job, sim::SimTime t) { done[job.id] = t; });
+  const Job job = JobBuilder(1).set_runtime(100.0).deadline(500.0).procs(2).build();
+  executor.start(job, {0, 1});
+  simulator.run();
+  EXPECT_NEAR(done[1], 100.0, 1e-9);  // limited by the rating-1 node
+}
+
+TEST(SpaceShared, SequentialReuseOfNodes) {
+  Fixture f(1);
+  const Job a = JobBuilder(1).set_runtime(50.0).deadline(500.0).build();
+  f.executor.start(a, {0});
+  f.simulator.run();
+  const Job b = JobBuilder(2).set_runtime(30.0).deadline(500.0).build();
+  f.executor.start(b, {0});
+  f.simulator.run();
+  EXPECT_NEAR(f.completions[1], 50.0, 1e-9);
+  EXPECT_NEAR(f.completions[2], 80.0, 1e-9);
+}
+
+TEST(SpaceShared, BusyNodeSecondsAccounting) {
+  Fixture f(2);
+  const Job a = JobBuilder(1).set_runtime(100.0).deadline(500.0).procs(2).build();
+  f.executor.start(a, {0, 1});
+  EXPECT_NEAR(f.executor.busy_node_seconds(50.0), 100.0, 1e-9);  // mid-flight
+  f.simulator.run();
+  EXPECT_NEAR(f.executor.busy_node_seconds(f.simulator.now()), 200.0, 1e-9);
+}
+
+TEST(SpaceShared, ValidatesStart) {
+  Fixture f(2);
+  const Job job = JobBuilder(1).set_runtime(10.0).deadline(50.0).procs(2).build();
+  EXPECT_THROW(f.executor.start(job, {0}), CheckError);
+  EXPECT_THROW(f.executor.start(job, {0, 7}), CheckError);
+  f.executor.start(job, {0, 1});
+  EXPECT_TRUE(f.executor.is_running(1));
+  EXPECT_THROW(f.executor.start(job, {0, 1}), CheckError);
+}
+
+TEST(SpaceShared, IsFreeBoundsChecked) {
+  Fixture f(2);
+  EXPECT_THROW((void)f.executor.is_free(-1), CheckError);
+  EXPECT_THROW((void)f.executor.is_free(2), CheckError);
+}
+
+}  // namespace
+}  // namespace librisk::cluster

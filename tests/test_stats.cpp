@@ -1,0 +1,168 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace librisk::stats {
+namespace {
+
+TEST(Accumulator, EmptyStateIsZero) {
+  const Accumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance_population(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 0.0);
+}
+
+TEST(Accumulator, SingleSample) {
+  Accumulator acc;
+  acc.add(42.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.stddev_population(), 0.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance_population(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.stddev_population(), 2.0);
+  EXPECT_NEAR(acc.variance_sample(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  rng::Stream stream(3);
+  std::vector<double> values(1000);
+  for (auto& v : values) v = stream.uniform(-5.0, 20.0);
+
+  Accumulator whole;
+  for (const double v : values) whole.add(v);
+
+  Accumulator left, right;
+  for (std::size_t i = 0; i < values.size(); ++i)
+    (i < 300 ? left : right).add(values[i]);
+  left.merge(right);
+
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance_sample(), whole.variance_sample(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides) {
+  Accumulator a, b;
+  a.add(1.0);
+  a.add(3.0);
+  Accumulator a_copy = a;
+  a.merge(b);  // empty right
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a_copy);  // empty left
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Accumulator, NumericallyStableOnLargeOffsets) {
+  // Naive sum-of-squares loses all precision here; Welford must not.
+  Accumulator acc;
+  const double offset = 1e9;
+  for (const double x : {offset + 1.0, offset + 2.0, offset + 3.0}) acc.add(x);
+  EXPECT_NEAR(acc.variance_population(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(Summarize, MatchesAccumulator) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 17.5);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> v{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+}
+
+TEST(Percentile, EdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 99.0), 7.0);
+  EXPECT_THROW((void)percentile(one, 101.0), CheckError);
+  EXPECT_THROW((void)percentile(one, -1.0), CheckError);
+}
+
+TEST(Mean, Basics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  const std::vector<double> v{1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+}
+
+TEST(StddevPopulationEq6, MatchesAccumulator) {
+  const std::vector<double> v{1.0, 1.0, 4.0, 6.0};
+  Accumulator acc;
+  for (const double x : v) acc.add(x);
+  EXPECT_NEAR(stddev_population_eq6(v), acc.stddev_population(), 1e-12);
+}
+
+TEST(StddevPopulationEq6, ZeroForConstantAndTiny) {
+  EXPECT_DOUBLE_EQ(stddev_population_eq6({}), 0.0);
+  const std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(stddev_population_eq6(one), 0.0);
+  const std::vector<double> constant{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(stddev_population_eq6(constant), 0.0);
+}
+
+TEST(StddevPopulationEq6, PaperStyleDeadlineDelays) {
+  // A node where one job is on time (deadline_delay 1) and one is badly
+  // late (deadline_delay 5): the risk must be decidedly non-zero.
+  const std::vector<double> dd{1.0, 5.0};
+  EXPECT_NEAR(stddev_population_eq6(dd), 2.0, 1e-12);
+}
+
+TEST(Ci95, ZeroForFewSamples) {
+  Accumulator acc;
+  EXPECT_DOUBLE_EQ(ci95_halfwidth(acc), 0.0);
+  acc.add(1.0);
+  EXPECT_DOUBLE_EQ(ci95_halfwidth(acc), 0.0);
+}
+
+TEST(Ci95, ShrinksWithSampleCount) {
+  rng::Stream stream(4);
+  Accumulator small, large;
+  for (int i = 0; i < 10; ++i) small.add(stream.normal(0.0, 1.0));
+  for (int i = 0; i < 1000; ++i) large.add(stream.normal(0.0, 1.0));
+  EXPECT_GT(ci95_halfwidth(small), ci95_halfwidth(large));
+  EXPECT_NEAR(ci95_halfwidth(large), 1.96 / std::sqrt(1000.0), 0.02);
+}
+
+}  // namespace
+}  // namespace librisk::stats

@@ -1,0 +1,146 @@
+#include "workload/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "helpers.hpp"
+
+namespace librisk::workload::swf {
+namespace {
+
+// One well-formed SWF line: job 1, submit 100, wait 5, runtime 3600,
+// 16 used procs, estimate 7200, 16 requested procs, status 1, uid 3.
+constexpr const char* kLine1 =
+    "1 100 5 3600 16 -1 -1 16 7200 -1 1 3 4 -1 2 -1 -1 -1\n";
+constexpr const char* kLine2 =
+    "2 200 0 1800 8 -1 -1 8 1800 -1 0 3 4 -1 1 -1 -1 -1\n";
+
+TEST(SwfRead, ParsesFields) {
+  std::istringstream in(std::string("; comment line\n") + kLine1);
+  const auto jobs = read(in);
+  ASSERT_EQ(jobs.size(), 1u);
+  const Job& j = jobs[0];
+  EXPECT_EQ(j.id, 1);
+  EXPECT_DOUBLE_EQ(j.submit_time, 0.0);  // rebased to zero
+  EXPECT_DOUBLE_EQ(j.actual_runtime, 3600.0);
+  EXPECT_DOUBLE_EQ(j.user_estimate, 7200.0);
+  EXPECT_DOUBLE_EQ(j.scheduler_estimate, 7200.0);
+  EXPECT_EQ(j.num_procs, 16);
+  EXPECT_EQ(j.status, 1);
+  EXPECT_EQ(j.user_id, 3);
+  EXPECT_EQ(j.group_id, 4);
+  EXPECT_EQ(j.queue, 2);
+}
+
+TEST(SwfRead, RebasesSubmitTimes) {
+  std::istringstream in(std::string(kLine1) + kLine2);
+  const auto jobs = read(in);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_DOUBLE_EQ(jobs[0].submit_time, 0.0);
+  EXPECT_DOUBLE_EQ(jobs[1].submit_time, 100.0);
+}
+
+TEST(SwfRead, SkipsInvalidJobsByDefault) {
+  std::istringstream in(
+      "1 100 5 -1 16 -1 -1 16 7200 -1 1 3 4 -1 2 -1 -1 -1\n"  // no runtime
+      "2 200 0 1800 -1 -1 -1 -1 1800 -1 0 3 4 -1 1 -1 -1 -1\n"  // no procs
+      + std::string(kLine2));
+  const auto jobs = read(in);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].id, 2);
+}
+
+TEST(SwfRead, MissingEstimateFallsBackToRuntime) {
+  std::istringstream in(
+      "1 100 5 3600 16 -1 -1 16 -1 -1 1 3 4 -1 2 -1 -1 -1\n");
+  const auto jobs = read(in);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].user_estimate, 3600.0);
+}
+
+TEST(SwfRead, MissingEstimateDroppedWhenFallbackDisabled) {
+  std::istringstream in(
+      "1 100 5 3600 16 -1 -1 16 -1 -1 1 3 4 -1 2 -1 -1 -1\n");
+  ReadOptions opts;
+  opts.estimate_fallback_to_runtime = false;
+  EXPECT_TRUE(read(in, opts).empty());
+}
+
+TEST(SwfRead, LastNKeepsTail) {
+  std::ostringstream trace;
+  for (int i = 1; i <= 10; ++i)
+    trace << i << ' ' << i * 100 << " 0 60 1 -1 -1 1 60 -1 1 0 0 -1 0 -1 -1 -1\n";
+  std::istringstream in(trace.str());
+  ReadOptions opts;
+  opts.last_n = 3;
+  const auto jobs = read(in, opts);
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].id, 8);
+  EXPECT_EQ(jobs[2].id, 10);
+  EXPECT_DOUBLE_EQ(jobs[0].submit_time, 0.0);  // rebased to the subset start
+}
+
+TEST(SwfRead, MalformedLineThrows) {
+  std::istringstream short_line("1 2 3\n");
+  EXPECT_THROW((void)read(short_line), ParseError);
+  std::istringstream bad_number(
+      "1 abc 5 3600 16 -1 -1 16 7200 -1 1 3 4 -1 2 -1 -1 -1\n");
+  EXPECT_THROW((void)read(bad_number), ParseError);
+}
+
+TEST(SwfRead, HandlesCrLfAndWhitespace) {
+  std::istringstream in("  \t\n1 100 5 3600 16 -1 -1 16 7200 -1 1 3 4 -1 2 -1 -1 -1\r\n");
+  EXPECT_EQ(read(in).size(), 1u);
+}
+
+TEST(SwfRead, MissingFileThrows) {
+  EXPECT_THROW((void)read_file("/nonexistent/trace.swf"), ParseError);
+}
+
+TEST(SwfRoundTrip, PreservesJobsAndDeadlines) {
+  std::vector<Job> jobs;
+  for (int i = 1; i <= 5; ++i) {
+    Job j = librisk::testing::make_job(i, i * 50.0, 600.0 + i, 1800.0 + i, i);
+    j.urgency = i % 2 == 0 ? Urgency::High : Urgency::Low;
+    j.status = 1;
+    jobs.push_back(j);
+  }
+  std::ostringstream out;
+  write(out, jobs, WriteOptions{.include_deadlines = true, .header = {"test trace"}});
+
+  std::istringstream in(out.str());
+  const auto parsed = read(in);
+  ASSERT_EQ(parsed.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(parsed[i].id, jobs[i].id);
+    EXPECT_DOUBLE_EQ(parsed[i].submit_time, jobs[i].submit_time - jobs[0].submit_time);
+    EXPECT_DOUBLE_EQ(parsed[i].actual_runtime, jobs[i].actual_runtime);
+    EXPECT_DOUBLE_EQ(parsed[i].user_estimate, jobs[i].user_estimate);
+    EXPECT_EQ(parsed[i].num_procs, jobs[i].num_procs);
+    EXPECT_DOUBLE_EQ(parsed[i].deadline, jobs[i].deadline);
+    EXPECT_EQ(parsed[i].urgency, jobs[i].urgency);
+  }
+}
+
+TEST(SwfRoundTrip, DeadlinesOmittedWhenDisabled) {
+  const std::vector<Job> jobs{librisk::testing::make_job(1, 0.0, 600.0, 1200.0)};
+  std::ostringstream out;
+  write(out, jobs, WriteOptions{.include_deadlines = false, .header = {}});
+  std::istringstream in(out.str());
+  const auto parsed = read(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed[0].deadline, 0.0);
+}
+
+TEST(SwfWriteFile, RoundTripsThroughDisk) {
+  const std::string path = ::testing::TempDir() + "/librisk_test.swf";
+  const std::vector<Job> jobs{librisk::testing::make_job(1, 0.0, 600.0, 1200.0, 4)};
+  write_file(path, jobs);
+  const auto parsed = read_file(path);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].num_procs, 4);
+}
+
+}  // namespace
+}  // namespace librisk::workload::swf

@@ -1,0 +1,132 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "workload/workload_stats.hpp"
+
+namespace librisk::workload {
+namespace {
+
+SdscSp2Config small_config() {
+  SdscSp2Config c;
+  c.job_count = 2000;
+  return c;
+}
+
+TEST(SdscSp2Config, ValidatesDomains) {
+  SdscSp2Config c = small_config();
+  EXPECT_NO_THROW(c.validate());
+  c.job_count = 0;
+  EXPECT_THROW(c.validate(), CheckError);
+  c = small_config();
+  c.arrival_delay_factor = 0.0;
+  EXPECT_THROW(c.validate(), CheckError);
+  c = small_config();
+  c.power_weights.assign(9, 1.0);  // 2^8 = 256 > 128 nodes
+  EXPECT_THROW(c.validate(), CheckError);
+  c = small_config();
+  c.min_runtime = c.max_runtime;
+  EXPECT_THROW(c.validate(), CheckError);
+}
+
+TEST(GenerateBaseTrace, ProducesValidSortedJobs) {
+  rng::Stream stream("trace", 1);
+  const auto jobs = generate_base_trace(small_config(), stream);
+  ASSERT_EQ(jobs.size(), 2000u);
+  // Deadlines are assigned by a later pipeline stage; everything else must
+  // already be in domain and submit-ordered.
+  double last_submit = 0.0;
+  for (const Job& j : jobs) {
+    EXPECT_GE(j.submit_time, last_submit);
+    last_submit = j.submit_time;
+    EXPECT_GE(j.num_procs, 1);
+    EXPECT_LE(j.num_procs, 128);
+    EXPECT_GE(j.actual_runtime, 10.0);
+    EXPECT_LE(j.actual_runtime, 64800.0);
+    EXPECT_GT(j.user_estimate, 0.0);
+  }
+}
+
+TEST(GenerateBaseTrace, MatchesPaperSubsetStatistics) {
+  rng::Stream stream("trace", 7);
+  SdscSp2Config c;
+  c.job_count = 20000;  // large sample to pin the means
+  const auto jobs = generate_base_trace(c, stream);
+  const WorkloadStats stats = compute_stats(jobs);
+  // Paper-reported subset statistics: mean inter-arrival 2131 s, mean
+  // runtime ~9720 s (2.7 h), mean 17 processors. Generator tolerances are
+  // deliberately loose — the *shape* is what matters.
+  EXPECT_NEAR(stats.interarrival.mean, 2131.0, 2131.0 * 0.10);
+  EXPECT_NEAR(stats.runtime.mean, 9720.0, 9720.0 * 0.12);
+  EXPECT_NEAR(stats.num_procs.mean, 17.0, 3.5);
+  // Offered utilization in the heavy-workload regime the paper models.
+  EXPECT_GT(stats.offered_utilization(128), 0.40);
+  EXPECT_LT(stats.offered_utilization(128), 0.85);
+}
+
+TEST(GenerateBaseTrace, ArrivalDelayFactorScalesLoad) {
+  SdscSp2Config c = small_config();
+  rng::Stream s1("trace", 3);
+  const auto base = generate_base_trace(c, s1);
+  c.arrival_delay_factor = 0.5;
+  rng::Stream s2("trace", 3);
+  const auto heavy = generate_base_trace(c, s2);
+  // Same seed, same draws — arrivals compress by exactly the factor.
+  ASSERT_EQ(base.size(), heavy.size());
+  EXPECT_NEAR(heavy.back().submit_time, 0.5 * base.back().submit_time, 1e-6);
+}
+
+TEST(GenerateBaseTrace, DeterministicInSeed) {
+  rng::Stream a("trace", 9), b("trace", 9), c("trace", 10);
+  const auto jobs_a = generate_base_trace(small_config(), a);
+  const auto jobs_b = generate_base_trace(small_config(), b);
+  const auto jobs_c = generate_base_trace(small_config(), c);
+  ASSERT_EQ(jobs_a.size(), jobs_b.size());
+  for (std::size_t i = 0; i < jobs_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(jobs_a[i].submit_time, jobs_b[i].submit_time);
+    EXPECT_DOUBLE_EQ(jobs_a[i].actual_runtime, jobs_b[i].actual_runtime);
+    EXPECT_EQ(jobs_a[i].num_procs, jobs_b[i].num_procs);
+  }
+  bool any_difference = false;
+  for (std::size_t i = 0; i < jobs_a.size(); ++i)
+    any_difference |= jobs_a[i].actual_runtime != jobs_c[i].actual_runtime;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(MakePaperWorkload, EndToEndPipeline) {
+  PaperWorkloadConfig config;
+  config.trace.job_count = 1500;
+  config.inaccuracy_pct = 100.0;
+  const auto jobs = make_paper_workload(config, 5);
+  ASSERT_EQ(jobs.size(), 1500u);
+  validate_trace(jobs);
+  for (const Job& j : jobs) {
+    EXPECT_GT(j.deadline, j.actual_runtime);  // deadlines always feasible
+    EXPECT_NE(j.urgency, Urgency::Unspecified);
+    EXPECT_DOUBLE_EQ(j.scheduler_estimate, std::max(j.user_estimate, 1.0));
+  }
+}
+
+TEST(MakePaperWorkload, InaccuracyZeroMeansAccurateEstimates) {
+  PaperWorkloadConfig config;
+  config.trace.job_count = 500;
+  config.inaccuracy_pct = 0.0;
+  const auto jobs = make_paper_workload(config, 5);
+  for (const Job& j : jobs)
+    EXPECT_DOUBLE_EQ(j.scheduler_estimate, std::max(j.actual_runtime, 1.0));
+}
+
+TEST(MakePaperWorkload, SeedsChangeOnlyRandomness) {
+  PaperWorkloadConfig config;
+  config.trace.job_count = 300;
+  const auto a = make_paper_workload(config, 1);
+  const auto b = make_paper_workload(config, 1);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].deadline, b[i].deadline);
+    EXPECT_DOUBLE_EQ(a[i].user_estimate, b[i].user_estimate);
+  }
+}
+
+}  // namespace
+}  // namespace librisk::workload

@@ -1,0 +1,76 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace librisk::table {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string s = t.str();
+  // Header row, rule, two data rows.
+  EXPECT_NE(s.find("name       value\n"), std::string::npos);
+  EXPECT_NE(s.find("a              1\n"), std::string::npos);
+  EXPECT_NE(s.find("long-name     22\n"), std::string::npos);
+}
+
+TEST(Table, FirstColumnLeftRestRight) {
+  Table t({"k", "v"});
+  t.add_row({"ab", "1"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("ab  1"), std::string::npos);
+}
+
+TEST(Table, SetAlignOverrides) {
+  Table t({"k", "v"});
+  t.set_align(1, Align::Left);
+  t.add_row({"a", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("a  1 \n"), std::string::npos);
+}
+
+TEST(Table, ArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), CheckError);
+  EXPECT_THROW(Table({}), CheckError);
+  EXPECT_THROW(t.set_align(5, Align::Left), CheckError);
+}
+
+TEST(Table, RuleEmitsSeparator) {
+  Table t({"a"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string s = t.str();
+  // Header rule plus the explicit one.
+  std::size_t rules = 0;
+  for (std::size_t pos = 0; (pos = s.find("-\n", pos)) != std::string::npos; ++pos)
+    ++rules;
+  EXPECT_EQ(rules, 2u);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Num, FormatsDecimals) {
+  EXPECT_EQ(num(1.23456, 2), "1.23");
+  EXPECT_EQ(num(1.0, 0), "1");
+  EXPECT_EQ(num(-0.5, 1), "-0.5");
+}
+
+TEST(Pct, OneDecimal) {
+  EXPECT_EQ(pct(63.44), "63.4");
+  EXPECT_EQ(pct(100.0), "100.0");
+}
+
+}  // namespace
+}  // namespace librisk::table

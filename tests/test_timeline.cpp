@@ -1,0 +1,109 @@
+#include "cluster/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cluster/spaceshared.hpp"
+#include "cluster/timeshared.hpp"
+#include "helpers.hpp"
+#include "support/check.hpp"
+
+namespace librisk::cluster {
+namespace {
+
+using librisk::testing::JobBuilder;
+using workload::Job;
+
+TEST(TimelineRecorder, BasicAccounting) {
+  TimelineRecorder r;
+  r.record({1, 0, 0.0, 10.0, 0.5});
+  r.record({1, 1, 0.0, 10.0, 0.5});
+  r.record({2, 0, 10.0, 20.0, 1.0});
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.job_work(1), 10.0);  // 2 nodes x 5 ref-seconds
+  EXPECT_DOUBLE_EQ(r.job_work(2), 10.0);
+  EXPECT_DOUBLE_EQ(r.node_busy_seconds(0), 20.0);
+  EXPECT_DOUBLE_EQ(r.node_busy_seconds(1), 10.0);
+  EXPECT_DOUBLE_EQ(r.horizon(), 20.0);
+}
+
+TEST(TimelineRecorder, DropsZeroDurationAndValidates) {
+  TimelineRecorder r;
+  r.record({1, 0, 5.0, 5.0, 1.0});
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_THROW(r.record({1, 0, 5.0, 4.0, 1.0}), CheckError);
+  EXPECT_THROW(r.record({1, 0, 0.0, 1.0, -0.5}), CheckError);
+}
+
+TEST(TimelineRecorder, TimeSharedSegmentsIntegrateToActualWork) {
+  sim::Simulator simulator;
+  const Cluster cluster = Cluster::homogeneous(2, 1.0);
+  TimeSharedExecutor executor(simulator, cluster);
+  TimelineRecorder timeline;
+  executor.set_timeline_recorder(&timeline);
+  std::map<std::int64_t, sim::SimTime> done;
+  executor.set_completion_handler(
+      [&](const Job& job, sim::SimTime t) { done[job.id] = t; });
+
+  const Job a = JobBuilder(1).set_runtime(100.0).deadline(400.0).build();
+  const Job b = JobBuilder(2).set_runtime(60.0).deadline(300.0).build();
+  executor.start(a, {0});
+  simulator.run_until(10.0);
+  executor.start(b, {0});
+  simulator.run();
+
+  ASSERT_EQ(done.size(), 2u);
+  // Per-node progress recorded for job i integrates to its actual runtime
+  // (single node each here).
+  EXPECT_NEAR(timeline.job_work(1), 100.0, 1e-3);
+  EXPECT_NEAR(timeline.job_work(2), 60.0, 1e-3);
+}
+
+TEST(TimelineRecorder, SpaceSharedSegmentsMatchHolds) {
+  sim::Simulator simulator;
+  const Cluster cluster = Cluster::homogeneous(3, 1.0);
+  SpaceSharedExecutor executor(simulator, cluster);
+  TimelineRecorder timeline;
+  executor.set_timeline_recorder(&timeline);
+  executor.set_completion_handler([](const Job&, sim::SimTime) {});
+
+  const Job gang = JobBuilder(1).set_runtime(50.0).deadline(500.0).procs(2).build();
+  executor.start(gang, {0, 2});
+  simulator.run();
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_DOUBLE_EQ(timeline.node_busy_seconds(0), 50.0);
+  EXPECT_DOUBLE_EQ(timeline.node_busy_seconds(1), 0.0);
+  EXPECT_DOUBLE_EQ(timeline.node_busy_seconds(2), 50.0);
+  EXPECT_DOUBLE_EQ(timeline.job_work(1), 100.0);
+}
+
+TEST(TimelineRecorder, GanttRendersRowsAndSymbols) {
+  TimelineRecorder r;
+  r.record({1, 0, 0.0, 50.0, 1.0});
+  r.record({2, 1, 50.0, 100.0, 1.0});
+  const std::string chart = r.render_gantt(2, 10);
+  EXPECT_NE(chart.find("node 0"), std::string::npos);
+  EXPECT_NE(chart.find("node 1"), std::string::npos);
+  // Job 1 renders as '1' in node 0's first half; idle elsewhere.
+  EXPECT_NE(chart.find("11111....."), std::string::npos);
+  EXPECT_NE(chart.find(".....22222"), std::string::npos);
+}
+
+TEST(TimelineRecorder, GanttMarksSharedBuckets) {
+  TimelineRecorder r;
+  r.record({1, 0, 0.0, 100.0, 0.5});
+  r.record({2, 0, 0.0, 100.0, 0.5});
+  const std::string chart = r.render_gantt(1, 10);
+  EXPECT_NE(chart.find("##########"), std::string::npos);
+}
+
+TEST(TimelineRecorder, GanttEmptyAndValidation) {
+  TimelineRecorder r;
+  EXPECT_NE(r.render_gantt(1, 10).find("empty"), std::string::npos);
+  EXPECT_THROW((void)r.render_gantt(0, 10), CheckError);
+  EXPECT_THROW((void)r.render_gantt(1, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace librisk::cluster

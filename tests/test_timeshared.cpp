@@ -1,0 +1,238 @@
+#include "cluster/timeshared.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "helpers.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace librisk::cluster {
+namespace {
+
+using librisk::testing::JobBuilder;
+
+struct Fixture {
+  explicit Fixture(int nodes = 4, ShareModelConfig config = {})
+      : cluster(Cluster::homogeneous(nodes, 1.0)),
+        executor(simulator, cluster, config) {
+    executor.set_completion_handler(
+        [this](const Job& job, sim::SimTime t) { completions[job.id] = t; });
+    executor.set_overrun_handler(
+        [this](const Job& job, int bumps) { overruns[job.id] = bumps; });
+  }
+  sim::Simulator simulator;
+  Cluster cluster;
+  TimeSharedExecutor executor;
+  std::map<std::int64_t, sim::SimTime> completions;
+  std::map<std::int64_t, int> overruns;
+};
+
+ShareModelConfig strict_pacing() {
+  ShareModelConfig c;
+  c.mode = ExecutionMode::ProportionalPacing;
+  c.work_conserving = false;
+  return c;
+}
+
+TEST(TimeShared, SingleJobStrictPacingFinishesAtDeadline) {
+  Fixture f(1, strict_pacing());
+  const Job job = JobBuilder(1).set_runtime(100.0).deadline(400.0).build();
+  f.executor.start(job, {0});
+  f.simulator.run();
+  // share = 100/400 = 0.25; the actual work of 100 at rate 0.25 takes 400 s.
+  ASSERT_TRUE(f.completions.contains(1));
+  EXPECT_NEAR(f.completions[1], 400.0, 1e-6);
+}
+
+TEST(TimeShared, SingleJobWorkConservingRunsFullSpeed) {
+  ShareModelConfig c;
+  c.work_conserving = true;
+  Fixture f(1, c);
+  const Job job = JobBuilder(1).set_runtime(100.0).deadline(400.0).build();
+  f.executor.start(job, {0});
+  f.simulator.run();
+  EXPECT_NEAR(f.completions[1], 100.0, 1e-6);
+}
+
+TEST(TimeShared, EqualShareSplitsEvenly) {
+  ShareModelConfig c;
+  c.mode = ExecutionMode::EqualShare;
+  Fixture f(1, c);
+  const Job a = JobBuilder(1).set_runtime(100.0).deadline(1000.0).build();
+  const Job b = JobBuilder(2).set_runtime(100.0).deadline(1000.0).build();
+  f.executor.start(a, {0});
+  f.executor.start(b, {0});
+  f.simulator.run();
+  // Both at rate 1/2 until both finish at t=200.
+  EXPECT_NEAR(f.completions[1], 200.0, 1e-6);
+  EXPECT_NEAR(f.completions[2], 200.0, 1e-6);
+}
+
+TEST(TimeShared, EqualShareShortJobReleasesCapacity) {
+  ShareModelConfig c;
+  c.mode = ExecutionMode::EqualShare;
+  Fixture f(1, c);
+  const Job small = JobBuilder(1).set_runtime(50.0).deadline(1000.0).build();
+  const Job large = JobBuilder(2).set_runtime(200.0).deadline(1000.0).build();
+  f.executor.start(small, {0});
+  f.executor.start(large, {0});
+  f.simulator.run();
+  // Processor sharing: small finishes at 100; large at 100 + 150 = 250.
+  EXPECT_NEAR(f.completions[1], 100.0, 1e-6);
+  EXPECT_NEAR(f.completions[2], 250.0, 1e-6);
+}
+
+TEST(TimeShared, OverloadedNodeSqueezesProportionally) {
+  Fixture f(1, strict_pacing());
+  // Two jobs each demanding 0.75 => scaled to 0.5 each.
+  const Job a = JobBuilder(1).set_runtime(75.0).deadline(100.0).build();
+  const Job b = JobBuilder(2).set_runtime(75.0).deadline(100.0).build();
+  f.executor.start(a, {0});
+  f.executor.start(b, {0});
+  f.simulator.run();
+  // Both paced at 0.5: 75 work takes 150 s — past the 100 s deadline.
+  EXPECT_NEAR(f.completions[1], 150.0, 1e-4);
+  EXPECT_NEAR(f.completions[2], 150.0, 1e-4);
+}
+
+TEST(TimeShared, GangJobRunsAtMinimumRate) {
+  Fixture f(2, strict_pacing());
+  // Node 1 is loaded with a greedy job; the gang job must progress at the
+  // squeezed rate on node 1 even though node 0 is free.
+  const Job hog = JobBuilder(1).set_runtime(100.0).deadline(100.0).build();  // share 1
+  f.executor.start(hog, {1});
+  const Job gang = JobBuilder(2).set_runtime(50.0).deadline(100.0).procs(2).build();
+  f.executor.start(gang, {0, 1});
+  f.simulator.run();
+  // On node 1: demands 1.0 and 0.5 -> gang gets (0.5/1.5) = 1/3 there, so
+  // its lockstep rate is 1/3, not the 0.5 node 0 could give.
+  ASSERT_TRUE(f.completions.contains(2));
+  EXPECT_GT(f.completions[2], 50.0 / 0.5 - 1e-6);
+}
+
+TEST(TimeShared, OverrunBumpsEstimate) {
+  Fixture f(1, strict_pacing());
+  // User estimate 50, actual 100: the job exhausts its estimate and the
+  // scheduler re-estimates (+10% of the original estimate per bump).
+  const Job job =
+      JobBuilder(1).estimate(50.0).set_runtime(100.0).deadline(200.0).build();
+  f.executor.start(job, {0});
+  f.simulator.run();
+  ASSERT_TRUE(f.completions.contains(1));
+  ASSERT_TRUE(f.overruns.contains(1));
+  // 50 work remains after the estimate; bumps of 5 each => 10 bumps.
+  EXPECT_EQ(f.overruns[1], 10);
+  EXPECT_TRUE(f.executor.node_jobs(0).empty());
+}
+
+TEST(TimeShared, ViewExposesBeliefVsReality) {
+  Fixture f(1, strict_pacing());
+  const Job job =
+      JobBuilder(1).estimate(50.0).set_runtime(100.0).deadline(400.0).build();
+  f.executor.start(job, {0});
+  // Run until the estimate is exhausted (paced at 50/400 = 0.125 => t=400).
+  f.simulator.run_until(401.0);
+  f.executor.sync();
+  const TaskView v = f.executor.view(1);
+  EXPECT_GT(v.overrun_bumps, 0);
+  // Libra's raw belief: nothing remains. Reality: the bump keeps it alive.
+  EXPECT_DOUBLE_EQ(v.remaining_estimate_raw(), 0.0);
+  EXPECT_GT(v.remaining_estimate_current(), 0.0);
+  EXPECT_LT(v.remaining_deadline(f.simulator.now()), 1.0);
+}
+
+TEST(TimeShared, NodeTotalShareRawVsCurrent) {
+  Fixture f(1, strict_pacing());
+  const Job job =
+      JobBuilder(1).estimate(50.0).set_runtime(100.0).deadline(400.0).build();
+  f.executor.start(job, {0});
+  f.simulator.run_until(401.0);
+  f.executor.sync();
+  const double raw = f.executor.node_total_share(0, TimeSharedExecutor::EstimateKind::Raw);
+  const double current =
+      f.executor.node_total_share(0, TimeSharedExecutor::EstimateKind::Current);
+  EXPECT_NEAR(raw, 0.0, 1e-9);  // Libra believes the node is free
+  EXPECT_GT(current, 1.0);      // reality: an overrun job at its deadline
+}
+
+TEST(TimeShared, AvailableCapacityTracksDemands) {
+  Fixture f(1, strict_pacing());
+  EXPECT_DOUBLE_EQ(f.executor.node_available_capacity(0), 1.0);
+  const Job job = JobBuilder(1).set_runtime(100.0).deadline(400.0).build();
+  f.executor.start(job, {0});
+  EXPECT_NEAR(f.executor.node_available_capacity(0), 0.75, 1e-9);
+}
+
+TEST(TimeShared, StartValidation) {
+  Fixture f(2);
+  const Job job = JobBuilder(1).set_runtime(10.0).deadline(20.0).procs(2).build();
+  EXPECT_THROW(f.executor.start(job, {0}), CheckError);        // wrong count
+  EXPECT_THROW(f.executor.start(job, {0, 0}), CheckError);     // duplicate node
+  EXPECT_THROW(f.executor.start(job, {0, 5}), CheckError);     // out of range
+  f.executor.start(job, {0, 1});
+  EXPECT_THROW(f.executor.start(job, {0, 1}), CheckError);     // already running
+}
+
+TEST(TimeShared, CompletionRemovesFromNodeLists) {
+  Fixture f(2);
+  const Job job = JobBuilder(1).set_runtime(10.0).deadline(100.0).procs(2).build();
+  f.executor.start(job, {0, 1});
+  EXPECT_EQ(f.executor.node_jobs(0).size(), 1u);
+  EXPECT_EQ(f.executor.node_jobs(1).size(), 1u);
+  EXPECT_TRUE(f.executor.is_running(1));
+  f.simulator.run();
+  EXPECT_FALSE(f.executor.is_running(1));
+  EXPECT_TRUE(f.executor.node_jobs(0).empty());
+  EXPECT_TRUE(f.executor.node_jobs(1).empty());
+  EXPECT_EQ(f.executor.running_count(), 0u);
+}
+
+TEST(TimeShared, DeliveredWorkAccounting) {
+  Fixture f(2);
+  const Job job = JobBuilder(1).set_runtime(10.0).deadline(100.0).procs(2).build();
+  f.executor.start(job, {0, 1});
+  f.simulator.run();
+  // 10 reference-seconds of work on each of 2 nodes.
+  EXPECT_NEAR(f.executor.delivered_node_seconds(), 20.0, 1e-6);
+}
+
+TEST(TimeShared, InvariantsHoldDuringRandomizedLoad) {
+  Fixture f(4);
+  rng::Stream stream(5);
+  std::vector<Job> jobs;
+  jobs.reserve(50);
+  for (int i = 0; i < 50; ++i) {
+    jobs.push_back(JobBuilder(i + 1)
+                       .set_runtime(stream.uniform(10.0, 500.0))
+                       .deadline(stream.uniform(600.0, 5000.0))
+                       .build());
+  }
+  for (int i = 0; i < 50; ++i) {
+    f.simulator.run_until(static_cast<double>(i) * 20.0);
+    f.executor.start(jobs[i], {i % 4});
+    f.executor.check_invariants();
+  }
+  f.simulator.run();
+  f.executor.check_invariants();
+  EXPECT_EQ(f.completions.size(), 50u);
+}
+
+TEST(TimeShared, HeterogeneousNodeSpeedsScaleRates) {
+  sim::Simulator simulator;
+  const Cluster cluster({{0, 2.0}}, 1.0);  // node twice the reference speed
+  ShareModelConfig config;
+  config.work_conserving = true;
+  TimeSharedExecutor executor(simulator, cluster, config);
+  std::map<std::int64_t, sim::SimTime> done;
+  executor.set_completion_handler(
+      [&](const Job& job, sim::SimTime t) { done[job.id] = t; });
+  const Job job = JobBuilder(1).set_runtime(100.0).deadline(400.0).build();
+  executor.start(job, {0});
+  simulator.run();
+  EXPECT_NEAR(done[1], 50.0, 1e-6);  // full speed at factor 2
+}
+
+}  // namespace
+}  // namespace librisk::cluster

@@ -1,0 +1,76 @@
+#include "workload/workload_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "helpers.hpp"
+#include "workload/synthetic.hpp"
+
+namespace librisk::workload {
+namespace {
+
+using librisk::testing::make_job;
+
+TEST(ComputeStats, EmptyTrace) {
+  const WorkloadStats s = compute_stats({});
+  EXPECT_EQ(s.job_count, 0u);
+  EXPECT_DOUBLE_EQ(s.span, 0.0);
+  EXPECT_DOUBLE_EQ(s.offered_utilization(128), 0.0);
+}
+
+TEST(ComputeStats, HandComputedValues) {
+  std::vector<Job> jobs{make_job(1, 0.0, 100.0, 200.0, 2),
+                        make_job(2, 50.0, 300.0, 900.0, 4),
+                        make_job(3, 150.0, 200.0, 800.0, 1)};
+  const WorkloadStats s = compute_stats(jobs);
+  EXPECT_EQ(s.job_count, 3u);
+  EXPECT_DOUBLE_EQ(s.interarrival.mean, 75.0);  // 50 and 100
+  EXPECT_DOUBLE_EQ(s.runtime.mean, 200.0);
+  EXPECT_DOUBLE_EQ(s.num_procs.mean, 7.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.span, 150.0);
+  // total proc-seconds = 100*2 + 300*4 + 200*1 = 1600.
+  EXPECT_DOUBLE_EQ(s.total_proc_seconds, 1600.0);
+  EXPECT_DOUBLE_EQ(s.offered_utilization(4), 1600.0 / (4.0 * 150.0));
+  // deadline factors: 2, 3, 4.
+  EXPECT_DOUBLE_EQ(s.deadline_factor.mean, 3.0);
+}
+
+TEST(ComputeStats, UnderestimatedFractionFlows) {
+  std::vector<Job> jobs{make_job(1, 0.0, 100.0, 200.0),
+                        make_job(2, 1.0, 100.0, 200.0)};
+  jobs[0].user_estimate = 50.0;  // under-estimate
+  const WorkloadStats s = compute_stats(jobs);
+  EXPECT_DOUBLE_EQ(s.underestimated_fraction, 0.5);
+}
+
+TEST(ComputeStats, HighUrgencyFractionFlows) {
+  std::vector<Job> jobs{make_job(1, 0.0, 10.0, 20.0), make_job(2, 1.0, 10.0, 20.0),
+                        make_job(3, 2.0, 10.0, 20.0), make_job(4, 3.0, 10.0, 20.0)};
+  jobs[1].urgency = Urgency::High;
+  const WorkloadStats s = compute_stats(jobs);
+  EXPECT_DOUBLE_EQ(s.high_urgency_fraction, 0.25);
+}
+
+TEST(ComputeStats, SkipsDeadlineFactorForDeadlinelessJobs) {
+  std::vector<Job> jobs{make_job(1, 0.0, 10.0, 20.0)};
+  jobs[0].deadline = 0.0;
+  const WorkloadStats s = compute_stats(jobs);
+  EXPECT_EQ(s.deadline_factor.count, 0u);
+}
+
+TEST(PrintStats, MentionsEveryMetric) {
+  PaperWorkloadConfig config;
+  config.trace.job_count = 200;
+  const auto jobs = make_paper_workload(config, 1);
+  std::ostringstream out;
+  print_stats(out, compute_stats(jobs));
+  const std::string text = out.str();
+  for (const char* needle :
+       {"inter-arrival", "runtime", "user estimate", "processors",
+        "deadline factor", "jobs: 200", "high-urgency"})
+    EXPECT_NE(text.find(needle), std::string::npos) << "missing: " << needle;
+}
+
+}  // namespace
+}  // namespace librisk::workload

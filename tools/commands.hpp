@@ -1,0 +1,31 @@
+// Implementation of the `librisk-sim` command-line tool.
+//
+// Each subcommand is an ordinary function taking pre-split arguments and an
+// output stream, so the test suite can drive the tool without spawning
+// processes. `main.cpp` is a thin dispatcher.
+//
+//   librisk-sim run      — one simulation, full summary (optionally a Gantt)
+//   librisk-sim compare  — all policies side by side on one workload
+//   librisk-sim sweep    — one axis sweep, paper-style series + CSV
+//   librisk-sim workload — generate a synthetic trace as an SWF file
+//   librisk-sim replay   — run policies over an SWF trace file
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace librisk::tool {
+
+/// Runs one subcommand; returns a process exit code. Errors print to `err`.
+int run_command(const std::string& command, const std::vector<std::string>& args,
+                std::ostream& out, std::ostream& err);
+
+/// Top-level entry used by main(): dispatches argv, handles --help.
+int main_entry(int argc, const char* const* argv, std::ostream& out,
+               std::ostream& err);
+
+/// The tool's usage text.
+[[nodiscard]] std::string usage();
+
+}  // namespace librisk::tool

@@ -1,0 +1,9 @@
+// librisk-sim entry point; all logic lives in commands.cpp so tests can
+// drive the tool in-process.
+#include <iostream>
+
+#include "tools/commands.hpp"
+
+int main(int argc, char** argv) {
+  return librisk::tool::main_entry(argc, argv, std::cout, std::cerr);
+}
