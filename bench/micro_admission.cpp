@@ -39,6 +39,36 @@ void BM_RiskAssessNode(benchmark::State& state) {
 }
 BENCHMARK(BM_RiskAssessNode)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
 
+// The hot path the scheduler actually takes: one long-lived workspace,
+// zero allocations per assessment.
+void BM_RiskAssessNodeWorkspace(benchmark::State& state) {
+  const auto inputs = make_inputs(static_cast<std::size_t>(state.range(0)), 7);
+  const core::RiskConfig config;
+  core::RiskWorkspace workspace;
+  for (auto _ : state) {
+    const core::RiskAssessmentView a =
+        core::assess_node(inputs, config, 1.0, 0.3, workspace);
+    benchmark::DoNotOptimize(a.sigma);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * inputs.size()));
+}
+BENCHMARK(BM_RiskAssessNodeWorkspace)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+// The seed implementation (multi-pass, one heap-allocated vector per pass),
+// kept compiled as the differential-testing reference — and as the baseline
+// the workspace variant is measured against.
+void BM_RiskAssessNodeLegacy(benchmark::State& state) {
+  const auto inputs = make_inputs(static_cast<std::size_t>(state.range(0)), 7);
+  const core::RiskConfig config;
+  for (auto _ : state) {
+    const core::RiskAssessment a =
+        core::assess_node_legacy(inputs, config, 1.0, 0.3);
+    benchmark::DoNotOptimize(a.sigma);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * inputs.size()));
+}
+BENCHMARK(BM_RiskAssessNodeLegacy)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
 void BM_RiskAssessNodeProcessorSharing(benchmark::State& state) {
   const auto inputs = make_inputs(static_cast<std::size_t>(state.range(0)), 7);
   core::RiskConfig config;
@@ -50,6 +80,20 @@ void BM_RiskAssessNodeProcessorSharing(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * inputs.size()));
 }
 BENCHMARK(BM_RiskAssessNodeProcessorSharing)->Arg(8)->Arg(128);
+
+void BM_RiskAssessNodeProcessorSharingWorkspace(benchmark::State& state) {
+  const auto inputs = make_inputs(static_cast<std::size_t>(state.range(0)), 7);
+  core::RiskConfig config;
+  config.prediction = core::RiskConfig::Prediction::ProcessorSharing;
+  core::RiskWorkspace workspace;
+  for (auto _ : state) {
+    const core::RiskAssessmentView a =
+        core::assess_node(inputs, config, 1.0, 0.3, workspace);
+    benchmark::DoNotOptimize(a.sigma);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * inputs.size()));
+}
+BENCHMARK(BM_RiskAssessNodeProcessorSharingWorkspace)->Arg(8)->Arg(128);
 
 void BM_TotalShare(benchmark::State& state) {
   rng::Stream stream(11);

@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
   base.seed = seed_opt.value;
 
   table::Table t({"policy", "fulfilled %", "slowdown", "rejected", "late(under-est)",
-                  "late(victims)", "ful(under-est)", "doomable"});
+                  "late(victims)", "ful(under-est)", "doomable", "scans/job",
+                  "skips"});
   for (const core::Policy policy : core::all_policies()) {
     exp::Scenario scenario = base;
     scenario.policy = policy;
@@ -65,12 +66,21 @@ int main(int argc, char** argv) {
           break;
       }
     }
+    // Admission hot-path effort: node scans per submission and how many of
+    // those the empty-node fast path answered (zero for space-shared
+    // policies, which do not use the Libra admission scan).
+    const core::AdmissionStats& adm = r.admission;
+    const double scans_per_job =
+        adm.submissions > 0 ? static_cast<double>(adm.nodes_scanned) /
+                                  static_cast<double>(adm.submissions)
+                            : 0.0;
     t.add_row({std::string(core::to_string(policy)),
                table::pct(r.summary.fulfilled_pct),
                table::num(r.summary.avg_slowdown_fulfilled),
                std::to_string(rejected), std::to_string(late_under),
                std::to_string(late_victim), std::to_string(ful_under),
-               std::to_string(under_total)});
+               std::to_string(under_total), table::num(scans_per_job),
+               std::to_string(adm.empty_node_skips)});
   }
   std::cout << "inaccuracy " << inaccuracy_opt.value << "%, work-conserving "
             << (wc_opt.value ? "on" : "off") << ":\n"

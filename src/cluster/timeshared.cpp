@@ -31,6 +31,8 @@ TimeSharedExecutor::TimeSharedExecutor(sim::Simulator& simulator,
     : sim_(simulator), cluster_(cluster), config_(config) {
   config_.validate();
   node_jobs_.resize(cluster_.size());
+  node_tasks_.resize(cluster_.size());
+  node_cache_.resize(cluster_.size());
   last_advance_ = sim_.now();
 }
 
@@ -64,8 +66,13 @@ void TimeSharedExecutor::start(const Job& job, std::vector<NodeId> nodes) {
   task.start_time = sim_.now();
   task.est_current = job.scheduler_estimate;
   task.actual_total = job.actual_runtime;
-  for (const NodeId n : task.nodes) node_jobs_[n].push_back(job.id);
-  tasks_.emplace(job.id, std::move(task));
+  const auto [it, inserted] = tasks_.emplace(job.id, std::move(task));
+  LIBRISK_CHECK(inserted, "job " << job.id << " already running");
+  for (const NodeId n : it->second.nodes) {
+    node_jobs_[n].push_back(job.id);
+    node_tasks_[n].push_back(&it->second);
+  }
+  ++epoch_;
   settle_and_reschedule();
 }
 
@@ -97,34 +104,69 @@ TaskView TimeSharedExecutor::view(JobId id) const {
 }
 
 double TimeSharedExecutor::node_total_share(NodeId node, EstimateKind kind) const {
-  LIBRISK_CHECK(node >= 0 && node < cluster_.size(), "node " << node << " out of range");
-  const double speed = cluster_.speed_factor(node);
-  const sim::SimTime now = sim_.now();
-  double sum = 0.0;
-  for (const JobId id : node_jobs_[node]) {
-    const Task& t = tasks_.at(id);
-    const double rem_work = kind == EstimateKind::Raw
-                                ? std::max(t.job->scheduler_estimate - t.work_done, 0.0)
-                                : std::max(t.est_current - t.work_done, 0.0);
-    sum += required_share(rem_work, t.job->absolute_deadline() - now,
-                          config_.deadline_clamp, speed);
-  }
-  return sum;
+  const NodeStateView& state = node_state(node);
+  return kind == EstimateKind::Raw ? state.total_share_raw
+                                   : state.total_share_current;
 }
 
 double TimeSharedExecutor::node_available_capacity(NodeId node) const {
+  return node_state(node).available_capacity;
+}
+
+const NodeStateView& TimeSharedExecutor::node_state(NodeId node) const {
   LIBRISK_CHECK(node >= 0 && node < cluster_.size(), "node " << node << " out of range");
+  NodeCache& cache = node_cache_[node];
+  // An empty node's view is time-independent, so epoch agreement alone
+  // keeps it fresh across submissions; a populated view also pins the
+  // instant it was computed at (remaining deadlines shrink with time).
+  const bool fresh =
+      cache.epoch == epoch_ &&
+      (cache.view.residents.empty() || cache.at == sim_.now());
+  if (!fresh) rebuild_node_cache(node, cache);
+  return cache.view;
+}
+
+void TimeSharedExecutor::rebuild_node_cache(NodeId node, NodeCache& cache) const {
+  const sim::SimTime now = sim_.now();
+  const double speed = cluster_.speed_factor(node);
+  const std::vector<const Task*>& residents = node_tasks_[node];
+
+  cache.residents.clear();
+  if (cache.residents.capacity() < residents.size())
+    cache.residents.reserve(residents.size());
+  double total_raw = 0.0;
+  double total_current = 0.0;
+  double demand = 0.0;
+  double min_deadline = sim::kTimeInfinity;
+  for (const Task* t : residents) {
+    ResidentJobState r;
+    r.job = t->job;
+    r.remaining_raw = std::max(t->job->scheduler_estimate - t->work_done, 0.0);
+    r.remaining_current = std::max(t->est_current - t->work_done, 0.0);
+    r.remaining_deadline = t->job->absolute_deadline() - now;
+    r.rate = t->rate;
+    total_raw += required_share(r.remaining_raw, r.remaining_deadline,
+                                config_.deadline_clamp, speed);
+    total_current += required_share(r.remaining_current, r.remaining_deadline,
+                                    config_.deadline_clamp, speed);
+    demand += std::min(1.0, demand_of(*t) / speed);
+    min_deadline = std::min(min_deadline, r.remaining_deadline);
+    cache.residents.push_back(r);
+  }
+
+  cache.epoch = epoch_;
+  cache.at = now;
+  cache.view.residents = cache.residents;
+  cache.view.total_share_raw = total_raw;
+  cache.view.total_share_current = total_current;
   // EqualShare has no notion of reserved shares: a non-empty node is fully
   // used. Pacing modes report the *guaranteed* leftover (1 - total demand)
   // even when work-conserving, because spare redistribution is a bonus a
   // new job cannot rely on.
-  if (config_.mode == ExecutionMode::EqualShare)
-    return node_jobs_[node].empty() ? 1.0 : 0.0;
-  const double speed = cluster_.speed_factor(node);
-  double demand = 0.0;
-  for (const JobId id : node_jobs_[node])
-    demand += std::min(1.0, demand_of(tasks_.at(id)) / speed);
-  return std::max(0.0, 1.0 - demand);
+  cache.view.available_capacity = config_.mode == ExecutionMode::EqualShare
+                                      ? (residents.empty() ? 1.0 : 0.0)
+                                      : std::max(0.0, 1.0 - demand);
+  cache.view.min_remaining_deadline = min_deadline;
 }
 
 double TimeSharedExecutor::demand_of(const Task& task) const {
@@ -140,15 +182,17 @@ double TimeSharedExecutor::demand_of(const Task& task) const {
                                       config_.deadline_clamp));
 }
 
-void TimeSharedExecutor::advance_to_now() {
+bool TimeSharedExecutor::advance_to_now() {
   const sim::SimTime now = sim_.now();
   const double dt = now - last_advance_;
   LIBRISK_CHECK(dt >= -sim::kTimeEpsilon, "executor clock ran backwards");
+  bool advanced = false;
   if (dt > 0.0) {
     for (auto& [id, task] : tasks_) {
       const double progress = task.rate * dt;
       task.work_done += progress;
       delivered_ += progress * static_cast<double>(task.job->num_procs);
+      advanced = true;
       if (timeline_ != nullptr) {
         for (const NodeId n : task.nodes)
           timeline_->record(TimelineSegment{id, n, last_advance_, now, task.rate});
@@ -156,17 +200,20 @@ void TimeSharedExecutor::advance_to_now() {
     }
   }
   last_advance_ = now;
+  return advanced;
 }
 
 void TimeSharedExecutor::complete(JobId id, Task& task) {
   for (const NodeId n : task.nodes) {
     auto& jobs = node_jobs_[n];
     jobs.erase(std::remove(jobs.begin(), jobs.end(), id), jobs.end());
+    auto& tasks = node_tasks_[n];
+    tasks.erase(std::remove(tasks.begin(), tasks.end(), &task), tasks.end());
   }
 }
 
 void TimeSharedExecutor::settle_and_reschedule() {
-  advance_to_now();
+  const bool advanced = advance_to_now();
   const sim::SimTime now = sim_.now();
 
   // Phase 1: classify completions and estimate expiries at this instant.
@@ -202,6 +249,12 @@ void TimeSharedExecutor::settle_and_reschedule() {
     }
     ++it;
   }
+
+  // Invalidate the node caches whenever the observable state changed: work
+  // advanced, membership shrank, or an overrun bump re-estimated a job (any
+  // of which also moves rates, recomputed below).
+  if (advanced || !completed.empty() || !killed.empty() || !overruns.empty())
+    ++epoch_;
 
   // Phase 2: recompute demands and rates (piecewise-constant until the next
   // boundary).
@@ -266,6 +319,15 @@ void TimeSharedExecutor::check_invariants() const {
                     "node list / task nodes disagree for job " << id);
       ++listed;
     }
+  }
+  for (NodeId n = 0; n < cluster_.size(); ++n) {
+    const auto& ids = node_jobs_[n];
+    const auto& ptrs = node_tasks_[n];
+    LIBRISK_CHECK(ids.size() == ptrs.size(),
+                  "node " << n << " id/task lists out of sync");
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      LIBRISK_CHECK(ptrs[i]->job->id == ids[i],
+                    "node " << n << " task pointer mismatch at slot " << i);
   }
   std::size_t expected = 0;
   for (const auto& [id, task] : tasks_) {

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -53,6 +54,33 @@ struct TaskView {
   [[nodiscard]] double remaining_estimate_current() const noexcept;
   /// Seconds until the job's absolute deadline (negative if past it).
   [[nodiscard]] double remaining_deadline(sim::SimTime now) const noexcept;
+};
+
+/// One resident job of a node as seen by an admission control at a fixed
+/// instant (like TaskView, nothing leaks the job's actual runtime), flat and
+/// allocation-free so per-submission scans can read it straight into a risk
+/// workspace.
+struct ResidentJobState {
+  const Job* job = nullptr;
+  double remaining_raw = 0.0;      ///< raw-estimate remaining work (Eq. 1 belief)
+  double remaining_current = 0.0;  ///< overrun-bumped remaining work
+  double remaining_deadline = 0.0; ///< seconds to absolute deadline (may be < 0)
+  double rate = 0.0;               ///< current ref-seconds per second
+};
+
+/// Cached per-node aggregates + resident snapshot. Spans alias the
+/// executor's internal cache: they stay valid until the executor's state
+/// next changes (start/completion/overrun/kill/sync that advances work) —
+/// i.e. for the duration of one admission scan, not across submissions.
+struct NodeStateView {
+  std::span<const ResidentJobState> residents;  ///< in start order
+  double total_share_raw = 0.0;      ///< == node_total_share(EstimateKind::Raw)
+  double total_share_current = 0.0;  ///< == node_total_share(EstimateKind::Current)
+  double available_capacity = 1.0;   ///< == node_available_capacity()
+  double min_remaining_deadline = 0.0;  ///< +inf when the node is empty
+
+  [[nodiscard]] std::size_t count() const noexcept { return residents.size(); }
+  [[nodiscard]] bool empty() const noexcept { return residents.empty(); }
 };
 
 class TimeSharedExecutor {
@@ -101,6 +129,16 @@ class TimeSharedExecutor {
   /// Fraction of the node's capacity not currently allocated to jobs
   /// (always 0 in work-conserving modes, which use everything).
   [[nodiscard]] double node_available_capacity(NodeId node) const;
+  /// Resident snapshot + aggregates for one node, served from a per-node
+  /// cache invalidated by the state epoch (below) and, for non-empty nodes,
+  /// by simulation time. Each node is computed at most once per admission
+  /// scan; empty nodes stay cached across submissions until a start touches
+  /// them. Call sync() first mid-simulation, like the other views.
+  [[nodiscard]] const NodeStateView& node_state(NodeId node) const;
+  /// Monotonic counter bumped whenever observable execution state changes
+  /// (start, completion, overrun bump, kill, or work advancing under sync).
+  /// Snapshot it to detect staleness of previously read views.
+  [[nodiscard]] std::uint64_t state_epoch() const noexcept { return epoch_; }
 
   /// Reference-work delivered so far, for utilization accounting.
   [[nodiscard]] double delivered_node_seconds() const noexcept { return delivered_; }
@@ -123,10 +161,21 @@ class TimeSharedExecutor {
     int bumps = 0;
   };
 
-  void advance_to_now();
+  /// Returns true when any job's work_done advanced (observable state
+  /// changed and the node caches must be invalidated).
+  bool advance_to_now();
   void settle_and_reschedule();
   void complete(JobId id, Task& task);
   [[nodiscard]] double demand_of(const Task& task) const;
+
+  /// Lazily rebuilt per-node admission view (see node_state()).
+  struct NodeCache {
+    std::uint64_t epoch = 0;  ///< 0 = never built (epoch_ starts at 1)
+    sim::SimTime at = 0.0;
+    std::vector<ResidentJobState> residents;  ///< grow-only storage
+    NodeStateView view;
+  };
+  void rebuild_node_cache(NodeId node, NodeCache& cache) const;
 
   sim::Simulator& sim_;
   const Cluster& cluster_;
@@ -137,6 +186,11 @@ class TimeSharedExecutor {
 
   std::map<JobId, Task> tasks_;  // ordered => deterministic iteration
   std::vector<std::vector<JobId>> node_jobs_;
+  /// Parallel to node_jobs_: direct Task pointers (std::map nodes are
+  /// stable), so per-node scans skip the map lookups.
+  std::vector<std::vector<const Task*>> node_tasks_;
+  std::uint64_t epoch_ = 1;
+  mutable std::vector<NodeCache> node_cache_;
   sim::SimTime last_advance_ = 0.0;
   sim::EventId pending_boundary_{};
   double delivered_ = 0.0;

@@ -54,6 +54,9 @@ class TimeSharedStack final : public SchedulerStack {
   double busy_node_seconds(sim::SimTime) const override {
     return executor_.delivered_node_seconds();
   }
+  AdmissionStats admission_stats() const override {
+    return scheduler_.admission_stats();
+  }
 
  private:
   cluster::TimeSharedExecutor executor_;
@@ -91,6 +94,7 @@ LibraConfig libra_family_config(Policy policy, const PolicyOptions& options) {
   config.risk.sigma_threshold = options.risk.sigma_threshold;
   config.risk.rule = options.risk.rule;
   if (options.selection_override) config.selection = *options.selection_override;
+  config.legacy_path = options.legacy_admission;
   return config;
 }
 

@@ -45,6 +45,10 @@ struct PolicyOptions {
   std::optional<LibraConfig::Selection> selection_override;
   /// QoPS slack factor (>= 1; 1 = hard deadlines at admission).
   double qops_slack_factor = 1.0;
+  /// Libra-family only: route admission through the seed (allocating)
+  /// implementation instead of the workspace/cached fast path. Decisions
+  /// are bit-identical either way; differential tests flip this.
+  bool legacy_admission = false;
 };
 
 /// A ready-to-run scheduling stack: the scheduler plus whichever executor
@@ -55,6 +59,9 @@ class SchedulerStack {
   [[nodiscard]] virtual Scheduler& scheduler() noexcept = 0;
   /// Delivered busy node-seconds so far (for utilization accounting).
   [[nodiscard]] virtual double busy_node_seconds(sim::SimTime now) const = 0;
+  /// Admission hot-path counters; all-zero for policies that do not run a
+  /// per-node admission scan (the space-shared family).
+  [[nodiscard]] virtual AdmissionStats admission_stats() const { return {}; }
 };
 
 [[nodiscard]] std::unique_ptr<SchedulerStack> make_scheduler(

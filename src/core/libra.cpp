@@ -49,8 +49,159 @@ double LibraScheduler::new_job_share(const Job& job, cluster::NodeId node) const
                                  executor_.cluster().speed_factor(node));
 }
 
-RiskAssessment LibraScheduler::assess_with_job(cluster::NodeId node,
-                                               const Job& job) const {
+bool LibraScheduler::node_suitable(cluster::NodeId node, const Job& job,
+                                   double& fit) const {
+  if (config_.legacy_path) return node_suitable_legacy(node, job, fit);
+  return node_suitable_fast(node, job, fit);
+}
+
+bool LibraScheduler::node_suitable_fast(cluster::NodeId node, const Job& job,
+                                        double& fit) const {
+  switch (config_.admission) {
+    case LibraConfig::Admission::TotalShare: {
+      const cluster::NodeStateView& state = executor_.node_state(node);
+      ++stats_.assessments;
+      const double resident_total =
+          config_.estimate_kind == cluster::TimeSharedExecutor::EstimateKind::Raw
+              ? state.total_share_raw
+              : state.total_share_current;
+      const double total = resident_total + new_job_share(job, node);
+      fit = total;
+      return total <= config_.capacity + config_.tolerance;
+    }
+    case LibraConfig::Admission::ZeroRisk: {
+      const cluster::NodeStateView& state = executor_.node_state(node);
+      // Empty-node fast path: the assessment would see a single job, whose
+      // sigma (Eq. 6) is 0 by definition, so under the paper's sigma-only
+      // rule the node is suitable and the fit key collapses to the new
+      // job's own share — exactly what the full assessment returns.
+      if (state.empty() && config_.risk.rule == RiskConfig::Rule::SigmaOnly &&
+          0.0 <= config_.risk.sigma_threshold + config_.risk.tolerance) {
+        ++stats_.empty_node_skips;
+        // The assessment's total_share over [new job] alone, with the risk
+        // config's own clamp (it can differ from the executor's).
+        fit = cluster::required_share(job.scheduler_estimate, job.deadline,
+                                      config_.risk.deadline_clamp,
+                                      executor_.cluster().speed_factor(node));
+        return true;
+      }
+      ++stats_.assessments;
+      const bool raw =
+          config_.estimate_kind == cluster::TimeSharedExecutor::EstimateKind::Raw;
+      workspace_.inputs.clear();
+      for (const cluster::ResidentJobState& r : state.residents)
+        workspace_.inputs.push_back(RiskJobInput{
+            raw ? r.remaining_raw : r.remaining_current, r.remaining_deadline,
+            r.rate});
+      // Algorithm 1, line 2: add the new job temporarily.
+      workspace_.inputs.push_back(RiskJobInput{job.scheduler_estimate,
+                                               job.deadline,
+                                               RiskJobInput::kNewJob});
+      const RiskAssessmentView assessment = assess_node(
+          workspace_.inputs, config_.risk,
+          executor_.cluster().speed_factor(node), state.available_capacity,
+          workspace_);
+      fit = assessment.total_share;
+      return assessment.zero_risk(config_.risk);
+    }
+  }
+  return false;
+}
+
+void LibraScheduler::select_prefix(int count) {
+  // The legacy path stable_sorts candidates built in ascending node order,
+  // so its result order is exactly (fit key, node id) — a strict total
+  // order we can hand to the unstable partial-selection algorithms.
+  const auto best = [](const Candidate& a, const Candidate& b) {
+    return a.fit != b.fit ? a.fit > b.fit : a.node < b.node;
+  };
+  const auto worst = [](const Candidate& a, const Candidate& b) {
+    return a.fit != b.fit ? a.fit < b.fit : a.node < b.node;
+  };
+  switch (config_.selection) {
+    case LibraConfig::Selection::FirstFit:
+      return;  // already in node order
+    case LibraConfig::Selection::BestFit:
+      if (static_cast<std::size_t>(count) < suitable_.size())
+        std::nth_element(suitable_.begin(), suitable_.begin() + count,
+                         suitable_.end(), best);
+      std::sort(suitable_.begin(), suitable_.begin() + count, best);
+      return;
+    case LibraConfig::Selection::WorstFit:
+      if (static_cast<std::size_t>(count) < suitable_.size())
+        std::nth_element(suitable_.begin(), suitable_.begin() + count,
+                         suitable_.end(), worst);
+      std::sort(suitable_.begin(), suitable_.begin() + count, worst);
+      return;
+  }
+}
+
+void LibraScheduler::on_job_submitted(const Job& job) {
+  if (config_.legacy_path) {
+    submit_legacy(job);
+    return;
+  }
+  submit_fast(job);
+}
+
+void LibraScheduler::submit_fast(const Job& job) {
+  const sim::SimTime now = sim_.now();
+  ++stats_.submissions;
+  const int cluster_size = executor_.cluster().size();
+  if (job.num_procs > cluster_size) {
+    ++stats_.rejections;
+    collector_.record_rejected(job, now, /*at_dispatch=*/false);
+    return;
+  }
+  executor_.sync();
+
+  suitable_.clear();
+  if (suitable_.capacity() < static_cast<std::size_t>(cluster_size))
+    suitable_.reserve(cluster_size);
+  // FirstFit takes suitable nodes in node order, so the scan can stop at
+  // num_procs hits: acceptance and the chosen sequence are already decided,
+  // and a rejection (< num_procs suitable anywhere) still scans everything.
+  const bool can_stop_early = config_.selection == LibraConfig::Selection::FirstFit;
+  for (cluster::NodeId n = 0; n < cluster_size; ++n) {
+    ++stats_.nodes_scanned;
+    double fit = 0.0;
+    if (node_suitable_fast(n, job, fit)) {
+      suitable_.push_back(Candidate{n, fit});
+      if (can_stop_early &&
+          static_cast<int>(suitable_.size()) == job.num_procs) {
+        if (n + 1 < cluster_size) ++stats_.early_exits;
+        break;
+      }
+    }
+  }
+
+  if (static_cast<int>(suitable_.size()) < job.num_procs) {
+    ++stats_.rejections;
+    collector_.record_rejected(job, now, /*at_dispatch=*/false);
+    LIBRISK_LOG(Debug) << name_ << ": rejected job " << job.id << " ("
+                       << suitable_.size() << '/' << job.num_procs
+                       << " suitable nodes)";
+    return;
+  }
+
+  select_prefix(job.num_procs);
+
+  std::vector<cluster::NodeId> chosen;
+  chosen.reserve(job.num_procs);
+  double slowest = sim::kTimeInfinity;
+  for (int i = 0; i < job.num_procs; ++i) {
+    chosen.push_back(suitable_[i].node);
+    slowest = std::min(slowest, executor_.cluster().speed_factor(suitable_[i].node));
+  }
+  ++stats_.accepted;
+  collector_.record_started(job, now, job.actual_runtime / slowest);
+  executor_.start(job, std::move(chosen));
+}
+
+// ---- seed implementation (differential-testing reference) ----
+
+RiskAssessment LibraScheduler::assess_with_job_legacy(cluster::NodeId node,
+                                                      const Job& job) const {
   const sim::SimTime now = sim_.now();
   std::vector<RiskJobInput> inputs;
   const auto& resident = executor_.node_jobs(node);
@@ -66,12 +217,13 @@ RiskAssessment LibraScheduler::assess_with_job(cluster::NodeId node,
   // Algorithm 1, line 2: add the new job temporarily.
   inputs.push_back(RiskJobInput{job.scheduler_estimate, job.deadline,
                                 RiskJobInput::kNewJob});
-  return assess_node(inputs, config_.risk, executor_.cluster().speed_factor(node),
-                     executor_.node_available_capacity(node));
+  return assess_node_legacy(inputs, config_.risk,
+                            executor_.cluster().speed_factor(node),
+                            executor_.node_available_capacity(node));
 }
 
-bool LibraScheduler::node_suitable(cluster::NodeId node, const Job& job,
-                                   double& fit) const {
+bool LibraScheduler::node_suitable_legacy(cluster::NodeId node, const Job& job,
+                                          double& fit) const {
   switch (config_.admission) {
     case LibraConfig::Admission::TotalShare: {
       const double total =
@@ -81,7 +233,7 @@ bool LibraScheduler::node_suitable(cluster::NodeId node, const Job& job,
       return total <= config_.capacity + config_.tolerance;
     }
     case LibraConfig::Admission::ZeroRisk: {
-      const RiskAssessment assessment = assess_with_job(node, job);
+      const RiskAssessment assessment = assess_with_job_legacy(node, job);
       fit = assessment.total_share;
       return assessment.zero_risk(config_.risk);
     }
@@ -89,26 +241,26 @@ bool LibraScheduler::node_suitable(cluster::NodeId node, const Job& job,
   return false;
 }
 
-void LibraScheduler::on_job_submitted(const Job& job) {
+void LibraScheduler::submit_legacy(const Job& job) {
   const sim::SimTime now = sim_.now();
+  ++stats_.submissions;
   if (job.num_procs > executor_.cluster().size()) {
+    ++stats_.rejections;
     collector_.record_rejected(job, now, /*at_dispatch=*/false);
     return;
   }
   executor_.sync();
 
-  struct Candidate {
-    cluster::NodeId node;
-    double fit;  // total share after acceptance; higher = fuller
-  };
   std::vector<Candidate> suitable;
   suitable.reserve(executor_.cluster().size());
   for (cluster::NodeId n = 0; n < executor_.cluster().size(); ++n) {
+    ++stats_.nodes_scanned;
     double fit = 0.0;
-    if (node_suitable(n, job, fit)) suitable.push_back(Candidate{n, fit});
+    if (node_suitable_legacy(n, job, fit)) suitable.push_back(Candidate{n, fit});
   }
 
   if (static_cast<int>(suitable.size()) < job.num_procs) {
+    ++stats_.rejections;
     collector_.record_rejected(job, now, /*at_dispatch=*/false);
     LIBRISK_LOG(Debug) << name_ << ": rejected job " << job.id << " ("
                        << suitable.size() << '/' << job.num_procs
@@ -141,6 +293,7 @@ void LibraScheduler::on_job_submitted(const Job& job) {
     chosen.push_back(suitable[i].node);
     slowest = std::min(slowest, executor_.cluster().speed_factor(suitable[i].node));
   }
+  ++stats_.accepted;
   collector_.record_started(job, now, job.actual_runtime / slowest);
   executor_.start(job, std::move(chosen));
 }

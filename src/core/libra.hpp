@@ -47,12 +47,31 @@ struct LibraConfig {
   RiskConfig risk;
   /// Numeric tolerance on the capacity test.
   double tolerance = 1e-9;
+  /// Differential-testing escape hatch: route submissions through the seed
+  /// implementation (full node scan, allocating risk assessment, full
+  /// stable_sort selection) instead of the workspace/cached fast path. The
+  /// two paths make bit-identical decisions — tests/test_admission_equivalence
+  /// asserts it — so this exists only to keep that claim checkable.
+  bool legacy_path = false;
 
   /// The paper's Libra: total-share admission, best-fit, raw estimates.
   static LibraConfig libra();
   /// The paper's LibraRisk: zero-risk admission, node-order selection,
   /// overrun-aware estimates.
   static LibraConfig libra_risk();
+};
+
+/// Counters over the admission hot path, reset-free and monotonic; cheap
+/// enough to maintain unconditionally. Queryable from the scheduler (and
+/// surfaced by `librisk-sim run`, `examples/diagnose` and ScenarioResult).
+struct AdmissionStats {
+  std::uint64_t submissions = 0;      ///< jobs offered to the admission test
+  std::uint64_t accepted = 0;
+  std::uint64_t rejections = 0;
+  std::uint64_t nodes_scanned = 0;    ///< nodes examined for suitability
+  std::uint64_t assessments = 0;      ///< full share/risk evaluations run
+  std::uint64_t empty_node_skips = 0; ///< ZeroRisk empty-node fast-path hits
+  std::uint64_t early_exits = 0;      ///< FirstFit scans stopped before the last node
 };
 
 class LibraScheduler final : public Scheduler {
@@ -72,17 +91,43 @@ class LibraScheduler final : public Scheduler {
                                    double& fit) const;
 
   [[nodiscard]] const LibraConfig& config() const noexcept { return config_; }
+  /// Hot-path counters since construction (see AdmissionStats).
+  [[nodiscard]] const AdmissionStats& admission_stats() const noexcept {
+    return stats_;
+  }
 
  private:
+  struct Candidate {
+    cluster::NodeId node;
+    double fit;  // total share after acceptance; higher = fuller
+  };
+
   [[nodiscard]] double new_job_share(const Job& job, cluster::NodeId node) const;
-  [[nodiscard]] RiskAssessment assess_with_job(cluster::NodeId node,
-                                               const Job& job) const;
+  /// Workspace-based suitability (the hot path; no allocation steady-state).
+  [[nodiscard]] bool node_suitable_fast(cluster::NodeId node, const Job& job,
+                                        double& fit) const;
+  /// Orders the first `count` candidates of suitable_ exactly as the legacy
+  /// full stable_sort would, without touching the rest.
+  void select_prefix(int count);
+  void submit_fast(const Job& job);
+
+  // Seed implementation, kept for differential testing (LibraConfig::legacy_path).
+  [[nodiscard]] RiskAssessment assess_with_job_legacy(cluster::NodeId node,
+                                                      const Job& job) const;
+  [[nodiscard]] bool node_suitable_legacy(cluster::NodeId node, const Job& job,
+                                          double& fit) const;
+  void submit_legacy(const Job& job);
 
   sim::Simulator& sim_;
   cluster::TimeSharedExecutor& executor_;
   Collector& collector_;
   LibraConfig config_;
   std::string name_;
+  mutable AdmissionStats stats_;
+  /// Per-scheduler scratch for the admission scan (grow-only, reused every
+  /// submission; mutable because node_suitable() is a const query).
+  mutable RiskWorkspace workspace_;
+  std::vector<Candidate> suitable_;
 };
 
 }  // namespace librisk::core

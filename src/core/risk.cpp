@@ -19,36 +19,58 @@ double deadline_delay_metric(double delay, double remaining_deadline,
   return (std::max(delay, 0.0) + rd) / rd;
 }
 
-bool RiskAssessment::zero_risk(const RiskConfig& config) const noexcept {
+namespace {
+
+// Eq. 6 acceptance shared by the owning and the view result types.
+bool zero_risk_test(double sigma, double max_deadline_delay,
+                    const RiskConfig& config) noexcept {
   if (sigma > config.sigma_threshold + config.tolerance) return false;
   if (config.rule == RiskConfig::Rule::SigmaAndNoDelay)
     return max_deadline_delay <= 1.0 + config.tolerance;
   return true;
 }
 
-std::vector<double> processor_sharing_finish_times(std::span<const double> works,
-                                                   double speed_factor) {
+}  // namespace
+
+bool RiskAssessment::zero_risk(const RiskConfig& config) const noexcept {
+  return zero_risk_test(sigma, max_deadline_delay, config);
+}
+
+bool RiskAssessmentView::zero_risk(const RiskConfig& config) const noexcept {
+  return zero_risk_test(sigma, max_deadline_delay, config);
+}
+
+void processor_sharing_finish_times_into(std::span<const double> works,
+                                         double speed_factor,
+                                         std::vector<std::size_t>& order_scratch,
+                                         std::vector<double>& finish) {
   LIBRISK_CHECK(speed_factor > 0.0, "speed factor must be positive");
   const std::size_t n = works.size();
-  std::vector<std::size_t> order(n);
-  for (std::size_t i = 0; i < n; ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return works[a] < works[b];
-  });
+  order_scratch.resize(n);
+  for (std::size_t i = 0; i < n; ++i) order_scratch[i] = i;
+  std::sort(order_scratch.begin(), order_scratch.end(),
+            [&](std::size_t a, std::size_t b) { return works[a] < works[b]; });
 
   // Under equal splitting, the k-th job (by remaining work) finishes after
   // the previous one plus (n-k) shares of the work difference:
   //   F(k) = F(k-1) + (n - k + 1) * (w(k) - w(k-1)) / speed.
-  std::vector<double> finish(n, 0.0);
+  finish.assign(n, 0.0);
   double clock = 0.0;
   double prev_work = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
-    const double w = works[order[k]];
+    const double w = works[order_scratch[k]];
     LIBRISK_CHECK(w >= 0.0, "negative remaining work");
     clock += static_cast<double>(n - k) * (w - prev_work) / speed_factor;
     prev_work = w;
-    finish[order[k]] = clock;
+    finish[order_scratch[k]] = clock;
   }
+}
+
+std::vector<double> processor_sharing_finish_times(std::span<const double> works,
+                                                   double speed_factor) {
+  std::vector<std::size_t> order;
+  std::vector<double> finish;
+  processor_sharing_finish_times_into(works, speed_factor, order, finish);
   return finish;
 }
 
@@ -58,8 +80,17 @@ namespace {
 // dominate any deadline, small enough to stay numerically benign.
 constexpr double kStarvedFinish = 1e15;
 
+// Predicted delay (Algorithm 1, line 4) from a finish offset: past-deadline
+// jobs believed finished are already late by their overshoot.
+double delay_from_finish(const RiskJobInput& j, double finish_offset) noexcept {
+  if (j.remaining_work > 0.0)
+    return std::max(0.0, finish_offset - j.remaining_deadline);
+  if (j.remaining_deadline < 0.0) return -j.remaining_deadline;
+  return 0.0;
+}
+
 // Predicted time-from-now to completion for every job, under the configured
-// node execution model.
+// node execution model (legacy multi-pass path).
 std::vector<double> predict_finish_offsets(std::span<const RiskJobInput> jobs,
                                            const RiskConfig& config,
                                            double speed_factor,
@@ -106,9 +137,9 @@ std::vector<double> predict_finish_offsets(std::span<const RiskJobInput> jobs,
 
 }  // namespace
 
-RiskAssessment assess_node(std::span<const RiskJobInput> jobs,
-                           const RiskConfig& config, double speed_factor,
-                           double available_capacity) {
+RiskAssessment assess_node_legacy(std::span<const RiskJobInput> jobs,
+                                  const RiskConfig& config, double speed_factor,
+                                  double available_capacity) {
   LIBRISK_CHECK(speed_factor > 0.0, "speed factor must be positive");
   RiskAssessment out;
   if (jobs.empty()) {
@@ -132,17 +163,10 @@ RiskAssessment assess_node(std::span<const RiskJobInput> jobs,
   out.predicted_delay.reserve(jobs.size());
   out.deadline_delay.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const RiskJobInput& j = jobs[i];
-    double delay = 0.0;
-    if (j.remaining_work > 0.0) {
-      delay = std::max(0.0, finish_offsets[i] - j.remaining_deadline);
-    } else if (j.remaining_deadline < 0.0) {
-      // Believed-finished job past its deadline: already late by that much.
-      delay = -j.remaining_deadline;
-    }
+    const double delay = delay_from_finish(jobs[i], finish_offsets[i]);
     out.predicted_delay.push_back(delay);
-    out.deadline_delay.push_back(
-        deadline_delay_metric(delay, j.remaining_deadline, config.deadline_clamp));
+    out.deadline_delay.push_back(deadline_delay_metric(
+        delay, jobs[i].remaining_deadline, config.deadline_clamp));
   }
 
   // Eq. 5-6.
@@ -150,6 +174,133 @@ RiskAssessment assess_node(std::span<const RiskJobInput> jobs,
   out.sigma = stats::stddev_population_eq6(out.deadline_delay);
   out.max_deadline_delay =
       *std::max_element(out.deadline_delay.begin(), out.deadline_delay.end());
+  return out;
+}
+
+RiskAssessmentView assess_node(std::span<const RiskJobInput> jobs,
+                               const RiskConfig& config, double speed_factor,
+                               double available_capacity,
+                               RiskWorkspace& ws) {
+  LIBRISK_CHECK(speed_factor > 0.0, "speed factor must be positive");
+  RiskAssessmentView out;
+  if (jobs.empty()) {
+    out.max_deadline_delay = 1.0;  // empty node: ideal by definition
+    return out;
+  }
+
+  const std::size_t n = jobs.size();
+  ws.predicted_delay_.resize(n);
+  ws.deadline_delay_.resize(n);
+
+  // Accumulators fused into the per-job loops. Each matches the exact
+  // summation order of the legacy path (in-order sums over index 0..n-1),
+  // so total_share, mu (Eq. 5) and sigma (Eq. 6) come out bit-identical.
+  double total = 0.0;
+  double dd_sum = 0.0;
+  double dd_sum_sq = 0.0;
+  double dd_max = 0.0;
+
+  if (config.prediction == RiskConfig::Prediction::CurrentRate) {
+    // Hot path: everything per job is local, so one fused pass suffices —
+    // no shares/finish arrays at all.
+    const double spare = std::max(available_capacity, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const RiskJobInput& j = jobs[i];
+      LIBRISK_CHECK(j.remaining_work >= 0.0, "negative remaining work");
+      const double share = cluster::required_share(
+          j.remaining_work, j.remaining_deadline, config.deadline_clamp,
+          speed_factor);
+      total += share;
+      double finish = 0.0;
+      if (j.remaining_work > 0.0) {
+        const double rate = j.current_rate == RiskJobInput::kNewJob
+                                ? std::min(std::min(share, spare), 1.0) * speed_factor
+                                : j.current_rate;
+        finish = rate > 0.0 ? j.remaining_work / rate : kStarvedFinish;
+        finish = std::min(finish, kStarvedFinish);
+      }
+      const double delay = delay_from_finish(j, finish);
+      const double dd = deadline_delay_metric(delay, j.remaining_deadline,
+                                              config.deadline_clamp);
+      ws.predicted_delay_[i] = delay;
+      ws.deadline_delay_[i] = dd;
+      dd_sum += dd;
+      dd_sum_sq += dd * dd;
+      dd_max = std::max(dd_max, dd);
+    }
+  } else {
+    // ProcessorSharing / ProportionalShare predictions need the whole node
+    // population before any finish time is known; mirror the legacy pass
+    // structure over workspace buffers.
+    ws.shares_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      LIBRISK_CHECK(jobs[i].remaining_work >= 0.0, "negative remaining work");
+      ws.shares_[i] = cluster::required_share(jobs[i].remaining_work,
+                                              jobs[i].remaining_deadline,
+                                              config.deadline_clamp, speed_factor);
+      total += ws.shares_[i];
+    }
+
+    if (config.prediction == RiskConfig::Prediction::ProcessorSharing) {
+      // Stage remaining works in the predicted-delay buffer (overwritten by
+      // the delay pass below) to avoid a dedicated works array.
+      for (std::size_t i = 0; i < n; ++i)
+        ws.predicted_delay_[i] = jobs[i].remaining_work;
+      processor_sharing_finish_times_into(ws.predicted_delay_, speed_factor,
+                                          ws.order_, ws.finish_);
+    } else {
+      ws.finish_.assign(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (jobs[i].remaining_work <= 0.0) continue;
+        const double alloc =
+            cluster::allocate_one(ws.shares_[i], total - ws.shares_[i],
+                                  config.work_conserving_prediction);
+        // alloc > 0 because remaining_work > 0 forces shares_[i] > 0.
+        ws.finish_[i] = jobs[i].remaining_work / (alloc * speed_factor);
+      }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const double delay = delay_from_finish(jobs[i], ws.finish_[i]);
+      const double dd = deadline_delay_metric(delay, jobs[i].remaining_deadline,
+                                              config.deadline_clamp);
+      ws.predicted_delay_[i] = delay;
+      ws.deadline_delay_[i] = dd;
+      dd_sum += dd;
+      dd_sum_sq += dd * dd;
+      dd_max = std::max(dd_max, dd);
+    }
+  }
+
+  out.total_share = total;
+  out.predicted_delay = ws.predicted_delay_;
+  out.deadline_delay = ws.deadline_delay_;
+  const double dn = static_cast<double>(n);
+  out.mu = dd_sum / dn;  // == stats::mean: in-order sum, then divide
+  // == stats::stddev_population_eq6 (0 below two samples).
+  if (n >= 2) {
+    const double m = dd_sum / dn;
+    out.sigma = std::sqrt(std::max(0.0, dd_sum_sq / dn - m * m));
+  }
+  out.max_deadline_delay = dd_max;
+  return out;
+}
+
+RiskAssessment assess_node(std::span<const RiskJobInput> jobs,
+                           const RiskConfig& config, double speed_factor,
+                           double available_capacity) {
+  RiskWorkspace ws;
+  const RiskAssessmentView view =
+      assess_node(jobs, config, speed_factor, available_capacity, ws);
+  RiskAssessment out;
+  out.predicted_delay.assign(view.predicted_delay.begin(),
+                             view.predicted_delay.end());
+  out.deadline_delay.assign(view.deadline_delay.begin(),
+                            view.deadline_delay.end());
+  out.total_share = view.total_share;
+  out.mu = view.mu;
+  out.sigma = view.sigma;
+  out.max_deadline_delay = view.max_deadline_delay;
   return out;
 }
 

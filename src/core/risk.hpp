@@ -93,19 +93,82 @@ struct RiskAssessment {
   [[nodiscard]] bool zero_risk(const RiskConfig& config) const noexcept;
 };
 
-/// Predicts each job's completion on a node of the given speed factor under
-/// the configured prediction model and evaluates Eq. 4-6 on the result.
-/// `available_capacity` is the node's unallocated share fraction (used only
-/// by the CurrentRate prediction to rate the job under admission).
+/// Result of a workspace-based assessment. The spans alias the workspace
+/// passed to assess_node and are invalidated by the next assessment with
+/// (or resize of) that workspace — copy out anything that must persist.
+struct RiskAssessmentView {
+  std::span<const double> predicted_delay;
+  std::span<const double> deadline_delay;
+  double total_share = 0.0;  ///< Eq. 2 over the same inputs
+  double mu = 0.0;           ///< Eq. 5
+  double sigma = 0.0;        ///< Eq. 6
+  double max_deadline_delay = 0.0;
+
+  [[nodiscard]] bool zero_risk(const RiskConfig& config) const noexcept;
+};
+
+/// Reusable scratch memory for the non-allocating assess_node overload.
+/// Buffers are grow-only: after the first few assessments at a given node
+/// population, no assessment allocates. A workspace is cheap to hold per
+/// scheduler; it is not thread-safe — one workspace per thread.
+///
+/// `inputs` is a caller-side staging buffer (clear + push the node's
+/// residents and the admission candidate, then pass it as the jobs span);
+/// the remaining buffers are owned by assess_node and aliased by the
+/// returned RiskAssessmentView.
+class RiskWorkspace {
+ public:
+  std::vector<RiskJobInput> inputs;
+
+ private:
+  std::vector<double> shares_;
+  std::vector<double> predicted_delay_;
+  std::vector<double> deadline_delay_;
+  std::vector<double> finish_;
+  std::vector<std::size_t> order_;
+
+  friend RiskAssessmentView assess_node(std::span<const RiskJobInput>,
+                                        const RiskConfig&, double, double,
+                                        RiskWorkspace&);
+};
+
+/// Non-allocating assessment (the admission hot path): identical arithmetic
+/// to the allocating overload — same operations in the same order, so
+/// results are bit-identical — but all per-job storage lives in `workspace`.
+[[nodiscard]] RiskAssessmentView assess_node(std::span<const RiskJobInput> jobs,
+                                             const RiskConfig& config,
+                                             double speed_factor,
+                                             double available_capacity,
+                                             RiskWorkspace& workspace);
+
+/// Convenience wrapper over the workspace overload: allocates a fresh
+/// RiskAssessment per call. Fine for tests and one-off introspection; use
+/// the workspace overload in per-submission loops.
 [[nodiscard]] RiskAssessment assess_node(std::span<const RiskJobInput> jobs,
                                          const RiskConfig& config,
                                          double speed_factor = 1.0,
                                          double available_capacity = 1.0);
+
+/// The seed implementation (multi-pass, allocating), kept compiled as the
+/// reference for the differential equivalence tests and benchmarks; do not
+/// use in new code.
+[[nodiscard]] RiskAssessment assess_node_legacy(std::span<const RiskJobInput> jobs,
+                                                const RiskConfig& config,
+                                                double speed_factor = 1.0,
+                                                double available_capacity = 1.0);
 
 /// Completion offsets (seconds from now) of jobs with the given remaining
 /// works when a node of speed `speed_factor` splits capacity equally among
 /// unfinished jobs (processor sharing). Returned in input order.
 [[nodiscard]] std::vector<double> processor_sharing_finish_times(
     std::span<const double> works, double speed_factor);
+
+/// In-place variant: writes the offsets into `finish` (resized to match)
+/// using `order_scratch` for the rank sort; no allocation once both vectors
+/// have grown to the node population.
+void processor_sharing_finish_times_into(std::span<const double> works,
+                                         double speed_factor,
+                                         std::vector<std::size_t>& order_scratch,
+                                         std::vector<double>& finish);
 
 }  // namespace librisk::core

@@ -46,6 +46,7 @@ ScenarioResult run_jobs(const Scenario& scenario,
   ScenarioResult result;
   result.summary = collector.summarize(window);
   result.events_processed = simulator.events_processed();
+  result.admission = stack->admission_stats();
   result.outcomes.reserve(collector.records().size());
   for (const auto& [id, record] : collector.records()) {
     result.outcomes.push_back(JobOutcome{

@@ -48,6 +48,8 @@ struct ScenarioResult {
   metrics::RunSummary summary;
   std::vector<JobOutcome> outcomes;
   std::uint64_t events_processed = 0;
+  /// Admission hot-path counters (all-zero for space-shared policies).
+  core::AdmissionStats admission;
 };
 
 /// Generates the workload, runs the policy on it, returns the summary

@@ -1,0 +1,203 @@
+// Differential test for the admission hot-path redesign: the
+// workspace/cached fast path (RiskWorkspace + NodeStateView + prefix
+// selection) must make byte-identical decisions to the seed implementation
+// (PolicyOptions::legacy_admission), across policies, selections, seeds and
+// heterogeneous clusters — same RunSummary, same per-job outcomes, same
+// chosen nodes, down to the last bit.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/timeline.hpp"
+#include "core/factory.hpp"
+#include "exp/scenario.hpp"
+
+namespace librisk {
+namespace {
+
+exp::ScenarioResult run_with(exp::Scenario scenario, bool legacy) {
+  scenario.options.legacy_admission = legacy;
+  return exp::run_scenario(scenario);
+}
+
+// Bitwise equality: any drift between the two paths is a bug, so no
+// tolerances anywhere.
+void expect_identical(const exp::ScenarioResult& fast,
+                      const exp::ScenarioResult& legacy,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  const metrics::RunSummary& a = fast.summary;
+  const metrics::RunSummary& b = legacy.summary;
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.rejected_at_submit, b.rejected_at_submit);
+  EXPECT_EQ(a.rejected_at_dispatch, b.rejected_at_dispatch);
+  EXPECT_EQ(a.fulfilled, b.fulfilled);
+  EXPECT_EQ(a.completed_late, b.completed_late);
+  EXPECT_EQ(a.killed, b.killed);
+  EXPECT_EQ(a.fulfilled_pct, b.fulfilled_pct);
+  EXPECT_EQ(a.avg_slowdown_fulfilled, b.avg_slowdown_fulfilled);
+  EXPECT_EQ(a.avg_slowdown_completed, b.avg_slowdown_completed);
+  EXPECT_EQ(a.avg_delay_late, b.avg_delay_late);
+  EXPECT_EQ(a.p95_slowdown_fulfilled, b.p95_slowdown_fulfilled);
+  EXPECT_EQ(a.max_delay, b.max_delay);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.utilization, b.utilization);
+
+  ASSERT_EQ(fast.outcomes.size(), legacy.outcomes.size());
+  for (std::size_t i = 0; i < fast.outcomes.size(); ++i) {
+    const exp::JobOutcome& x = fast.outcomes[i];
+    const exp::JobOutcome& y = legacy.outcomes[i];
+    ASSERT_EQ(x.id, y.id);
+    EXPECT_EQ(x.fate, y.fate) << "job " << x.id;
+    EXPECT_EQ(x.delay, y.delay) << "job " << x.id;
+    EXPECT_EQ(x.slowdown, y.slowdown) << "job " << x.id;
+  }
+}
+
+exp::Scenario small_scenario(core::Policy policy, std::uint64_t seed) {
+  exp::Scenario s;
+  s.workload.trace.job_count = 300;
+  s.nodes = 32;
+  s.policy = policy;
+  s.seed = seed;
+  return s;
+}
+
+// Headline criterion: every factory policy, >= 10 seeds. For the
+// space-shared family the legacy flag is inert (their path is untouched),
+// which the comparison verifies for free.
+TEST(AdmissionEquivalence, EveryPolicyTenSeeds) {
+  for (const core::Policy policy : core::all_policies()) {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const exp::Scenario s = small_scenario(policy, seed);
+      expect_identical(run_with(s, false), run_with(s, true),
+                       std::string(core::to_string(policy)) + " seed " +
+                           std::to_string(seed));
+    }
+  }
+}
+
+// The selection rework (early exit, nth_element prefix) per strategy, under
+// both admission tests, at higher contention (fewer nodes than the default
+// workload expects => plenty of marginal decisions and rejections).
+TEST(AdmissionEquivalence, EverySelectionStrategy) {
+  for (const core::Policy policy : {core::Policy::Libra, core::Policy::LibraRisk}) {
+    for (const core::LibraConfig::Selection selection :
+         {core::LibraConfig::Selection::FirstFit,
+          core::LibraConfig::Selection::BestFit,
+          core::LibraConfig::Selection::WorstFit}) {
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        exp::Scenario s = small_scenario(policy, seed);
+        s.nodes = 16;
+        s.options.selection_override = selection;
+        expect_identical(run_with(s, false), run_with(s, true),
+                         std::string(core::to_string(policy)) + " selection " +
+                             std::to_string(static_cast<int>(selection)) +
+                             " seed " + std::to_string(seed));
+      }
+    }
+  }
+}
+
+// Heterogeneous ratings exercise the per-node speed factors in shares,
+// fit keys and the slowest-node runtime scaling.
+TEST(AdmissionEquivalence, HeterogeneousCluster) {
+  std::vector<double> ratings;
+  for (int i = 0; i < 24; ++i)
+    ratings.push_back(100.0 + 20.0 * static_cast<double>(i % 5));
+  for (const core::Policy policy : {core::Policy::Libra, core::Policy::LibraRisk}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      exp::Scenario s = small_scenario(policy, seed);
+      s.node_ratings = ratings;
+      s.rating = 168.0;
+      expect_identical(run_with(s, false), run_with(s, true),
+                       std::string(core::to_string(policy)) + " hetero seed " +
+                           std::to_string(seed));
+    }
+  }
+}
+
+// Off-default risk knobs: ablation prediction models and the strict rule,
+// which disable parts of the fast path (e.g. the empty-node skip).
+TEST(AdmissionEquivalence, RiskConfigVariants) {
+  struct Variant {
+    const char* label;
+    void (*apply)(exp::Scenario&);
+  };
+  const Variant variants[] = {
+      {"processor-sharing",
+       [](exp::Scenario& s) {
+         s.options.share_model.mode = cluster::ExecutionMode::EqualShare;
+         s.options.risk.prediction = core::RiskConfig::Prediction::ProcessorSharing;
+       }},
+      {"proportional-share",
+       [](exp::Scenario& s) {
+         s.options.risk.prediction = core::RiskConfig::Prediction::ProportionalShare;
+       }},
+      {"sigma-and-no-delay",
+       [](exp::Scenario& s) {
+         s.options.risk.rule = core::RiskConfig::Rule::SigmaAndNoDelay;
+       }},
+      {"sigma-threshold",
+       [](exp::Scenario& s) { s.options.risk.sigma_threshold = 0.5; }},
+      {"kill-at-estimate",
+       [](exp::Scenario& s) { s.options.share_model.kill_at_estimate = true; }},
+  };
+  for (const Variant& v : variants) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      exp::Scenario s = small_scenario(core::Policy::LibraRisk, seed);
+      v.apply(s);
+      expect_identical(run_with(s, false), run_with(s, true),
+                       std::string(v.label) + " seed " + std::to_string(seed));
+    }
+  }
+}
+
+// Chosen-node regression (satellite): the prefix selection must place every
+// accepted job on exactly the nodes the full stable_sort chose — asserted
+// via complete execution-timeline equality, which pins job->node placement,
+// segment boundaries and rates.
+TEST(AdmissionEquivalence, ChosenNodeSequencesIdentical) {
+  for (const core::LibraConfig::Selection selection :
+       {core::LibraConfig::Selection::FirstFit,
+        core::LibraConfig::Selection::BestFit,
+        core::LibraConfig::Selection::WorstFit}) {
+    const auto jobs = workload::make_paper_workload(
+        [] {
+          workload::PaperWorkloadConfig w;
+          w.trace.job_count = 400;
+          return w;
+        }(),
+        7);
+    std::vector<cluster::TimelineSegment> segments[2];
+    for (const bool legacy : {false, true}) {
+      const auto cluster = cluster::Cluster::homogeneous(24, 168.0);
+      sim::Simulator simulator;
+      metrics::Collector collector;
+      cluster::TimeSharedExecutor executor(simulator, cluster, {});
+      cluster::TimelineRecorder recorder;
+      executor.set_timeline_recorder(&recorder);
+      core::LibraConfig config = core::LibraConfig::libra_risk();
+      config.selection = selection;
+      config.legacy_path = legacy;
+      core::LibraScheduler scheduler(simulator, executor, collector, config,
+                                     "equiv");
+      core::run_trace(simulator, scheduler, collector, jobs);
+      segments[legacy ? 1 : 0] = recorder.segments();
+    }
+    ASSERT_EQ(segments[0].size(), segments[1].size());
+    for (std::size_t i = 0; i < segments[0].size(); ++i) {
+      const cluster::TimelineSegment& a = segments[0][i];
+      const cluster::TimelineSegment& b = segments[1][i];
+      EXPECT_EQ(a.job_id, b.job_id) << "segment " << i;
+      EXPECT_EQ(a.node, b.node) << "segment " << i;
+      EXPECT_EQ(a.begin, b.begin) << "segment " << i;
+      EXPECT_EQ(a.end, b.end) << "segment " << i;
+      EXPECT_EQ(a.rate, b.rate) << "segment " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace librisk

@@ -204,6 +204,75 @@ TEST(AssessNode, RejectsBadInputs) {
   EXPECT_THROW((void)assess_node({}, config, 0.0), CheckError);
   const std::vector<RiskJobInput> bad{{-1.0, 100.0, 0.5}};
   EXPECT_THROW((void)assess_node(bad, config), CheckError);
+  RiskWorkspace ws;
+  EXPECT_THROW((void)assess_node({}, config, 0.0, 1.0, ws), CheckError);
+  EXPECT_THROW((void)assess_node(bad, config, 1.0, 1.0, ws), CheckError);
+}
+
+// The workspace overload must be bit-identical to the allocating one (and
+// both to the preserved seed implementation) for every prediction model and
+// the usual edge cases.
+TEST(AssessNodeWorkspace, MatchesAllocatingPathBitwise) {
+  const std::vector<std::vector<RiskJobInput>> populations{
+      {},                                     // empty node
+      {{100.0, 50.0, RiskJobInput::kNewJob}}, // lone admission candidate
+      {{200.0, 100.0, 0.5},
+       {50.0, 100.0, 0.5},
+       {0.0, -10.0, 0.2},                     // believed-finished, past deadline
+       {80.0, -5.0, 0.1},                     // running past its deadline
+       {120.0, 400.0, RiskJobInput::kNewJob}},
+  };
+  RiskWorkspace ws;
+  for (const auto prediction :
+       {RiskConfig::Prediction::CurrentRate,
+        RiskConfig::Prediction::ProcessorSharing,
+        RiskConfig::Prediction::ProportionalShare}) {
+    for (const double capacity : {0.0, 0.3, 1.0}) {
+      for (const double speed : {0.5, 1.0, 2.0}) {
+        RiskConfig config;
+        config.prediction = prediction;
+        // ProcessorSharing rejects zero-work inputs via the sort? It does
+        // not — zero work is a valid finished job; keep all populations.
+        for (const auto& jobs : populations) {
+          const RiskAssessment ref = assess_node_legacy(jobs, config, speed, capacity);
+          const RiskAssessment alloc = assess_node(jobs, config, speed, capacity);
+          const RiskAssessmentView view =
+              assess_node(jobs, config, speed, capacity, ws);
+          EXPECT_EQ(ref.total_share, view.total_share);
+          EXPECT_EQ(ref.mu, view.mu);
+          EXPECT_EQ(ref.sigma, view.sigma);
+          EXPECT_EQ(ref.max_deadline_delay, view.max_deadline_delay);
+          EXPECT_EQ(alloc.total_share, view.total_share);
+          ASSERT_EQ(ref.predicted_delay.size(), view.predicted_delay.size());
+          for (std::size_t i = 0; i < jobs.size(); ++i) {
+            EXPECT_EQ(ref.predicted_delay[i], view.predicted_delay[i]) << i;
+            EXPECT_EQ(ref.deadline_delay[i], view.deadline_delay[i]) << i;
+            EXPECT_EQ(alloc.deadline_delay[i], view.deadline_delay[i]) << i;
+          }
+          EXPECT_EQ(ref.zero_risk(config), view.zero_risk(config));
+        }
+      }
+    }
+  }
+}
+
+// Reusing one workspace across assessments of different sizes must not leak
+// state between calls.
+TEST(AssessNodeWorkspace, ReuseAcrossSizes) {
+  RiskConfig config;
+  RiskWorkspace ws;
+  const std::vector<RiskJobInput> big{
+      {200.0, 100.0, 0.5}, {50.0, 100.0, 0.5}, {80.0, 400.0, 0.3}};
+  const std::vector<RiskJobInput> small{{10.0, 100.0, RiskJobInput::kNewJob}};
+  (void)assess_node(big, config, 1.0, 0.5, ws);
+  const RiskAssessmentView v = assess_node(small, config, 1.0, 0.5, ws);
+  EXPECT_EQ(v.deadline_delay.size(), 1u);
+  const RiskAssessment ref = assess_node(small, config, 1.0, 0.5);
+  EXPECT_EQ(ref.sigma, v.sigma);
+  EXPECT_EQ(ref.total_share, v.total_share);
+  // And growing again after shrinking.
+  const RiskAssessmentView v2 = assess_node(big, config, 1.0, 0.5, ws);
+  EXPECT_EQ(v2.deadline_delay.size(), 3u);
 }
 
 }  // namespace

@@ -219,6 +219,113 @@ TEST(TimeShared, InvariantsHoldDuringRandomizedLoad) {
   EXPECT_EQ(f.completions.size(), 50u);
 }
 
+// --- NodeStateView / epoch cache -----------------------------------------
+
+// The cached aggregates must agree exactly with the per-call accessors they
+// replace (which now read through the cache themselves, so cross-check
+// against hand-computed values too).
+TEST(TimeShared, NodeStateAggregatesMatchAccessors) {
+  Fixture f(2, strict_pacing());
+  const NodeStateView& empty = f.executor.node_state(0);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.total_share_raw, 0.0);
+  EXPECT_DOUBLE_EQ(empty.total_share_current, 0.0);
+  EXPECT_DOUBLE_EQ(empty.available_capacity, 1.0);
+  EXPECT_EQ(empty.min_remaining_deadline, sim::kTimeInfinity);
+
+  const Job a = JobBuilder(1).set_runtime(100.0).deadline(400.0).build();
+  const Job b = JobBuilder(2).set_runtime(50.0).deadline(1000.0).build();
+  f.executor.start(a, {0});
+  f.executor.start(b, {0});
+  const NodeStateView& s = f.executor.node_state(0);
+  ASSERT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.residents[0].job->id, 1);
+  EXPECT_EQ(s.residents[1].job->id, 2);
+  EXPECT_DOUBLE_EQ(s.total_share_raw,
+                   f.executor.node_total_share(
+                       0, TimeSharedExecutor::EstimateKind::Raw));
+  EXPECT_DOUBLE_EQ(s.total_share_current,
+                   f.executor.node_total_share(
+                       0, TimeSharedExecutor::EstimateKind::Current));
+  EXPECT_DOUBLE_EQ(s.available_capacity,
+                   f.executor.node_available_capacity(0));
+  // shares: 100/400 + 50/1000 = 0.25 + 0.05
+  EXPECT_NEAR(s.total_share_raw, 0.30, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min_remaining_deadline, 400.0);
+  // Untouched node unaffected.
+  EXPECT_TRUE(f.executor.node_state(1).empty());
+}
+
+// Aggregates are time-dependent: after work advances, a re-query at the new
+// now must reflect reduced remaining work and deadlines.
+TEST(TimeShared, NodeStateRefreshesAfterTimeAdvances) {
+  Fixture f(1, strict_pacing());
+  const Job job = JobBuilder(1).set_runtime(100.0).deadline(400.0).build();
+  f.executor.start(job, {0});
+  const double share_before = f.executor.node_state(0).total_share_raw;
+  // run_until only advances the clock to dispatched events, so plant one.
+  f.simulator.at(200.0, sim::EventPriority::Control, [] {});
+  f.simulator.run_until(200.0);
+  f.executor.sync();
+  const NodeStateView& s = f.executor.node_state(0);
+  // Believed remaining 50 over remaining deadline 200: share unchanged at
+  // 0.25 for strict pacing, but remaining_* fields must have moved.
+  EXPECT_NEAR(s.residents[0].remaining_raw, 50.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.residents[0].remaining_deadline, 200.0);
+  EXPECT_NEAR(s.total_share_raw, share_before, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min_remaining_deadline, 200.0);
+}
+
+// The epoch bumps on every mutation that can invalidate a view (start,
+// completion, overrun) and stays put across no-op syncs.
+TEST(TimeShared, StateEpochInvalidation) {
+  ShareModelConfig c;
+  c.mode = ExecutionMode::EqualShare;
+  Fixture f(1, c);
+  const std::uint64_t e0 = f.executor.state_epoch();
+  f.executor.sync();  // nothing running, nothing advanced
+  EXPECT_EQ(f.executor.state_epoch(), e0);
+
+  // Overrun: estimate 50, actual 100 => bump fires at t=50.
+  const Job job =
+      JobBuilder(1).set_runtime(100.0).estimate(50.0).deadline(1000.0).build();
+  f.executor.start(job, {0});
+  const std::uint64_t e1 = f.executor.state_epoch();
+  EXPECT_GT(e1, e0);
+  (void)f.executor.node_state(0);  // prime the cache
+  f.executor.sync();               // same instant: no work advanced
+  EXPECT_EQ(f.executor.state_epoch(), e1);
+
+  f.simulator.run_until(60.0);  // past the overrun bump at t=50
+  const std::uint64_t e2 = f.executor.state_epoch();
+  EXPECT_GT(e2, e1);
+  EXPECT_EQ(f.overruns.count(1), 1u);
+
+  f.simulator.run();  // completion
+  EXPECT_GT(f.executor.state_epoch(), e2);
+  EXPECT_TRUE(f.executor.node_state(0).empty());
+  EXPECT_TRUE(f.completions.contains(1));
+}
+
+// An empty node's view is time-independent: it must stay valid (and cheap)
+// across time advances with no epoch churn.
+TEST(TimeShared, EmptyNodeViewStableAcrossTime) {
+  Fixture f(2);
+  const Job job = JobBuilder(1).set_runtime(100.0).deadline(400.0).build();
+  f.executor.start(job, {0});
+  const std::uint64_t e = f.executor.state_epoch();
+  const NodeStateView& idle = f.executor.node_state(1);
+  EXPECT_TRUE(idle.empty());
+  f.simulator.at(10.0, sim::EventPriority::Control, [] {});
+  f.simulator.run_until(10.0);
+  f.executor.sync();  // work advanced on node 0 => epoch bumps
+  EXPECT_GT(f.executor.state_epoch(), e);
+  const NodeStateView& idle2 = f.executor.node_state(1);
+  EXPECT_TRUE(idle2.empty());
+  EXPECT_EQ(idle2.min_remaining_deadline, sim::kTimeInfinity);
+  f.executor.check_invariants();
+}
+
 TEST(TimeShared, HeterogeneousNodeSpeedsScaleRates) {
   sim::Simulator simulator;
   const Cluster cluster({{0, 2.0}}, 1.0);  // node twice the reference speed

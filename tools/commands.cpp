@@ -161,6 +161,14 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out) {
   }
   metrics::print_summary(out, std::string(core::to_string(scenario.policy)), summary);
 
+  const core::AdmissionStats adm = stack->admission_stats();
+  if (adm.submissions > 0) {
+    out << "\nAdmission hot path: " << adm.submissions << " submissions, "
+        << adm.nodes_scanned << " nodes scanned, " << adm.assessments
+        << " share/risk assessments, " << adm.empty_node_skips
+        << " empty-node skips, " << adm.early_exits << " early exits\n";
+  }
+
   if (car_opt.value) {
     table::Table t({"measure", "CaR(95%)", "tail mean", "mean", "max"});
     for (const auto measure :
