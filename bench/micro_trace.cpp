@@ -1,0 +1,129 @@
+// Microbenchmark M5: decision-audit trace overhead (docs/TRACING.md).
+//
+// One iteration = a full SDSC SP2 LibraRisk simulation (3000 jobs), the
+// same workload as micro_admission_endtoend's /128 case so the NullSink
+// and no-recorder rows are directly comparable to BENCH_admission.json.
+// The acceptance bar is NullSink <= 2% over no recorder: a detached or
+// NullSink-backed recorder must cost one predicted branch per emit site
+// and nothing else. The JSONL and binary rows price actually capturing
+// ~200k events per run (sinks write to a discarding stream, so this is
+// serialisation cost, not disk).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <ostream>
+#include <streambuf>
+
+#include "exp/scenario.hpp"
+#include "trace/recorder.hpp"
+#include "trace/sink.hpp"
+
+namespace {
+
+using namespace librisk;
+
+/// Swallows bytes: measures serialisation without filesystem noise.
+class NullBuffer final : public std::streambuf {
+ protected:
+  int overflow(int ch) override { return ch; }
+  std::streamsize xsputn(const char*, std::streamsize n) override { return n; }
+};
+
+enum class Mode { NoRecorder, NullSink, Jsonl, Binary };
+
+void run_traced(benchmark::State& state, Mode mode) {
+  exp::Scenario scenario;
+  scenario.workload.trace.job_count = 3000;
+  scenario.nodes = static_cast<int>(state.range(0));
+  scenario.policy = core::Policy::LibraRisk;
+  std::uint64_t seed = 1;
+  std::uint64_t accepted = 0;
+  NullBuffer buffer;
+  std::ostream devnull(&buffer);
+  for (auto _ : state) {
+    scenario.seed = seed++;
+    trace::NullSink null_sink;
+    std::unique_ptr<trace::Sink> sink;
+    trace::Recorder recorder;
+    switch (mode) {
+      case Mode::NoRecorder:
+        break;
+      case Mode::NullSink:
+        recorder.attach(null_sink);
+        break;
+      case Mode::Jsonl:
+        sink = std::make_unique<trace::JsonlSink>(
+            devnull, trace::TraceMeta{"LibraRisk", scenario.seed});
+        recorder.attach(*sink);
+        break;
+      case Mode::Binary:
+        sink = std::make_unique<trace::BinarySink>(
+            devnull, trace::TraceMeta{"LibraRisk", scenario.seed});
+        recorder.attach(*sink);
+        break;
+    }
+    scenario.options.trace = mode == Mode::NoRecorder ? nullptr : &recorder;
+    const exp::ScenarioResult result = exp::run_scenario(scenario);
+    if (sink) sink->close();
+    accepted += result.admission.accepted;
+    benchmark::DoNotOptimize(result.summary.fulfilled_pct);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * scenario.workload.trace.job_count));
+  state.counters["accepted"] =
+      benchmark::Counter(static_cast<double>(accepted) /
+                         static_cast<double>(state.iterations()));
+}
+
+void BM_TraceEndToEnd_NoRecorder(benchmark::State& state) {
+  run_traced(state, Mode::NoRecorder);
+}
+void BM_TraceEndToEnd_NullSink(benchmark::State& state) {
+  run_traced(state, Mode::NullSink);
+}
+void BM_TraceEndToEnd_Jsonl(benchmark::State& state) {
+  run_traced(state, Mode::Jsonl);
+}
+void BM_TraceEndToEnd_Binary(benchmark::State& state) {
+  run_traced(state, Mode::Binary);
+}
+
+BENCHMARK(BM_TraceEndToEnd_NoRecorder)->Arg(128)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceEndToEnd_NullSink)->Arg(128)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceEndToEnd_Jsonl)->Arg(128)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceEndToEnd_Binary)->Arg(128)->Unit(benchmark::kMillisecond);
+
+/// Per-event serialisation cost, isolated from the simulation.
+void run_sink_write(benchmark::State& state, bool binary) {
+  NullBuffer buffer;
+  std::ostream devnull(&buffer);
+  std::unique_ptr<trace::Sink> sink;
+  if (binary)
+    sink = std::make_unique<trace::BinarySink>(devnull,
+                                               trace::TraceMeta{"bench", 1});
+  else
+    sink = std::make_unique<trace::JsonlSink>(devnull,
+                                              trace::TraceMeta{"bench", 1});
+  trace::Event event{.time = 12345.6789,
+                     .job = 42,
+                     .a = 0.123456789,
+                     .b = 0.987654321,
+                     .kind = trace::EventKind::NodeEvaluated,
+                     .reason = trace::RejectionReason::RiskSigma,
+                     .node = 17};
+  for (auto _ : state) {
+    event.time += 1.0;
+    sink->write(event);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_SinkWrite_Jsonl(benchmark::State& state) { run_sink_write(state, false); }
+void BM_SinkWrite_Binary(benchmark::State& state) { run_sink_write(state, true); }
+
+BENCHMARK(BM_SinkWrite_Jsonl);
+BENCHMARK(BM_SinkWrite_Binary);
+
+}  // namespace
+
+BENCHMARK_MAIN();

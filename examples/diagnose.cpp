@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
     base.options.risk.prediction = core::RiskConfig::Prediction::ProcessorSharing;
   base.seed = seed_opt.value;
 
-  table::Table t({"policy", "fulfilled %", "slowdown", "rejected", "late(under-est)",
+  table::Table t({"policy", "fulfilled %", "slowdown", "rejected", "rej(share)",
+                  "rej(sigma)", "rej(no-node)", "late(under-est)",
                   "late(victims)", "ful(under-est)", "doomable", "scans/job",
                   "skips"});
   for (const core::Policy policy : core::all_policies()) {
@@ -77,7 +78,11 @@ int main(int argc, char** argv) {
     t.add_row({std::string(core::to_string(policy)),
                table::pct(r.summary.fulfilled_pct),
                table::num(r.summary.avg_slowdown_fulfilled),
-               std::to_string(rejected), std::to_string(late_under),
+               std::to_string(rejected),
+               std::to_string(adm.rejected_share_overflow),
+               std::to_string(adm.rejected_risk_sigma),
+               std::to_string(adm.rejected_no_suitable_node),
+               std::to_string(late_under),
                std::to_string(late_victim), std::to_string(ful_under),
                std::to_string(under_total), table::num(scans_per_job),
                std::to_string(adm.empty_node_skips)});

@@ -50,6 +50,9 @@ void SpaceSharedExecutor::start(const workload::Job& job, std::vector<NodeId> no
       r.will_be_killed ? job.scheduler_estimate : job.actual_runtime;
   r.finish_time = sim_.now() + held_for / slowest;
   const std::int64_t id = job.id;
+  if (trace_ != nullptr)
+    trace_->job_started(sim_.now(), id, r.nodes.front(), job.num_procs,
+                        job.scheduler_estimate);
   running_.emplace(id, r);
 
   sim_.at(r.finish_time, sim::EventPriority::Completion, [this, id] {
@@ -68,8 +71,17 @@ void SpaceSharedExecutor::start(const workload::Job& job, std::vector<NodeId> no
     busy_accumulated_ += (done.finish_time - done.start_time) *
                          static_cast<double>(done.job->num_procs);
     running_.erase(it);
-    if (done.will_be_killed) on_kill_(*done.job, sim_.now());
-    else if (on_completion_) on_completion_(*done.job, sim_.now());
+    if (done.will_be_killed) {
+      // Killed exactly at its estimate, so that is the work delivered.
+      if (trace_ != nullptr)
+        trace_->job_killed(sim_.now(), done.job->id, done.job->scheduler_estimate);
+      on_kill_(*done.job, sim_.now());
+    } else {
+      if (trace_ != nullptr)
+        trace_->job_finished(sim_.now(), done.job->id,
+                             sim_.now() - done.job->absolute_deadline());
+      if (on_completion_) on_completion_(*done.job, sim_.now());
+    }
   });
 }
 

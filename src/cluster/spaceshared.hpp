@@ -11,6 +11,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/timeline.hpp"
 #include "sim/simulator.hpp"
+#include "trace/recorder.hpp"
 #include "workload/job.hpp"
 
 namespace librisk::cluster {
@@ -38,6 +39,12 @@ class SpaceSharedExecutor {
   /// job's completion). The recorder must outlive the executor.
   void set_timeline_recorder(TimelineRecorder* recorder) noexcept {
     timeline_ = recorder;
+  }
+
+  /// Optional: emit start/finish/kill events into a decision-audit trace
+  /// (docs/TRACING.md). The recorder must outlive the executor.
+  void set_trace_recorder(trace::Recorder* recorder) noexcept {
+    trace_ = recorder;
   }
 
   /// Starts `job` now on the given free nodes; it holds them exclusively
@@ -75,6 +82,7 @@ class SpaceSharedExecutor {
   int free_count_ = 0;
   double busy_accumulated_ = 0.0;
   TimelineRecorder* timeline_ = nullptr;
+  trace::Recorder* trace_ = nullptr;
 };
 
 }  // namespace librisk::cluster

@@ -72,7 +72,11 @@ void TimeSharedExecutor::start(const Job& job, std::vector<NodeId> nodes) {
     node_jobs_[n].push_back(job.id);
     node_tasks_[n].push_back(&it->second);
   }
+  if (trace_ != nullptr)
+    trace_->job_started(sim_.now(), job.id, it->second.nodes.front(),
+                        job.num_procs, job.scheduler_estimate);
   ++epoch_;
+  pending_start_realloc_ = true;
   settle_and_reschedule();
 }
 
@@ -217,9 +221,18 @@ void TimeSharedExecutor::settle_and_reschedule() {
   const sim::SimTime now = sim_.now();
 
   // Phase 1: classify completions and estimate expiries at this instant.
+  struct Killed {
+    const Job* job;
+    double work_done;
+  };
+  struct Overrun {
+    const Job* job;
+    int bumps;
+    double est_current;
+  };
   std::vector<const Job*> completed;
-  std::vector<const Job*> killed;
-  std::vector<std::pair<const Job*, int>> overruns;
+  std::vector<Killed> killed;
+  std::vector<Overrun> overruns;
   for (auto it = tasks_.begin(); it != tasks_.end();) {
     Task& t = it->second;
     if (t.actual_total - t.work_done <= kWorkEpsilon) {
@@ -232,7 +245,7 @@ void TimeSharedExecutor::settle_and_reschedule() {
       if (config_.kill_at_estimate) {
         LIBRISK_CHECK(on_kill_ != nullptr,
                       "kill_at_estimate requires a kill handler");
-        killed.push_back(t.job);
+        killed.push_back(Killed{t.job, t.work_done});
         complete(it->first, t);
         it = tasks_.erase(it);
         continue;
@@ -243,7 +256,7 @@ void TimeSharedExecutor::settle_and_reschedule() {
       // estimate, which is >= 1 s by Job::validate.
       t.est_current += config_.overrun_bump_fraction * t.job->scheduler_estimate;
       ++t.bumps;
-      overruns.emplace_back(t.job, t.bumps);
+      overruns.push_back(Overrun{t.job, t.bumps, t.est_current});
       LIBRISK_LOG(Debug) << "job " << t.job->id << " overran estimate (bump "
                          << t.bumps << ") at t=" << now;
     }
@@ -253,8 +266,9 @@ void TimeSharedExecutor::settle_and_reschedule() {
   // Invalidate the node caches whenever the observable state changed: work
   // advanced, membership shrank, or an overrun bump re-estimated a job (any
   // of which also moves rates, recomputed below).
-  if (advanced || !completed.empty() || !killed.empty() || !overruns.empty())
-    ++epoch_;
+  const bool changed =
+      advanced || !completed.empty() || !killed.empty() || !overruns.empty();
+  if (changed) ++epoch_;
 
   // Phase 2: recompute demands and rates (piecewise-constant until the next
   // boundary).
@@ -298,13 +312,30 @@ void TimeSharedExecutor::settle_and_reschedule() {
                                 });
   }
 
+  // Trace: one ShareRealloc per settle that actually moved observable state
+  // (membership, work, or a just-started job), not per sync() no-op.
+  if (trace_ != nullptr && (changed || pending_start_realloc_) && !tasks_.empty())
+    trace_->share_realloc(now, static_cast<int>(tasks_.size()));
+  pending_start_realloc_ = false;
+
   // Phase 4: notify. Handlers run after internal state is consistent, so
-  // they may call start()/sync() reentrantly.
-  for (const auto& [job, bumps] : overruns)
-    if (on_overrun_) on_overrun_(*job, bumps);
-  for (const Job* job : killed) on_kill_(*job, now);
-  for (const Job* job : completed)
+  // they may call start()/sync() reentrantly. Trace events fire immediately
+  // before the matching handler so reentrant starts interleave in decision
+  // order.
+  for (const auto& o : overruns) {
+    if (trace_ != nullptr)
+      trace_->job_overrun(now, o.job->id, o.bumps, o.est_current);
+    if (on_overrun_) on_overrun_(*o.job, o.bumps);
+  }
+  for (const Killed& k : killed) {
+    if (trace_ != nullptr) trace_->job_killed(now, k.job->id, k.work_done);
+    on_kill_(*k.job, now);
+  }
+  for (const Job* job : completed) {
+    if (trace_ != nullptr)
+      trace_->job_finished(now, job->id, now - job->absolute_deadline());
     if (on_completion_) on_completion_(*job, now);
+  }
 }
 
 void TimeSharedExecutor::check_invariants() const {

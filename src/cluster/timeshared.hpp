@@ -27,6 +27,7 @@
 #include "cluster/share_model.hpp"
 #include "cluster/timeline.hpp"
 #include "sim/simulator.hpp"
+#include "trace/recorder.hpp"
 #include "workload/job.hpp"
 
 namespace librisk::cluster {
@@ -105,6 +106,13 @@ class TimeSharedExecutor {
   /// The recorder must outlive the executor or the detach call.
   void set_timeline_recorder(TimelineRecorder* recorder) noexcept {
     timeline_ = recorder;
+  }
+
+  /// Optional: emit lifecycle events (start/finish/kill/overrun/realloc)
+  /// into a decision-audit trace (docs/TRACING.md). Same lifetime contract
+  /// as the timeline recorder.
+  void set_trace_recorder(trace::Recorder* recorder) noexcept {
+    trace_ = recorder;
   }
 
   /// Starts `job` now on the given distinct nodes (job.num_procs of them).
@@ -195,6 +203,10 @@ class TimeSharedExecutor {
   sim::EventId pending_boundary_{};
   double delivered_ = 0.0;
   TimelineRecorder* timeline_ = nullptr;
+  trace::Recorder* trace_ = nullptr;
+  /// Makes the settle pass after a start() emit a ShareRealloc even though
+  /// the start itself (not the settle) changed the membership.
+  bool pending_start_realloc_ = false;
 };
 
 }  // namespace librisk::cluster

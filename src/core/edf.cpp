@@ -40,6 +40,10 @@ void EdfScheduler::on_job_submitted(const Job& job) {
   // reject it or the queue head would block forever.
   if (job.num_procs > executor_.cluster().size()) {
     collector_.record_rejected(job, sim_.now(), /*at_dispatch=*/false);
+    if (trace_ != nullptr)
+      trace_->job_rejected(sim_.now(), job.id,
+                           trace::RejectionReason::NoSuitableNode, 0,
+                           job.num_procs);
     return;
   }
   queue_.push_back(&job);
@@ -101,6 +105,10 @@ void EdfScheduler::dispatch() {
     if (config_.admission_control && !deadline_feasible(*job)) {
       // The relaxed admission control: reject only at selection time.
       collector_.record_rejected(*job, sim_.now(), /*at_dispatch=*/true);
+      if (trace_ != nullptr)
+        trace_->job_rejected(sim_.now(), job->id,
+                             trace::RejectionReason::DeadlineInfeasible, 0,
+                             job->num_procs);
       queue_.erase(head);
       LIBRISK_LOG(Debug) << name_ << ": rejected job " << job->id
                          << " at dispatch (deadline infeasible)";

@@ -46,9 +46,15 @@ class TimeSharedStack final : public SchedulerStack {
  public:
   TimeSharedStack(sim::Simulator& simulator, const cluster::Cluster& cluster,
                   Collector& collector, LibraConfig config, std::string name,
-                  cluster::ShareModelConfig share_model)
+                  cluster::ShareModelConfig share_model,
+                  trace::Recorder* trace)
       : executor_(simulator, cluster, share_model),
-        scheduler_(simulator, executor_, collector, config, std::move(name)) {}
+        scheduler_(simulator, executor_, collector, config, std::move(name)) {
+    if (trace != nullptr) {
+      executor_.set_trace_recorder(trace);
+      scheduler_.set_trace_recorder(trace);
+    }
+  }
 
   Scheduler& scheduler() noexcept override { return scheduler_; }
   double busy_node_seconds(sim::SimTime) const override {
@@ -68,9 +74,15 @@ class SpaceSharedStack final : public SchedulerStack {
  public:
   SpaceSharedStack(sim::Simulator& simulator, const cluster::Cluster& cluster,
                    Collector& collector, ConfigT config, std::string name,
-                   cluster::SpaceSharedConfig executor_config)
+                   cluster::SpaceSharedConfig executor_config,
+                   trace::Recorder* trace)
       : executor_(simulator, cluster, executor_config),
-        scheduler_(simulator, executor_, collector, config, std::move(name)) {}
+        scheduler_(simulator, executor_, collector, config, std::move(name)) {
+    if (trace != nullptr) {
+      executor_.set_trace_recorder(trace);
+      scheduler_.set_trace_recorder(trace);
+    }
+  }
 
   Scheduler& scheduler() noexcept override { return scheduler_; }
   double busy_node_seconds(sim::SimTime now) const override {
@@ -113,33 +125,35 @@ std::unique_ptr<SchedulerStack> make_scheduler(Policy policy,
     case Policy::LibraRisk:
       return std::make_unique<TimeSharedStack>(
           simulator, cluster, collector, libra_family_config(policy, options),
-          name, options.share_model);
+          name, options.share_model, options.trace);
     case Policy::Edf:
       return std::make_unique<SpaceSharedStack<EdfScheduler, EdfConfig>>(
-          simulator, cluster, collector, EdfConfig{.admission_control = true}, name, space_config);
+          simulator, cluster, collector, EdfConfig{.admission_control = true},
+          name, space_config, options.trace);
     case Policy::EdfNoAC:
       return std::make_unique<SpaceSharedStack<EdfScheduler, EdfConfig>>(
-          simulator, cluster, collector, EdfConfig{.admission_control = false}, name, space_config);
+          simulator, cluster, collector, EdfConfig{.admission_control = false},
+          name, space_config, options.trace);
     case Policy::EdfBackfill:
       return std::make_unique<SpaceSharedStack<EdfScheduler, EdfConfig>>(
           simulator, cluster, collector,
           EdfConfig{.admission_control = true, .backfilling = true}, name,
-          space_config);
+          space_config, options.trace);
     case Policy::Fcfs:
       return std::make_unique<SpaceSharedStack<FcfsScheduler, FcfsConfig>>(
           simulator, cluster, collector,
           FcfsConfig{.backfilling = false, .deadline_admission = false}, name,
-          space_config);
+          space_config, options.trace);
     case Policy::Easy:
       return std::make_unique<SpaceSharedStack<FcfsScheduler, FcfsConfig>>(
           simulator, cluster, collector,
           FcfsConfig{.backfilling = true, .deadline_admission = false}, name,
-          space_config);
+          space_config, options.trace);
     case Policy::Qops:
       return std::make_unique<SpaceSharedStack<QopsScheduler, QopsConfig>>(
           simulator, cluster, collector,
           QopsConfig{.slack_factor = options.qops_slack_factor}, name,
-          space_config);
+          space_config, options.trace);
   }
   throw std::invalid_argument("unhandled policy");
 }

@@ -49,6 +49,10 @@ struct PolicyOptions {
   /// implementation instead of the workspace/cached fast path. Decisions
   /// are bit-identical either way; differential tests flip this.
   bool legacy_admission = false;
+  /// Optional decision-audit recorder (docs/TRACING.md), attached to both
+  /// the scheduler and its executor. Borrowed; must outlive the stack.
+  /// Null (the default) emits nothing and perturbs nothing.
+  trace::Recorder* trace = nullptr;
 };
 
 /// A ready-to-run scheduling stack: the scheduler plus whichever executor

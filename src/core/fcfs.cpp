@@ -38,6 +38,10 @@ bool FcfsScheduler::deadline_feasible(const Job& job) const {
 void FcfsScheduler::on_job_submitted(const Job& job) {
   if (job.num_procs > executor_.cluster().size()) {
     collector_.record_rejected(job, sim_.now(), /*at_dispatch=*/false);
+    if (trace_ != nullptr)
+      trace_->job_rejected(sim_.now(), job.id,
+                           trace::RejectionReason::NoSuitableNode, 0,
+                           job.num_procs);
     return;
   }
   queue_.push_back(&job);
@@ -93,6 +97,10 @@ void FcfsScheduler::dispatch() {
     const Job* head = queue_.front();
     if (config_.deadline_admission && !deadline_feasible(*head)) {
       collector_.record_rejected(*head, sim_.now(), /*at_dispatch=*/true);
+      if (trace_ != nullptr)
+        trace_->job_rejected(sim_.now(), head->id,
+                             trace::RejectionReason::DeadlineInfeasible, 0,
+                             head->num_procs);
       queue_.pop_front();
       continue;
     }
@@ -112,6 +120,10 @@ void FcfsScheduler::dispatch() {
       const Job* job = *it;
       if (config_.deadline_admission && !deadline_feasible(*job)) {
         collector_.record_rejected(*job, sim_.now(), /*at_dispatch=*/true);
+        if (trace_ != nullptr)
+          trace_->job_rejected(sim_.now(), job->id,
+                               trace::RejectionReason::DeadlineInfeasible, 0,
+                               job->num_procs);
         queue_.erase(it);
         progressed = true;
         break;

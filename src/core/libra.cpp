@@ -55,8 +55,14 @@ bool LibraScheduler::node_suitable(cluster::NodeId node, const Job& job,
   return node_suitable_fast(node, job, fit);
 }
 
+trace::RejectionReason LibraScheduler::scan_reason() const noexcept {
+  return config_.admission == LibraConfig::Admission::TotalShare
+             ? trace::RejectionReason::ShareOverflow
+             : trace::RejectionReason::RiskSigma;
+}
+
 bool LibraScheduler::node_suitable_fast(cluster::NodeId node, const Job& job,
-                                        double& fit) const {
+                                        double& fit, double* sigma_out) const {
   switch (config_.admission) {
     case LibraConfig::Admission::TotalShare: {
       const cluster::NodeStateView& state = executor_.node_state(node);
@@ -67,6 +73,7 @@ bool LibraScheduler::node_suitable_fast(cluster::NodeId node, const Job& job,
               : state.total_share_current;
       const double total = resident_total + new_job_share(job, node);
       fit = total;
+      if (sigma_out != nullptr) *sigma_out = -1.0;  // no sigma in Eq. 2
       return total <= config_.capacity + config_.tolerance;
     }
     case LibraConfig::Admission::ZeroRisk: {
@@ -83,6 +90,7 @@ bool LibraScheduler::node_suitable_fast(cluster::NodeId node, const Job& job,
         fit = cluster::required_share(job.scheduler_estimate, job.deadline,
                                       config_.risk.deadline_clamp,
                                       executor_.cluster().speed_factor(node));
+        if (sigma_out != nullptr) *sigma_out = 0.0;
         return true;
       }
       ++stats_.assessments;
@@ -102,6 +110,7 @@ bool LibraScheduler::node_suitable_fast(cluster::NodeId node, const Job& job,
           executor_.cluster().speed_factor(node), state.available_capacity,
           workspace_);
       fit = assessment.total_share;
+      if (sigma_out != nullptr) *sigma_out = assessment.sigma;
       return assessment.zero_risk(config_.risk);
     }
   }
@@ -150,7 +159,11 @@ void LibraScheduler::submit_fast(const Job& job) {
   const int cluster_size = executor_.cluster().size();
   if (job.num_procs > cluster_size) {
     ++stats_.rejections;
+    ++stats_.rejected_no_suitable_node;
     collector_.record_rejected(job, now, /*at_dispatch=*/false);
+    if (trace_ != nullptr)
+      trace_->job_rejected(now, job.id, trace::RejectionReason::NoSuitableNode,
+                           0, job.num_procs);
     return;
   }
   executor_.sync();
@@ -158,6 +171,7 @@ void LibraScheduler::submit_fast(const Job& job) {
   suitable_.clear();
   if (suitable_.capacity() < static_cast<std::size_t>(cluster_size))
     suitable_.reserve(cluster_size);
+  const bool tracing = trace_ != nullptr && trace_->enabled();
   // FirstFit takes suitable nodes in node order, so the scan can stop at
   // num_procs hits: acceptance and the chosen sequence are already decided,
   // and a rejection (< num_procs suitable anywhere) still scans everything.
@@ -165,7 +179,13 @@ void LibraScheduler::submit_fast(const Job& job) {
   for (cluster::NodeId n = 0; n < cluster_size; ++n) {
     ++stats_.nodes_scanned;
     double fit = 0.0;
-    if (node_suitable_fast(n, job, fit)) {
+    double sigma = -1.0;
+    const bool ok = node_suitable_fast(n, job, fit, tracing ? &sigma : nullptr);
+    if (tracing)
+      trace_->node_evaluated(
+          now, job.id, n,
+          ok ? trace::RejectionReason::None : scan_reason(), sigma, fit);
+    if (ok) {
       suitable_.push_back(Candidate{n, fit});
       if (can_stop_early &&
           static_cast<int>(suitable_.size()) == job.num_procs) {
@@ -177,7 +197,14 @@ void LibraScheduler::submit_fast(const Job& job) {
 
   if (static_cast<int>(suitable_.size()) < job.num_procs) {
     ++stats_.rejections;
+    if (config_.admission == LibraConfig::Admission::TotalShare)
+      ++stats_.rejected_share_overflow;
+    else
+      ++stats_.rejected_risk_sigma;
     collector_.record_rejected(job, now, /*at_dispatch=*/false);
+    if (trace_ != nullptr)
+      trace_->job_rejected(now, job.id, scan_reason(),
+                           static_cast<int>(suitable_.size()), job.num_procs);
     LIBRISK_LOG(Debug) << name_ << ": rejected job " << job.id << " ("
                        << suitable_.size() << '/' << job.num_procs
                        << " suitable nodes)";
@@ -194,6 +221,9 @@ void LibraScheduler::submit_fast(const Job& job) {
     slowest = std::min(slowest, executor_.cluster().speed_factor(suitable_[i].node));
   }
   ++stats_.accepted;
+  if (trace_ != nullptr)
+    trace_->job_admitted(now, job.id, suitable_[0].node,
+                         static_cast<int>(suitable_.size()), suitable_[0].fit);
   collector_.record_started(job, now, job.actual_runtime / slowest);
   executor_.start(job, std::move(chosen));
 }
@@ -223,18 +253,20 @@ RiskAssessment LibraScheduler::assess_with_job_legacy(cluster::NodeId node,
 }
 
 bool LibraScheduler::node_suitable_legacy(cluster::NodeId node, const Job& job,
-                                          double& fit) const {
+                                          double& fit, double* sigma_out) const {
   switch (config_.admission) {
     case LibraConfig::Admission::TotalShare: {
       const double total =
           executor_.node_total_share(node, config_.estimate_kind) +
           new_job_share(job, node);
       fit = total;
+      if (sigma_out != nullptr) *sigma_out = -1.0;  // no sigma in Eq. 2
       return total <= config_.capacity + config_.tolerance;
     }
     case LibraConfig::Admission::ZeroRisk: {
       const RiskAssessment assessment = assess_with_job_legacy(node, job);
       fit = assessment.total_share;
+      if (sigma_out != nullptr) *sigma_out = assessment.sigma;
       return assessment.zero_risk(config_.risk);
     }
   }
@@ -246,22 +278,40 @@ void LibraScheduler::submit_legacy(const Job& job) {
   ++stats_.submissions;
   if (job.num_procs > executor_.cluster().size()) {
     ++stats_.rejections;
+    ++stats_.rejected_no_suitable_node;
     collector_.record_rejected(job, now, /*at_dispatch=*/false);
+    if (trace_ != nullptr)
+      trace_->job_rejected(now, job.id, trace::RejectionReason::NoSuitableNode,
+                           0, job.num_procs);
     return;
   }
   executor_.sync();
 
+  const bool tracing = trace_ != nullptr && trace_->enabled();
   std::vector<Candidate> suitable;
   suitable.reserve(executor_.cluster().size());
   for (cluster::NodeId n = 0; n < executor_.cluster().size(); ++n) {
     ++stats_.nodes_scanned;
     double fit = 0.0;
-    if (node_suitable_legacy(n, job, fit)) suitable.push_back(Candidate{n, fit});
+    double sigma = -1.0;
+    const bool ok = node_suitable_legacy(n, job, fit, tracing ? &sigma : nullptr);
+    if (tracing)
+      trace_->node_evaluated(
+          now, job.id, n,
+          ok ? trace::RejectionReason::None : scan_reason(), sigma, fit);
+    if (ok) suitable.push_back(Candidate{n, fit});
   }
 
   if (static_cast<int>(suitable.size()) < job.num_procs) {
     ++stats_.rejections;
+    if (config_.admission == LibraConfig::Admission::TotalShare)
+      ++stats_.rejected_share_overflow;
+    else
+      ++stats_.rejected_risk_sigma;
     collector_.record_rejected(job, now, /*at_dispatch=*/false);
+    if (trace_ != nullptr)
+      trace_->job_rejected(now, job.id, scan_reason(),
+                           static_cast<int>(suitable.size()), job.num_procs);
     LIBRISK_LOG(Debug) << name_ << ": rejected job " << job.id << " ("
                        << suitable.size() << '/' << job.num_procs
                        << " suitable nodes)";
@@ -294,6 +344,9 @@ void LibraScheduler::submit_legacy(const Job& job) {
     slowest = std::min(slowest, executor_.cluster().speed_factor(suitable[i].node));
   }
   ++stats_.accepted;
+  if (trace_ != nullptr)
+    trace_->job_admitted(now, job.id, suitable[0].node,
+                         static_cast<int>(suitable.size()), suitable[0].fit);
   collector_.record_started(job, now, job.actual_runtime / slowest);
   executor_.start(job, std::move(chosen));
 }

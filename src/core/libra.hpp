@@ -72,6 +72,10 @@ struct AdmissionStats {
   std::uint64_t assessments = 0;      ///< full share/risk evaluations run
   std::uint64_t empty_node_skips = 0; ///< ZeroRisk empty-node fast-path hits
   std::uint64_t early_exits = 0;      ///< FirstFit scans stopped before the last node
+  /// Rejections attributed by reason (sums to `rejections`):
+  std::uint64_t rejected_share_overflow = 0;   ///< Eq. 2 total-share shortfall (Libra)
+  std::uint64_t rejected_risk_sigma = 0;       ///< sigma-test shortfall (LibraRisk)
+  std::uint64_t rejected_no_suitable_node = 0; ///< needs more nodes than the cluster has
 };
 
 class LibraScheduler final : public Scheduler {
@@ -103,9 +107,16 @@ class LibraScheduler final : public Scheduler {
   };
 
   [[nodiscard]] double new_job_share(const Job& job, cluster::NodeId node) const;
+  /// The reason a failed per-node scan (or a shortfall rejection) carries:
+  /// the admission test that said no.
+  [[nodiscard]] trace::RejectionReason scan_reason() const noexcept;
   /// Workspace-based suitability (the hot path; no allocation steady-state).
+  /// `sigma_out`, when non-null, receives the sigma the decision saw
+  /// (-1 for the TotalShare test, which has no sigma); only tracing call
+  /// sites pass it, so the default path computes nothing extra.
   [[nodiscard]] bool node_suitable_fast(cluster::NodeId node, const Job& job,
-                                        double& fit) const;
+                                        double& fit,
+                                        double* sigma_out = nullptr) const;
   /// Orders the first `count` candidates of suitable_ exactly as the legacy
   /// full stable_sort would, without touching the rest.
   void select_prefix(int count);
@@ -115,7 +126,8 @@ class LibraScheduler final : public Scheduler {
   [[nodiscard]] RiskAssessment assess_with_job_legacy(cluster::NodeId node,
                                                       const Job& job) const;
   [[nodiscard]] bool node_suitable_legacy(cluster::NodeId node, const Job& job,
-                                          double& fit) const;
+                                          double& fit,
+                                          double* sigma_out = nullptr) const;
   void submit_legacy(const Job& job);
 
   sim::Simulator& sim_;

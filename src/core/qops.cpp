@@ -87,10 +87,18 @@ bool QopsScheduler::feasible_with(const Job& candidate) const {
 void QopsScheduler::on_job_submitted(const Job& job) {
   if (job.num_procs > executor_.cluster().size()) {
     collector_.record_rejected(job, sim_.now(), /*at_dispatch=*/false);
+    if (trace_ != nullptr)
+      trace_->job_rejected(sim_.now(), job.id,
+                           trace::RejectionReason::NoSuitableNode, 0,
+                           job.num_procs);
     return;
   }
   if (!feasible_with(job)) {
     collector_.record_rejected(job, sim_.now(), /*at_dispatch=*/false);
+    if (trace_ != nullptr)
+      trace_->job_rejected(sim_.now(), job.id,
+                           trace::RejectionReason::DeadlineInfeasible, 0,
+                           job.num_procs);
     return;
   }
   queue_.push_back(&job);

@@ -5,12 +5,17 @@
 namespace librisk::core {
 
 void run_trace(sim::Simulator& simulator, Scheduler& scheduler,
-               Collector& collector, const std::vector<Job>& jobs) {
+               Collector& collector, const std::vector<Job>& jobs,
+               trace::Recorder* recorder) {
   workload::validate_trace(jobs);
   for (const Job& job : jobs) {
     simulator.at(job.submit_time, sim::EventPriority::Arrival,
-                 [&collector, &scheduler, &job, &simulator] {
+                 [&collector, &scheduler, &job, &simulator, recorder] {
                    collector.record_submitted(job, simulator.now());
+                   if (recorder != nullptr)
+                     recorder->job_submitted(simulator.now(), job.id,
+                                             job.num_procs, job.deadline,
+                                             job.scheduler_estimate);
                    scheduler.on_job_submitted(job);
                  });
   }

@@ -7,6 +7,7 @@
 
 #include "metrics/collector.hpp"
 #include "sim/simulator.hpp"
+#include "trace/recorder.hpp"
 #include "workload/job.hpp"
 
 namespace librisk::core {
@@ -30,14 +31,24 @@ class Scheduler {
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
+  /// Attaches a decision-audit recorder (docs/TRACING.md). Optional; null
+  /// (the default) emits nothing and perturbs nothing.
+  void set_trace_recorder(trace::Recorder* recorder) noexcept { trace_ = recorder; }
+
  protected:
   Scheduler() = default;
+
+  /// Borrowed, may be null; subclasses emit admission events through it.
+  trace::Recorder* trace_ = nullptr;
 };
 
 /// Schedules every job's arrival event and runs the simulation to
 /// completion. The trace must be validated and submit-ordered; it must
-/// outlive the call (schedulers keep pointers into it).
+/// outlive the call (schedulers keep pointers into it). When `recorder` is
+/// given, a JobSubmitted event is emitted per arrival (before the scheduler
+/// sees the job).
 void run_trace(sim::Simulator& simulator, Scheduler& scheduler,
-               Collector& collector, const std::vector<Job>& jobs);
+               Collector& collector, const std::vector<Job>& jobs,
+               trace::Recorder* recorder = nullptr);
 
 }  // namespace librisk::core

@@ -32,7 +32,8 @@ ScenarioResult run_jobs(const Scenario& scenario,
   metrics::Collector collector;
   const auto stack = core::make_scheduler(scenario.policy, simulator, cluster,
                                           collector, scenario.options);
-  core::run_trace(simulator, stack->scheduler(), collector, jobs);
+  core::run_trace(simulator, stack->scheduler(), collector, jobs,
+                  scenario.options.trace);
 
   metrics::Collector::MeasurementWindow window;
   if (!jobs.empty() &&

@@ -1,8 +1,10 @@
 #include "support/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <ostream>
 #include <sstream>
 
 namespace librisk::json {
@@ -335,6 +337,86 @@ class Parser {
 };
 
 }  // namespace
+
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+LineWriter& LineWriter::begin() {
+  *os_ << '{';
+  first_ = true;
+  return *this;
+}
+
+void LineWriter::sep(std::string_view key) {
+  if (!first_) *os_ << ',';
+  first_ = false;
+  write_escaped(*os_, key);
+  *os_ << ':';
+}
+
+LineWriter& LineWriter::field(std::string_view key, std::string_view value) {
+  sep(key);
+  write_escaped(*os_, value);
+  return *this;
+}
+
+LineWriter& LineWriter::field(std::string_view key, const char* value) {
+  return field(key, std::string_view(value));
+}
+
+LineWriter& LineWriter::field(std::string_view key, double value) {
+  sep(key);
+  // Shortest round-trip form; integral values print without a decimal point
+  // and parse back bit-equal either way.
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  *os_ << std::string_view(buf, ec == std::errc() ? static_cast<std::size_t>(end - buf) : 0);
+  return *this;
+}
+
+LineWriter& LineWriter::field(std::string_view key, std::int64_t value) {
+  sep(key);
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  *os_ << std::string_view(buf, ec == std::errc() ? static_cast<std::size_t>(end - buf) : 0);
+  return *this;
+}
+
+LineWriter& LineWriter::field(std::string_view key, std::uint64_t value) {
+  sep(key);
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  *os_ << std::string_view(buf, ec == std::errc() ? static_cast<std::size_t>(end - buf) : 0);
+  return *this;
+}
+
+LineWriter& LineWriter::field(std::string_view key, int value) {
+  return field(key, static_cast<std::int64_t>(value));
+}
+
+LineWriter& LineWriter::field(std::string_view key, bool value) {
+  sep(key);
+  *os_ << (value ? "true" : "false");
+  return *this;
+}
+
+void LineWriter::end() { *os_ << "}\n"; }
 
 Value parse(std::string_view text) { return Parser(text).run(); }
 

@@ -7,10 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace librisk::json {
@@ -71,6 +73,36 @@ class Value {
   std::string string_;
   std::shared_ptr<Array> array_;
   std::shared_ptr<Object> object_;
+};
+
+/// Append-mode streaming writer for JSON Lines output: one compact object
+/// per line, written field by field straight to the stream — nothing is
+/// built in memory, so a sink can emit millions of lines at O(1) space.
+/// Doubles use shortest-round-trip formatting (std::to_chars): a value
+/// parsed back with parse() compares bit-equal to what was written.
+///
+///   json::LineWriter w(os);
+///   w.begin().field("t", 1.5).field("kind", "job_admitted").end();
+class LineWriter {
+ public:
+  explicit LineWriter(std::ostream& os) : os_(&os) {}
+
+  /// Opens a new object (one per output line).
+  LineWriter& begin();
+  LineWriter& field(std::string_view key, std::string_view value);
+  LineWriter& field(std::string_view key, const char* value);
+  LineWriter& field(std::string_view key, double value);
+  LineWriter& field(std::string_view key, std::int64_t value);
+  LineWriter& field(std::string_view key, std::uint64_t value);
+  LineWriter& field(std::string_view key, int value);
+  LineWriter& field(std::string_view key, bool value);
+  /// Closes the object and writes the trailing newline.
+  void end();
+
+ private:
+  void sep(std::string_view key);
+  std::ostream* os_;
+  bool first_ = true;
 };
 
 /// Parses a complete JSON document (one value, optionally surrounded by

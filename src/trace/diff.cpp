@@ -1,0 +1,80 @@
+#include "trace/diff.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace librisk::trace {
+
+Divergence first_divergence(const TraceData& a, const TraceData& b) {
+  Divergence d;
+  if (a.meta != b.meta) {
+    d.kind = Divergence::Kind::MetaDiffers;
+    return d;
+  }
+  const std::size_t n = std::min(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.events[i] != b.events[i]) {
+      d.kind = Divergence::Kind::EventDiffers;
+      d.index = i;
+      d.has_a = d.has_b = true;
+      d.a = a.events[i];
+      d.b = b.events[i];
+      return d;
+    }
+  }
+  if (a.events.size() != b.events.size()) {
+    d.kind = Divergence::Kind::LengthDiffers;
+    d.index = n;
+    d.has_a = a.events.size() > n;
+    d.has_b = b.events.size() > n;
+    if (d.has_a) d.a = a.events[n];
+    if (d.has_b) d.b = b.events[n];
+    return d;
+  }
+  return d;
+}
+
+std::string describe(const Event& event) {
+  std::ostringstream os;
+  os << "t=" << event.time << ' ' << to_string(event.kind);
+  if (event.job >= 0) os << " job=" << event.job;
+  if (event.node >= 0) os << " node=" << event.node;
+  if (event.reason != RejectionReason::None)
+    os << " reason=" << to_string(event.reason);
+  os << " a=" << event.a << " b=" << event.b;
+  return os.str();
+}
+
+std::string describe(const Divergence& d, const TraceData& a, const TraceData& b) {
+  std::ostringstream os;
+  switch (d.kind) {
+    case Divergence::Kind::Identical:
+      os << "traces identical (" << a.events.size() << " events)\n";
+      break;
+    case Divergence::Kind::MetaDiffers:
+      os << "trace headers differ:\n"
+         << "  A: policy=" << a.meta.policy << " seed=" << a.meta.seed << '\n'
+         << "  B: policy=" << b.meta.policy << " seed=" << b.meta.seed << '\n';
+      break;
+    case Divergence::Kind::EventDiffers:
+      os << "first divergence at event " << d.index << ":\n"
+         << "  A: " << describe(d.a) << '\n'
+         << "  B: " << describe(d.b) << '\n';
+      break;
+    case Divergence::Kind::LengthDiffers:
+      os << "traces agree on the first " << d.index
+         << " events, then one ends:\n"
+         << "  A: "
+         << (d.has_a ? describe(d.a) : "<end of trace, " +
+                                           std::to_string(a.events.size()) + " events>")
+         << '\n'
+         << "  B: "
+         << (d.has_b ? describe(d.b) : "<end of trace, " +
+                                           std::to_string(b.events.size()) + " events>")
+         << '\n';
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace librisk::trace

@@ -1,0 +1,45 @@
+// Trace comparison — the determinism/equivalence oracle.
+//
+// Two runs are equivalent iff their traces are: same meta, same event
+// sequence, field-for-field (doubles compared by value, which for .lrt files
+// means bit-for-bit since the format stores raw bits). first_divergence finds
+// the earliest point where they differ; `librisk-sim trace diff` renders it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "trace/reader.hpp"
+
+namespace librisk::trace {
+
+struct Divergence {
+  enum class Kind {
+    Identical,     ///< traces match completely
+    MetaDiffers,   ///< different policy or seed in the header
+    EventDiffers,  ///< events at `index` differ (both present)
+    LengthDiffers, ///< one trace ends at `index`, the other continues
+  };
+
+  Kind kind = Kind::Identical;
+  std::size_t index = 0;  ///< event index of the first difference
+  bool has_a = false;     ///< whether `a` holds trace A's event at index
+  bool has_b = false;
+  Event a;
+  Event b;
+
+  [[nodiscard]] bool identical() const noexcept { return kind == Kind::Identical; }
+};
+
+[[nodiscard]] Divergence first_divergence(const TraceData& a, const TraceData& b);
+
+/// One-line human rendering of an event: time, kind, job/node, payload,
+/// reason when set. Used by diff output and tests.
+[[nodiscard]] std::string describe(const Event& event);
+
+/// Multi-line report of a divergence (empty-ish "traces identical" for the
+/// Identical kind).
+[[nodiscard]] std::string describe(const Divergence& d, const TraceData& a,
+                                   const TraceData& b);
+
+}  // namespace librisk::trace

@@ -1,0 +1,108 @@
+// Trace sinks: where Event records go (docs/TRACING.md has the format spec).
+//
+// Three implementations with very different cost profiles:
+//   NullSink   — discards everything; discards() lets the Recorder skip even
+//                constructing the Event, so an attached-but-null recorder
+//                costs one predictable branch per emission site.
+//   JsonlSink  — one JSON object per line via json::LineWriter; greppable,
+//                jq-able, ~10x larger than binary.
+//   BinarySink — compact varint-encoded .lrt file with a checksummed footer;
+//                byte-identical across same-seed runs, the determinism oracle
+//                `librisk-sim trace diff` operates on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+
+#include "support/json.hpp"
+#include "trace/event.hpp"
+
+namespace librisk::trace {
+
+/// .lrt container constants (format version 1).
+inline constexpr char kLrtMagic[4] = {'L', 'R', 'T', '1'};
+inline constexpr std::uint8_t kLrtVersion = 1;
+/// FNV-1a 64-bit, computed incrementally over every byte that precedes the
+/// checksum itself (header, events, end marker, event count).
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  Sink(const Sink&) = delete;
+  Sink& operator=(const Sink&) = delete;
+
+  virtual void write(const Event& event) = 0;
+  /// Finalises the output (footer, flush). Idempotent; safe to skip for
+  /// sinks whose destructor closes them.
+  virtual void close() {}
+  /// True when write() provably ignores its argument. The Recorder caches
+  /// this at attach time and skips event construction entirely, which is
+  /// what keeps the default configuration's hot path unperturbed.
+  [[nodiscard]] virtual bool discards() const noexcept { return false; }
+
+ protected:
+  Sink() = default;
+};
+
+class NullSink final : public Sink {
+ public:
+  void write(const Event&) override {}
+  [[nodiscard]] bool discards() const noexcept override { return true; }
+};
+
+/// JSON Lines: a meta line, then one object per event. `reason` is omitted
+/// when None so the common case stays short; readers default it.
+class JsonlSink final : public Sink {
+ public:
+  JsonlSink(std::ostream& os, const TraceMeta& meta);
+  void write(const Event& event) override;
+  void close() override;
+
+ private:
+  std::ostream* os_;
+  json::LineWriter writer_;
+};
+
+/// Binary .lrt v1. Layout (all integers varint unless noted):
+///   header:  magic "LRT1", u8 version, varint policy length + bytes,
+///            varint seed
+///   events:  u8 kind (nonzero), u8 reason, zigzag node, zigzag job,
+///            raw LE64 bits of time, a, b
+///   footer:  u8 0x00 end marker, varint event count, u64 LE FNV-1a of all
+///            preceding bytes
+/// Doubles are stored as raw bit patterns, never formatted, so identical
+/// decisions serialise to identical bytes — the property trace-diff relies on.
+class BinarySink final : public Sink {
+ public:
+  BinarySink(std::ostream& os, const TraceMeta& meta);
+  ~BinarySink() override;
+  void write(const Event& event) override;
+  void close() override;
+
+ private:
+  void put_bytes(const char* data, std::size_t n);
+  void put_u8(std::uint8_t v);
+  void put_varint(std::uint64_t v);
+  void put_zigzag(std::int64_t v);
+  void put_f64(double v);
+
+  std::ostream* os_;
+  std::uint64_t hash_ = kFnvOffset;
+  std::uint64_t count_ = 0;
+  bool closed_ = false;
+};
+
+/// Zigzag mapping for signed varints: small magnitudes of either sign
+/// encode in one byte (-1 -> 1, 1 -> 2, ...).
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace librisk::trace

@@ -1,0 +1,86 @@
+#include "trace/summary.hpp"
+
+#include <ostream>
+
+#include "support/table.hpp"
+
+namespace librisk::trace {
+
+TraceSummary summarize(const std::vector<Event>& events) {
+  TraceSummary s;
+  s.total = events.size();
+  for (const Event& e : events) {
+    ++s.by_kind[static_cast<std::size_t>(e.kind)];
+    if (e.kind == EventKind::JobRejected)
+      ++s.rejected_by_reason[static_cast<std::size_t>(e.reason)];
+    else if (e.kind == EventKind::NodeEvaluated)
+      ++s.node_eval_by_reason[static_cast<std::size_t>(e.reason)];
+  }
+  return s;
+}
+
+void print_summary(std::ostream& out, const TraceMeta& meta,
+                   const TraceSummary& summary) {
+  out << "policy=" << meta.policy << " seed=" << meta.seed << " events="
+      << summary.total << "\n\n";
+
+  table::Table kinds({"event", "count"});
+  for (int raw = 1; raw <= kEventKindCount; ++raw) {
+    const auto kind = static_cast<EventKind>(raw);
+    kinds.add_row({std::string(to_string(kind)),
+                   std::to_string(summary.count(kind))});
+  }
+  out << kinds.str();
+
+  if (summary.count(EventKind::JobRejected) > 0) {
+    out << "\nrejections by reason\n";
+    table::Table reasons({"reason", "count"});
+    for (int raw = 1; raw < kRejectionReasonCount; ++raw) {
+      const auto reason = static_cast<RejectionReason>(raw);
+      const std::uint64_t n =
+          summary.rejected_by_reason[static_cast<std::size_t>(raw)];
+      if (n > 0) reasons.add_row({std::string(to_string(reason)), std::to_string(n)});
+    }
+    out << reasons.str();
+  }
+
+  if (summary.count(EventKind::NodeEvaluated) > 0) {
+    out << "\nper-node admission evaluations\n";
+    table::Table evals({"outcome", "count"});
+    evals.add_row({"suitable", std::to_string(summary.node_eval_by_reason[0])});
+    for (int raw = 1; raw < kRejectionReasonCount; ++raw) {
+      const std::uint64_t n =
+          summary.node_eval_by_reason[static_cast<std::size_t>(raw)];
+      if (n > 0)
+        evals.add_row({std::string(to_string(static_cast<RejectionReason>(raw))),
+                       std::to_string(n)});
+    }
+    out << evals.str();
+  }
+}
+
+void print_breakdown(std::ostream& out,
+                     const std::vector<std::pair<TraceMeta, TraceSummary>>& rows) {
+  table::Table t({"policy", "seed", "submitted", "admitted", "rejected",
+                  "finished", "killed", "share_ovf", "risk_sigma", "no_node",
+                  "infeasible"});
+  for (const auto& [meta, s] : rows) {
+    t.add_row({meta.policy, std::to_string(meta.seed),
+               std::to_string(s.count(EventKind::JobSubmitted)),
+               std::to_string(s.count(EventKind::JobAdmitted)),
+               std::to_string(s.count(EventKind::JobRejected)),
+               std::to_string(s.count(EventKind::JobFinished)),
+               std::to_string(s.count(EventKind::JobKilled)),
+               std::to_string(s.rejected_by_reason[static_cast<std::size_t>(
+                   RejectionReason::ShareOverflow)]),
+               std::to_string(s.rejected_by_reason[static_cast<std::size_t>(
+                   RejectionReason::RiskSigma)]),
+               std::to_string(s.rejected_by_reason[static_cast<std::size_t>(
+                   RejectionReason::NoSuitableNode)]),
+               std::to_string(s.rejected_by_reason[static_cast<std::size_t>(
+                   RejectionReason::DeadlineInfeasible)])});
+  }
+  out << t.str();
+}
+
+}  // namespace librisk::trace

@@ -1,0 +1,42 @@
+// Aggregation over a trace: event-kind counts, rejection-reason histogram,
+// accept/kill/finish breakdown. Backs `librisk-sim trace summary`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <utility>
+#include <vector>
+
+#include "trace/reader.hpp"
+
+namespace librisk::trace {
+
+struct TraceSummary {
+  /// Indexed by raw EventKind value (slot 0 unused).
+  std::array<std::uint64_t, kEventKindCount + 1> by_kind{};
+  /// JobRejected events, indexed by raw RejectionReason value.
+  std::array<std::uint64_t, kRejectionReasonCount> rejected_by_reason{};
+  /// NodeEvaluated events that failed, indexed by raw RejectionReason value
+  /// (slot 0 counts the evaluations that passed).
+  std::array<std::uint64_t, kRejectionReasonCount> node_eval_by_reason{};
+  std::uint64_t total = 0;
+
+  [[nodiscard]] std::uint64_t count(EventKind kind) const noexcept {
+    return by_kind[static_cast<std::size_t>(kind)];
+  }
+};
+
+[[nodiscard]] TraceSummary summarize(const std::vector<Event>& events);
+
+/// Detailed single-trace report: event counts and the rejection-reason
+/// histogram.
+void print_summary(std::ostream& out, const TraceMeta& meta,
+                   const TraceSummary& summary);
+
+/// Side-by-side accept/reject/kill breakdown, one row per trace — the
+/// per-policy comparison view for multi-file `trace summary`.
+void print_breakdown(std::ostream& out,
+                     const std::vector<std::pair<TraceMeta, TraceSummary>>& rows);
+
+}  // namespace librisk::trace

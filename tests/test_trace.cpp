@@ -1,0 +1,317 @@
+// Decision-audit trace subsystem: sink round-trips, determinism oracles,
+// corrupt-input handling, and rejection-reason attribution.
+//
+// The two load-bearing guarantees here are (1) a NullSink-backed recorder
+// leaves every decision bit-identical to running with no recorder at all,
+// and (2) the binary format is a determinism oracle: same seed + policy
+// produce byte-identical .lrt files, so `trace diff` reporting the first
+// divergent event is a meaningful regression signal.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/factory.hpp"
+#include "exp/scenario.hpp"
+#include "tools/commands.hpp"
+#include "trace/diff.hpp"
+#include "trace/event.hpp"
+#include "trace/reader.hpp"
+#include "trace/recorder.hpp"
+#include "trace/sink.hpp"
+#include "trace/summary.hpp"
+
+namespace librisk {
+namespace {
+
+exp::Scenario small_scenario(core::Policy policy, std::uint64_t seed) {
+  exp::Scenario s;
+  s.workload.trace.job_count = 200;
+  s.nodes = 32;
+  s.policy = policy;
+  s.seed = seed;
+  return s;
+}
+
+/// Runs the scenario with `sink` attached; returns the scenario result.
+exp::ScenarioResult record_into(trace::Sink& sink, core::Policy policy,
+                                std::uint64_t seed) {
+  exp::Scenario s = small_scenario(policy, seed);
+  trace::Recorder recorder(sink);
+  s.options.trace = &recorder;
+  const exp::ScenarioResult r = exp::run_scenario(s);
+  sink.close();
+  return r;
+}
+
+std::string record_lrt(core::Policy policy, std::uint64_t seed) {
+  std::ostringstream os;
+  trace::BinarySink sink(os, {std::string(core::to_string(policy)), seed});
+  record_into(sink, policy, seed);
+  return os.str();
+}
+
+std::string record_jsonl(core::Policy policy, std::uint64_t seed) {
+  std::ostringstream os;
+  trace::JsonlSink sink(os, {std::string(core::to_string(policy)), seed});
+  record_into(sink, policy, seed);
+  return os.str();
+}
+
+TEST(TraceEvent, KindAndReasonStringsRoundTrip) {
+  for (int k = 1; k <= static_cast<int>(trace::kEventKindCount); ++k) {
+    const auto kind = static_cast<trace::EventKind>(k);
+    EXPECT_EQ(trace::parse_event_kind(trace::to_string(kind)), kind);
+  }
+  for (int r = 0; r < static_cast<int>(trace::kRejectionReasonCount); ++r) {
+    const auto reason = static_cast<trace::RejectionReason>(r);
+    EXPECT_EQ(trace::parse_rejection_reason(trace::to_string(reason)), reason);
+  }
+  EXPECT_THROW((void)trace::parse_event_kind("nope"), std::invalid_argument);
+  EXPECT_THROW((void)trace::parse_rejection_reason("nope"), std::invalid_argument);
+}
+
+TEST(TraceSink, BinaryAndJsonlRoundTripIdentically) {
+  const std::string lrt = record_lrt(core::Policy::LibraRisk, 11);
+  const std::string jsonl = record_jsonl(core::Policy::LibraRisk, 11);
+
+  std::istringstream lrt_in(lrt);
+  std::istringstream jsonl_in(jsonl);
+  const trace::TraceData a = trace::read_lrt(lrt_in);
+  const trace::TraceData b = trace::read_jsonl(jsonl_in);
+
+  EXPECT_EQ(a.meta, b.meta);
+  EXPECT_EQ(a.meta.policy, "LibraRisk");
+  EXPECT_EQ(a.meta.seed, 11u);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  ASSERT_FALSE(a.events.empty());
+  // Event-by-event: doubles survive both the raw-bits binary encoding and
+  // the shortest-round-trip JSONL text encoding exactly.
+  for (std::size_t i = 0; i < a.events.size(); ++i)
+    ASSERT_EQ(a.events[i], b.events[i]) << "event " << i;
+  EXPECT_TRUE(trace::first_divergence(a, b).identical());
+}
+
+TEST(TraceSink, SameSeedIsByteIdenticalAcrossAllPolicies) {
+  for (const core::Policy policy : core::all_policies()) {
+    const std::string first = record_lrt(policy, 5);
+    const std::string second = record_lrt(policy, 5);
+    EXPECT_EQ(first, second) << core::to_string(policy);
+    EXPECT_FALSE(first.empty()) << core::to_string(policy);
+  }
+  EXPECT_NE(record_lrt(core::Policy::LibraRisk, 5),
+            record_lrt(core::Policy::LibraRisk, 6));
+}
+
+TEST(TraceSink, NullSinkLeavesDecisionsBitIdentical) {
+  for (const core::Policy policy :
+       {core::Policy::LibraRisk, core::Policy::Libra, core::Policy::Edf}) {
+    const exp::ScenarioResult plain =
+        exp::run_scenario(small_scenario(policy, 3));
+    trace::NullSink null_sink;
+    const exp::ScenarioResult traced = record_into(null_sink, policy, 3);
+
+    EXPECT_EQ(plain.summary.accepted, traced.summary.accepted);
+    EXPECT_EQ(plain.summary.rejected_at_submit, traced.summary.rejected_at_submit);
+    EXPECT_EQ(plain.summary.killed, traced.summary.killed);
+    EXPECT_EQ(plain.summary.fulfilled_pct, traced.summary.fulfilled_pct);
+    EXPECT_EQ(plain.summary.avg_slowdown_fulfilled,
+              traced.summary.avg_slowdown_fulfilled);
+    EXPECT_EQ(plain.admission.nodes_scanned, traced.admission.nodes_scanned);
+    EXPECT_EQ(plain.admission.empty_node_skips, traced.admission.empty_node_skips);
+    ASSERT_EQ(plain.outcomes.size(), traced.outcomes.size());
+    for (std::size_t i = 0; i < plain.outcomes.size(); ++i) {
+      EXPECT_EQ(plain.outcomes[i].fate, traced.outcomes[i].fate);
+      EXPECT_EQ(plain.outcomes[i].delay, traced.outcomes[i].delay);
+    }
+  }
+}
+
+TEST(TraceRecorder, EnabledTracksSinkDiscards) {
+  trace::Recorder detached;
+  EXPECT_FALSE(detached.enabled());
+  trace::NullSink null_sink;
+  trace::Recorder null_recorder(null_sink);
+  EXPECT_FALSE(null_recorder.enabled());
+  std::ostringstream os;
+  trace::BinarySink binary(os, {"x", 0});
+  trace::Recorder live(binary);
+  EXPECT_TRUE(live.enabled());
+}
+
+TEST(TraceDiff, ReportsFirstDivergentEvent) {
+  const std::string lrt = record_lrt(core::Policy::LibraRisk, 11);
+  std::istringstream in(lrt);
+  const trace::TraceData a = trace::read_lrt(in);
+  ASSERT_GT(a.events.size(), 100u);
+
+  trace::TraceData b = a;
+  b.events[100].a += 1.0;  // inject a single-event divergence
+  const trace::Divergence d = trace::first_divergence(a, b);
+  EXPECT_EQ(d.kind, trace::Divergence::Kind::EventDiffers);
+  EXPECT_EQ(d.index, 100u);
+  EXPECT_FALSE(d.identical());
+  const std::string report = trace::describe(d, a, b);
+  EXPECT_NE(report.find("event 100"), std::string::npos);
+
+  trace::TraceData shorter = a;
+  shorter.events.pop_back();
+  const trace::Divergence tail = trace::first_divergence(a, shorter);
+  EXPECT_EQ(tail.kind, trace::Divergence::Kind::LengthDiffers);
+  EXPECT_EQ(tail.index, a.events.size() - 1);
+
+  trace::TraceData other_meta = a;
+  other_meta.meta.seed = 12;
+  EXPECT_EQ(trace::first_divergence(a, other_meta).kind,
+            trace::Divergence::Kind::MetaDiffers);
+  EXPECT_TRUE(trace::first_divergence(a, a).identical());
+}
+
+TEST(TraceReader, TruncatedAndCorruptBinaryFailCleanly) {
+  const std::string lrt = record_lrt(core::Policy::Libra, 2);
+
+  // Truncation anywhere — mid-header, mid-stream, missing footer.
+  for (const std::size_t keep : {std::size_t{2}, std::size_t{9},
+                                 lrt.size() / 2, lrt.size() - 3}) {
+    std::istringstream in(lrt.substr(0, keep));
+    EXPECT_THROW(trace::read_lrt(in), trace::TraceError) << "keep=" << keep;
+  }
+  // A flipped payload byte must be caught (checksum or field validation).
+  std::string corrupt = lrt;
+  corrupt[corrupt.size() / 2] = static_cast<char>(corrupt[corrupt.size() / 2] ^ 0x40);
+  std::istringstream corrupt_in(corrupt);
+  EXPECT_THROW(trace::read_lrt(corrupt_in), trace::TraceError);
+  // Trailing garbage after the checksummed footer is not silently ignored.
+  std::istringstream trailing_in(lrt + "x");
+  EXPECT_THROW(trace::read_lrt(trailing_in), trace::TraceError);
+  // Wrong magic.
+  std::string wrong_magic = lrt;
+  wrong_magic[0] = 'X';
+  std::istringstream magic_in(wrong_magic);
+  EXPECT_THROW(trace::read_lrt(magic_in), trace::TraceError);
+  // The intact stream still reads fine after all that.
+  std::istringstream ok_in(lrt);
+  EXPECT_NO_THROW(trace::read_lrt(ok_in));
+}
+
+TEST(TraceReader, MalformedJsonlFailsCleanly) {
+  std::istringstream not_a_trace("{\"hello\":1}\n");
+  EXPECT_THROW(trace::read_jsonl(not_a_trace), trace::TraceError);
+
+  const std::string jsonl = record_jsonl(core::Policy::Libra, 2);
+  const std::size_t first_newline = jsonl.find('\n');
+  ASSERT_NE(first_newline, std::string::npos);
+  std::string bad_event = jsonl.substr(0, first_newline + 1) +
+                          "{\"t\":0,\"kind\":\"not_a_kind\",\"job\":1}\n";
+  std::istringstream bad_in(bad_event);
+  EXPECT_THROW(trace::read_jsonl(bad_in), trace::TraceError);
+}
+
+TEST(TraceSummary, CountsMatchAdmissionStats) {
+  std::ostringstream os;
+  trace::BinarySink sink(os, {"LibraRisk", 11});
+  const exp::ScenarioResult r = record_into(sink, core::Policy::LibraRisk, 11);
+
+  std::istringstream in(os.str());
+  const trace::TraceData data = trace::read_lrt(in);
+  const trace::TraceSummary s = trace::summarize(data.events);
+
+  EXPECT_EQ(s.count(trace::EventKind::JobSubmitted), 200u);
+  EXPECT_EQ(s.count(trace::EventKind::JobAdmitted),
+            static_cast<std::uint64_t>(r.summary.accepted));
+  EXPECT_EQ(s.count(trace::EventKind::JobRejected),
+            static_cast<std::uint64_t>(r.summary.rejected_at_submit));
+  EXPECT_EQ(s.count(trace::EventKind::JobStarted),
+            static_cast<std::uint64_t>(r.summary.accepted));
+  // Per-reason attribution in the trace agrees with AdmissionStats.
+  using trace::RejectionReason;
+  EXPECT_EQ(s.rejected_by_reason[static_cast<int>(RejectionReason::ShareOverflow)],
+            r.admission.rejected_share_overflow);
+  EXPECT_EQ(s.rejected_by_reason[static_cast<int>(RejectionReason::RiskSigma)],
+            r.admission.rejected_risk_sigma);
+  EXPECT_EQ(s.rejected_by_reason[static_cast<int>(RejectionReason::NoSuitableNode)],
+            r.admission.rejected_no_suitable_node);
+}
+
+TEST(TraceAdmission, PerReasonCountersSumToRejections) {
+  for (const core::Policy policy : {core::Policy::Libra, core::Policy::LibraRisk}) {
+    const exp::ScenarioResult r = exp::run_scenario(small_scenario(policy, 11));
+    const core::AdmissionStats& adm = r.admission;
+    EXPECT_EQ(adm.rejected_share_overflow + adm.rejected_risk_sigma +
+                  adm.rejected_no_suitable_node,
+              adm.rejections)
+        << core::to_string(policy);
+    ASSERT_GT(adm.rejections, 0u) << core::to_string(policy);
+    // Policy-defining attribution: Libra rejects on the total-share test,
+    // LibraRisk on the sigma test.
+    if (policy == core::Policy::Libra) {
+      EXPECT_EQ(adm.rejected_risk_sigma, 0u);
+      EXPECT_GT(adm.rejected_share_overflow, 0u);
+    } else {
+      EXPECT_EQ(adm.rejected_share_overflow, 0u);
+      EXPECT_GT(adm.rejected_risk_sigma, 0u);
+    }
+  }
+}
+
+/// Drives `librisk-sim trace ...` in-process against real temp files.
+class TraceToolTest : public ::testing::Test {
+ protected:
+  std::string path(const std::string& name) {
+    const std::filesystem::path p = std::filesystem::temp_directory_path() /
+                                    ("librisk_test_trace_" + name);
+    created_.push_back(p.string());
+    return p.string();
+  }
+  void TearDown() override {
+    for (const std::string& p : created_) std::remove(p.c_str());
+  }
+  static int tool(const std::vector<std::string>& args, std::string* out_text = nullptr) {
+    std::ostringstream out, err;
+    const int code = tool::run_command("trace", args, out, err);
+    if (out_text != nullptr) *out_text = out.str() + err.str();
+    return code;
+  }
+
+ private:
+  std::vector<std::string> created_;
+};
+
+TEST_F(TraceToolTest, RecordSummaryDiffEndToEnd) {
+  const std::string a = path("a.lrt");
+  const std::string b = path("b.lrt");
+  const std::string c = path("c.jsonl");
+  ASSERT_EQ(tool({"record", "--jobs=200", "--nodes=32", "--seed=4",
+                  "--policy=LibraRisk", "--out=" + a}),
+            0);
+  ASSERT_EQ(tool({"record", "--jobs=200", "--nodes=32", "--seed=4",
+                  "--policy=LibraRisk", "--out=" + b}),
+            0);
+  ASSERT_EQ(tool({"record", "--jobs=200", "--nodes=32", "--seed=5",
+                  "--policy=LibraRisk", "--format=jsonl", "--out=" + c}),
+            0);
+
+  std::string text;
+  EXPECT_EQ(tool({"diff", "--a=" + a, "--b=" + b}, &text), 0) << text;
+  EXPECT_NE(text.find("identical"), std::string::npos);
+
+  // Different seed: exit code 1 and a report naming the divergence.
+  EXPECT_EQ(tool({"diff", "--a=" + a, "--b=" + c}, &text), 1);
+  EXPECT_NE(text.find("seed"), std::string::npos);
+
+  EXPECT_EQ(tool({"summary", "--in=" + a}, &text), 0);
+  EXPECT_NE(text.find("job_submitted"), std::string::npos);
+  EXPECT_NE(text.find("risk_sigma"), std::string::npos);
+
+  // Multi-file summary renders the per-policy breakdown table.
+  EXPECT_EQ(tool({"summary", "--in=" + a + "," + c}, &text), 0);
+  EXPECT_NE(text.find("submitted"), std::string::npos);
+
+  EXPECT_EQ(tool({"frobnicate"}, &text), 2);
+}
+
+}  // namespace
+}  // namespace librisk

@@ -9,6 +9,7 @@
 //   librisk-sim sweep    — one axis sweep, paper-style series + CSV
 //   librisk-sim workload — generate a synthetic trace as an SWF file
 //   librisk-sim replay   — run policies over an SWF trace file
+//   librisk-sim trace    — decision-audit traces: record / summary / diff
 #pragma once
 
 #include <iosfwd>
