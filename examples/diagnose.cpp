@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   table::Table t({"policy", "fulfilled %", "slowdown", "rejected", "rej(share)",
                   "rej(sigma)", "rej(no-node)", "late(under-est)",
                   "late(victims)", "ful(under-est)", "doomable", "scans/job",
-                  "skips"});
+                  "skips", "recomp/settle", "kern-skip%"});
   for (const core::Policy policy : core::all_policies()) {
     exp::Scenario scenario = base;
     scenario.policy = policy;
@@ -75,6 +75,19 @@ int main(int argc, char** argv) {
         adm.submissions > 0 ? static_cast<double>(adm.nodes_scanned) /
                                   static_cast<double>(adm.submissions)
                             : 0.0;
+    // Execution-kernel effort: demand/rate recomputations per settle and the
+    // fraction of resident tasks the dirty-set pass left untouched (zero for
+    // space-shared policies, which do not drive the time-shared executor).
+    const cluster::KernelStats& kern = r.kernel;
+    const double recomp_per_settle =
+        kern.settles > 0 ? static_cast<double>(kern.tasks_recomputed) /
+                               static_cast<double>(kern.settles)
+                         : 0.0;
+    const std::uint64_t kern_touched = kern.tasks_recomputed + kern.tasks_skipped;
+    const double kern_skip_pct =
+        kern_touched > 0 ? 100.0 * static_cast<double>(kern.tasks_skipped) /
+                               static_cast<double>(kern_touched)
+                         : 0.0;
     t.add_row({std::string(core::to_string(policy)),
                table::pct(r.summary.fulfilled_pct),
                table::num(r.summary.avg_slowdown_fulfilled),
@@ -85,7 +98,8 @@ int main(int argc, char** argv) {
                std::to_string(late_under),
                std::to_string(late_victim), std::to_string(ful_under),
                std::to_string(under_total), table::num(scans_per_job),
-               std::to_string(adm.empty_node_skips)});
+               std::to_string(adm.empty_node_skips),
+               table::num(recomp_per_settle), table::num(kern_skip_pct, 1)});
   }
   std::cout << "inaccuracy " << inaccuracy_opt.value << "%, work-conserving "
             << (wc_opt.value ? "on" : "off") << ":\n"

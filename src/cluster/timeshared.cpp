@@ -9,7 +9,16 @@
 namespace librisk::cluster {
 
 namespace {
-/// Work comparison slack, reference-seconds.
+/// Work comparison slack, reference-seconds. Load-bearing, not just slop:
+/// demand_of floors a running job's remaining estimate at this value. An
+/// interleaved event can settle a task arbitrarily close to its expiry
+/// boundary; without the floor its demand then collapses toward zero, the
+/// recomputed rate strands the last ulp-sized sliver of estimate hundreds
+/// of seconds away, and once there every work_at() read rounds to the
+/// estimate exactly (zero demand, no escape). The floor keeps such a task
+/// moving so its exact-target boundary fires promptly. 1e-6 sits comfortably
+/// between ulp(est) for trace-scale estimates (~1e-9) and the smallest
+/// meaningful work quantum.
 constexpr double kWorkEpsilon = 1e-6;
 }  // namespace
 
@@ -30,10 +39,15 @@ TimeSharedExecutor::TimeSharedExecutor(sim::Simulator& simulator,
                                        ShareModelConfig config)
     : sim_(simulator), cluster_(cluster), config_(config) {
   config_.validate();
-  node_jobs_.resize(cluster_.size());
-  node_tasks_.resize(cluster_.size());
-  node_cache_.resize(cluster_.size());
-  last_advance_ = sim_.now();
+  const auto n = static_cast<std::size_t>(cluster_.size());
+  node_jobs_.resize(n);
+  node_tasks_.resize(n);
+  node_cache_.resize(n);
+  multi_pos_.assign(n, -1);
+  node_demand_.assign(n, 0.0);
+  node_touched_serial_.assign(n, 0);
+  node_demand_serial_.assign(n, 0);
+  last_settle_ = sim_.now();
 }
 
 void TimeSharedExecutor::set_completion_handler(CompletionHandler handler) {
@@ -66,11 +80,14 @@ void TimeSharedExecutor::start(const Job& job, std::vector<NodeId> nodes) {
   task.start_time = sim_.now();
   task.est_current = job.scheduler_estimate;
   task.actual_total = job.actual_runtime;
+  task.anchor_time = sim_.now();
   const auto [it, inserted] = tasks_.emplace(job.id, std::move(task));
   LIBRISK_CHECK(inserted, "job " << job.id << " already running");
   for (const NodeId n : it->second.nodes) {
     node_jobs_[n].push_back(job.id);
     node_tasks_[n].push_back(&it->second);
+    if (node_tasks_[n].size() == 2) multi_add(n);
+    start_touched_.push_back(n);
   }
   if (trace_ != nullptr)
     trace_->job_started(sim_.now(), job.id, it->second.nodes.front(),
@@ -99,7 +116,7 @@ TaskView TimeSharedExecutor::view(JobId id) const {
   v.job = t.job;
   v.nodes = t.nodes;
   v.start_time = t.start_time;
-  v.work_done = t.work_done;
+  v.work_done = work_at(t, sim_.now());
   v.est_original = t.job->scheduler_estimate;
   v.est_current = t.est_current;
   v.overrun_bumps = t.bumps;
@@ -133,7 +150,7 @@ const NodeStateView& TimeSharedExecutor::node_state(NodeId node) const {
 void TimeSharedExecutor::rebuild_node_cache(NodeId node, NodeCache& cache) const {
   const sim::SimTime now = sim_.now();
   const double speed = cluster_.speed_factor(node);
-  const std::vector<const Task*>& residents = node_tasks_[node];
+  const std::vector<Task*>& residents = node_tasks_[node];
 
   cache.residents.clear();
   if (cache.residents.capacity() < residents.size())
@@ -143,17 +160,18 @@ void TimeSharedExecutor::rebuild_node_cache(NodeId node, NodeCache& cache) const
   double demand = 0.0;
   double min_deadline = sim::kTimeInfinity;
   for (const Task* t : residents) {
+    const double work = work_at(*t, now);
     ResidentJobState r;
     r.job = t->job;
-    r.remaining_raw = std::max(t->job->scheduler_estimate - t->work_done, 0.0);
-    r.remaining_current = std::max(t->est_current - t->work_done, 0.0);
+    r.remaining_raw = std::max(t->job->scheduler_estimate - work, 0.0);
+    r.remaining_current = std::max(t->est_current - work, 0.0);
     r.remaining_deadline = t->job->absolute_deadline() - now;
     r.rate = t->rate;
     total_raw += required_share(r.remaining_raw, r.remaining_deadline,
                                 config_.deadline_clamp, speed);
     total_current += required_share(r.remaining_current, r.remaining_deadline,
                                     config_.deadline_clamp, speed);
-    demand += std::min(1.0, demand_of(*t) / speed);
+    demand += std::min(1.0, demand_of(*t, now) / speed);
     min_deadline = std::min(min_deadline, r.remaining_deadline);
     cache.residents.push_back(r);
   }
@@ -173,89 +191,388 @@ void TimeSharedExecutor::rebuild_node_cache(NodeId node, NodeCache& cache) const
   cache.view.min_remaining_deadline = min_deadline;
 }
 
-double TimeSharedExecutor::demand_of(const Task& task) const {
+double TimeSharedExecutor::demand_of(const Task& task, sim::SimTime now) const {
   // EqualShare (GridSim time sharing): every resident job weighs the same,
   // so allocation collapses to capacity / n.
   if (config_.mode == ExecutionMode::EqualShare) return 1.0;
   // ProportionalPacing: demand at reference speed (per-node speed applied
   // by the caller), capped at 1 — a job cannot consume more than a whole
-  // node, however far behind its deadline it is.
-  const double rem_work = std::max(task.est_current - task.work_done, 0.0);
+  // node, however far behind its deadline it is. The floor at kWorkEpsilon
+  // (see above) is bitwise inert except within the final epsilon of the
+  // estimate, where it prevents the demand from collapsing.
+  const double rem_work =
+      std::max(task.est_current - work_at(task, now), kWorkEpsilon);
   return std::min(1.0, required_share(rem_work,
-                                      task.job->absolute_deadline() - sim_.now(),
+                                      task.job->absolute_deadline() - now,
                                       config_.deadline_clamp));
 }
 
-bool TimeSharedExecutor::advance_to_now() {
-  const sim::SimTime now = sim_.now();
-  const double dt = now - last_advance_;
-  LIBRISK_CHECK(dt >= -sim::kTimeEpsilon, "executor clock ran backwards");
-  bool advanced = false;
-  if (dt > 0.0) {
-    for (auto& [id, task] : tasks_) {
-      const double progress = task.rate * dt;
-      task.work_done += progress;
-      delivered_ += progress * static_cast<double>(task.job->num_procs);
-      advanced = true;
-      if (timeline_ != nullptr) {
-        for (const NodeId n : task.nodes)
-          timeline_->record(TimelineSegment{id, n, last_advance_, now, task.rate});
-      }
-    }
+void TimeSharedExecutor::reanchor(Task& task, sim::SimTime now) {
+  if (now == task.anchor_time) return;
+  const double progress = task.rate * (now - task.anchor_time);
+  delivered_ += progress * static_cast<double>(task.job->num_procs);
+  if (timeline_ != nullptr) {
+    for (const NodeId n : task.nodes)
+      timeline_->record(TimelineSegment{task.job->id, n, task.anchor_time, now,
+                                        task.rate});
   }
-  last_advance_ = now;
-  return advanced;
+  task.anchor_work += progress;
+  task.anchor_time = now;
+  ++stats_.reanchors;
 }
 
-void TimeSharedExecutor::complete(JobId id, Task& task) {
+void TimeSharedExecutor::refresh_boundary(Task& task) {
+  // Boundaries target the exact work limits. Ties resolve to completion, so
+  // a job whose estimate exactly equals its runtime completes rather than
+  // bumping. The max with 0 guards against the instant-of-boundary rounding
+  // case producing an event in the past.
+  const double to_completion =
+      (task.actual_total - task.anchor_work) / task.rate;
+  const double to_expiry = (task.est_current - task.anchor_work) / task.rate;
+  if (to_expiry < to_completion) {
+    task.boundary = task.anchor_time + std::max(to_expiry, 0.0);
+    task.boundary_is_expiry = true;
+  } else {
+    task.boundary = task.anchor_time + std::max(to_completion, 0.0);
+    task.boundary_is_expiry = false;
+  }
+}
+
+void TimeSharedExecutor::remove_task_from_nodes(Task& task) {
   for (const NodeId n : task.nodes) {
     auto& jobs = node_jobs_[n];
-    jobs.erase(std::remove(jobs.begin(), jobs.end(), id), jobs.end());
+    jobs.erase(std::remove(jobs.begin(), jobs.end(), task.job->id), jobs.end());
     auto& tasks = node_tasks_[n];
     tasks.erase(std::remove(tasks.begin(), tasks.end(), &task), tasks.end());
+    if (multi_pos_[n] >= 0 && tasks.size() < 2) multi_remove(n);
   }
+  if (task.heap_pos >= 0) bheap_remove(&task);
+}
+
+void TimeSharedExecutor::touch_node(NodeId node) {
+  if (node_touched_serial_[static_cast<std::size_t>(node)] == settle_serial_)
+    return;
+  node_touched_serial_[static_cast<std::size_t>(node)] = settle_serial_;
+  touched_nodes_.push_back(node);
+}
+
+void TimeSharedExecutor::mark_dirty(Task* task) {
+  if (task->dirty_serial == settle_serial_) return;
+  task->dirty_serial = settle_serial_;
+  dirty_.push_back(task);
+}
+
+void TimeSharedExecutor::multi_add(NodeId node) {
+  multi_pos_[static_cast<std::size_t>(node)] =
+      static_cast<std::int32_t>(multi_nodes_.size());
+  multi_nodes_.push_back(node);
+}
+
+void TimeSharedExecutor::multi_remove(NodeId node) {
+  const std::int32_t pos = multi_pos_[static_cast<std::size_t>(node)];
+  const NodeId last = multi_nodes_.back();
+  multi_nodes_[static_cast<std::size_t>(pos)] = last;
+  multi_pos_[static_cast<std::size_t>(last)] = pos;
+  multi_nodes_.pop_back();
+  multi_pos_[static_cast<std::size_t>(node)] = -1;
+}
+
+bool TimeSharedExecutor::boundary_before(const Task* a, const Task* b) noexcept {
+  if (a->boundary != b->boundary) return a->boundary < b->boundary;
+  return a->job->id < b->job->id;  // deterministic tie order
+}
+
+void TimeSharedExecutor::bheap_sift_up(std::size_t pos) {
+  Task* const t = bheap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (!boundary_before(t, bheap_[parent])) break;
+    bheap_[pos] = bheap_[parent];
+    bheap_[pos]->heap_pos = static_cast<std::int32_t>(pos);
+    pos = parent;
+  }
+  bheap_[pos] = t;
+  t->heap_pos = static_cast<std::int32_t>(pos);
+}
+
+void TimeSharedExecutor::bheap_sift_down(std::size_t pos) {
+  Task* const t = bheap_[pos];
+  const std::size_t n = bheap_.size();
+  for (;;) {
+    std::size_t child = 2 * pos + 1;
+    if (child >= n) break;
+    if (child + 1 < n && boundary_before(bheap_[child + 1], bheap_[child]))
+      ++child;
+    if (!boundary_before(bheap_[child], t)) break;
+    bheap_[pos] = bheap_[child];
+    bheap_[pos]->heap_pos = static_cast<std::int32_t>(pos);
+    pos = child;
+  }
+  bheap_[pos] = t;
+  t->heap_pos = static_cast<std::int32_t>(pos);
+}
+
+void TimeSharedExecutor::bheap_update(Task* task) {
+  ++stats_.boundary_updates;
+  if (task->heap_pos < 0) {
+    task->heap_pos = static_cast<std::int32_t>(bheap_.size());
+    bheap_.push_back(task);
+    bheap_sift_up(static_cast<std::size_t>(task->heap_pos));
+    return;
+  }
+  // The boundary may have moved either way (a bump pushes it later, a rate
+  // increase pulls it earlier): sift both directions.
+  const auto pos = static_cast<std::size_t>(task->heap_pos);
+  bheap_sift_up(pos);
+  bheap_sift_down(static_cast<std::size_t>(task->heap_pos));
+}
+
+void TimeSharedExecutor::bheap_remove(Task* task) {
+  const auto pos = static_cast<std::size_t>(task->heap_pos);
+  const std::size_t last = bheap_.size() - 1;
+  if (pos != last) {
+    bheap_[pos] = bheap_[last];
+    bheap_[pos]->heap_pos = static_cast<std::int32_t>(pos);
+    bheap_.pop_back();
+    // The moved-in entry may belong either above or below its new spot; at
+    // most one of the two sifts moves it.
+    bheap_sift_down(pos);
+    bheap_sift_up(pos);
+  } else {
+    bheap_.pop_back();
+  }
+  task->heap_pos = -1;
 }
 
 void TimeSharedExecutor::settle_and_reschedule() {
-  const bool advanced = advance_to_now();
-  const sim::SimTime now = sim_.now();
+  if (config_.legacy_kernel) {
+    settle_and_reschedule_legacy();
+  } else {
+    settle_and_reschedule_incremental();
+  }
+}
 
-  // Phase 1: classify completions and estimate expiries at this instant.
-  struct Killed {
-    const Job* job;
-    double work_done;
-  };
-  struct Overrun {
-    const Job* job;
-    int bumps;
-    double est_current;
-  };
-  std::vector<const Job*> completed;
-  std::vector<Killed> killed;
-  std::vector<Overrun> overruns;
-  for (auto it = tasks_.begin(); it != tasks_.end();) {
-    Task& t = it->second;
-    if (t.actual_total - t.work_done <= kWorkEpsilon) {
-      completed.push_back(t.job);
-      complete(it->first, t);
-      it = tasks_.erase(it);
+void TimeSharedExecutor::settle_and_reschedule_incremental() {
+  const sim::SimTime now = sim_.now();
+  LIBRISK_CHECK(now - last_settle_ >= -sim::kTimeEpsilon,
+                "executor clock ran backwards");
+  const bool time_advanced = now > last_settle_ && !tasks_.empty();
+  last_settle_ = now;
+  ++stats_.settles;
+  const std::uint64_t serial = ++settle_serial_;
+  touched_nodes_.clear();
+  dirty_.clear();
+  due_.clear();
+
+  // Nodes that gained a resident since the last settle (start() records
+  // them; usually the settle directly after the start consumes them).
+  for (const NodeId n : start_touched_) touch_node(n);
+  start_touched_.clear();
+
+  // Phase 1: pop due boundaries off the heap and classify them. Processing
+  // order is ascending job id, matching the legacy full scan.
+  while (!bheap_.empty() && bheap_.front()->boundary <= now) {
+    Task* const t = bheap_.front();
+    bheap_remove(t);
+    due_.push_back(t);
+  }
+  std::sort(due_.begin(), due_.end(),
+            [](const Task* a, const Task* b) { return a->job->id < b->job->id; });
+
+  auto completed = std::move(completed_buf_);
+  auto killed = std::move(killed_buf_);
+  auto overruns = std::move(overrun_buf_);
+  completed.clear();
+  killed.clear();
+  overruns.clear();
+
+  const bool pacing = config_.mode == ExecutionMode::ProportionalPacing;
+  for (Task* const t : due_) {
+    reanchor(*t, now);
+    if (!t->boundary_is_expiry) {
+      completed.push_back(t->job);
+      for (const NodeId n : t->nodes) touch_node(n);
+      remove_task_from_nodes(*t);
+      tasks_.erase(t->job->id);
       continue;
     }
-    if (t.est_current - t.work_done <= kWorkEpsilon) {
-      if (config_.kill_at_estimate) {
-        LIBRISK_CHECK(on_kill_ != nullptr,
-                      "kill_at_estimate requires a kill handler");
-        killed.push_back(Killed{t.job, t.work_done});
-        complete(it->first, t);
+    if (config_.kill_at_estimate) {
+      LIBRISK_CHECK(on_kill_ != nullptr,
+                    "kill_at_estimate requires a kill handler");
+      killed.push_back(Killed{t->job, t->anchor_work});
+      for (const NodeId n : t->nodes) touch_node(n);
+      remove_task_from_nodes(*t);
+      tasks_.erase(t->job->id);
+      continue;
+    }
+    // User under-estimate: the scheduler observes the job still running
+    // and extends its estimate (DESIGN.md §3.2). One bump always clears
+    // the boundary because the increment is a fraction of the original
+    // estimate, which is >= 1 s by Job::validate.
+    t->est_current += config_.overrun_bump_fraction * t->job->scheduler_estimate;
+    ++t->bumps;
+    t->bump_pending = true;
+    overruns.push_back(Overrun{t->job, t->bumps, t->est_current});
+    LIBRISK_LOG(Debug) << "job " << t->job->id << " overran estimate (bump "
+                       << t->bumps << ") at t=" << now;
+    // The bumped job's demand changed; under pacing that shifts the
+    // allocation of every co-resident. Under EqualShare only its own
+    // boundary moves.
+    mark_dirty(t);
+    if (pacing)
+      for (const NodeId n : t->nodes) touch_node(n);
+  }
+
+  // Invalidate the node caches whenever the observable state changed: work
+  // advanced, membership shrank, or an overrun bump re-estimated a job (any
+  // of which also moves rates, recomputed below).
+  const bool changed = time_advanced || !completed.empty() || !killed.empty() ||
+                       !overruns.empty();
+  if (changed) ++epoch_;
+
+  // Phase 2: build the dirty set — the tasks whose demand or allocation can
+  // have changed since their last recompute (docs/MODEL.md gives the
+  // argument for why this set is exhaustive).
+  const bool work_conserving =
+      config_.work_conserving || config_.mode == ExecutionMode::EqualShare;
+  const bool demand_drift = pacing && time_advanced;
+  if (demand_drift && !work_conserving) {
+    // Strict pacing: every allocation tracks its own drifting demand, so
+    // time advance dirties everything. Fall back to a global recompute.
+    ++stats_.global_recomputes;
+    for (auto& [id, t] : tasks_) mark_dirty(&t);
+  } else {
+    if (demand_drift) {
+      // Work-conserving pacing: an isolated task's allocation is exactly
+      // 1.0 whatever its demand (d / (d + 0) == 1), so drift only matters
+      // where residents contend — the multi-tenant nodes.
+      for (const NodeId n : multi_nodes_)
+        for (Task* const t : node_tasks_[n]) mark_dirty(t);
+    }
+    for (const NodeId n : touched_nodes_)
+      for (Task* const t : node_tasks_[n]) mark_dirty(t);
+  }
+  std::sort(dirty_.begin(), dirty_.end(),
+            [](const Task* a, const Task* b) { return a->job->id < b->job->id; });
+  stats_.tasks_recomputed += dirty_.size();
+  stats_.tasks_skipped += tasks_.size() - dirty_.size();
+
+  // Fresh demand sums for every node a dirty task touches (other entries of
+  // node_demand_ are stale, but only these are read below). Per-node
+  // accumulation order is resident start order, same as the legacy kernel.
+  demand_nodes_.clear();
+  for (const Task* const t : dirty_)
+    for (const NodeId n : t->nodes) {
+      if (node_demand_serial_[static_cast<std::size_t>(n)] == serial) continue;
+      node_demand_serial_[static_cast<std::size_t>(n)] = serial;
+      demand_nodes_.push_back(n);
+    }
+  for (const NodeId n : demand_nodes_) {
+    const double speed = cluster_.speed_factor(n);
+    double sum = 0.0;
+    for (const Task* const t : node_tasks_[n])
+      sum += std::min(1.0, demand_of(*t, now) / speed);
+    node_demand_[static_cast<std::size_t>(n)] = sum;
+  }
+
+  for (Task* const t : dirty_) {
+    const double d = demand_of(*t, now);
+    double rate = sim::kTimeInfinity;
+    for (const NodeId n : t->nodes) {
+      const double speed = cluster_.speed_factor(n);
+      const double demand_here = std::min(1.0, d / speed);
+      const double alloc =
+          allocate_one(demand_here,
+                       node_demand_[static_cast<std::size_t>(n)] - demand_here,
+                       work_conserving);
+      rate = std::min(rate, alloc * speed);
+    }
+    LIBRISK_CHECK(rate > 0.0 && rate < sim::kTimeInfinity,
+                  "job " << t->job->id << " has no execution rate (demand=" << d
+                         << ", boundary=" << t->boundary << ", now=" << now
+                         << ")");
+    if (rate != t->rate) {
+      reanchor(*t, now);
+      t->rate = rate;
+      refresh_boundary(*t);
+      bheap_update(t);
+    } else if (t->bump_pending) {
+      refresh_boundary(*t);
+      bheap_update(t);
+    }
+    t->bump_pending = false;
+  }
+
+  // Phase 3: keep exactly one pending boundary event, rescheduled only when
+  // the heap minimum actually moved (the common case — a settle that
+  // touched nothing near the minimum — keeps the event in place).
+  const sim::SimTime next_boundary =
+      bheap_.empty() ? sim::kTimeInfinity : bheap_.front()->boundary;
+  if (next_boundary == sim::kTimeInfinity) {
+    if (pending_boundary_.valid()) {
+      sim_.cancel(pending_boundary_);
+      pending_boundary_ = sim::EventId{};
+    }
+  } else if (!pending_boundary_.valid() ||
+             pending_boundary_time_ != next_boundary) {
+    if (pending_boundary_.valid()) sim_.cancel(pending_boundary_);
+    pending_boundary_ = sim_.at(next_boundary, sim::EventPriority::Completion,
+                                [this] {
+                                  pending_boundary_ = sim::EventId{};
+                                  settle_and_reschedule();
+                                });
+    pending_boundary_time_ = next_boundary;
+  }
+
+  // Trace: one ShareRealloc per settle that actually moved observable state
+  // (membership, work, or a just-started job), not per sync() no-op.
+  if (trace_ != nullptr && (changed || pending_start_realloc_) && !tasks_.empty())
+    trace_->share_realloc(now, static_cast<int>(tasks_.size()));
+  pending_start_realloc_ = false;
+
+  notify_and_reclaim(completed, killed, overruns, now);
+}
+
+void TimeSharedExecutor::settle_and_reschedule_legacy() {
+  const sim::SimTime now = sim_.now();
+  LIBRISK_CHECK(now - last_settle_ >= -sim::kTimeEpsilon,
+                "executor clock ran backwards");
+  const bool time_advanced = now > last_settle_ && !tasks_.empty();
+  last_settle_ = now;
+  ++stats_.settles;
+  ++stats_.global_recomputes;
+  start_touched_.clear();  // a global recompute needs no touch tracking
+
+  auto completed = std::move(completed_buf_);
+  auto killed = std::move(killed_buf_);
+  auto overruns = std::move(overrun_buf_);
+  completed.clear();
+  killed.clear();
+  overruns.clear();
+
+  // Phase 1: classify due boundaries by full scan (ascending job id, the
+  // same processing order the incremental kernel sorts its due set into).
+  for (auto it = tasks_.begin(); it != tasks_.end();) {
+    Task& t = it->second;
+    if (t.boundary <= now) {
+      reanchor(t, now);
+      if (!t.boundary_is_expiry) {
+        completed.push_back(t.job);
+        remove_task_from_nodes(t);
         it = tasks_.erase(it);
         continue;
       }
-      // User under-estimate: the scheduler observes the job still running
-      // and extends its estimate (DESIGN.md §3.2). One bump always clears
-      // the boundary because the increment is a fraction of the original
-      // estimate, which is >= 1 s by Job::validate.
+      if (config_.kill_at_estimate) {
+        LIBRISK_CHECK(on_kill_ != nullptr,
+                      "kill_at_estimate requires a kill handler");
+        killed.push_back(Killed{t.job, t.anchor_work});
+        remove_task_from_nodes(t);
+        it = tasks_.erase(it);
+        continue;
+      }
       t.est_current += config_.overrun_bump_fraction * t.job->scheduler_estimate;
       ++t.bumps;
+      t.bump_pending = true;
       overruns.push_back(Overrun{t.job, t.bumps, t.est_current});
       LIBRISK_LOG(Debug) << "job " << t.job->id << " overran estimate (bump "
                          << t.bumps << ") at t=" << now;
@@ -263,43 +580,53 @@ void TimeSharedExecutor::settle_and_reschedule() {
     ++it;
   }
 
-  // Invalidate the node caches whenever the observable state changed: work
-  // advanced, membership shrank, or an overrun bump re-estimated a job (any
-  // of which also moves rates, recomputed below).
-  const bool changed =
-      advanced || !completed.empty() || !killed.empty() || !overruns.empty();
+  const bool changed = time_advanced || !completed.empty() || !killed.empty() ||
+                       !overruns.empty();
   if (changed) ++epoch_;
 
-  // Phase 2: recompute demands and rates (piecewise-constant until the next
-  // boundary).
-  std::vector<double> node_demand(node_jobs_.size(), 0.0);
-  for (auto& [id, task] : tasks_) {
-    const double d = demand_of(task);
-    for (const NodeId n : task.nodes)
-      node_demand[n] += std::min(1.0, d / cluster_.speed_factor(n));
+  // Phase 2: recompute every demand and rate. Node-major accumulation in
+  // resident start order — the same per-node summation order the
+  // incremental kernel uses, so the two kernels agree bitwise.
+  stats_.tasks_recomputed += tasks_.size();
+  for (NodeId n = 0; n < cluster_.size(); ++n) {
+    const double speed = cluster_.speed_factor(n);
+    double sum = 0.0;
+    for (const Task* const t : node_tasks_[static_cast<std::size_t>(n)])
+      sum += std::min(1.0, demand_of(*t, now) / speed);
+    node_demand_[static_cast<std::size_t>(n)] = sum;
   }
   const bool work_conserving =
       config_.work_conserving || config_.mode == ExecutionMode::EqualShare;
   sim::SimTime next_boundary = sim::kTimeInfinity;
-  for (auto& [id, task] : tasks_) {
-    const double d = demand_of(task);
+  for (auto& [id, t] : tasks_) {
+    const double d = demand_of(t, now);
     double rate = sim::kTimeInfinity;
-    for (const NodeId n : task.nodes) {
+    for (const NodeId n : t.nodes) {
       const double speed = cluster_.speed_factor(n);
       const double demand_here = std::min(1.0, d / speed);
-      const double alloc = allocate_one(demand_here, node_demand[n] - demand_here,
-                                        work_conserving);
+      const double alloc =
+          allocate_one(demand_here,
+                       node_demand_[static_cast<std::size_t>(n)] - demand_here,
+                       work_conserving);
       rate = std::min(rate, alloc * speed);
     }
     LIBRISK_CHECK(rate > 0.0 && rate < sim::kTimeInfinity,
                   "job " << id << " has no execution rate");
-    task.rate = rate;
-    const double to_completion = (task.actual_total - task.work_done) / rate;
-    const double to_expiry = (task.est_current - task.work_done) / rate;
-    next_boundary = std::min(next_boundary, now + std::min(to_completion, to_expiry));
+    if (rate != t.rate) {
+      reanchor(t, now);
+      t.rate = rate;
+      refresh_boundary(t);
+    } else if (t.bump_pending) {
+      refresh_boundary(t);
+    }
+    t.bump_pending = false;
+    next_boundary = std::min(next_boundary, t.boundary);
   }
 
-  // Phase 3: keep exactly one pending boundary event.
+  // Phase 3: cancel and reschedule the boundary event unconditionally (the
+  // pre-incremental behavior; sequence numbers differ from the incremental
+  // kernel but are unobservable — there is never more than one
+  // Completion-priority event pending).
   if (pending_boundary_.valid()) {
     sim_.cancel(pending_boundary_);
     pending_boundary_ = sim::EventId{};
@@ -310,19 +637,26 @@ void TimeSharedExecutor::settle_and_reschedule() {
                                   pending_boundary_ = sim::EventId{};
                                   settle_and_reschedule();
                                 });
+    pending_boundary_time_ = next_boundary;
   }
 
-  // Trace: one ShareRealloc per settle that actually moved observable state
-  // (membership, work, or a just-started job), not per sync() no-op.
   if (trace_ != nullptr && (changed || pending_start_realloc_) && !tasks_.empty())
     trace_->share_realloc(now, static_cast<int>(tasks_.size()));
   pending_start_realloc_ = false;
 
+  notify_and_reclaim(completed, killed, overruns, now);
+}
+
+void TimeSharedExecutor::notify_and_reclaim(std::vector<const Job*>& completed,
+                                            std::vector<Killed>& killed,
+                                            std::vector<Overrun>& overruns,
+                                            sim::SimTime now) {
   // Phase 4: notify. Handlers run after internal state is consistent, so
-  // they may call start()/sync() reentrantly. Trace events fire immediately
-  // before the matching handler so reentrant starts interleave in decision
-  // order.
-  for (const auto& o : overruns) {
+  // they may call start()/sync() reentrantly (a nested settle swaps in the
+  // then-empty member buffers and returns them before we reclaim). Trace
+  // events fire immediately before the matching handler so reentrant starts
+  // interleave in decision order.
+  for (const Overrun& o : overruns) {
     if (trace_ != nullptr)
       trace_->job_overrun(now, o.job->id, o.bumps, o.est_current);
     if (on_overrun_) on_overrun_(*o.job, o.bumps);
@@ -331,18 +665,24 @@ void TimeSharedExecutor::settle_and_reschedule() {
     if (trace_ != nullptr) trace_->job_killed(now, k.job->id, k.work_done);
     on_kill_(*k.job, now);
   }
-  for (const Job* job : completed) {
+  for (const Job* const job : completed) {
     if (trace_ != nullptr)
       trace_->job_finished(now, job->id, now - job->absolute_deadline());
     if (on_completion_) on_completion_(*job, now);
   }
+  completed.clear();
+  killed.clear();
+  overruns.clear();
+  completed_buf_ = std::move(completed);
+  killed_buf_ = std::move(killed);
+  overrun_buf_ = std::move(overruns);
 }
 
 void TimeSharedExecutor::check_invariants() const {
   // Node lists and task node sets agree.
   std::size_t listed = 0;
   for (NodeId n = 0; n < cluster_.size(); ++n) {
-    for (const JobId id : node_jobs_[n]) {
+    for (const JobId id : node_jobs_[static_cast<std::size_t>(n)]) {
       const auto it = tasks_.find(id);
       LIBRISK_CHECK(it != tasks_.end(), "node list references dead job " << id);
       const auto& nodes = it->second.nodes;
@@ -351,26 +691,73 @@ void TimeSharedExecutor::check_invariants() const {
       ++listed;
     }
   }
+  std::size_t multi_expected = 0;
   for (NodeId n = 0; n < cluster_.size(); ++n) {
-    const auto& ids = node_jobs_[n];
-    const auto& ptrs = node_tasks_[n];
+    const auto& ids = node_jobs_[static_cast<std::size_t>(n)];
+    const auto& ptrs = node_tasks_[static_cast<std::size_t>(n)];
     LIBRISK_CHECK(ids.size() == ptrs.size(),
                   "node " << n << " id/task lists out of sync");
     for (std::size_t i = 0; i < ids.size(); ++i)
       LIBRISK_CHECK(ptrs[i]->job->id == ids[i],
                     "node " << n << " task pointer mismatch at slot " << i);
+    const std::int32_t pos = multi_pos_[static_cast<std::size_t>(n)];
+    LIBRISK_CHECK((ids.size() >= 2) == (pos >= 0),
+                  "node " << n << " multi-tenant index out of date");
+    if (pos >= 0) {
+      LIBRISK_CHECK(static_cast<std::size_t>(pos) < multi_nodes_.size() &&
+                        multi_nodes_[static_cast<std::size_t>(pos)] == n,
+                    "node " << n << " multi-tenant position stale");
+      ++multi_expected;
+    }
   }
+  LIBRISK_CHECK(multi_expected == multi_nodes_.size(),
+                "multi-tenant node list out of sync");
+
   std::size_t expected = 0;
+  std::size_t queued = 0;
   for (const auto& [id, task] : tasks_) {
     expected += task.nodes.size();
-    LIBRISK_CHECK(task.work_done >= -kWorkEpsilon, "negative work_done");
-    LIBRISK_CHECK(task.work_done <= task.actual_total + 1.0,
-                  "work_done far past completion for job " << id);
+    const double work = work_at(task, last_settle_);
+    LIBRISK_CHECK(work >= -kWorkEpsilon, "negative work for job " << id);
+    LIBRISK_CHECK(work <= task.actual_total + 1.0,
+                  "work far past completion for job " << id);
     LIBRISK_CHECK(task.rate >= 0.0, "negative rate");
     LIBRISK_CHECK(task.est_current >= task.job->scheduler_estimate - kWorkEpsilon,
                   "estimate shrank for job " << id);
+    if (task.rate > 0.0) {
+      // The boundary must be exactly what refresh_boundary would derive
+      // from the anchor (it is never recomputed between rate changes).
+      const double to_completion =
+          (task.actual_total - task.anchor_work) / task.rate;
+      const double to_expiry =
+          (task.est_current - task.anchor_work) / task.rate;
+      const bool expiry = to_expiry < to_completion;
+      const sim::SimTime boundary =
+          task.anchor_time + std::max(expiry ? to_expiry : to_completion, 0.0);
+      LIBRISK_CHECK(task.boundary == boundary &&
+                        task.boundary_is_expiry == expiry,
+                    "stale boundary for job " << id);
+    }
+    if (task.heap_pos >= 0) {
+      ++queued;
+      LIBRISK_CHECK(!config_.legacy_kernel,
+                    "legacy kernel must not use the boundary heap");
+      LIBRISK_CHECK(static_cast<std::size_t>(task.heap_pos) < bheap_.size() &&
+                        bheap_[static_cast<std::size_t>(task.heap_pos)] == &task,
+                    "boundary-heap position stale for job " << id);
+    } else {
+      // Between settles every running task is queued (only mid-settle due
+      // processing pops them); a rate of 0 means the task was started but
+      // never settled, which cannot be observed from outside.
+      LIBRISK_CHECK(config_.legacy_kernel || task.rate == 0.0,
+                    "running job " << id << " missing from the boundary heap");
+    }
   }
   LIBRISK_CHECK(listed == expected, "node lists and tasks out of sync");
+  LIBRISK_CHECK(queued == bheap_.size(), "boundary heap size out of sync");
+  for (std::size_t i = 1; i < bheap_.size(); ++i)
+    LIBRISK_CHECK(!boundary_before(bheap_[i], bheap_[(i - 1) / 2]),
+                  "boundary heap order violated at slot " << i);
 }
 
 }  // namespace librisk::cluster

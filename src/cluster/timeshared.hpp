@@ -7,14 +7,29 @@
 //  - Each node allocates capacity a_ij = s_i / Σ s (work-conserving) and a
 //    gang job progresses at the minimum allocated rate across its nodes.
 //  - Rates are piecewise-constant between events; every arrival, completion
-//    and estimate-expiry triggers a global recompute and the executor keeps
-//    exactly one pending "next boundary" event.
+//    and estimate-expiry triggers a settle and the executor keeps exactly
+//    one pending "next boundary" event.
 //  - When a job exhausts its estimate without completing (user under-
 //    estimate), the scheduler's estimate is bumped by overrun_bump_fraction
 //    of the original and an overrun notification fires. This divergence
 //    between the *raw estimate* (what Libra believes, Eq. 1) and the
 //    *current estimate* (what the node is actually contending with) is the
 //    phenomenon the paper's risk metric manages.
+//
+// Execution kernel (docs/MODEL.md "incremental execution kernel"): a settle
+// does work proportional to what the triggering event touched, not to the
+// resident population. Work is never stepped forward; each task carries an
+// anchor (anchor_work, anchor_time) and its work at any instant is
+// anchor_work + rate * (t - anchor_time), re-anchored only when the rate
+// changes. Completion/expiry instants live in an intrusive binary min-heap
+// keyed by absolute boundary time, so due tasks pop in O(log n) and the
+// next-boundary event reschedules only when the minimum actually moves.
+// Only the dirty set — residents of nodes whose membership or contention
+// changed — gets its demand and rate recomputed; everyone else is skipped
+// (KernelStats counts both). settle_and_reschedule_legacy() retains the
+// whole-resident-set recompute on the same anchored arithmetic as a
+// differential oracle (ShareModelConfig::legacy_kernel); the two produce
+// bit-identical decision traces.
 #pragma once
 
 #include <cstdint>
@@ -84,6 +99,19 @@ struct NodeStateView {
   [[nodiscard]] bool empty() const noexcept { return residents.empty(); }
 };
 
+/// Execution-kernel effort counters, AdmissionStats-style: cumulative over
+/// the executor's lifetime, cheap enough to keep always-on. The skip ratio
+/// (tasks_skipped vs tasks_recomputed) is the incremental kernel's win; the
+/// legacy kernel reports every settle as a global recompute with no skips.
+struct KernelStats {
+  std::uint64_t settles = 0;           ///< settle passes (events + syncs)
+  std::uint64_t global_recomputes = 0; ///< settles that recomputed every task
+  std::uint64_t tasks_recomputed = 0;  ///< demand/rate recomputations
+  std::uint64_t tasks_skipped = 0;     ///< resident-settle pairs left untouched
+  std::uint64_t reanchors = 0;         ///< work anchors advanced (rate changes)
+  std::uint64_t boundary_updates = 0;  ///< boundary-heap insert/move operations
+};
+
 class TimeSharedExecutor {
  public:
   using CompletionHandler = std::function<void(const Job&, sim::SimTime finish)>;
@@ -103,7 +131,9 @@ class TimeSharedExecutor {
   void set_kill_handler(KillHandler handler);
 
   /// Optional: stream execution segments into `recorder` (nullptr to stop).
-  /// The recorder must outlive the executor or the detach call.
+  /// The recorder must outlive the executor or the detach call. Segments
+  /// are emitted per constant-rate stretch (anchor to anchor), so they are
+  /// coarser than one-per-event but tile each job's execution exactly.
   void set_timeline_recorder(TimelineRecorder* recorder) noexcept {
     timeline_ = recorder;
   }
@@ -120,7 +150,7 @@ class TimeSharedExecutor {
   /// must outlive completion.
   void start(const Job& job, std::vector<NodeId> nodes);
 
-  /// Brings work_done/rates up to simulator time (call before inspecting
+  /// Settles rates/boundaries at simulator time (call before inspecting
   /// views mid-simulation; completion events do this automatically).
   void sync();
 
@@ -152,6 +182,8 @@ class TimeSharedExecutor {
   [[nodiscard]] double delivered_node_seconds() const noexcept { return delivered_; }
   [[nodiscard]] const Cluster& cluster() const noexcept { return cluster_; }
   [[nodiscard]] const ShareModelConfig& config() const noexcept { return config_; }
+  /// Cumulative execution-kernel effort counters.
+  [[nodiscard]] const KernelStats& kernel_stats() const noexcept { return stats_; }
 
   /// Validates internal invariants (tests / failure injection); throws
   /// CheckError on violation.
@@ -162,19 +194,72 @@ class TimeSharedExecutor {
     const Job* job;
     std::vector<NodeId> nodes;
     sim::SimTime start_time;
-    double work_done = 0.0;
     double est_current;
     double actual_total;
     double rate = 0.0;
     int bumps = 0;
+    /// Anchored lazy work: work at time t is anchor_work + rate *
+    /// (t - anchor_time) for t since the anchor. The anchor advances only
+    /// when the rate changes (exact under piecewise-constant rates), so
+    /// unaffected tasks cost nothing per settle.
+    double anchor_work = 0.0;
+    sim::SimTime anchor_time = 0.0;
+    /// Absolute instant of the next completion-or-expiry (min of the two);
+    /// the boundary-heap key. Invariant under unchanged rate by
+    /// construction: derived from the anchor, not from "now".
+    sim::SimTime boundary = sim::kTimeInfinity;
+    bool boundary_is_expiry = false;
+    /// Overrun bump this settle: boundary must refresh even if the rate
+    /// comes out bitwise-unchanged.
+    bool bump_pending = false;
+    std::int32_t heap_pos = -1;      ///< boundary-heap slot, -1 = not queued
+    std::uint64_t dirty_serial = 0;  ///< settle serial when last marked dirty
+  };
+  struct Killed {
+    const Job* job;
+    double work_done;
+  };
+  struct Overrun {
+    const Job* job;
+    int bumps;
+    double est_current;
   };
 
-  /// Returns true when any job's work_done advanced (observable state
-  /// changed and the node caches must be invalidated).
-  bool advance_to_now();
   void settle_and_reschedule();
-  void complete(JobId id, Task& task);
-  [[nodiscard]] double demand_of(const Task& task) const;
+  void settle_and_reschedule_incremental();
+  void settle_and_reschedule_legacy();
+
+  /// Canonical lazy-work read; every consumer goes through this one
+  /// expression so both kernels share bit-identical arithmetic.
+  [[nodiscard]] double work_at(const Task& task, sim::SimTime now) const noexcept {
+    return task.anchor_work + task.rate * (now - task.anchor_time);
+  }
+  /// Moves the anchor to `now`, crediting delivered work and emitting the
+  /// closed constant-rate timeline segment. No-op when already anchored at
+  /// `now`; the anchor update matches work_at(now) bitwise.
+  void reanchor(Task& task, sim::SimTime now);
+  /// Recomputes boundary/boundary_is_expiry from the anchor (rate must be
+  /// set). Ties resolve to completion, like the legacy classification
+  /// order.
+  void refresh_boundary(Task& task);
+  [[nodiscard]] double demand_of(const Task& task, sim::SimTime now) const;
+  void remove_task_from_nodes(Task& task);
+  void notify_and_reclaim(std::vector<const Job*>& completed,
+                          std::vector<Killed>& killed,
+                          std::vector<Overrun>& overruns, sim::SimTime now);
+
+  // Dirty-set bookkeeping (incremental kernel).
+  void touch_node(NodeId node);
+  void mark_dirty(Task* task);
+  void multi_add(NodeId node);
+  void multi_remove(NodeId node);
+
+  // Intrusive binary min-heap of running tasks keyed by (boundary, job id).
+  [[nodiscard]] static bool boundary_before(const Task* a, const Task* b) noexcept;
+  void bheap_sift_up(std::size_t pos);
+  void bheap_sift_down(std::size_t pos);
+  void bheap_update(Task* task);
+  void bheap_remove(Task* task);
 
   /// Lazily rebuilt per-node admission view (see node_state()).
   struct NodeCache {
@@ -196,17 +281,40 @@ class TimeSharedExecutor {
   std::vector<std::vector<JobId>> node_jobs_;
   /// Parallel to node_jobs_: direct Task pointers (std::map nodes are
   /// stable), so per-node scans skip the map lookups.
-  std::vector<std::vector<const Task*>> node_tasks_;
+  std::vector<std::vector<Task*>> node_tasks_;
   std::uint64_t epoch_ = 1;
   mutable std::vector<NodeCache> node_cache_;
-  sim::SimTime last_advance_ = 0.0;
+  sim::SimTime last_settle_ = 0.0;
   sim::EventId pending_boundary_{};
+  sim::SimTime pending_boundary_time_ = 0.0;
   double delivered_ = 0.0;
   TimelineRecorder* timeline_ = nullptr;
   trace::Recorder* trace_ = nullptr;
   /// Makes the settle pass after a start() emit a ShareRealloc even though
   /// the start itself (not the settle) changed the membership.
   bool pending_start_realloc_ = false;
+
+  KernelStats stats_;
+  std::uint64_t settle_serial_ = 0;
+  std::vector<Task*> bheap_;            ///< boundary min-heap (incremental)
+  /// Nodes with >= 2 residents (the only ones where work-conserving pacing
+  /// rates drift with time), with a per-node position index for O(1)
+  /// membership updates.
+  std::vector<NodeId> multi_nodes_;
+  std::vector<std::int32_t> multi_pos_;
+  /// Per-settle workspaces (member-owned so steady-state settles allocate
+  /// nothing; serial stamps replace clearing).
+  std::vector<double> node_demand_;
+  std::vector<std::uint64_t> node_touched_serial_;
+  std::vector<std::uint64_t> node_demand_serial_;
+  std::vector<NodeId> touched_nodes_;
+  std::vector<NodeId> demand_nodes_;
+  std::vector<NodeId> start_touched_;   ///< nodes gaining a task since last settle
+  std::vector<Task*> due_;
+  std::vector<Task*> dirty_;
+  std::vector<const Job*> completed_buf_;
+  std::vector<Killed> killed_buf_;
+  std::vector<Overrun> overrun_buf_;
 };
 
 }  // namespace librisk::cluster

@@ -63,6 +63,9 @@ class TimeSharedStack final : public SchedulerStack {
   AdmissionStats admission_stats() const override {
     return scheduler_.admission_stats();
   }
+  cluster::KernelStats kernel_stats() const override {
+    return executor_.kernel_stats();
+  }
 
  private:
   cluster::TimeSharedExecutor executor_;

@@ -66,6 +66,9 @@ class SchedulerStack {
   /// Admission hot-path counters; all-zero for policies that do not run a
   /// per-node admission scan (the space-shared family).
   [[nodiscard]] virtual AdmissionStats admission_stats() const { return {}; }
+  /// Execution-kernel effort counters; all-zero for policies that do not
+  /// drive the time-shared executor (the space-shared family).
+  [[nodiscard]] virtual cluster::KernelStats kernel_stats() const { return {}; }
 };
 
 [[nodiscard]] std::unique_ptr<SchedulerStack> make_scheduler(

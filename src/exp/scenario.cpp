@@ -48,6 +48,7 @@ ScenarioResult run_jobs(const Scenario& scenario,
   result.summary = collector.summarize(window);
   result.events_processed = simulator.events_processed();
   result.admission = stack->admission_stats();
+  result.kernel = stack->kernel_stats();
   result.outcomes.reserve(collector.records().size());
   for (const auto& [id, record] : collector.records()) {
     result.outcomes.push_back(JobOutcome{

@@ -50,6 +50,8 @@ struct ScenarioResult {
   std::uint64_t events_processed = 0;
   /// Admission hot-path counters (all-zero for space-shared policies).
   core::AdmissionStats admission;
+  /// Execution-kernel effort counters (all-zero for space-shared policies).
+  cluster::KernelStats kernel;
 };
 
 /// Generates the workload, runs the policy on it, returns the summary

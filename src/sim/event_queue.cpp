@@ -1,5 +1,7 @@
 #include "sim/event_queue.hpp"
 
+#include <utility>
+
 #include "support/check.hpp"
 
 namespace librisk::sim {
@@ -7,52 +9,107 @@ namespace librisk::sim {
 EventId EventQueue::schedule(SimTime time, EventPriority priority, Handler handler) {
   LIBRISK_CHECK(handler != nullptr, "null event handler");
   LIBRISK_CHECK(time == time, "NaN event time");  // NaN never compares equal
-  const std::uint64_t id = next_id_++;
-  heap_.push(Entry{time, static_cast<int>(priority), id});
-  handlers_.emplace(id, std::move(handler));
-  ++live_;
-  return EventId{id};
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[idx];
+  slot.time = time;
+  slot.priority = static_cast<int>(priority);
+  slot.seq = next_seq_++;
+  slot.handler = std::move(handler);
+  slot.heap_pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(idx);
+  sift_up(slot.heap_pos);
+  return EventId{slot.seq, idx};
 }
 
 bool EventQueue::cancel(EventId id) {
   if (!id.valid()) return false;
-  const auto it = handlers_.find(id.value);
-  if (it == handlers_.end()) return false;
-  handlers_.erase(it);
-  cancelled_.insert(id.value);
+  if (id.slot >= slots_.size()) return false;
+  Slot& slot = slots_[id.slot];
+  // A recycled slot carries a newer seq; a freed slot carries seq 0. Either
+  // way the original event already fired or was cancelled.
+  if (slot.seq != id.value) return false;
+  heap_erase(slot.heap_pos);
+  release(id.slot);
   ++cancelled_total_;
-  --live_;
   return true;
 }
 
-void EventQueue::drop_dead_top() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
-  }
-}
-
-bool EventQueue::empty() const noexcept { return live_ == 0; }
-
 SimTime EventQueue::next_time() const {
   LIBRISK_CHECK(!empty(), "next_time on empty queue");
-  const_cast<EventQueue*>(this)->drop_dead_top();
-  return heap_.top().time;
+  return slots_[heap_.front()].time;
 }
 
 EventQueue::Popped EventQueue::pop() {
   LIBRISK_CHECK(!empty(), "pop on empty queue");
-  drop_dead_top();
-  const Entry top = heap_.top();
-  heap_.pop();
-  const auto it = handlers_.find(top.id);
-  LIBRISK_CHECK(it != handlers_.end(), "live event without handler");
-  Popped out{top.time, static_cast<EventPriority>(top.priority), std::move(it->second)};
-  handlers_.erase(it);
-  --live_;
+  const std::uint32_t idx = heap_.front();
+  Slot& slot = slots_[idx];
+  Popped out{slot.time, static_cast<EventPriority>(slot.priority),
+             std::move(slot.handler)};
+  heap_erase(0);
+  release(idx);
   return out;
+}
+
+void EventQueue::sift_up(std::uint32_t pos) {
+  const std::uint32_t idx = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 4;
+    if (!before(idx, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos]].heap_pos = pos;
+    pos = parent;
+  }
+  heap_[pos] = idx;
+  slots_[idx].heap_pos = pos;
+}
+
+void EventQueue::sift_down(std::uint32_t pos) {
+  const std::uint32_t idx = heap_[pos];
+  const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    const std::uint32_t first_child = 4 * pos + 1;
+    if (first_child >= n) break;
+    std::uint32_t best = first_child;
+    const std::uint32_t last_child =
+        first_child + 4 <= n ? first_child + 4 : n;
+    for (std::uint32_t c = first_child + 1; c < last_child; ++c)
+      if (before(heap_[c], heap_[best])) best = c;
+    if (!before(heap_[best], idx)) break;
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos]].heap_pos = pos;
+    pos = best;
+  }
+  heap_[pos] = idx;
+  slots_[idx].heap_pos = pos;
+}
+
+void EventQueue::heap_erase(std::uint32_t pos) {
+  const std::uint32_t last = static_cast<std::uint32_t>(heap_.size()) - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    slots_[heap_[pos]].heap_pos = pos;
+    heap_.pop_back();
+    // The moved-in entry may belong either above or below its new spot.
+    sift_down(pos);
+    sift_up(pos);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void EventQueue::release(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.seq = 0;
+  s.heap_pos = kNoPos;
+  s.handler = nullptr;  // drop the closure (and any captured resources) now
+  free_.push_back(slot);
 }
 
 }  // namespace librisk::sim

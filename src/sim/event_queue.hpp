@@ -2,14 +2,23 @@
 //
 // Ordering is (time, priority, sequence): equal-time events run in priority
 // order, and equal-priority ties run in schedule order, which makes runs
-// bit-reproducible. Cancellation is O(1) by id with lazy deletion at pop.
+// bit-reproducible.
+//
+// Storage is a slab of slots (grow-only, recycled through a free list) plus
+// an intrusive 4-ary min-heap of slot indices; each slot remembers its heap
+// position, so cancel() removes the entry in place (one sift) instead of
+// tombstoning it. Consequences that matter for the simulation hot loop:
+//   - steady-state schedule/fire/cancel cycles allocate nothing (slots and
+//     their std::function storage are reused; small closures stay in the
+//     function's inline buffer),
+//   - pop() moves the handler out of its slot rather than copying it,
+//   - no dead entries survive a cancel, so long cancel-heavy runs (the
+//     executor's reschedule-one-boundary pattern) keep no garbage, and
+//     next_time() is genuinely const.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -17,8 +26,12 @@
 namespace librisk::sim {
 
 /// Identifies a scheduled event; usable to cancel it before it fires.
+/// `value` is the globally unique schedule sequence number (also the FIFO
+/// tie-break key); `slot` is the slab index it lives in, making cancel O(1)
+/// to locate with no hash lookup.
 struct EventId {
   std::uint64_t value = 0;
+  std::uint32_t slot = 0;
   [[nodiscard]] bool valid() const noexcept { return value != 0; }
   friend bool operator==(EventId, EventId) = default;
 };
@@ -45,7 +58,7 @@ class EventQueue {
   bool cancel(EventId id);
 
   /// True when no live events remain.
-  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
 
   /// Timestamp of the next live event; empty() must be false.
   [[nodiscard]] SimTime next_time() const;
@@ -59,31 +72,42 @@ class EventQueue {
   [[nodiscard]] Popped pop();
 
   /// Lifetime counters, exposed for tests and the kernel microbenchmark.
-  [[nodiscard]] std::uint64_t scheduled_total() const noexcept { return next_id_ - 1; }
+  [[nodiscard]] std::uint64_t scheduled_total() const noexcept { return next_seq_ - 1; }
   [[nodiscard]] std::uint64_t cancelled_total() const noexcept { return cancelled_total_; }
-  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  /// Slab high-water mark (slots ever created); pending() <= slot_capacity().
+  [[nodiscard]] std::size_t slot_capacity() const noexcept { return slots_.size(); }
 
  private:
-  struct Entry {
-    SimTime time;
-    int priority;
-    std::uint64_t id;
-    // min-heap via greater-than
-    [[nodiscard]] bool operator>(const Entry& o) const noexcept {
-      if (time != o.time) return time > o.time;
-      if (priority != o.priority) return priority > o.priority;
-      return id > o.id;
-    }
+  static constexpr std::uint32_t kNoPos = 0xffffffffu;
+
+  struct Slot {
+    SimTime time = 0.0;
+    int priority = 0;
+    std::uint64_t seq = 0;      ///< 0 = free (seq numbers start at 1)
+    std::uint32_t heap_pos = kNoPos;
+    Handler handler;            ///< storage reused across occupancies
   };
 
-  void drop_dead_top();
+  /// Strict weak order of live slots: (time, priority, seq) ascending.
+  [[nodiscard]] bool before(std::uint32_t a, std::uint32_t b) const noexcept {
+    const Slot& x = slots_[a];
+    const Slot& y = slots_[b];
+    if (x.time != y.time) return x.time < y.time;
+    if (x.priority != y.priority) return x.priority < y.priority;
+    return x.seq < y.seq;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<std::uint64_t, Handler> handlers_;
-  std::unordered_set<std::uint64_t> cancelled_;
-  std::uint64_t next_id_ = 1;
+  void sift_up(std::uint32_t pos);
+  void sift_down(std::uint32_t pos);
+  void heap_erase(std::uint32_t pos);
+  void release(std::uint32_t slot);
+
+  std::vector<Slot> slots_;            // slab; grow-only
+  std::vector<std::uint32_t> heap_;    // 4-ary min-heap of slot indices
+  std::vector<std::uint32_t> free_;    // recycled slot indices
+  std::uint64_t next_seq_ = 1;
   std::uint64_t cancelled_total_ = 0;
-  std::size_t live_ = 0;
 };
 
 }  // namespace librisk::sim

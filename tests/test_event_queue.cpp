@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "support/check.hpp"
@@ -129,6 +130,87 @@ TEST(EventQueue, RandomizedCancellationProperty) {
     ++fired;
   }
   EXPECT_EQ(fired, expected);
+}
+
+// Differential stress: random schedule/cancel/pop interleavings checked
+// against a brute-force reference model ordered by the documented
+// (time, priority, sequence) key. Times come from a coarse grid so exact
+// time ties — and same-time same-priority FIFO ties — occur constantly,
+// cancels target ids from the whole issue history so stale ids (already
+// fired or already cancelled) are exercised mid-run, and the slab
+// high-water mark is asserted at the end to prove slot reuse.
+TEST(EventQueue, RandomizedStressMatchesReferenceModel) {
+  struct Ref {
+    double time;
+    int priority;
+    std::uint64_t seq;
+  };
+  const auto ref_before = [](const Ref& a, const Ref& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq < b.seq;
+  };
+
+  rng::Stream stream(4242);
+  EventQueue q;
+  std::vector<Ref> live;       // reference model of the pending set
+  std::vector<EventId> issued; // every id ever returned, live or not
+  std::uint64_t fired_seq = 0;
+  std::uint64_t scheduled = 0;
+  std::uint64_t cancelled = 0;
+  std::size_t high_water = 0;
+
+  const auto pop_and_check = [&] {
+    const auto expect = std::min_element(live.begin(), live.end(), ref_before);
+    ASSERT_NE(expect, live.end());
+    ASSERT_EQ(q.next_time(), expect->time);
+    auto popped = q.pop();
+    EXPECT_EQ(popped.time, expect->time);
+    EXPECT_EQ(static_cast<int>(popped.priority), expect->priority);
+    popped.handler();
+    EXPECT_EQ(fired_seq, expect->seq);  // priority + FIFO tie-break honoured
+    live.erase(expect);
+  };
+
+  for (int op = 0; op < 20000; ++op) {
+    const double r = stream.uniform();
+    if (r < 0.50) {
+      // Coarse time grid: exact collisions across all four priorities.
+      const double time = 0.5 * static_cast<double>(stream.uniform_int(0, 39));
+      const int priority = static_cast<int>(stream.uniform_int(0, 3));
+      const std::uint64_t seq = ++scheduled;
+      const EventId id =
+          q.schedule(time, static_cast<EventPriority>(priority),
+                     [&fired_seq, seq] { fired_seq = seq; });
+      EXPECT_EQ(id.value, seq);  // sequence numbers are issue-ordered
+      issued.push_back(id);
+      live.push_back({time, priority, seq});
+      high_water = std::max(high_water, live.size());
+    } else if (r < 0.80 && !issued.empty()) {
+      const EventId id = issued[static_cast<std::size_t>(stream.uniform_int(
+          0, static_cast<std::int64_t>(issued.size()) - 1))];
+      const auto it =
+          std::find_if(live.begin(), live.end(),
+                       [&](const Ref& e) { return e.seq == id.value; });
+      const bool was_live = it != live.end();
+      EXPECT_EQ(q.cancel(id), was_live);
+      if (was_live) {
+        ++cancelled;
+        live.erase(it);
+      }
+    } else if (!live.empty()) {
+      pop_and_check();
+    }
+    ASSERT_EQ(q.pending(), live.size());
+  }
+  while (!live.empty()) pop_and_check();
+
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.scheduled_total(), scheduled);
+  EXPECT_EQ(q.cancelled_total(), cancelled);
+  // Slots recycle through the free list: the slab never grows beyond the
+  // maximum number of simultaneously live events.
+  EXPECT_LE(q.slot_capacity(), high_water);
 }
 
 }  // namespace

@@ -180,6 +180,20 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out) {
     }
   }
 
+  const cluster::KernelStats kern = stack->kernel_stats();
+  if (kern.settles > 0) {
+    const std::uint64_t touched = kern.tasks_recomputed + kern.tasks_skipped;
+    const double skip_pct =
+        touched > 0 ? 100.0 * static_cast<double>(kern.tasks_skipped) /
+                          static_cast<double>(touched)
+                    : 0.0;
+    out << "Execution kernel: " << kern.settles << " settles ("
+        << kern.global_recomputes << " global), " << kern.tasks_recomputed
+        << " tasks recomputed, " << kern.tasks_skipped << " skipped ("
+        << table::num(skip_pct, 1) << "%), " << kern.reanchors
+        << " reanchors, " << kern.boundary_updates << " boundary updates\n";
+  }
+
   if (car_opt.value) {
     table::Table t({"measure", "CaR(95%)", "tail mean", "mean", "max"});
     for (const auto measure :
