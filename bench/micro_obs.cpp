@@ -1,0 +1,107 @@
+// Microbenchmark M6: live telemetry overhead (docs/OBSERVABILITY.md).
+//
+// One iteration = a full SDSC SP2 LibraRisk simulation (3000 jobs), the
+// same workload as micro_trace's /128 case so rows are directly comparable
+// to BENCH_trace.json. The acceptance bar is NullTelemetry <= 2% over
+// NoTelemetry: an attached hub with no periodic sampling must cost one
+// predicted branch per hook site (ScopedPhase null checks are gone — the
+// profiler pointer is set — so this row also prices the steady_clock reads
+// around admission and settle). The Sampling row adds a 600 s sim-time
+// metronome driving the admission/nodes/kernel/cluster samplers.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <random>
+
+#include "exp/scenario.hpp"
+#include "obs/histogram.hpp"
+#include "obs/telemetry.hpp"
+
+namespace {
+
+using namespace librisk;
+
+enum class Mode { NoTelemetry, NullTelemetry, Sampling };
+
+void run_observed(benchmark::State& state, Mode mode) {
+  exp::Scenario scenario;
+  scenario.workload.trace.job_count = 3000;
+  scenario.nodes = static_cast<int>(state.range(0));
+  scenario.policy = core::Policy::LibraRisk;
+  std::uint64_t seed = 1;
+  std::uint64_t accepted = 0;
+  std::uint64_t samples = 0;
+  for (auto _ : state) {
+    scenario.seed = seed++;
+    obs::TelemetryConfig config;
+    if (mode == Mode::Sampling) config.sample_period = 600.0;
+    obs::Telemetry telemetry(config);
+    scenario.options.telemetry = mode == Mode::NoTelemetry ? nullptr : &telemetry;
+    const exp::ScenarioResult result = exp::run_scenario(scenario);
+    accepted += result.admission.accepted;
+    samples += telemetry.samples();
+    benchmark::DoNotOptimize(result.summary.fulfilled_pct);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * scenario.workload.trace.job_count));
+  state.counters["accepted"] =
+      benchmark::Counter(static_cast<double>(accepted) /
+                         static_cast<double>(state.iterations()));
+  state.counters["samples"] =
+      benchmark::Counter(static_cast<double>(samples) /
+                         static_cast<double>(state.iterations()));
+}
+
+void BM_ObsEndToEnd_NoTelemetry(benchmark::State& state) {
+  run_observed(state, Mode::NoTelemetry);
+}
+void BM_ObsEndToEnd_NullTelemetry(benchmark::State& state) {
+  run_observed(state, Mode::NullTelemetry);
+}
+void BM_ObsEndToEnd_Sampling(benchmark::State& state) {
+  run_observed(state, Mode::Sampling);
+}
+
+BENCHMARK(BM_ObsEndToEnd_NoTelemetry)->Arg(128)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ObsEndToEnd_NullTelemetry)->Arg(128)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ObsEndToEnd_Sampling)->Arg(128)->Unit(benchmark::kMillisecond);
+
+/// Isolated record cost: one bucket increment per call, no allocation.
+/// Values are pre-generated so the loop prices record(), not the RNG.
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram histogram;
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> exponent(-6.0, 6.0);
+  std::vector<double> values(4096);
+  for (double& v : values) v = std::pow(10.0, exponent(rng));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    histogram.record(values[i]);
+    i = (i + 1) & (values.size() - 1);
+  }
+  benchmark::DoNotOptimize(histogram.count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_HistogramRecord);
+
+/// Quantile over a fully-populated histogram (the render-time cost).
+void BM_HistogramQuantile(benchmark::State& state) {
+  obs::Histogram histogram;
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<double> exponent(-6.0, 6.0);
+  for (int i = 0; i < 100000; ++i)
+    histogram.record(std::pow(10.0, exponent(rng)));
+  double q = 0.0;
+  for (auto _ : state) {
+    q += histogram.quantile(99.0);
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_HistogramQuantile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

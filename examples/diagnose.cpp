@@ -67,27 +67,11 @@ int main(int argc, char** argv) {
           break;
       }
     }
-    // Admission hot-path effort: node scans per submission and how many of
-    // those the empty-node fast path answered (zero for space-shared
-    // policies, which do not use the Libra admission scan).
+    // Admission/kernel effort via the shared derived-stat helpers (zero for
+    // space-shared policies, which use neither the Libra admission scan nor
+    // the time-shared executor).
     const core::AdmissionStats& adm = r.admission;
-    const double scans_per_job =
-        adm.submissions > 0 ? static_cast<double>(adm.nodes_scanned) /
-                                  static_cast<double>(adm.submissions)
-                            : 0.0;
-    // Execution-kernel effort: demand/rate recomputations per settle and the
-    // fraction of resident tasks the dirty-set pass left untouched (zero for
-    // space-shared policies, which do not drive the time-shared executor).
     const cluster::KernelStats& kern = r.kernel;
-    const double recomp_per_settle =
-        kern.settles > 0 ? static_cast<double>(kern.tasks_recomputed) /
-                               static_cast<double>(kern.settles)
-                         : 0.0;
-    const std::uint64_t kern_touched = kern.tasks_recomputed + kern.tasks_skipped;
-    const double kern_skip_pct =
-        kern_touched > 0 ? 100.0 * static_cast<double>(kern.tasks_skipped) /
-                               static_cast<double>(kern_touched)
-                         : 0.0;
     t.add_row({std::string(core::to_string(policy)),
                table::pct(r.summary.fulfilled_pct),
                table::num(r.summary.avg_slowdown_fulfilled),
@@ -97,9 +81,11 @@ int main(int argc, char** argv) {
                std::to_string(adm.rejected_no_suitable_node),
                std::to_string(late_under),
                std::to_string(late_victim), std::to_string(ful_under),
-               std::to_string(under_total), table::num(scans_per_job),
+               std::to_string(under_total),
+               table::num(adm.scans_per_submission()),
                std::to_string(adm.empty_node_skips),
-               table::num(recomp_per_settle), table::num(kern_skip_pct, 1)});
+               table::num(kern.recomputes_per_settle()),
+               table::num(kern.skip_pct(), 1)});
   }
   std::cout << "inaccuracy " << inaccuracy_opt.value << "%, work-conserving "
             << (wc_opt.value ? "on" : "off") << ":\n"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
 #include "support/check.hpp"
 
 namespace librisk::cluster {
@@ -110,6 +111,25 @@ double SpaceSharedExecutor::busy_node_seconds(sim::SimTime now) const noexcept {
     busy += (std::min(now, r.finish_time) - r.start_time) *
             static_cast<double>(r.job->num_procs);
   return busy;
+}
+
+void SpaceSharedExecutor::set_telemetry(obs::Telemetry* telemetry) {
+  if (telemetry == nullptr) return;
+  obs::Registry& reg = telemetry->registry();
+  reg.gauge_fn("free_nodes", "nodes with no resident job",
+               [this] { return static_cast<double>(free_count_); });
+  reg.gauge_fn("running_jobs", "jobs currently executing",
+               [this] { return static_cast<double>(running_.size()); });
+  obs::Series& series = telemetry->add_series(
+      "cluster", {"time", "free_nodes", "running_jobs", "busy_node_seconds",
+                  "utilization"});
+  telemetry->add_sampler([this, &series](sim::SimTime now) {
+    const double size = static_cast<double>(cluster_.size());
+    const double busy = busy_node_seconds(now);
+    series.append({now, static_cast<double>(free_count_),
+                   static_cast<double>(running_.size()), busy,
+                   now > 0.0 ? busy / (size * now) : 0.0});
+  });
 }
 
 }  // namespace librisk::cluster

@@ -14,6 +14,10 @@
 #include "trace/recorder.hpp"
 #include "workload/job.hpp"
 
+namespace librisk::obs {
+class Telemetry;
+}
+
 namespace librisk::cluster {
 
 struct SpaceSharedConfig {
@@ -46,6 +50,11 @@ class SpaceSharedExecutor {
   void set_trace_recorder(trace::Recorder* recorder) noexcept {
     trace_ = recorder;
   }
+
+  /// Optional live telemetry (docs/OBSERVABILITY.md): registers occupancy
+  /// gauges and a per-tick "cluster" series. Borrowed; must outlive the
+  /// executor.
+  void set_telemetry(obs::Telemetry* telemetry);
 
   /// Starts `job` now on the given free nodes; it holds them exclusively
   /// for actual_runtime / min(speed factor) seconds.

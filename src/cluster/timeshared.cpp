@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/telemetry.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
 
@@ -344,7 +345,53 @@ void TimeSharedExecutor::bheap_remove(Task* task) {
   task->heap_pos = -1;
 }
 
+void TimeSharedExecutor::set_telemetry(obs::Telemetry* telemetry) {
+  profiler_ = telemetry != nullptr ? &telemetry->profiler() : nullptr;
+  if (telemetry == nullptr) return;
+
+  obs::Registry& reg = telemetry->registry();
+  reg.counter_fn("kernel_settles", "settle passes (events + syncs)",
+                 [this] { return stats_.settles; });
+  reg.counter_fn("kernel_global_recomputes",
+                 "settles that recomputed every task",
+                 [this] { return stats_.global_recomputes; });
+  reg.counter_fn("kernel_tasks_recomputed", "demand/rate recomputations",
+                 [this] { return stats_.tasks_recomputed; });
+  reg.counter_fn("kernel_tasks_skipped",
+                 "resident-settle pairs left untouched",
+                 [this] { return stats_.tasks_skipped; });
+  reg.counter_fn("kernel_reanchors", "work anchors advanced (rate changes)",
+                 [this] { return stats_.reanchors; });
+  reg.counter_fn("kernel_boundary_updates",
+                 "boundary-heap insert/move operations",
+                 [this] { return stats_.boundary_updates; });
+  reg.gauge_fn("running_jobs", "jobs currently executing",
+               [this] { return static_cast<double>(tasks_.size()); });
+  reg.gauge_fn("delivered_node_seconds",
+               "reference-work delivered so far",
+               [this] { return delivered_; });
+
+  // Per-tick kernel effort deltas (work done per sampling interval).
+  obs::Series& series = telemetry->add_series(
+      "kernel", {"time", "settles", "recomputed", "skipped", "reanchors",
+                 "boundary_updates", "running"});
+  telemetry->add_sampler([this, &series, prev = KernelStats{}](
+                             sim::SimTime now) mutable {
+    series.append({now, static_cast<double>(stats_.settles - prev.settles),
+                   static_cast<double>(stats_.tasks_recomputed -
+                                       prev.tasks_recomputed),
+                   static_cast<double>(stats_.tasks_skipped -
+                                       prev.tasks_skipped),
+                   static_cast<double>(stats_.reanchors - prev.reanchors),
+                   static_cast<double>(stats_.boundary_updates -
+                                       prev.boundary_updates),
+                   static_cast<double>(tasks_.size())});
+    prev = stats_;
+  });
+}
+
 void TimeSharedExecutor::settle_and_reschedule() {
+  obs::ScopedPhase phase(profiler_, obs::Phase::Settle);
   if (config_.legacy_kernel) {
     settle_and_reschedule_legacy();
   } else {

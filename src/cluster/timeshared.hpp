@@ -45,6 +45,11 @@
 #include "trace/recorder.hpp"
 #include "workload/job.hpp"
 
+namespace librisk::obs {
+class Telemetry;
+class PhaseProfiler;
+}
+
 namespace librisk::cluster {
 
 using workload::Job;
@@ -110,6 +115,23 @@ struct KernelStats {
   std::uint64_t tasks_skipped = 0;     ///< resident-settle pairs left untouched
   std::uint64_t reanchors = 0;         ///< work anchors advanced (rate changes)
   std::uint64_t boundary_updates = 0;  ///< boundary-heap insert/move operations
+
+  /// Derived views shared by every stats surface (CLI, diagnose, telemetry)
+  /// so the arithmetic lives in exactly one place. All are 0 when the
+  /// denominator is 0 (space-shared policies never drive this executor).
+  [[nodiscard]] double recomputes_per_settle() const noexcept {
+    return settles > 0 ? static_cast<double>(tasks_recomputed) /
+                             static_cast<double>(settles)
+                       : 0.0;
+  }
+  /// Fraction (%) of resident-settle pairs the dirty-set pass left
+  /// untouched — the incremental kernel's win.
+  [[nodiscard]] double skip_pct() const noexcept {
+    const std::uint64_t touched = tasks_recomputed + tasks_skipped;
+    return touched > 0 ? 100.0 * static_cast<double>(tasks_skipped) /
+                             static_cast<double>(touched)
+                       : 0.0;
+  }
 };
 
 class TimeSharedExecutor {
@@ -144,6 +166,12 @@ class TimeSharedExecutor {
   void set_trace_recorder(trace::Recorder* recorder) noexcept {
     trace_ = recorder;
   }
+
+  /// Optional live telemetry (docs/OBSERVABILITY.md): registers the kernel
+  /// effort counters as pull metrics, a per-tick "kernel" delta series, and
+  /// times settle passes as the `settle` phase. Borrowed; must outlive the
+  /// executor. Null detaches the profiler (registrations are permanent).
+  void set_telemetry(obs::Telemetry* telemetry);
 
   /// Starts `job` now on the given distinct nodes (job.num_procs of them).
   /// The caller (admission control) retains ownership of the Job, which
@@ -290,6 +318,7 @@ class TimeSharedExecutor {
   double delivered_ = 0.0;
   TimelineRecorder* timeline_ = nullptr;
   trace::Recorder* trace_ = nullptr;
+  obs::PhaseProfiler* profiler_ = nullptr;  ///< borrowed via set_telemetry
   /// Makes the settle pass after a start() emit a ShareRealloc even though
   /// the start itself (not the settle) changed the membership.
   bool pending_start_realloc_ = false;

@@ -53,6 +53,10 @@ struct PolicyOptions {
   /// the scheduler and its executor. Borrowed; must outlive the stack.
   /// Null (the default) emits nothing and perturbs nothing.
   trace::Recorder* trace = nullptr;
+  /// Optional live telemetry (docs/OBSERVABILITY.md), attached to both the
+  /// scheduler and its executor: each registers its counters/series and
+  /// samplers on construction. Same lifetime contract as `trace`.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// A ready-to-run scheduling stack: the scheduler plus whichever executor

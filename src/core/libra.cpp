@@ -36,6 +36,8 @@ LibraScheduler::LibraScheduler(sim::Simulator& simulator,
   LIBRISK_CHECK(config_.capacity > 0.0, "node capacity must be positive");
   executor_.set_completion_handler(
       [this](const Job& job, sim::SimTime finish) {
+        if (response_hist_ != nullptr)
+          response_hist_->record(finish - job.submit_time);
         collector_.record_completed(job, finish);
       });
   executor_.set_kill_handler([this](const Job& job, sim::SimTime when) {
@@ -145,7 +147,98 @@ void LibraScheduler::select_prefix(int count) {
   }
 }
 
+void LibraScheduler::on_telemetry(obs::Telemetry& telemetry) {
+  obs::Registry& reg = telemetry.registry();
+  reg.counter_fn("admission_submissions", "jobs offered to the admission test",
+                 [this] { return stats_.submissions; });
+  reg.counter_fn("admission_accepted", "jobs accepted",
+                 [this] { return stats_.accepted; });
+  reg.counter_fn("admission_rejections", "jobs rejected",
+                 [this] { return stats_.rejections; });
+  reg.counter_fn("admission_nodes_scanned", "nodes examined for suitability",
+                 [this] { return stats_.nodes_scanned; });
+  reg.counter_fn("admission_assessments", "full share/risk evaluations run",
+                 [this] { return stats_.assessments; });
+  reg.counter_fn("admission_empty_node_skips",
+                 "ZeroRisk empty-node fast-path hits",
+                 [this] { return stats_.empty_node_skips; });
+  reg.counter_fn("admission_early_exits",
+                 "FirstFit scans stopped before the last node",
+                 [this] { return stats_.early_exits; });
+  reg.counter_fn("admission_rejected_share_overflow",
+                 "rejections: Eq. 2 total-share shortfall",
+                 [this] { return stats_.rejected_share_overflow; });
+  reg.counter_fn("admission_rejected_risk_sigma",
+                 "rejections: sigma-test shortfall",
+                 [this] { return stats_.rejected_risk_sigma; });
+  reg.counter_fn("admission_rejected_no_suitable_node",
+                 "rejections: needs more nodes than the cluster has",
+                 [this] { return stats_.rejected_no_suitable_node; });
+
+  obs::HistogramConfig scan_cfg;
+  scan_cfg.min_value = 1.0;
+  scan_cfg.max_value = 1e6;
+  scan_nodes_hist_ = &reg.histogram("admission_scan_nodes",
+                                    "nodes scanned per submission", scan_cfg);
+  response_hist_ = &reg.histogram("job_response_seconds",
+                                  "submission-to-completion sim seconds");
+
+  obs::Series& admission = telemetry.add_series(
+      "admission",
+      {"time", "submissions", "accepted", "rejections",
+       "rejected_share_overflow", "rejected_risk_sigma",
+       "rejected_no_suitable_node", "accept_rate"});
+  telemetry.add_sampler([this, &admission](sim::SimTime now) {
+    const double subs = static_cast<double>(stats_.submissions);
+    admission.append(
+        {now, subs, static_cast<double>(stats_.accepted),
+         static_cast<double>(stats_.rejections),
+         static_cast<double>(stats_.rejected_share_overflow),
+         static_cast<double>(stats_.rejected_risk_sigma),
+         static_cast<double>(stats_.rejected_no_suitable_node),
+         subs > 0.0 ? static_cast<double>(stats_.accepted) / subs : 0.0});
+  });
+
+  obs::Series& nodes = telemetry.add_series(
+      "nodes", {"time", "node", "residents", "share_raw", "share_current",
+                "utilization", "sigma"});
+  telemetry.add_sampler(
+      [this, &nodes](sim::SimTime now) { sample_nodes(nodes, now); });
+}
+
+void LibraScheduler::sample_nodes(obs::Series& series, sim::SimTime now) const {
+  // Pre-event observation: node_state() reads anchored lazy work at `now`
+  // without settling, so sampling mutates nothing the decisions depend on
+  // (the byte-identical-trace test pins this down). Sigma is the paper's
+  // Eq. 6 delay deviation over the node's residents as currently known —
+  // *tentative* in the sense that no new job is added.
+  const int cluster_size = executor_.cluster().size();
+  const bool raw =
+      config_.estimate_kind == cluster::TimeSharedExecutor::EstimateKind::Raw;
+  for (cluster::NodeId n = 0; n < cluster_size; ++n) {
+    const cluster::NodeStateView& state = executor_.node_state(n);
+    double sigma = 0.0;
+    if (!state.empty()) {
+      workspace_.inputs.clear();
+      for (const cluster::ResidentJobState& r : state.residents)
+        workspace_.inputs.push_back(RiskJobInput{
+            raw ? r.remaining_raw : r.remaining_current, r.remaining_deadline,
+            r.rate});
+      const RiskAssessmentView assessment = assess_node(
+          workspace_.inputs, config_.risk,
+          executor_.cluster().speed_factor(n), state.available_capacity,
+          workspace_);
+      sigma = assessment.sigma;
+    }
+    series.append({now, static_cast<double>(n),
+                   static_cast<double>(state.count()), state.total_share_raw,
+                   state.total_share_current,
+                   std::min(1.0, state.total_share_current), sigma});
+  }
+}
+
 void LibraScheduler::on_job_submitted(const Job& job) {
+  obs::ScopedPhase phase(profiler_, obs::Phase::Admission);
   if (config_.legacy_path) {
     submit_legacy(job);
     return;
@@ -176,6 +269,7 @@ void LibraScheduler::submit_fast(const Job& job) {
   // num_procs hits: acceptance and the chosen sequence are already decided,
   // and a rejection (< num_procs suitable anywhere) still scans everything.
   const bool can_stop_early = config_.selection == LibraConfig::Selection::FirstFit;
+  const std::uint64_t scanned_before = stats_.nodes_scanned;
   for (cluster::NodeId n = 0; n < cluster_size; ++n) {
     ++stats_.nodes_scanned;
     double fit = 0.0;
@@ -194,6 +288,9 @@ void LibraScheduler::submit_fast(const Job& job) {
       }
     }
   }
+  if (scan_nodes_hist_ != nullptr)
+    scan_nodes_hist_->record(
+        static_cast<double>(stats_.nodes_scanned - scanned_before));
 
   if (static_cast<int>(suitable_.size()) < job.num_procs) {
     ++stats_.rejections;
@@ -290,6 +387,7 @@ void LibraScheduler::submit_legacy(const Job& job) {
   const bool tracing = trace_ != nullptr && trace_->enabled();
   std::vector<Candidate> suitable;
   suitable.reserve(executor_.cluster().size());
+  const std::uint64_t scanned_before = stats_.nodes_scanned;
   for (cluster::NodeId n = 0; n < executor_.cluster().size(); ++n) {
     ++stats_.nodes_scanned;
     double fit = 0.0;
@@ -301,6 +399,9 @@ void LibraScheduler::submit_legacy(const Job& job) {
           ok ? trace::RejectionReason::None : scan_reason(), sigma, fit);
     if (ok) suitable.push_back(Candidate{n, fit});
   }
+  if (scan_nodes_hist_ != nullptr)
+    scan_nodes_hist_->record(
+        static_cast<double>(stats_.nodes_scanned - scanned_before));
 
   if (static_cast<int>(suitable.size()) < job.num_procs) {
     ++stats_.rejections;

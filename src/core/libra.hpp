@@ -76,6 +76,20 @@ struct AdmissionStats {
   std::uint64_t rejected_share_overflow = 0;   ///< Eq. 2 total-share shortfall (Libra)
   std::uint64_t rejected_risk_sigma = 0;       ///< sigma-test shortfall (LibraRisk)
   std::uint64_t rejected_no_suitable_node = 0; ///< needs more nodes than the cluster has
+
+  /// Derived views shared by every stats surface (CLI, diagnose, telemetry)
+  /// so the arithmetic lives in exactly one place. All are 0 when the
+  /// denominator is 0 (space-shared policies never run this scan).
+  [[nodiscard]] double scans_per_submission() const noexcept {
+    return submissions > 0 ? static_cast<double>(nodes_scanned) /
+                                 static_cast<double>(submissions)
+                           : 0.0;
+  }
+  [[nodiscard]] double accept_rate() const noexcept {
+    return submissions > 0
+               ? static_cast<double>(accepted) / static_cast<double>(submissions)
+               : 0.0;
+  }
 };
 
 class LibraScheduler final : public Scheduler {
@@ -99,6 +113,12 @@ class LibraScheduler final : public Scheduler {
   [[nodiscard]] const AdmissionStats& admission_stats() const noexcept {
     return stats_;
   }
+
+ protected:
+  /// Registers admission counters as pull metrics, scan/response
+  /// histograms, the cumulative "admission" series and the per-node
+  /// "nodes" series (residents, shares, tentative sigma).
+  void on_telemetry(obs::Telemetry& telemetry) override;
 
  private:
   struct Candidate {
@@ -140,6 +160,14 @@ class LibraScheduler final : public Scheduler {
   /// submission; mutable because node_suitable() is a const query).
   mutable RiskWorkspace workspace_;
   std::vector<Candidate> suitable_;
+
+  /// Telemetry-registered sinks (null when telemetry is not attached; the
+  /// registry owns the histograms).
+  obs::Histogram* scan_nodes_hist_ = nullptr;
+  obs::Histogram* response_hist_ = nullptr;
+
+  /// Per-node sampler body: residents/shares/tentative sigma per node.
+  void sample_nodes(obs::Series& series, sim::SimTime now) const;
 };
 
 }  // namespace librisk::core

@@ -6,7 +6,7 @@ namespace librisk::core {
 
 void run_trace(sim::Simulator& simulator, Scheduler& scheduler,
                Collector& collector, const std::vector<Job>& jobs,
-               trace::Recorder* recorder) {
+               trace::Recorder* recorder, obs::Telemetry* telemetry) {
   workload::validate_trace(jobs);
   for (const Job& job : jobs) {
     simulator.at(job.submit_time, sim::EventPriority::Arrival,
@@ -19,7 +19,20 @@ void run_trace(sim::Simulator& simulator, Scheduler& scheduler,
                    scheduler.on_job_submitted(job);
                  });
   }
-  simulator.run();
+  if (telemetry != nullptr) telemetry->arm(simulator);
+  {
+    obs::ScopedPhase run_phase(
+        telemetry != nullptr ? &telemetry->profiler() : nullptr,
+        obs::Phase::Run);
+    simulator.run();
+  }
+  if (telemetry != nullptr) {
+    telemetry->finish(simulator.now());
+    // Pull metrics and samplers borrow the scheduler/executor/simulator,
+    // which often die before the caller-owned hub does — freeze terminal
+    // values now so the hub stays readable afterwards.
+    telemetry->seal();
+  }
   LIBRISK_CHECK(collector.all_resolved(),
                 "simulation drained with unresolved jobs (scheduler "
                     << scheduler.name() << ")");

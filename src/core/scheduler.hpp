@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "metrics/collector.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
 #include "trace/recorder.hpp"
 #include "workload/job.hpp"
@@ -35,20 +36,42 @@ class Scheduler {
   /// (the default) emits nothing and perturbs nothing.
   void set_trace_recorder(trace::Recorder* recorder) noexcept { trace_ = recorder; }
 
+  /// Attaches live telemetry (docs/OBSERVABILITY.md): the scheduler
+  /// registers its counters as pull metrics and contributes samplers via
+  /// on_telemetry(). Optional; null (the default) costs one branch per
+  /// hook site and perturbs nothing.
+  void set_telemetry(obs::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+    profiler_ = telemetry != nullptr ? &telemetry->profiler() : nullptr;
+    if (telemetry != nullptr) on_telemetry(*telemetry);
+  }
+
  protected:
   Scheduler() = default;
 
+  /// Registration hook: add pull metrics, series and samplers. Called once
+  /// from set_telemetry with a telemetry that outlives the run.
+  virtual void on_telemetry(obs::Telemetry& telemetry) { (void)telemetry; }
+
   /// Borrowed, may be null; subclasses emit admission events through it.
   trace::Recorder* trace_ = nullptr;
+  /// Borrowed, may be null.
+  obs::Telemetry* telemetry_ = nullptr;
+  /// Cached &telemetry_->profiler(), null when telemetry is absent — so
+  /// ScopedPhase sites pay a single null check.
+  obs::PhaseProfiler* profiler_ = nullptr;
 };
 
 /// Schedules every job's arrival event and runs the simulation to
 /// completion. The trace must be validated and submit-ordered; it must
 /// outlive the call (schedulers keep pointers into it). When `recorder` is
 /// given, a JobSubmitted event is emitted per arrival (before the scheduler
-/// sees the job).
+/// sees the job). When `telemetry` is given it is armed on the simulator
+/// (metronome sampling + queue-depth gauge), the drain is timed as the
+/// `run` phase, and a terminal sample is taken at end-of-run time.
 void run_trace(sim::Simulator& simulator, Scheduler& scheduler,
                Collector& collector, const std::vector<Job>& jobs,
-               trace::Recorder* recorder = nullptr);
+               trace::Recorder* recorder = nullptr,
+               obs::Telemetry* telemetry = nullptr);
 
 }  // namespace librisk::core

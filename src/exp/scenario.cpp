@@ -32,8 +32,9 @@ ScenarioResult run_jobs(const Scenario& scenario,
   metrics::Collector collector;
   const auto stack = core::make_scheduler(scenario.policy, simulator, cluster,
                                           collector, scenario.options);
+  obs::Telemetry* telemetry = scenario.options.telemetry;
   core::run_trace(simulator, stack->scheduler(), collector, jobs,
-                  scenario.options.trace);
+                  scenario.options.trace, telemetry);
 
   metrics::Collector::MeasurementWindow window;
   if (!jobs.empty() &&
@@ -45,7 +46,12 @@ ScenarioResult run_jobs(const Scenario& scenario,
   }
 
   ScenarioResult result;
-  result.summary = collector.summarize(window);
+  {
+    obs::ScopedPhase phase(
+        telemetry != nullptr ? &telemetry->profiler() : nullptr,
+        obs::Phase::Metrics);
+    result.summary = collector.summarize(window);
+  }
   result.events_processed = simulator.events_processed();
   result.admission = stack->admission_stats();
   result.kernel = stack->kernel_stats();
@@ -66,6 +72,7 @@ ScenarioResult run_jobs(const Scenario& scenario,
         stack->busy_node_seconds(simulator.now()) /
         (static_cast<double>(cluster.size()) * simulator.now());
   }
+  if (telemetry != nullptr) result.profile = telemetry->profiler().report();
   return result;
 }
 

@@ -52,6 +52,8 @@ struct ScenarioResult {
   core::AdmissionStats admission;
   /// Execution-kernel effort counters (all-zero for space-shared policies).
   cluster::KernelStats kernel;
+  /// Wall-clock phase profile; empty() unless options.telemetry was set.
+  obs::ProfileReport profile;
 };
 
 /// Generates the workload, runs the policy on it, returns the summary

@@ -1,0 +1,128 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace librisk::obs {
+
+Histogram::Histogram(HistogramConfig config) : config_(config) {
+  LIBRISK_CHECK(config_.min_value > 0.0 && std::isfinite(config_.min_value),
+                "histogram min_value must be positive and finite");
+  LIBRISK_CHECK(config_.max_value > config_.min_value &&
+                    std::isfinite(config_.max_value),
+                "histogram max_value must exceed min_value and be finite");
+  LIBRISK_CHECK(config_.precision_bits >= 1 && config_.precision_bits <= 14,
+                "histogram precision_bits out of range [1, 14]");
+  sub_count_ = std::size_t{1} << config_.precision_bits;
+  scaled_limit_ = config_.max_value / config_.min_value;
+  int octaves = 0;
+  (void)std::frexp(scaled_limit_, &octaves);  // scaled values span [1, 2^octaves)
+  counts_.assign(static_cast<std::size_t>(octaves) * sub_count_, 0);
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+std::size_t Histogram::index_of(double scaled) const noexcept {
+  // scaled >= 1: frexp yields m in [0.5, 1), e >= 1, so 2m - 1 in [0, 1)
+  // picks the linear sub-bucket inside octave e-1.
+  int e = 0;
+  const double m = std::frexp(scaled, &e);
+  const auto sub = static_cast<std::size_t>(
+      (m * 2.0 - 1.0) * static_cast<double>(sub_count_));
+  const std::size_t index =
+      static_cast<std::size_t>(e - 1) * sub_count_ + std::min(sub, sub_count_ - 1);
+  return std::min(index, counts_.size() - 1);
+}
+
+double Histogram::representative(std::size_t index) const noexcept {
+  const std::size_t octave = index / sub_count_;
+  const std::size_t sub = index % sub_count_;
+  const double base = std::ldexp(1.0, static_cast<int>(octave));
+  const double scaled =
+      base * (1.0 + (static_cast<double>(sub) + 0.5) /
+                        static_cast<double>(sub_count_));
+  return scaled * config_.min_value;
+}
+
+void Histogram::record_n(double value, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  if (std::isnan(value)) {
+    nan_ += n;
+    return;
+  }
+  count_ += n;
+  sum_ += value * static_cast<double>(n);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  if (value < config_.min_value) {  // zero, denormals, negatives
+    underflow_ += n;
+    return;
+  }
+  const double scaled = value / config_.min_value;
+  if (scaled >= scaled_limit_) {
+    counts_.back() += n;
+    return;
+  }
+  counts_[index_of(scaled)] += n;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  // Rank convention: the ceil(q/100 * count)-th smallest value, floored at 1.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(clamped / 100.0 * static_cast<double>(count_))));
+  if (rank <= underflow_) return 0.0;
+  std::uint64_t cumulative = underflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) return representative(i);
+  }
+  return max_;  // unreachable unless counters were merged inconsistently
+}
+
+void Histogram::merge(const Histogram& other) {
+  LIBRISK_CHECK(config_ == other.config_,
+                "histogram merge requires identical configurations");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  underflow_ += other.underflow_;
+  nan_ += other.nan_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::mean() const noexcept {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+
+double Histogram::max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+
+double Histogram::max_relative_error() const noexcept {
+  return 1.0 / static_cast<double>(std::size_t{2} << config_.precision_bits);
+}
+
+std::uint64_t Histogram::bucket_value(std::size_t bucket) const noexcept {
+  if (bucket == 0) return underflow_;
+  return bucket - 1 < counts_.size() ? counts_[bucket - 1] : 0;
+}
+
+double Histogram::bucket_upper_edge(std::size_t bucket) const noexcept {
+  if (bucket == 0) return config_.min_value;
+  const std::size_t index = bucket - 1;
+  const std::size_t octave = index / sub_count_;
+  const std::size_t sub = index % sub_count_;
+  const double base = std::ldexp(1.0, static_cast<int>(octave));
+  const double scaled = base * (1.0 + (static_cast<double>(sub) + 1.0) /
+                                          static_cast<double>(sub_count_));
+  return scaled * config_.min_value;
+}
+
+}  // namespace librisk::obs

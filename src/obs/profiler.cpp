@@ -1,0 +1,55 @@
+#include "obs/profiler.hpp"
+
+#include "support/table.hpp"
+
+namespace librisk::obs {
+
+namespace {
+constexpr std::array<std::string_view, kPhaseCount> kNames = {
+    "run", "admission", "settle", "sample", "metrics"};
+// Parent index per phase; Run and Metrics are roots.
+constexpr std::array<int, kPhaseCount> kParents = {-1, 0, 0, 0, -1};
+}  // namespace
+
+std::string_view to_string(Phase phase) noexcept {
+  return kNames[static_cast<std::size_t>(phase)];
+}
+
+int phase_parent(Phase phase) noexcept {
+  return kParents[static_cast<std::size_t>(phase)];
+}
+
+double ProfileReport::seconds(Phase phase) const noexcept {
+  return static_cast<double>(phases[static_cast<std::size_t>(phase)].nanos) *
+         1e-9;
+}
+
+std::uint64_t ProfileReport::calls(Phase phase) const noexcept {
+  return phases[static_cast<std::size_t>(phase)].calls;
+}
+
+bool ProfileReport::empty() const noexcept {
+  for (const PhaseTotals& t : phases)
+    if (t.calls != 0) return false;
+  return true;
+}
+
+std::string ProfileReport::str() const {
+  table::Table table({"phase", "calls", "inclusive s", "self s"});
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const PhaseTotals& t = phases[i];
+    std::uint64_t child_nanos = 0;
+    for (std::size_t c = 0; c < kPhaseCount; ++c)
+      if (kParents[c] == static_cast<int>(i)) child_nanos += phases[c].nanos;
+    const std::uint64_t self =
+        t.nanos > child_nanos ? t.nanos - child_nanos : 0;
+    std::string label(kNames[i]);
+    if (kParents[i] >= 0) label = "  " + label;
+    table.add_row({label, table::num(static_cast<double>(t.calls), 0),
+                   table::num(static_cast<double>(t.nanos) * 1e-9, 4),
+                   table::num(static_cast<double>(self) * 1e-9, 4)});
+  }
+  return table.str();
+}
+
+}  // namespace librisk::obs

@@ -1,0 +1,98 @@
+// Wall-clock phase profiler: RAII scoped timers over the simulation's
+// coarse phases, so a perf PR can attribute time (admission scan vs settle
+// vs everything else in the event loop) without external tooling.
+//
+// Phases form a fixed two-level hierarchy:
+//
+//   run                 the whole simulator.run() drain
+//     admission         Libra-family submission handling
+//     settle            time-shared executor settle passes
+//     sample            telemetry sampler ticks
+//   metrics             post-run summarisation
+//
+// Times are *inclusive*: a settle triggered from inside an admission scan
+// (executor sync) is counted in both phases, and the report's "self" column
+// for `run` subtracts child totals, clamped at zero. This keeps the timers
+// two instructions of bookkeeping instead of a stack — the caveats are
+// documented in docs/OBSERVABILITY.md, not hidden.
+//
+// A null PhaseProfiler* makes ScopedPhase a no-op (one predictable branch),
+// the same contract as trace::Recorder — which is how the hot paths stay
+// unperturbed when telemetry is not attached.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace librisk::obs {
+
+enum class Phase : std::uint8_t { Run = 0, Admission, Settle, Sample, Metrics };
+inline constexpr std::size_t kPhaseCount = 5;
+
+[[nodiscard]] std::string_view to_string(Phase phase) noexcept;
+/// Parent phase index in the report hierarchy; -1 for roots.
+[[nodiscard]] int phase_parent(Phase phase) noexcept;
+
+/// One phase's accumulated wall-clock cost.
+struct PhaseTotals {
+  std::uint64_t calls = 0;
+  std::uint64_t nanos = 0;  ///< inclusive
+};
+
+/// Copyable snapshot of a finished run's profile (lives in ScenarioResult).
+struct ProfileReport {
+  std::array<PhaseTotals, kPhaseCount> phases{};
+
+  [[nodiscard]] double seconds(Phase phase) const noexcept;
+  [[nodiscard]] std::uint64_t calls(Phase phase) const noexcept;
+  /// True when any phase recorded time (i.e. a profiler was attached).
+  [[nodiscard]] bool empty() const noexcept;
+  /// Hierarchical plain-text rendering (phase, calls, inclusive, self).
+  [[nodiscard]] std::string str() const;
+};
+
+class PhaseProfiler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  void add(Phase phase, std::uint64_t nanos) noexcept {
+    auto& t = totals_[static_cast<std::size_t>(phase)];
+    ++t.calls;
+    t.nanos += nanos;
+  }
+
+  [[nodiscard]] ProfileReport report() const { return ProfileReport{totals_}; }
+
+ private:
+  std::array<PhaseTotals, kPhaseCount> totals_{};
+};
+
+/// RAII timer; safe (and free) on a null profiler.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseProfiler* profiler, Phase phase) noexcept
+      : profiler_(profiler), phase_(phase) {
+    if (profiler_ != nullptr) start_ = PhaseProfiler::Clock::now();
+  }
+  ~ScopedPhase() {
+    if (profiler_ != nullptr)
+      profiler_->add(phase_,
+                     static_cast<std::uint64_t>(
+                         std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             PhaseProfiler::Clock::now() - start_)
+                             .count()));
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseProfiler* profiler_;
+  Phase phase_;
+  PhaseProfiler::Clock::time_point start_{};
+};
+
+}  // namespace librisk::obs

@@ -1,0 +1,114 @@
+#include "obs/registry.hpp"
+
+#include "support/check.hpp"
+
+namespace librisk::obs {
+
+std::string_view to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+Registry::Entry& Registry::add(std::string name, std::string help,
+                               MetricKind kind) {
+  LIBRISK_CHECK(!name.empty(), "metric name must not be empty");
+  LIBRISK_CHECK(!contains(name), "metric '" << name << "' already registered");
+  Entry entry;
+  entry.name = std::move(name);
+  entry.help = std::move(help);
+  entry.kind = kind;
+  entries_.push_back(std::move(entry));
+  return entries_.back();
+}
+
+Counter& Registry::counter(std::string name, std::string help) {
+  Entry& e = add(std::move(name), std::move(help), MetricKind::Counter);
+  e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(std::string name, std::string help) {
+  Entry& e = add(std::move(name), std::move(help), MetricKind::Gauge);
+  e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(std::string name, std::string help,
+                               HistogramConfig config) {
+  Entry& e = add(std::move(name), std::move(help), MetricKind::Histogram);
+  e.histogram = std::make_unique<Histogram>(config);
+  return *e.histogram;
+}
+
+void Registry::counter_fn(std::string name, std::string help,
+                          std::function<std::uint64_t()> fn) {
+  LIBRISK_CHECK(fn != nullptr, "pull counter needs a callback");
+  add(std::move(name), std::move(help), MetricKind::Counter).counter_fn =
+      std::move(fn);
+}
+
+void Registry::gauge_fn(std::string name, std::string help,
+                        std::function<double()> fn) {
+  LIBRISK_CHECK(fn != nullptr, "pull gauge needs a callback");
+  add(std::move(name), std::move(help), MetricKind::Gauge).gauge_fn =
+      std::move(fn);
+}
+
+Registry::Reading Registry::read(const Entry& entry) const {
+  Reading r;
+  r.name = entry.name;
+  r.help = entry.help;
+  r.kind = entry.kind;
+  switch (entry.kind) {
+    case MetricKind::Counter:
+      r.value = entry.counter ? static_cast<double>(entry.counter->value())
+                              : static_cast<double>(entry.counter_fn());
+      break;
+    case MetricKind::Gauge:
+      r.value = entry.gauge ? entry.gauge->value() : entry.gauge_fn();
+      break;
+    case MetricKind::Histogram:
+      r.histogram = entry.histogram.get();
+      r.value = static_cast<double>(entry.histogram->count());
+      break;
+  }
+  return r;
+}
+
+void Registry::materialize() {
+  for (Entry& entry : entries_) {
+    if (entry.counter_fn) {
+      entry.counter = std::make_unique<Counter>();
+      entry.counter->inc(entry.counter_fn());
+      entry.counter_fn = nullptr;
+    }
+    if (entry.gauge_fn) {
+      entry.gauge = std::make_unique<Gauge>();
+      entry.gauge->set(entry.gauge_fn());
+      entry.gauge_fn = nullptr;
+    }
+  }
+}
+
+void Registry::visit(const std::function<void(const Reading&)>& fn) const {
+  for (const Entry& entry : entries_) fn(read(entry));
+}
+
+bool Registry::contains(std::string_view name) const noexcept {
+  for (const Entry& entry : entries_)
+    if (entry.name == name) return true;
+  return false;
+}
+
+Registry::Reading Registry::reading(std::string_view name) const {
+  for (const Entry& entry : entries_)
+    if (entry.name == name) return read(entry);
+  LIBRISK_CHECK(false, "metric '" << name << "' not registered");
+  return {};
+}
+
+}  // namespace librisk::obs

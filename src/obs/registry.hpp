@@ -1,0 +1,116 @@
+// Metrics registry: named counters, gauges and histograms with stable
+// handles, plus pull-mode metrics whose value is read from a callback at
+// render/sample time.
+//
+// Push metrics (counter/gauge/histogram) hand back a reference the owner
+// increments directly — the registry never sits on a hot path. Pull metrics
+// exist so already-maintained counters (core::AdmissionStats,
+// cluster::KernelStats, queue depth) can be surfaced without mirroring or
+// extra hot-path work: the component registers a closure, and the live value
+// is read only when someone looks (table render, OpenMetrics export, a
+// sampler tick).
+//
+// Registration order is preserved — visit() and the renderers are
+// deterministic, which keeps golden-output tests honest. Names must be
+// unique; use OpenMetrics-style snake_case ("admission_accepted").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace librisk::obs {
+
+/// Monotonic event count. Plain member increment, no indirection.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
+
+[[nodiscard]] std::string_view to_string(MetricKind kind) noexcept;
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Owning registrations; the returned reference is stable for the
+  /// registry's lifetime. Names must be unique across all metric kinds.
+  Counter& counter(std::string name, std::string help);
+  Gauge& gauge(std::string name, std::string help);
+  Histogram& histogram(std::string name, std::string help,
+                       HistogramConfig config = {});
+
+  /// Pull-mode registrations: `fn` is invoked at read time and must stay
+  /// valid for the registry's lifetime (the usual owner is the component
+  /// whose counters it reads, which outlives the run).
+  void counter_fn(std::string name, std::string help,
+                  std::function<std::uint64_t()> fn);
+  void gauge_fn(std::string name, std::string help, std::function<double()> fn);
+
+  /// One metric's current reading. `histogram` is non-null only for
+  /// histogram metrics (value then carries the recording count).
+  struct Reading {
+    std::string_view name;
+    std::string_view help;
+    MetricKind kind{};
+    double value = 0.0;
+    const Histogram* histogram = nullptr;
+  };
+
+  /// Visits every metric in registration order with its live value.
+  void visit(const std::function<void(const Reading&)>& fn) const;
+
+  /// Freezes every pull metric at its current value and drops the
+  /// callbacks, so readings stay valid after the components that
+  /// registered them are destroyed. Called by the end-of-run hook
+  /// (Telemetry::seal); idempotent.
+  void materialize();
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  /// True when `name` is already registered.
+  [[nodiscard]] bool contains(std::string_view name) const noexcept;
+  /// Current reading of one metric by name; throws CheckError when absent.
+  [[nodiscard]] Reading reading(std::string_view name) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricKind kind{};
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<std::uint64_t()> counter_fn;
+    std::function<double()> gauge_fn;
+  };
+
+  Entry& add(std::string name, std::string help, MetricKind kind);
+  [[nodiscard]] Reading read(const Entry& entry) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace librisk::obs

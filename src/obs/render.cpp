@@ -1,0 +1,79 @@
+#include "obs/render.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace librisk::obs {
+
+namespace {
+
+/// Shortest round-trip double formatting (matches the JSONL/CSV writers).
+std::string fmt(double v) {
+  char buf[64];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  return std::string(buf, end);
+}
+
+std::string fmt_value(const Registry::Reading& r) {
+  if (r.kind == MetricKind::Histogram) {
+    const Histogram& h = *r.histogram;
+    std::ostringstream out;
+    out << "n=" << h.count() << " mean=" << table::num(h.mean(), 4)
+        << " p50=" << table::num(h.quantile(50.0), 4)
+        << " p99=" << table::num(h.quantile(99.0), 4)
+        << " max=" << table::num(h.max(), 4);
+    return out.str();
+  }
+  return fmt(r.value);
+}
+
+}  // namespace
+
+table::Table metrics_table(const Registry& registry) {
+  table::Table table({"metric", "kind", "value", "help"});
+  table.set_align(2, table::Align::Right);
+  table.set_align(3, table::Align::Left);
+  registry.visit([&](const Registry::Reading& r) {
+    table.add_row({std::string(r.name), std::string(to_string(r.kind)),
+                   fmt_value(r), std::string(r.help)});
+  });
+  return table;
+}
+
+void write_openmetrics(std::ostream& out, const Registry& registry) {
+  registry.visit([&](const Registry::Reading& r) {
+    out << "# HELP " << r.name << " " << r.help << "\n";
+    out << "# TYPE " << r.name << " " << to_string(r.kind) << "\n";
+    switch (r.kind) {
+      case MetricKind::Counter:
+        out << r.name << "_total " << fmt(r.value) << "\n";
+        break;
+      case MetricKind::Gauge:
+        out << r.name << " " << fmt(r.value) << "\n";
+        break;
+      case MetricKind::Histogram: {
+        const Histogram& h = *r.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+          const std::uint64_t n = h.bucket_value(b);
+          if (n == 0) continue;  // sparse: emit only occupied buckets
+          cumulative += n;
+          out << r.name << "_bucket{le=\"" << fmt(h.bucket_upper_edge(b))
+              << "\"} " << cumulative << "\n";
+        }
+        out << r.name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+        out << r.name << "_sum " << fmt(h.sum()) << "\n";
+        out << r.name << "_count " << h.count() << "\n";
+        break;
+      }
+    }
+  });
+  out << "# EOF\n";
+}
+
+}  // namespace librisk::obs

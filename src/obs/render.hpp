@@ -1,0 +1,21 @@
+// Renderers over a Registry: the one plain-text metrics table every CLI
+// surface shares, and OpenMetrics text exposition for external tooling.
+#pragma once
+
+#include <iosfwd>
+
+#include "support/table.hpp"
+
+namespace librisk::obs {
+
+class Registry;
+
+/// All metrics as an aligned table (name, kind, value, help). Histograms
+/// render count/mean/p50/p99/max in the value cell.
+[[nodiscard]] table::Table metrics_table(const Registry& registry);
+
+/// OpenMetrics text exposition (counters as `<name>_total`, gauges as-is,
+/// histograms as cumulative `_bucket{le="..."}` plus `_sum`/`_count`).
+void write_openmetrics(std::ostream& out, const Registry& registry);
+
+}  // namespace librisk::obs

@@ -1,0 +1,66 @@
+#include "obs/series.hpp"
+
+#include <ostream>
+
+#include "support/check.hpp"
+#include "support/csv.hpp"
+#include "support/json.hpp"
+
+namespace librisk::obs {
+
+Series::Series(std::string name, std::vector<std::string> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  LIBRISK_CHECK(!name_.empty(), "series name must not be empty");
+  LIBRISK_CHECK(!columns_.empty(), "series needs at least one column");
+  data_.resize(columns_.size());
+}
+
+void Series::append(std::span<const double> row) {
+  LIBRISK_CHECK(row.size() == columns_.size(),
+                "series '" << name_ << "' expects " << columns_.size()
+                           << " columns, got " << row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) data_[c].push_back(row[c]);
+  ++rows_;
+}
+
+double Series::at(std::size_t row, std::size_t column) const {
+  LIBRISK_CHECK(row < rows_ && column < columns_.size(),
+                "series '" << name_ << "' index out of range");
+  return data_[column][row];
+}
+
+std::span<const double> Series::column(std::size_t column) const {
+  LIBRISK_CHECK(column < columns_.size(),
+                "series '" << name_ << "' column out of range");
+  return data_[column];
+}
+
+std::size_t Series::column_index(std::string_view column) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    if (columns_[c] == column) return c;
+  LIBRISK_CHECK(false, "series '" << name_ << "' has no column '" << column << "'");
+  return 0;
+}
+
+void Series::write_csv(std::ostream& out) const {
+  csv::Writer writer(out);
+  std::vector<std::string> fields(columns_.begin(), columns_.end());
+  writer.header(fields);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+      fields[c] = csv::Writer::field(data_[c][r]);
+    writer.row(fields);
+  }
+}
+
+void Series::write_jsonl(std::ostream& out) const {
+  json::LineWriter writer(out);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    writer.begin();
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+      writer.field(columns_[c], data_[c][r]);
+    writer.end();
+  }
+}
+
+}  // namespace librisk::obs

@@ -1,0 +1,53 @@
+// Columnar time-series buffer for the sim-time sampler.
+//
+// One Series is a named table with fixed double columns; each sampler tick
+// appends one row (or several — the per-node series appends one row per
+// node per tick). Storage is column-major (one grow-only vector per
+// column), so a whole column reads contiguously for analysis and the
+// append path is a handful of push_backs with amortised-zero allocation.
+//
+// Export: CSV (header + rows, round-trip double formatting) and JSON Lines
+// (one object per row, keys = column names) via the existing support
+// writers — the same files `librisk-sim run --telemetry-out` drops.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace librisk::obs {
+
+class Series {
+ public:
+  Series(std::string name, std::vector<std::string> columns);
+
+  /// Appends one row; `row.size()` must equal `columns().size()`.
+  void append(std::span<const double> row);
+  void append(std::initializer_list<double> row) {
+    append(std::span<const double>(row.begin(), row.size()));
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] double at(std::size_t row, std::size_t column) const;
+  /// Whole column, contiguous.
+  [[nodiscard]] std::span<const double> column(std::size_t column) const;
+  /// Column index by name; throws CheckError when absent.
+  [[nodiscard]] std::size_t column_index(std::string_view column) const;
+
+  void write_csv(std::ostream& out) const;
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> data_;  ///< one vector per column
+  std::size_t rows_ = 0;
+};
+
+}  // namespace librisk::obs

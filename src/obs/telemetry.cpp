@@ -1,0 +1,98 @@
+#include "obs/telemetry.hpp"
+
+#include <fstream>
+
+#include "obs/render.hpp"
+#include "sim/simulator.hpp"
+#include "support/check.hpp"
+
+namespace librisk::obs {
+
+Telemetry::Telemetry(TelemetryConfig config) : config_(config) {
+  LIBRISK_CHECK(config_.sample_period >= 0.0,
+                "sample_period must be >= 0, got " << config_.sample_period);
+}
+
+Series& Telemetry::add_series(std::string name,
+                              std::vector<std::string> columns) {
+  LIBRISK_CHECK(find_series(name) == nullptr,
+                "series '" << name << "' already exists");
+  series_.push_back(
+      std::make_unique<Series>(std::move(name), std::move(columns)));
+  return *series_.back();
+}
+
+Series* Telemetry::find_series(std::string_view name) noexcept {
+  for (auto& s : series_)
+    if (s->name() == name) return s.get();
+  return nullptr;
+}
+
+const Series* Telemetry::find_series(std::string_view name) const noexcept {
+  for (const auto& s : series_)
+    if (s->name() == name) return s.get();
+  return nullptr;
+}
+
+void Telemetry::add_sampler(std::function<void(sim::SimTime)> fn) {
+  LIBRISK_CHECK(fn != nullptr, "sampler must not be null");
+  samplers_.push_back(std::move(fn));
+}
+
+void Telemetry::tick(sim::SimTime t) {
+  ScopedPhase scope(&profiler_, Phase::Sample);
+  for (auto& sampler : samplers_) sampler(t);
+  ++samples_;
+  last_sample_ = t;
+}
+
+void Telemetry::arm(sim::Simulator& simulator) {
+  LIBRISK_CHECK(!armed_, "telemetry armed twice");
+  armed_ = true;
+  registry_.gauge_fn("event_queue_depth", "live events pending in the queue",
+                     [&simulator] {
+                       return static_cast<double>(simulator.queue().pending());
+                     });
+  if (config_.sample_period > 0.0)
+    simulator.set_metronome(config_.sample_period,
+                            [this](sim::SimTime t) { tick(t); });
+}
+
+void Telemetry::finish(sim::SimTime now) {
+  if (samplers_.empty()) return;
+  if (samples_ > 0 && last_sample_ == now) return;
+  tick(now);
+}
+
+void Telemetry::seal() {
+  registry_.materialize();
+  samplers_.clear();
+}
+
+void Telemetry::write_dir(const std::filesystem::path& dir) const {
+  std::filesystem::create_directories(dir);
+  for (const auto& s : series_) {
+    {
+      std::ofstream out(dir / (s->name() + ".csv"));
+      LIBRISK_CHECK(out.good(), "cannot write series csv for '" << s->name() << "'");
+      s->write_csv(out);
+    }
+    {
+      std::ofstream out(dir / (s->name() + ".jsonl"));
+      LIBRISK_CHECK(out.good(), "cannot write series jsonl for '" << s->name() << "'");
+      s->write_jsonl(out);
+    }
+  }
+  {
+    std::ofstream out(dir / "metrics.txt");
+    LIBRISK_CHECK(out.good(), "cannot write metrics.txt");
+    write_openmetrics(out, registry_);
+  }
+  {
+    std::ofstream out(dir / "profile.txt");
+    LIBRISK_CHECK(out.good(), "cannot write profile.txt");
+    out << profiler_.report().str();
+  }
+}
+
+}  // namespace librisk::obs

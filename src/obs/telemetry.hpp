@@ -1,0 +1,109 @@
+// Telemetry: the per-run observability hub.
+//
+// One Telemetry owns a metrics Registry, a wall-clock PhaseProfiler, a set
+// of named time Series, and the sampler callbacks that fill them. It is
+// *borrowed* by the scheduler/executors through PolicyOptions (the same
+// ownership model as trace::Recorder): components that receive a non-null
+// pointer register their counters as pull metrics and contribute sampler
+// closures; a null pointer costs one predictable branch per hook site.
+//
+// Sampling runs on a sim-time metronome (Simulator::set_metronome): when
+// `sample_period > 0`, ticks fire inside the dispatch loop at nominal times
+// k * period, *before* the first event at-or-after each tick, observing
+// pre-event state. Ticks consume no event-queue sequence numbers and
+// schedule nothing — which is what makes a telemetry-on run byte-identical
+// to a telemetry-off run at the .lrt trace level (tested). finish() takes
+// one terminal sample at end-of-run so cumulative columns always reach the
+// final totals even when the run length is not a multiple of the period.
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
+#include "obs/series.hpp"
+#include "sim/types.hpp"
+
+namespace librisk::sim {
+class Simulator;
+}
+
+namespace librisk::obs {
+
+struct TelemetryConfig {
+  /// Sim-time seconds between sampler ticks; 0 disables periodic sampling
+  /// (metrics registry and profiler still work — finish() then records the
+  /// single terminal sample).
+  double sample_period = 0.0;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config = {});
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  [[nodiscard]] const TelemetryConfig& config() const noexcept { return config_; }
+  [[nodiscard]] Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] const Registry& registry() const noexcept { return registry_; }
+  [[nodiscard]] PhaseProfiler& profiler() noexcept { return profiler_; }
+  [[nodiscard]] const PhaseProfiler& profiler() const noexcept { return profiler_; }
+
+  /// Creates an owned series; the reference is stable for this Telemetry's
+  /// lifetime. Names must be unique.
+  Series& add_series(std::string name, std::vector<std::string> columns);
+  /// Series by name; nullptr when absent.
+  [[nodiscard]] Series* find_series(std::string_view name) noexcept;
+  [[nodiscard]] const Series* find_series(std::string_view name) const noexcept;
+  [[nodiscard]] const std::vector<std::unique_ptr<Series>>& series() const noexcept {
+    return series_;
+  }
+
+  /// Registers a sampler called once per tick with the sample time.
+  /// Samplers must only read simulation state — scheduling events or
+  /// mutating components from a sampler is a contract violation.
+  void add_sampler(std::function<void(sim::SimTime)> fn);
+
+  /// Attaches to a simulator: installs the metronome (when sample_period
+  /// > 0) and registers the event-queue depth gauge. Call once, after all
+  /// components registered their samplers, before simulator.run().
+  void arm(sim::Simulator& simulator);
+
+  /// Terminal sample at end-of-run time `now` (skipped when a periodic
+  /// tick already sampled exactly `now`, or when there are no samplers).
+  void finish(sim::SimTime now);
+
+  /// End-of-run detach: freezes every pull metric at its terminal value
+  /// and drops the sampler closures, both of which borrow the scheduler /
+  /// executor / simulator. After seal() the hub is safe to read, render
+  /// and write_dir() even once those components are destroyed (the
+  /// scheduler stack and simulator usually die inside exp::run_jobs while
+  /// the caller's Telemetry lives on). run_trace calls this; idempotent.
+  void seal();
+
+  /// Number of sampler ticks taken (periodic + terminal).
+  [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+
+  /// Writes everything under `dir` (created if needed): one `<series>.csv`
+  /// and `<series>.jsonl` per series, `metrics.txt` (OpenMetrics) and
+  /// `profile.txt`.
+  void write_dir(const std::filesystem::path& dir) const;
+
+ private:
+  void tick(sim::SimTime t);
+
+  TelemetryConfig config_;
+  Registry registry_;
+  PhaseProfiler profiler_;
+  std::vector<std::unique_ptr<Series>> series_;
+  std::vector<std::function<void(sim::SimTime)>> samplers_;
+  std::uint64_t samples_ = 0;
+  sim::SimTime last_sample_ = -1.0;
+  bool armed_ = false;
+};
+
+}  // namespace librisk::obs

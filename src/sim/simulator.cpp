@@ -16,7 +16,35 @@ EventId Simulator::after(SimTime delay, EventPriority priority, Handler handler)
   return at(now_ + (delay < 0 ? 0 : delay), priority, std::move(handler));
 }
 
+void Simulator::set_metronome(SimTime period, Metronome fn) {
+  LIBRISK_CHECK(period > 0.0, "metronome period must be > 0, got " << period);
+  LIBRISK_CHECK(fn != nullptr, "metronome callback must not be null");
+  metronome_ = std::move(fn);
+  tick_period_ = period;
+  // First tick at the first multiple of period strictly after now().
+  tick_index_ = static_cast<std::uint64_t>(now_ / period) + 1;
+  while (period * static_cast<double>(tick_index_) <= now_) ++tick_index_;
+}
+
+void Simulator::clear_metronome() noexcept {
+  metronome_ = nullptr;
+  tick_period_ = 0.0;
+}
+
 void Simulator::dispatch_next() {
+  if (metronome_) {
+    // Fire every nominal tick at-or-before the next event's timestamp,
+    // observing pre-event state. Nominal times are computed as k * period
+    // (not accumulated) so long runs don't drift.
+    const SimTime te = queue_.next_time();
+    for (SimTime tick = tick_period_ * static_cast<double>(tick_index_);
+         tick <= te;
+         tick = tick_period_ * static_cast<double>(++tick_index_)) {
+      now_ = tick;
+      ++ticks_;
+      metronome_(tick);
+    }
+  }
   auto [time, priority, handler] = queue_.pop();
   LIBRISK_CHECK(time >= now_, "event queue returned a past event");
   now_ = time;

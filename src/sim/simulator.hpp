@@ -45,6 +45,21 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
   [[nodiscard]] const EventQueue& queue() const noexcept { return queue_; }
 
+  /// Metronome tick callback; receives the nominal tick time k * period.
+  using Metronome = std::function<void(SimTime)>;
+
+  /// Installs a sim-time metronome: before dispatching each event, `fn`
+  /// fires once for every nominal tick time k * period (k = 1, 2, ...) that
+  /// is <= the event's timestamp, with now() advanced to the tick time.
+  /// Ticks live outside the event set — they consume no sequence numbers
+  /// and cannot reorder events — and they stop when the queue drains, so a
+  /// metronome never keeps run() alive or advances the clock past the last
+  /// real event. `fn` must only observe state, never schedule. period > 0.
+  void set_metronome(SimTime period, Metronome fn);
+  void clear_metronome() noexcept;
+  /// Ticks fired so far by the installed metronome(s).
+  [[nodiscard]] std::uint64_t metronome_ticks() const noexcept { return ticks_; }
+
  private:
   void dispatch_next();
 
@@ -53,6 +68,10 @@ class Simulator {
   std::uint64_t processed_ = 0;
   bool stopping_ = false;
   bool in_event_ = false;
+  Metronome metronome_;
+  SimTime tick_period_ = 0.0;
+  std::uint64_t tick_index_ = 0;  ///< index of the next pending tick
+  std::uint64_t ticks_ = 0;
 };
 
 }  // namespace librisk::sim

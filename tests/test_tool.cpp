@@ -24,7 +24,8 @@ ToolResult run_tool(const std::string& command, std::vector<std::string> args) {
 
 TEST(Tool, UsageListsEveryCommand) {
   const std::string u = usage();
-  for (const char* cmd : {"run", "compare", "sweep", "workload", "replay"})
+  for (const char* cmd :
+       {"run", "compare", "sweep", "workload", "replay", "trace", "metrics"})
     EXPECT_NE(u.find(cmd), std::string::npos) << cmd;
 }
 
@@ -164,6 +165,41 @@ TEST(Tool, MalformedConfigFails) {
   const ToolResult r = run_tool("run", {"--config", path});
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.err.find("JSON error"), std::string::npos) << r.err;
+}
+
+TEST(Tool, RunWithTelemetryExportsMatchSummary) {
+  const std::string dir = ::testing::TempDir() + "/tool_telemetry";
+  const ToolResult r = run_tool(
+      "run", {"--jobs", "200", "--nodes", "32", "--policy", "LibraRisk",
+              "--telemetry-out", dir, "--telemetry-period", "600", "--profile"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("Metrics:"), std::string::npos);
+  EXPECT_NE(r.out.find("admission_accepted"), std::string::npos);
+  EXPECT_NE(r.out.find("Phase profile"), std::string::npos);
+  EXPECT_NE(r.out.find("telemetry written to"), std::string::npos);
+  for (const char* name : {"/admission.csv", "/nodes.csv", "/metrics.txt"}) {
+    std::ifstream f(dir + name);
+    EXPECT_TRUE(f.good()) << name;
+  }
+}
+
+TEST(Tool, MetricsRendersTableAndOpenMetrics) {
+  const ToolResult table = run_tool(
+      "metrics", {"--jobs", "150", "--nodes", "16", "--policy", "LibraRisk"});
+  EXPECT_EQ(table.exit_code, 0) << table.err;
+  EXPECT_NE(table.out.find("admission_submissions"), std::string::npos);
+  EXPECT_NE(table.out.find("kernel_settles"), std::string::npos);
+  EXPECT_NE(table.out.find("histogram"), std::string::npos);
+
+  const ToolResult om = run_tool(
+      "metrics", {"--jobs", "150", "--nodes", "16", "--format", "openmetrics"});
+  EXPECT_EQ(om.exit_code, 0) << om.err;
+  EXPECT_NE(om.out.find("# TYPE admission_submissions counter"),
+            std::string::npos);
+  EXPECT_NE(om.out.find("admission_submissions_total 150"), std::string::npos);
+  EXPECT_NE(om.out.find("# EOF"), std::string::npos);
+
+  EXPECT_EQ(run_tool("metrics", {"--format", "yaml"}).exit_code, 2);
 }
 
 TEST(Tool, ReplayRequiresTrace) {

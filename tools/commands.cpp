@@ -1,11 +1,13 @@
 #include "tools/commands.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
 #include "cluster/timeshared.hpp"
 #include "core/scheduler.hpp"
@@ -13,6 +15,8 @@
 #include "exp/sweep.hpp"
 #include "metrics/car.hpp"
 #include "metrics/report.hpp"
+#include "obs/render.hpp"
+#include "obs/telemetry.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
 #include "support/table.hpp"
@@ -144,6 +148,15 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out) {
   auto& gantt_opt = parser.add<bool>("gantt", "print an ASCII Gantt chart", false);
   auto& gantt_width = parser.add<int>("gantt-width", "Gantt chart width", 100);
   auto& car_opt = parser.add<bool>("car", "print Computation-at-Risk tails", false);
+  auto& tel_out = parser.add<std::string>(
+      "telemetry-out",
+      "write telemetry exports (per-series CSV/JSONL, OpenMetrics, profile) "
+      "under this directory",
+      "");
+  auto& tel_period = parser.add<double>(
+      "telemetry-period", "sim-seconds between sampler ticks", 600.0);
+  auto& profile_opt =
+      parser.add<bool>("profile", "print the wall-clock phase profile", false);
   parser.parse(args);
 
   const json::Value cfg = load_config(f);
@@ -152,13 +165,22 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out) {
       policy_opt.set ? policy_opt.value : cfg.string_or("policy", policy_opt.value));
   const auto jobs = workload_from_flags(f, cfg, scenario);
 
+  // One telemetry hub backs the stats rendering below and the optional
+  // exports; periodic sampling only runs when exports were requested (the
+  // registry's pull metrics and the profiler cost nothing sim-side).
+  obs::TelemetryConfig tel_config;
+  if (!tel_out.value.empty()) tel_config.sample_period = tel_period.value;
+  obs::Telemetry telemetry(tel_config);
+  scenario.options.telemetry = &telemetry;
+
   const auto cluster = cluster::Cluster::homogeneous(scenario.nodes, scenario.rating);
   sim::Simulator simulator;
   metrics::Collector collector;
   cluster::TimelineRecorder timeline;
   const auto stack = core::make_scheduler(scenario.policy, simulator, cluster,
                                           collector, scenario.options);
-  core::run_trace(simulator, stack->scheduler(), collector, jobs);
+  core::run_trace(simulator, stack->scheduler(), collector, jobs,
+                  scenario.options.trace, &telemetry);
 
   metrics::RunSummary summary = collector.summarize();
   if (summary.makespan > 0.0) {
@@ -167,32 +189,19 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out) {
   }
   metrics::print_summary(out, std::string(core::to_string(scenario.policy)), summary);
 
+  // Counters render from the telemetry registry — the same source the
+  // `metrics` subcommand and the --telemetry-out exports read.
+  out << "\nMetrics:\n" << obs::metrics_table(telemetry.registry()).str();
   const core::AdmissionStats adm = stack->admission_stats();
-  if (adm.submissions > 0) {
-    out << "\nAdmission hot path: " << adm.submissions << " submissions, "
-        << adm.nodes_scanned << " nodes scanned, " << adm.assessments
-        << " share/risk assessments, " << adm.empty_node_skips
-        << " empty-node skips, " << adm.early_exits << " early exits\n";
-    if (adm.rejections > 0) {
-      out << "Rejections by reason: " << adm.rejected_share_overflow
-          << " share overflow, " << adm.rejected_risk_sigma << " risk sigma, "
-          << adm.rejected_no_suitable_node << " no suitable node\n";
-    }
-  }
-
+  if (adm.submissions > 0)
+    out << "admission: " << table::num(adm.scans_per_submission())
+        << " scans/job, " << table::pct(100.0 * adm.accept_rate())
+        << "% accepted\n";
   const cluster::KernelStats kern = stack->kernel_stats();
-  if (kern.settles > 0) {
-    const std::uint64_t touched = kern.tasks_recomputed + kern.tasks_skipped;
-    const double skip_pct =
-        touched > 0 ? 100.0 * static_cast<double>(kern.tasks_skipped) /
-                          static_cast<double>(touched)
-                    : 0.0;
-    out << "Execution kernel: " << kern.settles << " settles ("
-        << kern.global_recomputes << " global), " << kern.tasks_recomputed
-        << " tasks recomputed, " << kern.tasks_skipped << " skipped ("
-        << table::num(skip_pct, 1) << "%), " << kern.reanchors
-        << " reanchors, " << kern.boundary_updates << " boundary updates\n";
-  }
+  if (kern.settles > 0)
+    out << "kernel: " << table::num(kern.recomputes_per_settle())
+        << " recomputes/settle, " << table::num(kern.skip_pct(), 1)
+        << "% of resident tasks skipped\n";
 
   if (car_opt.value) {
     table::Table t({"measure", "CaR(95%)", "tail mean", "mean", "max"});
@@ -221,6 +230,14 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out) {
         std::string(core::to_string(scenario.policy)));
     core::run_trace(sim2, scheduler, collector2, jobs);
     out << "\n" << timeline.render_gantt(scenario.nodes, gantt_width.value);
+  }
+  if (profile_opt.value)
+    out << "\nPhase profile (wall-clock):\n"
+        << telemetry.profiler().report().str();
+  if (!tel_out.value.empty()) {
+    telemetry.write_dir(tel_out.value);
+    out << "telemetry written to " << tel_out.value << " ("
+        << telemetry.samples() << " samples)\n";
   }
   return 0;
 }
@@ -489,31 +506,92 @@ int cmd_trace(const std::vector<std::string>& args, std::ostream& out) {
                         "' (expected record | summary | diff)");
 }
 
+int cmd_metrics(const std::vector<std::string>& args, std::ostream& out) {
+  cli::Parser parser("librisk-sim metrics",
+                     "Run a scenario, render its live telemetry registry");
+  ScenarioFlags f = add_scenario_flags(parser);
+  auto& policy_opt = parser.add<std::string>("policy", "scheduling policy", "LibraRisk");
+  auto& format_opt = parser.add<std::string>(
+      "format", "output format: table | openmetrics", "table");
+  auto& period_opt = parser.add<double>(
+      "period", "sim-seconds between sampler ticks (0 = terminal sample only)",
+      0.0);
+  auto& out_opt = parser.add<std::string>(
+      "out", "also write full telemetry exports under this directory", "");
+  parser.parse(args);
+  if (format_opt.value != "table" && format_opt.value != "openmetrics")
+    throw cli::ParseError("--format must be 'table' or 'openmetrics', got '" +
+                          format_opt.value + "'");
+
+  const json::Value cfg = load_config(f);
+  exp::Scenario scenario = scenario_from_flags(f, cfg);
+  scenario.policy = core::parse_policy(
+      policy_opt.set ? policy_opt.value : cfg.string_or("policy", policy_opt.value));
+  const auto jobs = workload_from_flags(f, cfg, scenario);
+
+  obs::TelemetryConfig tel_config;
+  tel_config.sample_period = period_opt.value;
+  obs::Telemetry telemetry(tel_config);
+  scenario.options.telemetry = &telemetry;
+  (void)exp::run_jobs(scenario, jobs);
+
+  if (format_opt.value == "table")
+    out << obs::metrics_table(telemetry.registry()).str();
+  else
+    obs::write_openmetrics(out, telemetry.registry());
+  if (!out_opt.value.empty()) {
+    telemetry.write_dir(out_opt.value);
+    out << "telemetry written to " << out_opt.value << " ("
+        << telemetry.samples() << " samples)\n";
+  }
+  return 0;
+}
+
+/// The single registration table: dispatch (run_command) and the usage text
+/// both enumerate it, so a subcommand cannot exist in one and not the other.
+struct CommandSpec {
+  const char* name;
+  const char* summary;
+  int (*fn)(const std::vector<std::string>&, std::ostream&);
+};
+
+constexpr CommandSpec kCommands[] = {
+    {"run", "run one policy on one workload, print the full summary", cmd_run},
+    {"compare", "run every policy on the same workload, side by side",
+     cmd_compare},
+    {"sweep",
+     "sweep one axis (delay-factor/ratio/high-urgency/inaccuracy/nodes)",
+     cmd_sweep},
+    {"workload", "generate a synthetic trace (sdsc or lublin model) as SWF",
+     cmd_workload},
+    {"replay", "run every policy over an SWF trace file", cmd_replay},
+    {"trace", "decision-audit traces: record | summary | diff", cmd_trace},
+    {"metrics",
+     "run a scenario, render its telemetry registry (table | openmetrics)",
+     cmd_metrics},
+};
+
 }  // namespace
 
 std::string usage() {
+  std::size_t width = 0;
+  for (const CommandSpec& c : kCommands)
+    width = std::max(width, std::string_view(c.name).size());
   std::ostringstream os;
   os << "librisk-sim — deadline-constrained job admission control simulator\n\n"
         "Usage: librisk-sim <command> [options]   (<command> --help for details)\n\n"
-        "Commands:\n"
-        "  run       run one policy on one workload, print the full summary\n"
-        "  compare   run every policy on the same workload, side by side\n"
-        "  sweep     sweep one axis (delay-factor/ratio/high-urgency/inaccuracy/nodes)\n"
-        "  workload  generate a synthetic trace (sdsc or lublin model) as SWF\n"
-        "  replay    run every policy over an SWF trace file\n"
-        "  trace     decision-audit traces: record | summary | diff\n";
+        "Commands:\n";
+  for (const CommandSpec& c : kCommands)
+    os << "  " << c.name << std::string(width - std::string_view(c.name).size(), ' ')
+       << "  " << c.summary << '\n';
   return os.str();
 }
 
 int run_command(const std::string& command, const std::vector<std::string>& args,
                 std::ostream& out, std::ostream& err) {
   try {
-    if (command == "run") return cmd_run(args, out);
-    if (command == "compare") return cmd_compare(args, out);
-    if (command == "sweep") return cmd_sweep(args, out);
-    if (command == "workload") return cmd_workload(args, out);
-    if (command == "replay") return cmd_replay(args, out);
-    if (command == "trace") return cmd_trace(args, out);
+    for (const CommandSpec& c : kCommands)
+      if (command == c.name) return c.fn(args, out);
     err << "unknown command '" << command << "'\n\n" << usage();
     return 2;
   } catch (const cli::ParseError& e) {

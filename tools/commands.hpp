@@ -10,6 +10,10 @@
 //   librisk-sim workload — generate a synthetic trace as an SWF file
 //   librisk-sim replay   — run policies over an SWF trace file
 //   librisk-sim trace    — decision-audit traces: record / summary / diff
+//   librisk-sim metrics  — run a scenario, render its telemetry registry
+//
+// Subcommands register in the kCommands table in commands.cpp; usage() and
+// run_command() both read it, so the two can never disagree.
 #pragma once
 
 #include <iosfwd>
