@@ -1,0 +1,228 @@
+// Peak-RSS comparison: materialized vs. streaming SWF replay
+// (EXPERIMENTS.md §"Streaming replay memory").
+//
+// The PR 5 inversion claims that `librisk-sim replay --stream` holds job
+// objects proportional to the simulation's *resident set*, not the trace
+// length. This harness prices that claim in bytes: it writes a large
+// synthetic trace to disk, then replays it twice through the online
+// AdmissionEngine — once materialized (batch read, every arrival submitted
+// up front, the seed run_trace drive) and once streaming (SwfStream,
+// advance-then-submit) — and reports each replay's peak resident set size.
+//
+// Peak RSS is a process-wide high-water mark, so each measurement runs in
+// a fresh child process (fork + exec of this binary with --mode) and is
+// read from getrusage(RUSAGE_SELF) there; the parent only generates the
+// trace, checks both replays resolved jobs identically, and prints/writes
+// the table. Linux-specific, like the rest of the bench directory's
+// assumptions about the host.
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "support/cli.hpp"
+#include "workload/swf.hpp"
+#include "workload/synthetic.hpp"
+
+namespace librisk::bench {
+namespace {
+
+constexpr double kRating = 168.0;
+
+/// Child-side measurement: replay `trace` in the requested mode, then emit
+/// one machine-readable RESULT line. Runs in its own process so ru_maxrss
+/// reflects exactly one replay.
+int run_child(const std::string& mode, const std::string& trace, int nodes) {
+  core::AdmissionEngine engine(cluster::Cluster::homogeneous(nodes, kRating),
+                               core::Policy::LibraRisk);
+  if (mode == "materialized") {
+    const std::vector<workload::Job> jobs = workload::swf::read_file(trace);
+    for (const workload::Job& job : jobs) engine.submit(job);
+  } else {
+    workload::swf::SwfStream stream(trace);
+    workload::Job job;
+    while (stream.next(job)) {
+      engine.advance_to(job.submit_time);
+      engine.submit(job);
+    }
+  }
+  engine.finish();
+
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    std::cerr << "getrusage failed\n";
+    return 1;
+  }
+  const metrics::RunSummary summary = engine.summary();
+  std::cout << "RESULT mode=" << mode << " maxrss_kib=" << usage.ru_maxrss
+            << " submitted=" << summary.submitted
+            << " fulfilled=" << summary.fulfilled
+            << " completed_late=" << summary.completed_late
+            << " killed=" << summary.killed
+            << " rejected=" << summary.rejected_at_submit
+            << " peak_live=" << engine.peak_live_jobs() << "\n";
+  return 0;
+}
+
+struct ChildResult {
+  long maxrss_kib = 0;
+  std::size_t submitted = 0;
+  std::size_t fulfilled = 0;
+  std::size_t completed_late = 0;
+  std::size_t killed = 0;
+  std::size_t rejected = 0;
+  std::size_t peak_live = 0;
+};
+
+/// Forks and execs this binary in --mode `mode`, parses its RESULT line.
+ChildResult spawn_measurement(const std::string& mode, const std::string& trace,
+                              int nodes) {
+  std::array<int, 2> pipe_fds{};
+  if (pipe(pipe_fds.data()) != 0) throw std::runtime_error("pipe() failed");
+
+  char self[4096];
+  const ssize_t len = readlink("/proc/self/exe", self, sizeof(self) - 1);
+  if (len <= 0) throw std::runtime_error("readlink(/proc/self/exe) failed");
+  self[len] = '\0';
+
+  const pid_t pid = fork();
+  if (pid < 0) throw std::runtime_error("fork() failed");
+  if (pid == 0) {
+    close(pipe_fds[0]);
+    dup2(pipe_fds[1], STDOUT_FILENO);
+    close(pipe_fds[1]);
+    const std::string nodes_arg = std::to_string(nodes);
+    const char* argv[] = {self,           "--mode",  mode.c_str(),
+                          "--trace",      trace.c_str(), "--nodes",
+                          nodes_arg.c_str(), nullptr};
+    execv(self, const_cast<char* const*>(argv));
+    std::perror("execv");
+    _exit(127);
+  }
+
+  close(pipe_fds[1]);
+  std::string output;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = read(pipe_fds[0], buf, sizeof(buf))) > 0)
+    output.append(buf, static_cast<std::size_t>(n));
+  close(pipe_fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+    throw std::runtime_error("child replay (--mode " + mode +
+                             ") failed: " + output);
+
+  std::map<std::string, std::string> kv;
+  std::istringstream is(output);
+  std::string token;
+  while (is >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq != std::string::npos) kv[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  ChildResult r;
+  r.maxrss_kib = std::stol(kv.at("maxrss_kib"));
+  r.submitted = std::stoul(kv.at("submitted"));
+  r.fulfilled = std::stoul(kv.at("fulfilled"));
+  r.completed_late = std::stoul(kv.at("completed_late"));
+  r.killed = std::stoul(kv.at("killed"));
+  r.rejected = std::stoul(kv.at("rejected"));
+  r.peak_live = std::stoul(kv.at("peak_live"));
+  return r;
+}
+
+int run_parent(int jobs, int nodes, const std::string& out_csv) {
+  std::cout << "mem_streaming_replay: " << jobs << " synthetic jobs, " << nodes
+            << "-node cluster, policy LibraRisk\n";
+
+  workload::PaperWorkloadConfig config;
+  config.trace.job_count = static_cast<std::size_t>(jobs);
+  const std::vector<workload::Job> trace_jobs =
+      workload::make_paper_workload(config, 1);
+
+  const std::string trace_path = "mem_streaming_replay.tmp.swf";
+  workload::swf::write_file(trace_path, trace_jobs,
+                            {true, {"mem_streaming_replay synthetic trace"}});
+
+  const ChildResult materialized =
+      spawn_measurement("materialized", trace_path, nodes);
+  const ChildResult streaming = spawn_measurement("streaming", trace_path, nodes);
+  std::remove(trace_path.c_str());
+
+  // The comparison is only meaningful if both replays did identical work.
+  if (materialized.submitted != streaming.submitted ||
+      materialized.fulfilled != streaming.fulfilled ||
+      materialized.completed_late != streaming.completed_late ||
+      materialized.killed != streaming.killed ||
+      materialized.rejected != streaming.rejected) {
+    std::cerr << "FATAL: materialized and streaming replays diverged\n";
+    return 1;
+  }
+
+  const double ratio =
+      streaming.maxrss_kib > 0
+          ? static_cast<double>(materialized.maxrss_kib) /
+                static_cast<double>(streaming.maxrss_kib)
+          : 0.0;
+  std::cout << "\n  mode          peak RSS (KiB)   peak resident job objects\n";
+  std::cout << "  materialized  " << materialized.maxrss_kib << "            "
+            << materialized.peak_live << " (= trace length)\n";
+  std::cout << "  streaming     " << streaming.maxrss_kib << "            "
+            << streaming.peak_live << "\n";
+  std::cout << "\n  materialized / streaming RSS: " << ratio << "x\n";
+  std::cout << "  (both replays: " << streaming.submitted << " submitted, "
+            << streaming.fulfilled << " fulfilled, " << streaming.killed
+            << " killed — identical)\n";
+
+  std::ofstream csv(out_csv);
+  csv << "figure,x,policy,measure,mean,ci95,seeds\n";
+  csv << "mem_streaming_replay," << jobs << ",LibraRisk,maxrss_kib_materialized,"
+      << materialized.maxrss_kib << ",0,1\n";
+  csv << "mem_streaming_replay," << jobs << ",LibraRisk,maxrss_kib_streaming,"
+      << streaming.maxrss_kib << ",0,1\n";
+  csv << "mem_streaming_replay," << jobs << ",LibraRisk,peak_live_materialized,"
+      << materialized.peak_live << ",0,1\n";
+  csv << "mem_streaming_replay," << jobs << ",LibraRisk,peak_live_streaming,"
+      << streaming.peak_live << ",0,1\n";
+  std::cout << "\nwrote " << out_csv << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace librisk::bench
+
+int main(int argc, char** argv) {
+  using namespace librisk;
+  cli::Parser parser("mem_streaming_replay",
+                     "Peak-RSS of streaming vs. materialized SWF replay");
+  auto& jobs = parser.add<int>("jobs", "synthetic trace length", 200000);
+  auto& nodes = parser.add<int>("nodes", "cluster size", 128);
+  auto& out = parser.add<std::string>("out", "CSV output path",
+                                      "mem_streaming_replay.csv");
+  auto& quick = parser.add<bool>("quick", "small trace (smoke run)", false);
+  auto& mode = parser.add<std::string>(
+      "mode", "internal: child measurement mode (materialized|streaming)", "");
+  auto& trace = parser.add<std::string>("trace", "internal: child trace path", "");
+  parser.parse(argc, argv);
+
+  try {
+    if (!mode.value.empty())
+      return bench::run_child(mode.value, trace.value, nodes.value);
+    return bench::run_parent(quick.value ? 20000 : jobs.value, nodes.value,
+                             out.value);
+  } catch (const std::exception& e) {
+    std::cerr << "mem_streaming_replay: " << e.what() << "\n";
+    return 1;
+  }
+}

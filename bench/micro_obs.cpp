@@ -36,7 +36,7 @@ void run_observed(benchmark::State& state, Mode mode) {
     obs::TelemetryConfig config;
     if (mode == Mode::Sampling) config.sample_period = 600.0;
     obs::Telemetry telemetry(config);
-    scenario.options.telemetry = mode == Mode::NoTelemetry ? nullptr : &telemetry;
+    scenario.options.hooks.telemetry = mode == Mode::NoTelemetry ? nullptr : &telemetry;
     const exp::ScenarioResult result = exp::run_scenario(scenario);
     accepted += result.admission.accepted;
     samples += telemetry.samples();

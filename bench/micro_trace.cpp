@@ -62,7 +62,7 @@ void run_traced(benchmark::State& state, Mode mode) {
         recorder.attach(*sink);
         break;
     }
-    scenario.options.trace = mode == Mode::NoRecorder ? nullptr : &recorder;
+    scenario.options.hooks.trace = mode == Mode::NoRecorder ? nullptr : &recorder;
     const exp::ScenarioResult result = exp::run_scenario(scenario);
     if (sink) sink->close();
     accepted += result.admission.accepted;

@@ -113,7 +113,9 @@ double SpaceSharedExecutor::busy_node_seconds(sim::SimTime now) const noexcept {
   return busy;
 }
 
-void SpaceSharedExecutor::set_telemetry(obs::Telemetry* telemetry) {
+void SpaceSharedExecutor::attach(const Hooks& hooks) {
+  trace_ = hooks.trace;
+  obs::Telemetry* telemetry = hooks.telemetry;
   if (telemetry == nullptr) return;
   obs::Registry& reg = telemetry->registry();
   reg.gauge_fn("free_nodes", "nodes with no resident job",

@@ -11,6 +11,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/timeline.hpp"
 #include "sim/simulator.hpp"
+#include "support/hooks.hpp"
 #include "trace/recorder.hpp"
 #include "workload/job.hpp"
 
@@ -45,16 +46,12 @@ class SpaceSharedExecutor {
     timeline_ = recorder;
   }
 
-  /// Optional: emit start/finish/kill events into a decision-audit trace
-  /// (docs/TRACING.md). The recorder must outlive the executor.
-  void set_trace_recorder(trace::Recorder* recorder) noexcept {
-    trace_ = recorder;
-  }
-
-  /// Optional live telemetry (docs/OBSERVABILITY.md): registers occupancy
-  /// gauges and a per-tick "cluster" series. Borrowed; must outlive the
-  /// executor.
-  void set_telemetry(obs::Telemetry* telemetry);
+  /// Attaches the optional observation hooks (support/hooks.hpp) as one
+  /// value. A trace recorder receives start/finish/kill events
+  /// (docs/TRACING.md); a telemetry hub (docs/OBSERVABILITY.md) gets
+  /// occupancy gauges and a per-tick "cluster" series. Both are borrowed
+  /// and must outlive the executor.
+  void attach(const Hooks& hooks);
 
   /// Starts `job` now on the given free nodes; it holds them exclusively
   /// for actual_runtime / min(speed factor) seconds.

@@ -345,7 +345,9 @@ void TimeSharedExecutor::bheap_remove(Task* task) {
   task->heap_pos = -1;
 }
 
-void TimeSharedExecutor::set_telemetry(obs::Telemetry* telemetry) {
+void TimeSharedExecutor::attach(const Hooks& hooks) {
+  trace_ = hooks.trace;
+  obs::Telemetry* telemetry = hooks.telemetry;
   profiler_ = telemetry != nullptr ? &telemetry->profiler() : nullptr;
   if (telemetry == nullptr) return;
 

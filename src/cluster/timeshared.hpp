@@ -42,6 +42,7 @@
 #include "cluster/share_model.hpp"
 #include "cluster/timeline.hpp"
 #include "sim/simulator.hpp"
+#include "support/hooks.hpp"
 #include "trace/recorder.hpp"
 #include "workload/job.hpp"
 
@@ -160,18 +161,14 @@ class TimeSharedExecutor {
     timeline_ = recorder;
   }
 
-  /// Optional: emit lifecycle events (start/finish/kill/overrun/realloc)
-  /// into a decision-audit trace (docs/TRACING.md). Same lifetime contract
-  /// as the timeline recorder.
-  void set_trace_recorder(trace::Recorder* recorder) noexcept {
-    trace_ = recorder;
-  }
-
-  /// Optional live telemetry (docs/OBSERVABILITY.md): registers the kernel
-  /// effort counters as pull metrics, a per-tick "kernel" delta series, and
-  /// times settle passes as the `settle` phase. Borrowed; must outlive the
-  /// executor. Null detaches the profiler (registrations are permanent).
-  void set_telemetry(obs::Telemetry* telemetry);
+  /// Attaches the optional observation hooks (support/hooks.hpp) as one
+  /// value. A trace recorder receives lifecycle events
+  /// (start/finish/kill/overrun/realloc; docs/TRACING.md). A telemetry hub
+  /// (docs/OBSERVABILITY.md) gets the kernel effort counters as pull
+  /// metrics, a per-tick "kernel" delta series, and settle passes timed as
+  /// the `settle` phase. Both are borrowed and must outlive the executor.
+  /// Null members detach (telemetry metric registrations are permanent).
+  void attach(const Hooks& hooks);
 
   /// Starts `job` now on the given distinct nodes (job.num_procs of them).
   /// The caller (admission control) retains ownership of the Job, which
@@ -318,7 +315,7 @@ class TimeSharedExecutor {
   double delivered_ = 0.0;
   TimelineRecorder* timeline_ = nullptr;
   trace::Recorder* trace_ = nullptr;
-  obs::PhaseProfiler* profiler_ = nullptr;  ///< borrowed via set_telemetry
+  obs::PhaseProfiler* profiler_ = nullptr;  ///< borrowed via attach()
   /// Makes the settle pass after a start() emit a ShareRealloc even though
   /// the start itself (not the settle) changed the membership.
   bool pending_start_realloc_ = false;

@@ -46,17 +46,12 @@ class TimeSharedStack final : public SchedulerStack {
  public:
   TimeSharedStack(sim::Simulator& simulator, const cluster::Cluster& cluster,
                   Collector& collector, LibraConfig config, std::string name,
-                  cluster::ShareModelConfig share_model, trace::Recorder* trace,
-                  obs::Telemetry* telemetry)
+                  cluster::ShareModelConfig share_model, const Hooks& hooks)
       : executor_(simulator, cluster, share_model),
         scheduler_(simulator, executor_, collector, config, std::move(name)) {
-    if (trace != nullptr) {
-      executor_.set_trace_recorder(trace);
-      scheduler_.set_trace_recorder(trace);
-    }
-    if (telemetry != nullptr) {
-      executor_.set_telemetry(telemetry);
-      scheduler_.set_telemetry(telemetry);
+    if (hooks.any()) {
+      executor_.attach(hooks);
+      scheduler_.attach(hooks);
     }
   }
 
@@ -81,17 +76,12 @@ class SpaceSharedStack final : public SchedulerStack {
  public:
   SpaceSharedStack(sim::Simulator& simulator, const cluster::Cluster& cluster,
                    Collector& collector, ConfigT config, std::string name,
-                   cluster::SpaceSharedConfig executor_config,
-                   trace::Recorder* trace, obs::Telemetry* telemetry)
+                   cluster::SpaceSharedConfig executor_config, const Hooks& hooks)
       : executor_(simulator, cluster, executor_config),
         scheduler_(simulator, executor_, collector, config, std::move(name)) {
-    if (trace != nullptr) {
-      executor_.set_trace_recorder(trace);
-      scheduler_.set_trace_recorder(trace);
-    }
-    if (telemetry != nullptr) {
-      executor_.set_telemetry(telemetry);
-      scheduler_.set_telemetry(telemetry);
+    if (hooks.any()) {
+      executor_.attach(hooks);
+      scheduler_.attach(hooks);
     }
   }
 
@@ -136,35 +126,35 @@ std::unique_ptr<SchedulerStack> make_scheduler(Policy policy,
     case Policy::LibraRisk:
       return std::make_unique<TimeSharedStack>(
           simulator, cluster, collector, libra_family_config(policy, options),
-          name, options.share_model, options.trace, options.telemetry);
+          name, options.share_model, options.hooks);
     case Policy::Edf:
       return std::make_unique<SpaceSharedStack<EdfScheduler, EdfConfig>>(
           simulator, cluster, collector, EdfConfig{.admission_control = true},
-          name, space_config, options.trace, options.telemetry);
+          name, space_config, options.hooks);
     case Policy::EdfNoAC:
       return std::make_unique<SpaceSharedStack<EdfScheduler, EdfConfig>>(
           simulator, cluster, collector, EdfConfig{.admission_control = false},
-          name, space_config, options.trace, options.telemetry);
+          name, space_config, options.hooks);
     case Policy::EdfBackfill:
       return std::make_unique<SpaceSharedStack<EdfScheduler, EdfConfig>>(
           simulator, cluster, collector,
           EdfConfig{.admission_control = true, .backfilling = true}, name,
-          space_config, options.trace, options.telemetry);
+          space_config, options.hooks);
     case Policy::Fcfs:
       return std::make_unique<SpaceSharedStack<FcfsScheduler, FcfsConfig>>(
           simulator, cluster, collector,
           FcfsConfig{.backfilling = false, .deadline_admission = false}, name,
-          space_config, options.trace, options.telemetry);
+          space_config, options.hooks);
     case Policy::Easy:
       return std::make_unique<SpaceSharedStack<FcfsScheduler, FcfsConfig>>(
           simulator, cluster, collector,
           FcfsConfig{.backfilling = true, .deadline_admission = false}, name,
-          space_config, options.trace, options.telemetry);
+          space_config, options.hooks);
     case Policy::Qops:
       return std::make_unique<SpaceSharedStack<QopsScheduler, QopsConfig>>(
           simulator, cluster, collector,
           QopsConfig{.slack_factor = options.qops_slack_factor}, name,
-          space_config, options.trace, options.telemetry);
+          space_config, options.hooks);
   }
   throw std::invalid_argument("unhandled policy");
 }

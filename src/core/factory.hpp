@@ -49,14 +49,12 @@ struct PolicyOptions {
   /// implementation instead of the workspace/cached fast path. Decisions
   /// are bit-identical either way; differential tests flip this.
   bool legacy_admission = false;
-  /// Optional decision-audit recorder (docs/TRACING.md), attached to both
-  /// the scheduler and its executor. Borrowed; must outlive the stack.
-  /// Null (the default) emits nothing and perturbs nothing.
-  trace::Recorder* trace = nullptr;
-  /// Optional live telemetry (docs/OBSERVABILITY.md), attached to both the
-  /// scheduler and its executor: each registers its counters/series and
-  /// samplers on construction. Same lifetime contract as `trace`.
-  obs::Telemetry* telemetry = nullptr;
+  /// Optional observation hooks (decision-audit recorder + live telemetry),
+  /// attached as one value to both the scheduler and its executor — the
+  /// single wiring point, so a stack can never end up with a recorder on
+  /// one component and not the other. Borrowed; must outlive the stack.
+  /// Null members (the default) emit nothing and perturb nothing.
+  Hooks hooks;
 };
 
 /// A ready-to-run scheduling stack: the scheduler plus whichever executor

@@ -70,7 +70,7 @@ FcfsScheduler::Reservation FcfsScheduler::head_reservation(const Job& head) cons
   releases.reserve(estimated_finish_.size());
   for (const auto& [id, finish] : estimated_finish_) {
     const auto& rec = collector_.record(id);
-    releases.push_back(Release{std::max(finish, now), rec.job->num_procs});
+    releases.push_back(Release{std::max(finish, now), rec.num_procs});
   }
   std::sort(releases.begin(), releases.end(),
             [](const Release& a, const Release& b) { return a.time < b.time; });

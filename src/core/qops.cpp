@@ -42,7 +42,7 @@ bool QopsScheduler::feasible_with(const Job& candidate) const {
   releases.reserve(estimated_finish_.size());
   for (const auto& [id, finish] : estimated_finish_)
     releases.push_back(
-        Release{std::max(finish, now), collector_.record(id).job->num_procs});
+        Release{std::max(finish, now), collector_.record(id).num_procs});
   std::sort(releases.begin(), releases.end(),
             [](const Release& a, const Release& b) { return a.time < b.time; });
 

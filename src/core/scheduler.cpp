@@ -1,41 +1,16 @@
 #include "core/scheduler.hpp"
 
-#include "support/check.hpp"
+#include "core/engine.hpp"
 
 namespace librisk::core {
 
 void run_trace(sim::Simulator& simulator, Scheduler& scheduler,
                Collector& collector, const std::vector<Job>& jobs,
-               trace::Recorder* recorder, obs::Telemetry* telemetry) {
+               const Hooks& hooks) {
   workload::validate_trace(jobs);
-  for (const Job& job : jobs) {
-    simulator.at(job.submit_time, sim::EventPriority::Arrival,
-                 [&collector, &scheduler, &job, &simulator, recorder] {
-                   collector.record_submitted(job, simulator.now());
-                   if (recorder != nullptr)
-                     recorder->job_submitted(simulator.now(), job.id,
-                                             job.num_procs, job.deadline,
-                                             job.scheduler_estimate);
-                   scheduler.on_job_submitted(job);
-                 });
-  }
-  if (telemetry != nullptr) telemetry->arm(simulator);
-  {
-    obs::ScopedPhase run_phase(
-        telemetry != nullptr ? &telemetry->profiler() : nullptr,
-        obs::Phase::Run);
-    simulator.run();
-  }
-  if (telemetry != nullptr) {
-    telemetry->finish(simulator.now());
-    // Pull metrics and samplers borrow the scheduler/executor/simulator,
-    // which often die before the caller-owned hub does — freeze terminal
-    // values now so the hub stays readable afterwards.
-    telemetry->seal();
-  }
-  LIBRISK_CHECK(collector.all_resolved(),
-                "simulation drained with unresolved jobs (scheduler "
-                    << scheduler.name() << ")");
+  AdmissionEngine engine(simulator, scheduler, collector, hooks);
+  for (const Job& job : jobs) engine.submit(job);
+  engine.finish();
 }
 
 }  // namespace librisk::core

@@ -8,6 +8,7 @@
 #include "metrics/collector.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
+#include "support/hooks.hpp"
 #include "trace/recorder.hpp"
 #include "workload/job.hpp"
 
@@ -32,25 +33,24 @@ class Scheduler {
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
-  /// Attaches a decision-audit recorder (docs/TRACING.md). Optional; null
-  /// (the default) emits nothing and perturbs nothing.
-  void set_trace_recorder(trace::Recorder* recorder) noexcept { trace_ = recorder; }
-
-  /// Attaches live telemetry (docs/OBSERVABILITY.md): the scheduler
-  /// registers its counters as pull metrics and contributes samplers via
-  /// on_telemetry(). Optional; null (the default) costs one branch per
-  /// hook site and perturbs nothing.
-  void set_telemetry(obs::Telemetry* telemetry) {
-    telemetry_ = telemetry;
-    profiler_ = telemetry != nullptr ? &telemetry->profiler() : nullptr;
-    if (telemetry != nullptr) on_telemetry(*telemetry);
+  /// Attaches the observation hooks (docs/TRACING.md, docs/OBSERVABILITY.md)
+  /// in one shot: the trace recorder receives admission events, and a
+  /// non-null telemetry makes the scheduler register its counters as pull
+  /// metrics and contribute samplers via on_telemetry(). Call at most once,
+  /// before the first submission; both hooks are optional and a null hook
+  /// costs one branch per hook site.
+  void attach(const Hooks& hooks) {
+    trace_ = hooks.trace;
+    telemetry_ = hooks.telemetry;
+    profiler_ = hooks.telemetry != nullptr ? &hooks.telemetry->profiler() : nullptr;
+    if (hooks.telemetry != nullptr) on_telemetry(*hooks.telemetry);
   }
 
  protected:
   Scheduler() = default;
 
   /// Registration hook: add pull metrics, series and samplers. Called once
-  /// from set_telemetry with a telemetry that outlives the run.
+  /// from attach() with a telemetry that outlives the run.
   virtual void on_telemetry(obs::Telemetry& telemetry) { (void)telemetry; }
 
   /// Borrowed, may be null; subclasses emit admission events through it.
@@ -62,16 +62,18 @@ class Scheduler {
   obs::PhaseProfiler* profiler_ = nullptr;
 };
 
-/// Schedules every job's arrival event and runs the simulation to
-/// completion. The trace must be validated and submit-ordered; it must
-/// outlive the call (schedulers keep pointers into it). When `recorder` is
-/// given, a JobSubmitted event is emitted per arrival (before the scheduler
-/// sees the job). When `telemetry` is given it is armed on the simulator
-/// (metronome sampling + queue-depth gauge), the drain is timed as the
-/// `run` phase, and a terminal sample is taken at end-of-run time.
+/// Batch driver: submits every job of a validated, submit-ordered trace and
+/// drains the simulation to completion. A thin loop over
+/// core::AdmissionEngine (engine.hpp) in borrowed mode — the engine copies
+/// each job into its own storage, so the vector only needs to outlive the
+/// call itself. `hooks.trace` receives a JobSubmitted event per arrival
+/// (before the scheduler sees the job); `hooks.telemetry` is armed on the
+/// simulator (metronome sampling + queue-depth gauge), the drain is timed
+/// as the `run` phase, and a terminal sample is taken at end-of-run time.
+/// The hooks must be the same ones already attached to the scheduler stack
+/// (PolicyOptions::hooks wires both when the stack comes from the factory).
 void run_trace(sim::Simulator& simulator, Scheduler& scheduler,
                Collector& collector, const std::vector<Job>& jobs,
-               trace::Recorder* recorder = nullptr,
-               obs::Telemetry* telemetry = nullptr);
+               const Hooks& hooks = {});
 
 }  // namespace librisk::core

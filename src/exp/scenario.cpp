@@ -1,6 +1,6 @@
 #include "exp/scenario.hpp"
 
-#include "core/scheduler.hpp"
+#include "core/engine.hpp"
 #include "support/check.hpp"
 
 namespace librisk::exp {
@@ -26,15 +26,11 @@ ScenarioResult run_jobs(const Scenario& scenario,
   LIBRISK_CHECK(scenario.warmup_fraction >= 0.0 && scenario.cooldown_fraction >= 0.0 &&
                     scenario.warmup_fraction + scenario.cooldown_fraction < 1.0,
                 "measurement window fractions out of domain");
-  const cluster::Cluster cluster = build_cluster(scenario);
 
-  sim::Simulator simulator;
-  metrics::Collector collector;
-  const auto stack = core::make_scheduler(scenario.policy, simulator, cluster,
-                                          collector, scenario.options);
-  obs::Telemetry* telemetry = scenario.options.telemetry;
-  core::run_trace(simulator, stack->scheduler(), collector, jobs,
-                  scenario.options.trace, telemetry);
+  core::AdmissionEngine engine(build_cluster(scenario), scenario.policy,
+                               scenario.options);
+  for (const workload::Job& job : jobs) engine.submit(job);
+  engine.finish();
 
   metrics::Collector::MeasurementWindow window;
   if (!jobs.empty() &&
@@ -45,32 +41,34 @@ ScenarioResult run_jobs(const Scenario& scenario,
     window.end = first + (1.0 - scenario.cooldown_fraction) * span;
   }
 
+  obs::Telemetry* telemetry = scenario.options.hooks.telemetry;
   ScenarioResult result;
   {
     obs::ScopedPhase phase(
         telemetry != nullptr ? &telemetry->profiler() : nullptr,
         obs::Phase::Metrics);
-    result.summary = collector.summarize(window);
+    result.summary = engine.collector().summarize(window);
   }
-  result.events_processed = simulator.events_processed();
-  result.admission = stack->admission_stats();
-  result.kernel = stack->kernel_stats();
-  result.outcomes.reserve(collector.records().size());
-  for (const auto& [id, record] : collector.records()) {
+  result.events_processed = engine.events_processed();
+  result.admission = engine.admission_stats();
+  result.kernel = engine.kernel_stats();
+  const auto& records = engine.collector().records();
+  result.outcomes.reserve(records.size());
+  for (const auto& [id, record] : records) {
     result.outcomes.push_back(JobOutcome{
         .id = id,
         .fate = record.fate,
         .delay = record.delay,
         .slowdown = record.started ? record.slowdown() : 0.0,
-        .underestimated = record.job->user_estimate < record.job->actual_runtime,
-        .urgency = record.job->urgency});
+        .underestimated = record.underestimated,
+        .urgency = record.urgency});
   }
   // Utilization over the whole simulated horizon (not the measurement
   // window): delivered busy node-seconds / total capacity.
-  if (simulator.now() > 0.0) {
+  if (engine.now() > 0.0) {
     result.summary.utilization =
-        stack->busy_node_seconds(simulator.now()) /
-        (static_cast<double>(cluster.size()) * simulator.now());
+        engine.busy_node_seconds() /
+        (static_cast<double>(engine.cluster_size()) * engine.now());
   }
   if (telemetry != nullptr) result.profile = telemetry->profiler().report();
   return result;

@@ -52,7 +52,7 @@ struct ScenarioResult {
   core::AdmissionStats admission;
   /// Execution-kernel effort counters (all-zero for space-shared policies).
   cluster::KernelStats kernel;
-  /// Wall-clock phase profile; empty() unless options.telemetry was set.
+  /// Wall-clock phase profile; empty() unless options.hooks.telemetry was set.
   obs::ProfileReport profile;
 };
 

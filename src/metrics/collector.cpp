@@ -28,10 +28,17 @@ JobRecord& Collector::fetch(const Job& job, bool must_exist) {
   return records_[job.id];
 }
 
+void Collector::resolved(const Job& job) {
+  ++resolved_;
+  if (on_resolved_) on_resolved_(job.id);
+}
+
 void Collector::record_submitted(const Job& job, SimTime now) {
   JobRecord& r = fetch(job, /*must_exist=*/false);
-  r.job = &job;
   r.submit_time = now;
+  r.num_procs = job.num_procs;
+  r.urgency = job.urgency;
+  r.underestimated = job.user_estimate < job.actual_runtime;
 }
 
 void Collector::record_rejected(const Job& job, SimTime now, bool at_dispatch) {
@@ -41,6 +48,7 @@ void Collector::record_rejected(const Job& job, SimTime now, bool at_dispatch) {
   LIBRISK_CHECK(!r.started, "job " << job.id << " rejected after starting");
   r.fate = at_dispatch ? JobFate::RejectedAtDispatch : JobFate::RejectedAtSubmit;
   r.finish_time = now;
+  resolved(job);
 }
 
 void Collector::record_started(const Job& job, SimTime now, double min_runtime) {
@@ -61,6 +69,7 @@ void Collector::record_completed(const Job& job, SimTime finish) {
   r.delay = std::max(0.0, (finish - r.submit_time) - job.deadline);
   if (r.delay <= kDelayTolerance) r.delay = 0.0;
   r.fate = r.delay == 0.0 ? JobFate::FulfilledInTime : JobFate::CompletedLate;
+  resolved(job);
 }
 
 void Collector::record_killed(const Job& job, SimTime when) {
@@ -69,13 +78,10 @@ void Collector::record_killed(const Job& job, SimTime when) {
   LIBRISK_CHECK(r.fate == JobFate::Pending, "job " << job.id << " killed after resolution");
   r.finish_time = when;
   r.fate = JobFate::Killed;
+  resolved(job);
 }
 
-bool Collector::all_resolved() const noexcept {
-  return std::all_of(records_.begin(), records_.end(), [](const auto& kv) {
-    return kv.second.fate != JobFate::Pending;
-  });
-}
+bool Collector::all_resolved() const noexcept { return resolved_ == records_.size(); }
 
 const JobRecord& Collector::record(std::int64_t job_id) const {
   const auto it = records_.find(job_id);
@@ -96,7 +102,7 @@ RunSummary Collector::summarize(const MeasurementWindow& window) const {
     if (r.submit_time < window.begin || r.submit_time > window.end) continue;
     ++s.submitted;
     s.makespan = std::max(s.makespan, std::max(r.finish_time, r.submit_time));
-    const bool high = r.job->urgency == workload::Urgency::High;
+    const bool high = r.urgency == workload::Urgency::High;
     (high ? high_total : low_total) += 1;
     switch (r.fate) {
       case JobFate::Pending:

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <vector>
@@ -36,8 +37,11 @@ enum class JobFate : std::uint8_t {
 /// deadline, so sub-second arithmetic residue must not read as a violation.
 inline constexpr double kDelayTolerance = 0.5;
 
+/// Records copy the job fields they report on instead of keeping a
+/// `const Job*`: a streaming driver (core::AdmissionEngine) reclaims Job
+/// storage as soon as a job resolves, so a retained pointer would dangle by
+/// summarize() time.
 struct JobRecord {
-  const Job* job = nullptr;
   JobFate fate = JobFate::Pending;
   SimTime submit_time = 0.0;
   SimTime start_time = 0.0;    ///< valid when started
@@ -45,6 +49,10 @@ struct JobRecord {
   double min_runtime = 0.0;    ///< best-case runtime on its allocated nodes
   double delay = 0.0;          ///< Eq. 3, valid when completed
   bool started = false;
+  // Copied at submission (see above).
+  int num_procs = 0;
+  workload::Urgency urgency = workload::Urgency::Unspecified;
+  bool underestimated = false;  ///< user_estimate < actual_runtime
 
   [[nodiscard]] double response_time() const noexcept {
     return finish_time - submit_time;
@@ -101,6 +109,17 @@ class Collector {
   /// True when every submitted job reached a terminal fate.
   [[nodiscard]] bool all_resolved() const noexcept;
   [[nodiscard]] std::size_t submitted_count() const noexcept { return records_.size(); }
+  /// Jobs that reached a terminal fate so far.
+  [[nodiscard]] std::size_t resolved_count() const noexcept { return resolved_; }
+
+  /// Observer fired once per job the instant it reaches a terminal fate
+  /// (rejected, completed, or killed), with the job's id. Used by
+  /// core::AdmissionEngine to reclaim job storage; at most one observer.
+  /// The callback must not call back into this Collector.
+  using ResolutionObserver = std::function<void(std::int64_t)>;
+  void set_resolution_observer(ResolutionObserver observer) {
+    on_resolved_ = std::move(observer);
+  }
   [[nodiscard]] const JobRecord& record(std::int64_t job_id) const;
   [[nodiscard]] const std::map<std::int64_t, JobRecord>& records() const noexcept {
     return records_;
@@ -120,7 +139,10 @@ class Collector {
 
  private:
   JobRecord& fetch(const Job& job, bool must_exist);
+  void resolved(const Job& job);
   std::map<std::int64_t, JobRecord> records_;
+  std::size_t resolved_ = 0;
+  ResolutionObserver on_resolved_;
 };
 
 }  // namespace librisk::metrics

@@ -69,4 +69,12 @@ std::uint64_t Simulator::run_until(SimTime horizon) {
   return processed_ - start;
 }
 
+std::uint64_t Simulator::run_before(SimTime horizon) {
+  stopping_ = false;
+  const std::uint64_t start = processed_;
+  while (!queue_.empty() && !stopping_ && queue_.next_time() < horizon)
+    dispatch_next();
+  return processed_ - start;
+}
+
 }  // namespace librisk::sim

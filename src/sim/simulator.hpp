@@ -38,6 +38,12 @@ class Simulator {
   /// the last processed event, not to the horizon itself.
   std::uint64_t run_until(SimTime horizon);
 
+  /// Runs events with time strictly < horizon, leaving every event *at* the
+  /// horizon pending. The streaming driver's step: advancing to an
+  /// arrival's submit time before scheduling it keeps equal-time events in
+  /// the same (time, priority, seq) order the batch driver produces.
+  std::uint64_t run_before(SimTime horizon);
+
   /// Requests run() to return after the current event completes.
   void stop() noexcept { stopping_ = true; }
 

@@ -9,7 +9,10 @@
 // traces round-trip exactly.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -46,8 +49,80 @@ struct ReadOptions {
 [[nodiscard]] std::vector<Job> read_file(const std::string& path,
                                          const ReadOptions& opts = {});
 
+struct StreamOptions {
+  /// Drop jobs whose runtime or processor count is missing (-1) or zero.
+  bool skip_invalid = true;
+  /// When an estimate is missing (-1), substitute the actual runtime.
+  /// If false, such jobs are dropped.
+  bool estimate_fallback_to_runtime = true;
+  /// Rebase submit times so the first returned job arrives at t = 0
+  /// (matching the batch reader). With require_monotone off a later job may
+  /// end up with a negative submit time; that is the caller's problem.
+  bool rebase_submit_times = true;
+  /// Reject traces whose kept jobs are not submit-ordered. Streaming replay
+  /// feeds an online engine that (correctly) refuses out-of-order arrivals,
+  /// so the default fails fast at the parse with a line number instead of
+  /// deep inside the simulation.
+  bool require_monotone = true;
+};
+
+/// Line-at-a-time SWF reader: the streaming counterpart of read(). Holds
+/// one Job and the not-yet-matched deadline notes — never the whole trace —
+/// so replay memory is bounded by the simulation's resident set, not the
+/// trace length. Unlike the batch reader it cannot sort or take a tail
+/// subset (`last_n`); it expects a submit-ordered trace (see
+/// StreamOptions::require_monotone). Deadline notes are matched and
+/// discarded as their job lines arrive; write() interleaves each note
+/// immediately before its job line so the pending-note map stays small.
+class SwfStream {
+ public:
+  /// Streams from a caller-owned istream (must outlive the SwfStream).
+  explicit SwfStream(std::istream& in, const StreamOptions& opts = {});
+  /// Streams from a file; throws ParseError if it cannot be opened.
+  explicit SwfStream(const std::string& path, const StreamOptions& opts = {});
+  SwfStream(const SwfStream&) = delete;
+  SwfStream& operator=(const SwfStream&) = delete;
+  ~SwfStream();
+
+  /// Parses forward to the next kept job; false at end of input.
+  /// Throws ParseError (with the 1-based line number) on malformed input:
+  /// truncated lines, non-numeric fields, or — when require_monotone —
+  /// out-of-order submit times.
+  [[nodiscard]] bool next(Job& job);
+
+  /// 1-based number of the last line consumed (0 before the first next()).
+  [[nodiscard]] int line_no() const noexcept { return line_no_; }
+  [[nodiscard]] std::size_t jobs_returned() const noexcept { return returned_; }
+  /// Jobs dropped by the cleaning rules (skip_invalid / estimate fallback).
+  [[nodiscard]] std::size_t jobs_skipped() const noexcept { return skipped_; }
+  /// Deadline notes read but not yet matched to a job line. Bounded (≤ 1)
+  /// for traces written by write(); a legacy all-notes-in-header trace keeps
+  /// them pending until their jobs arrive.
+  [[nodiscard]] std::size_t pending_notes() const noexcept { return notes_.size(); }
+
+ private:
+  struct Note {
+    double deadline = 0.0;
+    Urgency urgency = Urgency::Unspecified;
+  };
+
+  std::unique_ptr<std::istream> owned_;  ///< set by the path constructor
+  std::istream* in_;
+  StreamOptions opts_;
+  std::string line_;
+  std::vector<std::string_view> tokens_;
+  std::map<std::int64_t, Note> notes_;
+  int line_no_ = 0;
+  std::size_t returned_ = 0;
+  std::size_t skipped_ = 0;
+  double base_ = 0.0;             ///< first kept job's raw submit time
+  double last_raw_submit_ = 0.0;  ///< monotonicity watermark (pre-rebase)
+};
+
 struct WriteOptions {
   /// Emit `;librisk-deadline:` comments so deadlines survive a round-trip.
+  /// Each note is written immediately before its job's line, keeping the
+  /// streaming reader's pending-note memory O(1).
   bool include_deadlines = true;
   /// Free-text header comment lines (each emitted as "; <line>").
   std::vector<std::string> header;

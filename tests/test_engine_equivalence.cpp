@@ -1,0 +1,265 @@
+// Differential test for the online AdmissionEngine (PR 5 inversion): a
+// streaming drive — advance the clock to each arrival, submit, repeat —
+// must be byte-identical, at the .lrt decision-trace level, to the seed
+// batch path (run_trace: pre-schedule every arrival, drain). The argument
+// (docs/MODEL.md §"engine stepping"): event sequence numbers only break
+// ties within one (time, priority) class, arrivals keep submission order in
+// both drives, and every other event is scheduled by the deterministic
+// execution itself — provided the driver only runs events *strictly before*
+// the next submit time (Simulator::run_before), so an equal-time Control
+// event cannot overtake the arrival it should follow.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "exp/scenario.hpp"
+#include "helpers.hpp"
+#include "support/check.hpp"
+#include "trace/recorder.hpp"
+#include "trace/sink.hpp"
+#include "workload/synthetic.hpp"
+
+namespace librisk {
+namespace {
+
+struct TracedRun {
+  std::string lrt;
+  metrics::RunSummary summary;
+  core::AdmissionStats admission;
+  std::uint64_t events_processed = 0;
+  std::size_t peak_live = 0;
+};
+
+workload::PaperWorkloadConfig small_workload() {
+  workload::PaperWorkloadConfig w;
+  w.trace.job_count = 300;
+  return w;
+}
+
+core::PolicyOptions hooked(trace::Recorder* recorder) {
+  core::PolicyOptions options;
+  options.hooks.trace = recorder;
+  return options;
+}
+
+/// The seed batch path: caller-owned components, factory stack, run_trace.
+TracedRun run_batch(core::Policy policy, const std::vector<workload::Job>& jobs) {
+  std::ostringstream os;
+  trace::BinarySink sink(os, {std::string(core::to_string(policy)), 1});
+  trace::Recorder recorder(sink);
+
+  const auto cluster = cluster::Cluster::homogeneous(32, 168.0);
+  sim::Simulator simulator;
+  metrics::Collector collector;
+  const auto stack = core::make_scheduler(policy, simulator, cluster, collector,
+                                          hooked(&recorder));
+  core::run_trace(simulator, stack->scheduler(), collector, jobs,
+                  Hooks{.trace = &recorder});
+  sink.close();
+
+  TracedRun run;
+  run.lrt = os.str();
+  run.summary = collector.summarize();
+  run.summary.utilization =
+      simulator.now() > 0.0
+          ? stack->busy_node_seconds(simulator.now()) /
+                (static_cast<double>(cluster.size()) * simulator.now())
+          : 0.0;
+  run.admission = stack->admission_stats();
+  run.events_processed = simulator.events_processed();
+  run.peak_live = jobs.size();
+  return run;
+}
+
+/// The streaming drive: one owning engine, clock advanced to each arrival
+/// before it is submitted, slots reclaimed as jobs resolve.
+TracedRun run_streaming(core::Policy policy,
+                        const std::vector<workload::Job>& jobs) {
+  std::ostringstream os;
+  trace::BinarySink sink(os, {std::string(core::to_string(policy)), 1});
+  trace::Recorder recorder(sink);
+
+  core::AdmissionEngine engine(cluster::Cluster::homogeneous(32, 168.0),
+                               policy, hooked(&recorder));
+  for (const workload::Job& job : jobs) {
+    engine.advance_to(job.submit_time);
+    engine.submit(job);
+  }
+  engine.finish();
+  sink.close();
+
+  TracedRun run;
+  run.lrt = os.str();
+  run.summary = engine.summary();
+  run.admission = engine.admission_stats();
+  run.events_processed = engine.events_processed();
+  run.peak_live = engine.peak_live_jobs();
+  EXPECT_EQ(engine.live_jobs(), 0u) << "every slot reclaimed after finish()";
+  EXPECT_EQ(engine.jobs_submitted(), jobs.size());
+  return run;
+}
+
+void expect_equivalent(core::Policy policy, std::uint64_t seed,
+                       double inaccuracy_pct) {
+  SCOPED_TRACE(std::string(core::to_string(policy)) + " seed " +
+               std::to_string(seed) + " inaccuracy " +
+               std::to_string(inaccuracy_pct));
+  workload::PaperWorkloadConfig w = small_workload();
+  w.inaccuracy_pct = inaccuracy_pct;
+  const auto jobs = workload::make_paper_workload(w, seed);
+
+  const TracedRun batch = run_batch(policy, jobs);
+  const TracedRun streaming = run_streaming(policy, jobs);
+
+  EXPECT_FALSE(batch.lrt.empty());
+  EXPECT_EQ(batch.lrt, streaming.lrt) << "decision traces diverge";
+  EXPECT_EQ(batch.events_processed, streaming.events_processed);
+
+  const metrics::RunSummary& a = batch.summary;
+  const metrics::RunSummary& b = streaming.summary;
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.rejected_at_submit, b.rejected_at_submit);
+  EXPECT_EQ(a.fulfilled, b.fulfilled);
+  EXPECT_EQ(a.completed_late, b.completed_late);
+  EXPECT_EQ(a.killed, b.killed);
+  EXPECT_EQ(a.avg_slowdown_fulfilled, b.avg_slowdown_fulfilled);
+  EXPECT_EQ(a.avg_delay_late, b.avg_delay_late);
+  EXPECT_EQ(a.max_delay, b.max_delay);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.utilization, b.utilization);
+
+  const core::AdmissionStats& x = batch.admission;
+  const core::AdmissionStats& y = streaming.admission;
+  EXPECT_EQ(x.submissions, y.submissions);
+  EXPECT_EQ(x.accepted, y.accepted);
+  EXPECT_EQ(x.rejections, y.rejections);
+  EXPECT_EQ(x.nodes_scanned, y.nodes_scanned);
+  EXPECT_EQ(x.assessments, y.assessments);
+  EXPECT_EQ(x.rejected_share_overflow, y.rejected_share_overflow);
+  EXPECT_EQ(x.rejected_risk_sigma, y.rejected_risk_sigma);
+  EXPECT_EQ(x.rejected_no_suitable_node, y.rejected_no_suitable_node);
+}
+
+// Headline acceptance criterion: every factory policy, 10 seeds,
+// byte-identical decision traces and equal summaries/stats.
+TEST(EngineEquivalence, EveryPolicyTenSeedsByteIdenticalTraces) {
+  for (const core::Policy policy : core::all_policies())
+    for (std::uint64_t seed = 1; seed <= 10; ++seed)
+      expect_equivalent(policy, seed, 100.0);
+}
+
+// Both estimate regimes: perfectly accurate estimates (no overruns) and
+// full trace inaccuracy (the overrun-rich regime).
+TEST(EngineEquivalence, BothEstimateRegimes) {
+  for (const double inaccuracy : {0.0, 100.0})
+    for (const core::Policy policy : core::all_policies())
+      for (std::uint64_t seed = 1; seed <= 3; ++seed)
+        expect_equivalent(policy, seed, inaccuracy);
+}
+
+// The bounded-memory claim: a streaming drive holds job objects
+// proportional to the resident/pending set, not the trace length. Batch
+// submission (everything up front) necessarily peaks at the full trace.
+TEST(EngineEquivalence, StreamingMemoryBoundedByResidentSet) {
+  const auto jobs = workload::make_paper_workload(small_workload(), 1);
+
+  core::AdmissionEngine engine(cluster::Cluster::homogeneous(32, 168.0),
+                               core::Policy::LibraRisk);
+  for (const workload::Job& job : jobs) {
+    engine.advance_to(job.submit_time);
+    engine.submit(job);
+  }
+  engine.finish();
+  EXPECT_EQ(engine.jobs_submitted(), jobs.size());
+  EXPECT_LT(engine.peak_live_jobs(), jobs.size() / 2)
+      << "peak resident set should be far below the trace length";
+  EXPECT_GT(engine.peak_live_jobs(), 0u);
+  EXPECT_EQ(engine.live_jobs(), 0u);
+
+  core::AdmissionEngine batch(cluster::Cluster::homogeneous(32, 168.0),
+                              core::Policy::LibraRisk);
+  for (const workload::Job& job : jobs) batch.submit(job);
+  batch.finish();
+  EXPECT_EQ(batch.peak_live_jobs(), jobs.size())
+      << "batch submission peaks at the whole trace by construction";
+}
+
+// ---- lifecycle contract ----
+
+TEST(EngineLifecycle, RejectsOutOfOrderSubmission) {
+  core::AdmissionEngine engine(cluster::Cluster::homogeneous(4, 168.0),
+                               core::Policy::LibraRisk);
+  engine.submit(librisk::testing::make_job(1, 100.0, 60.0, 300.0));
+  EXPECT_THROW(engine.submit(librisk::testing::make_job(2, 50.0, 60.0, 300.0)),
+               CheckError);
+}
+
+TEST(EngineLifecycle, RejectsSubmissionInThePast) {
+  core::AdmissionEngine engine(cluster::Cluster::homogeneous(4, 168.0),
+                               core::Policy::LibraRisk);
+  engine.submit(librisk::testing::make_job(1, 0.0, 60.0, 300.0));
+  (void)engine.step_until(100.0);
+  // Monotone vs. the last submission but behind the engine clock.
+  EXPECT_THROW(engine.submit(librisk::testing::make_job(2, 10.0, 60.0, 300.0)),
+               CheckError);
+}
+
+TEST(EngineLifecycle, RejectsDuplicateLiveJobId) {
+  core::AdmissionEngine engine(cluster::Cluster::homogeneous(4, 168.0),
+                               core::Policy::LibraRisk);
+  engine.submit(librisk::testing::make_job(7, 0.0, 60.0, 300.0));
+  EXPECT_THROW(engine.submit(librisk::testing::make_job(7, 1.0, 60.0, 300.0)),
+               CheckError);
+}
+
+TEST(EngineLifecycle, RejectsSubmissionAfterFinish) {
+  core::AdmissionEngine engine(cluster::Cluster::homogeneous(4, 168.0),
+                               core::Policy::LibraRisk);
+  engine.submit(librisk::testing::make_job(1, 0.0, 60.0, 300.0));
+  engine.finish();
+  EXPECT_TRUE(engine.finished());
+  EXPECT_THROW(engine.submit(librisk::testing::make_job(2, 1000.0, 60.0, 300.0)),
+               CheckError);
+}
+
+TEST(EngineLifecycle, FinishIsIdempotent) {
+  core::AdmissionEngine engine(cluster::Cluster::homogeneous(4, 168.0),
+                               core::Policy::LibraRisk);
+  engine.submit(librisk::testing::make_job(1, 0.0, 60.0, 300.0));
+  engine.finish();
+  const std::uint64_t events = engine.events_processed();
+  engine.finish();
+  EXPECT_EQ(engine.events_processed(), events);
+}
+
+TEST(EngineLifecycle, IncrementalSnapshotsConverge) {
+  const auto jobs = workload::make_paper_workload(small_workload(), 2);
+  core::AdmissionEngine engine(cluster::Cluster::homogeneous(32, 168.0),
+                               core::Policy::Libra);
+  std::size_t mid_resolved = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    engine.advance_to(jobs[i].submit_time);
+    engine.submit(jobs[i]);
+    if (i == jobs.size() / 2) {
+      // A mid-run snapshot is well-formed: counts what has resolved so far.
+      const metrics::RunSummary snap = engine.summary();
+      mid_resolved = snap.fulfilled + snap.completed_late + snap.killed +
+                     snap.rejected_at_submit + snap.rejected_at_dispatch;
+      EXPECT_GT(snap.submitted, 0u);
+    }
+  }
+  engine.finish();
+  const metrics::RunSummary final_summary = engine.summary();
+  EXPECT_EQ(final_summary.submitted, jobs.size());
+  EXPECT_GE(final_summary.fulfilled + final_summary.completed_late +
+                final_summary.killed + final_summary.rejected_at_submit +
+                final_summary.rejected_at_dispatch,
+            mid_resolved);
+}
+
+}  // namespace
+}  // namespace librisk

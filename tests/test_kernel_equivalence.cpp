@@ -45,7 +45,7 @@ TracedRun run_traced(exp::Scenario scenario, bool legacy_kernel) {
   trace::BinarySink sink(
       os, {std::string(core::to_string(scenario.policy)), scenario.seed});
   trace::Recorder recorder(sink);
-  scenario.options.trace = &recorder;
+  scenario.options.hooks.trace = &recorder;
   TracedRun run;
   run.result = exp::run_scenario(scenario);
   sink.close();

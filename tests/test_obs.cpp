@@ -368,7 +368,7 @@ exp::Scenario small_scenario(core::Policy policy, std::uint64_t seed) {
 TEST(Telemetry, TerminalAdmissionRowMatchesAdmissionStats) {
   obs::Telemetry telemetry(obs::TelemetryConfig{.sample_period = 600.0});
   exp::Scenario s = small_scenario(core::Policy::LibraRisk, 11);
-  s.options.telemetry = &telemetry;
+  s.options.hooks.telemetry = &telemetry;
   const exp::ScenarioResult r = exp::run_scenario(s);
 
   const obs::Series* adm = telemetry.find_series("admission");
@@ -420,8 +420,8 @@ TEST(Telemetry, TraceStaysByteIdenticalWithTelemetryAttached) {
     std::ostringstream os;
     trace::BinarySink sink(os, {"LibraRisk", 11});
     trace::Recorder recorder(sink);
-    s.options.trace = &recorder;
-    s.options.telemetry = telemetry;
+    s.options.hooks.trace = &recorder;
+    s.options.hooks.telemetry = telemetry;
     (void)exp::run_scenario(s);
     sink.close();
     return os.str();
@@ -442,7 +442,7 @@ TEST(Telemetry, TraceStaysByteIdenticalWithTelemetryAttached) {
 TEST(Telemetry, WriteDirEmitsAllArtifacts) {
   obs::Telemetry telemetry(obs::TelemetryConfig{.sample_period = 600.0});
   exp::Scenario s = small_scenario(core::Policy::Libra, 4);
-  s.options.telemetry = &telemetry;
+  s.options.hooks.telemetry = &telemetry;
   (void)exp::run_scenario(s);
 
   const std::filesystem::path dir =

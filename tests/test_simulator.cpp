@@ -81,6 +81,32 @@ TEST(Simulator, RunUntilHonoursInclusiveHorizon) {
   EXPECT_EQ(s.run(), 2u);
 }
 
+TEST(Simulator, RunBeforeLeavesHorizonEventsPending) {
+  Simulator s;
+  std::vector<double> fired;
+  for (const double t : {1.0, 2.0, 3.0, 4.0})
+    (void)s.at(t, EventPriority::Internal, [&fired, &s] { fired.push_back(s.now()); });
+  EXPECT_EQ(s.run_before(2.0), 1u);  // strictly before: 2.0 stays pending
+  EXPECT_EQ(fired, (std::vector<double>{1.0}));
+  EXPECT_DOUBLE_EQ(s.now(), 1.0);
+  EXPECT_EQ(s.run(), 3u);
+}
+
+// The streaming-driver contract (core::AdmissionEngine::advance_to): an
+// arrival scheduled *after* run_before(t) still sorts behind an equal-time
+// Completion and ahead of an equal-time Control event — the same order the
+// batch driver gets when everything is scheduled up front.
+TEST(Simulator, RunBeforeThenScheduleKeepsEqualTimePriorityOrder) {
+  Simulator s;
+  std::vector<int> order;
+  (void)s.at(5.0, EventPriority::Control, [&] { order.push_back(3); });
+  (void)s.at(5.0, EventPriority::Completion, [&] { order.push_back(1); });
+  EXPECT_EQ(s.run_before(5.0), 0u);
+  (void)s.at(5.0, EventPriority::Arrival, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 TEST(Simulator, CancelledEventsNeverFire) {
   Simulator s;
   bool fired = false;

@@ -133,6 +133,155 @@ TEST(SwfRoundTrip, DeadlinesOmittedWhenDisabled) {
   EXPECT_DOUBLE_EQ(parsed[0].deadline, 0.0);
 }
 
+// ---- streaming reader ----
+
+TEST(SwfStreamTest, MatchesBatchReaderOnWellFormedTrace) {
+  std::vector<Job> jobs;
+  for (int i = 1; i <= 5; ++i) {
+    Job j = librisk::testing::make_job(i, i * 50.0, 600.0 + i, 1800.0 + i, i);
+    j.urgency = i % 2 == 0 ? Urgency::High : Urgency::Low;
+    j.status = 1;
+    jobs.push_back(j);
+  }
+  std::ostringstream out;
+  write(out, jobs, WriteOptions{.include_deadlines = true, .header = {}});
+
+  std::istringstream batch_in(out.str());
+  const auto batch = read(batch_in);
+
+  std::istringstream stream_in(out.str());
+  SwfStream stream(stream_in);
+  std::vector<Job> streamed;
+  Job job;
+  while (stream.next(job)) streamed.push_back(job);
+
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(streamed[i].id, batch[i].id);
+    EXPECT_DOUBLE_EQ(streamed[i].submit_time, batch[i].submit_time);
+    EXPECT_DOUBLE_EQ(streamed[i].actual_runtime, batch[i].actual_runtime);
+    EXPECT_DOUBLE_EQ(streamed[i].user_estimate, batch[i].user_estimate);
+    EXPECT_DOUBLE_EQ(streamed[i].deadline, batch[i].deadline);
+    EXPECT_EQ(streamed[i].urgency, batch[i].urgency);
+    EXPECT_EQ(streamed[i].num_procs, batch[i].num_procs);
+  }
+  EXPECT_EQ(stream.jobs_returned(), batch.size());
+  EXPECT_EQ(stream.jobs_skipped(), 0u);
+  // Interleaved notes are consumed as their jobs arrive — nothing pends.
+  EXPECT_EQ(stream.pending_notes(), 0u);
+}
+
+TEST(SwfStreamTest, TruncatedLineThrowsWithLineNumber) {
+  std::istringstream in(std::string(kLine1) + "2 200 0\n");
+  SwfStream stream(in);
+  Job job;
+  ASSERT_TRUE(stream.next(job));
+  try {
+    (void)stream.next(job);
+    FAIL() << "expected ParseError for the truncated line";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+  }
+}
+
+TEST(SwfStreamTest, BadNumericFieldThrows) {
+  std::istringstream in("1 abc 5 3600 16 -1 -1 16 7200 -1 1 3 4 -1 2 -1 -1 -1\n");
+  SwfStream stream(in);
+  Job job;
+  EXPECT_THROW((void)stream.next(job), ParseError);
+}
+
+TEST(SwfStreamTest, NonMonotoneSubmitThrowsActionably) {
+  std::istringstream in(std::string(kLine2) + kLine1);  // 200 then 100
+  SwfStream stream(in);
+  Job job;
+  ASSERT_TRUE(stream.next(job));
+  EXPECT_EQ(job.id, 2);
+  try {
+    (void)stream.next(job);
+    FAIL() << "expected ParseError for the out-of-order job";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("submit-ordered"), std::string::npos) << what;
+    EXPECT_NE(what.find("require_monotone"), std::string::npos) << what;
+  }
+}
+
+TEST(SwfStreamTest, NonMonotoneAcceptedWhenRelaxed) {
+  std::istringstream in(std::string(kLine2) + kLine1);
+  SwfStream stream(in, StreamOptions{.require_monotone = false});
+  Job job;
+  ASSERT_TRUE(stream.next(job));
+  ASSERT_TRUE(stream.next(job));
+  EXPECT_EQ(job.id, 1);
+  EXPECT_FALSE(stream.next(job));
+}
+
+TEST(SwfStreamTest, CommentsBlanksAndCrLfAreTolerated) {
+  std::istringstream in("; header comment\n\n  \t\n" + std::string(kLine1) +
+                        "; trailing comment\r\n");
+  SwfStream stream(in);
+  Job job;
+  ASSERT_TRUE(stream.next(job));
+  EXPECT_EQ(job.id, 1);
+  EXPECT_FALSE(stream.next(job));
+  EXPECT_EQ(stream.line_no(), 5);
+}
+
+TEST(SwfStreamTest, SkipsInvalidJobsAndCounts) {
+  std::istringstream in(
+      "1 100 5 -1 16 -1 -1 16 7200 -1 1 3 4 -1 2 -1 -1 -1\n"  // no runtime
+      + std::string(kLine2));
+  SwfStream stream(in);
+  Job job;
+  ASSERT_TRUE(stream.next(job));
+  EXPECT_EQ(job.id, 2);
+  EXPECT_FALSE(stream.next(job));
+  EXPECT_EQ(stream.jobs_returned(), 1u);
+  EXPECT_EQ(stream.jobs_skipped(), 1u);
+}
+
+TEST(SwfStreamTest, RebasesSubmitTimesLikeBatch) {
+  std::istringstream in(std::string(kLine1) + kLine2);
+  SwfStream stream(in);
+  Job job;
+  ASSERT_TRUE(stream.next(job));
+  EXPECT_DOUBLE_EQ(job.submit_time, 0.0);
+  ASSERT_TRUE(stream.next(job));
+  EXPECT_DOUBLE_EQ(job.submit_time, 100.0);
+}
+
+TEST(SwfStreamTest, HeaderOnlyNotesStayPendingUntilMatched) {
+  // Legacy layout: all notes up front. They pend until their jobs stream by.
+  std::istringstream in(";librisk-deadline: 1 7200 high\n"
+                        ";librisk-deadline: 2 3600 low\n" +
+                        std::string(kLine1) + kLine2);
+  SwfStream stream(in);
+  Job job;
+  ASSERT_TRUE(stream.next(job));
+  EXPECT_DOUBLE_EQ(job.deadline, 7200.0);
+  EXPECT_EQ(job.urgency, Urgency::High);
+  EXPECT_EQ(stream.pending_notes(), 1u);
+  ASSERT_TRUE(stream.next(job));
+  EXPECT_DOUBLE_EQ(job.deadline, 3600.0);
+  EXPECT_EQ(stream.pending_notes(), 0u);
+}
+
+TEST(SwfStreamTest, MissingFileThrows) {
+  EXPECT_THROW(SwfStream("/nonexistent/trace.swf"), ParseError);
+}
+
+TEST(SwfStreamTest, EmptyInputReturnsNothing) {
+  std::istringstream in("");
+  SwfStream stream(in);
+  Job job;
+  EXPECT_FALSE(stream.next(job));
+  EXPECT_EQ(stream.jobs_returned(), 0u);
+}
+
 TEST(SwfWriteFile, RoundTripsThroughDisk) {
   const std::string path = ::testing::TempDir() + "/librisk_test.swf";
   const std::vector<Job> jobs{librisk::testing::make_job(1, 0.0, 600.0, 1200.0, 4)};

@@ -41,7 +41,7 @@ exp::ScenarioResult record_into(trace::Sink& sink, core::Policy policy,
                                 std::uint64_t seed) {
   exp::Scenario s = small_scenario(policy, seed);
   trace::Recorder recorder(sink);
-  s.options.trace = &recorder;
+  s.options.hooks.trace = &recorder;
   const exp::ScenarioResult r = exp::run_scenario(s);
   sink.close();
   return r;

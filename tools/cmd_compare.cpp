@@ -1,0 +1,32 @@
+#include <ostream>
+
+#include "metrics/report.hpp"
+#include "tools/common.hpp"
+#include "workload/workload_stats.hpp"
+
+namespace librisk::tool {
+
+int cmd_compare(const std::vector<std::string>& args, std::ostream& out) {
+  cli::Parser parser("librisk-sim compare", "All policies side by side");
+  ScenarioFlags f = add_scenario_flags(parser);
+  auto& all_opt = parser.add<bool>("all", "include the non-paper baselines", true);
+  parser.parse(args);
+
+  const json::Value cfg = load_config(f);
+  exp::Scenario scenario = scenario_from_flags(f, cfg);
+  const auto jobs = workload_from_flags(f, cfg, scenario);
+  workload::print_stats(out, workload::compute_stats(jobs));
+  out << '\n';
+
+  std::vector<metrics::LabelledSummary> results;
+  for (const core::Policy policy :
+       all_opt.value ? core::all_policies() : core::paper_policies()) {
+    scenario.policy = policy;
+    const exp::ScenarioResult r = exp::run_jobs(scenario, jobs);
+    results.push_back({std::string(core::to_string(policy)), r.summary});
+  }
+  metrics::print_comparison(out, results);
+  return 0;
+}
+
+}  // namespace librisk::tool

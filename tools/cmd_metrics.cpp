@@ -1,0 +1,50 @@
+#include <ostream>
+
+#include "obs/render.hpp"
+#include "obs/telemetry.hpp"
+#include "tools/common.hpp"
+
+namespace librisk::tool {
+
+int cmd_metrics(const std::vector<std::string>& args, std::ostream& out) {
+  cli::Parser parser("librisk-sim metrics",
+                     "Run a scenario, render its live telemetry registry");
+  ScenarioFlags f = add_scenario_flags(parser);
+  auto& policy_opt = parser.add<std::string>("policy", "scheduling policy", "LibraRisk");
+  auto& format_opt = parser.add<std::string>(
+      "format", "output format: table | openmetrics", "table");
+  auto& period_opt = parser.add<double>(
+      "period", "sim-seconds between sampler ticks (0 = terminal sample only)",
+      0.0);
+  auto& out_opt = parser.add<std::string>(
+      "out", "also write full telemetry exports under this directory", "");
+  parser.parse(args);
+  if (format_opt.value != "table" && format_opt.value != "openmetrics")
+    throw cli::ParseError("--format must be 'table' or 'openmetrics', got '" +
+                          format_opt.value + "'");
+
+  const json::Value cfg = load_config(f);
+  exp::Scenario scenario = scenario_from_flags(f, cfg);
+  scenario.policy = core::parse_policy(
+      policy_opt.set ? policy_opt.value : cfg.string_or("policy", policy_opt.value));
+  const auto jobs = workload_from_flags(f, cfg, scenario);
+
+  obs::TelemetryConfig tel_config;
+  tel_config.sample_period = period_opt.value;
+  obs::Telemetry telemetry(tel_config);
+  scenario.options.hooks.telemetry = &telemetry;
+  (void)exp::run_jobs(scenario, jobs);
+
+  if (format_opt.value == "table")
+    out << obs::metrics_table(telemetry.registry()).str();
+  else
+    obs::write_openmetrics(out, telemetry.registry());
+  if (!out_opt.value.empty()) {
+    telemetry.write_dir(out_opt.value);
+    out << "telemetry written to " << out_opt.value << " ("
+        << telemetry.samples() << " samples)\n";
+  }
+  return 0;
+}
+
+}  // namespace librisk::tool

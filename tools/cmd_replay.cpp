@@ -1,0 +1,161 @@
+#include <ostream>
+#include <string>
+
+#include "core/engine.hpp"
+#include "metrics/report.hpp"
+#include "obs/render.hpp"
+#include "obs/telemetry.hpp"
+#include "tools/common.hpp"
+#include "workload/deadlines.hpp"
+#include "workload/estimates.hpp"
+#include "workload/swf.hpp"
+#include "workload/workload_stats.hpp"
+
+namespace librisk::tool {
+
+namespace {
+
+struct ReplayFlags {
+  std::string trace;
+  int nodes = 128;
+  double rating = 168.0;
+  std::uint64_t seed = 1;
+  double inaccuracy = 100.0;
+  double high_urgency = 0.20;
+  double ratio = 4.0;
+};
+
+/// Streaming replay: pipe the SWF file line-at-a-time through a long-lived
+/// AdmissionEngine. Job objects in memory stay proportional to the
+/// resident/pending set, so arbitrarily long traces replay in bounded
+/// space. Deadlines are synthesised per job *as it streams* when the trace
+/// carries none; the deadline RNG stream persists across jobs, so an
+/// all-missing trace gets the same deadlines the batch path assigns.
+int run_streaming(const ReplayFlags& f, core::Policy policy,
+                  const std::string& telemetry_out, double telemetry_period,
+                  std::ostream& out) {
+  obs::TelemetryConfig tel_config;
+  if (!telemetry_out.empty()) tel_config.sample_period = telemetry_period;
+  obs::Telemetry telemetry(tel_config);
+
+  core::PolicyOptions options;
+  options.hooks.telemetry = &telemetry;
+  core::AdmissionEngine engine(
+      cluster::Cluster::homogeneous(f.nodes, f.rating), policy, options);
+
+  workload::swf::SwfStream stream(f.trace);
+  workload::DeadlineConfig dl_config;
+  dl_config.high_urgency_fraction = f.high_urgency;
+  dl_config.high_low_ratio = f.ratio;
+  rng::Stream dl_stream("deadlines", f.seed);
+
+  // Single-element scratch vector: the synthesis helpers are batch-shaped
+  // but strictly sequential per job, so feeding them one job at a time with
+  // a persistent RNG stream reproduces the batch sequence exactly.
+  std::vector<workload::Job> one(1);
+  workload::Job job;
+  while (stream.next(job)) {
+    one[0] = job;
+    if (one[0].deadline <= 0.0)
+      workload::assign_deadlines(one, dl_config, dl_stream);
+    workload::apply_inaccuracy(one, f.inaccuracy);
+    engine.advance_to(one[0].submit_time);
+    engine.submit(one[0]);
+  }
+  if (engine.jobs_submitted() == 0)
+    throw cli::ParseError("trace contains no usable jobs");
+  engine.finish();
+
+  metrics::print_summary(out, std::string(core::to_string(policy)),
+                         engine.summary());
+  out << "\nstreaming: " << stream.jobs_returned() << " jobs streamed ("
+      << stream.jobs_skipped() << " skipped), peak resident "
+      << engine.peak_live_jobs() << " job objects of "
+      << engine.jobs_submitted() << " submitted\n";
+  if (!telemetry_out.empty()) {
+    telemetry.write_dir(telemetry_out);
+    out << "telemetry written to " << telemetry_out << " ("
+        << telemetry.samples() << " samples)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int cmd_replay(const std::vector<std::string>& args, std::ostream& out) {
+  cli::Parser parser("librisk-sim replay", "Run policies over an SWF trace file");
+  auto& trace_opt = parser.add<std::string>("trace", "SWF file", "");
+  auto& last_opt = parser.add<int>("last", "keep only the last N jobs (0 = all)", 0);
+  auto& nodes_opt = parser.add<int>("nodes", "cluster size", 128);
+  auto& rating_opt = parser.add<double>("rating", "node SPEC rating", 168.0);
+  auto& seed_opt = parser.add<std::uint64_t>("seed", "deadline synthesis seed", 1);
+  auto& inaccuracy_opt = parser.add<double>("inaccuracy", "estimate inaccuracy %", 100.0);
+  auto& high_urgency_opt =
+      parser.add<double>("high-urgency", "high-urgency fraction (synthesised)", 0.20);
+  auto& ratio_opt = parser.add<double>("ratio", "deadline high:low ratio", 4.0);
+  auto& stream_opt = parser.add<bool>(
+      "stream",
+      "replay line-at-a-time through the online AdmissionEngine (bounded "
+      "memory, one policy) instead of materializing the trace",
+      false);
+  auto& policy_opt = parser.add<std::string>(
+      "policy", "policy for --stream replay", "LibraRisk");
+  auto& tel_out = parser.add<std::string>(
+      "telemetry-out",
+      "--stream only: write live-telemetry exports under this directory", "");
+  auto& tel_period = parser.add<double>(
+      "telemetry-period", "sim-seconds between sampler ticks", 600.0);
+  parser.parse(args);
+
+  if (trace_opt.value.empty()) throw cli::ParseError("replay requires --trace <file>");
+
+  if (stream_opt.value) {
+    if (last_opt.value > 0)
+      throw cli::ParseError(
+          "--last needs the whole trace in memory and defeats streaming; "
+          "drop it or use the batch replay (no --stream)");
+    ReplayFlags f;
+    f.trace = trace_opt.value;
+    f.nodes = nodes_opt.value;
+    f.rating = rating_opt.value;
+    f.seed = seed_opt.value;
+    f.inaccuracy = inaccuracy_opt.value;
+    f.high_urgency = high_urgency_opt.value;
+    f.ratio = ratio_opt.value;
+    return run_streaming(f, core::parse_policy(policy_opt.value),
+                         tel_out.value, tel_period.value, out);
+  }
+
+  workload::swf::ReadOptions read_opts;
+  read_opts.last_n = last_opt.value > 0 ? static_cast<std::size_t>(last_opt.value) : 0;
+  auto jobs = workload::swf::read_file(trace_opt.value, read_opts);
+  if (jobs.empty()) throw cli::ParseError("trace contains no usable jobs");
+
+  bool missing = false;
+  for (const auto& j : jobs) missing |= j.deadline <= 0.0;
+  if (missing) {
+    workload::DeadlineConfig config;
+    config.high_urgency_fraction = high_urgency_opt.value;
+    config.high_low_ratio = ratio_opt.value;
+    rng::Stream stream("deadlines", seed_opt.value);
+    workload::assign_deadlines(jobs, config, stream);
+  }
+  workload::apply_inaccuracy(jobs, inaccuracy_opt.value);
+  workload::validate_trace(jobs);
+  workload::print_stats(out, workload::compute_stats(jobs));
+  out << '\n';
+
+  exp::Scenario scenario;
+  scenario.nodes = nodes_opt.value;
+  scenario.rating = rating_opt.value;
+  std::vector<metrics::LabelledSummary> results;
+  for (const core::Policy policy : core::all_policies()) {
+    scenario.policy = policy;
+    const exp::ScenarioResult r = exp::run_jobs(scenario, jobs);
+    results.push_back({std::string(core::to_string(policy)), r.summary});
+  }
+  metrics::print_comparison(out, results);
+  return 0;
+}
+
+}  // namespace librisk::tool

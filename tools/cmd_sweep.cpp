@@ -1,0 +1,85 @@
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "exp/series.hpp"
+#include "exp/sweep.hpp"
+#include "support/csv.hpp"
+#include "tools/common.hpp"
+
+namespace librisk::tool {
+
+int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
+  cli::Parser parser("librisk-sim sweep", "Sweep one axis, print paper-style series");
+  ScenarioFlags f = add_scenario_flags(parser);
+  auto& axis_opt = parser.add<std::string>(
+      "axis", "axis: delay-factor | ratio | high-urgency | inaccuracy | nodes",
+      "delay-factor");
+  auto& seeds_opt = parser.add<int>("seeds", "replications per cell", 3);
+  auto& csv_opt = parser.add<std::string>("csv", "CSV output path (empty: none)", "");
+  parser.parse(args);
+
+  const json::Value cfg = load_config(f);
+  if (f.effective_model(cfg) != "sdsc")
+    throw cli::ParseError("sweep currently supports only --model sdsc");
+
+  struct Axis {
+    std::vector<double> values;
+    std::function<void(exp::Scenario&, double)> apply;
+    const char* label;
+  };
+  const std::map<std::string, Axis> axes{
+      {"delay-factor",
+       {{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+        [](exp::Scenario& s, double x) { s.workload.trace.arrival_delay_factor = x; },
+        "arrival delay factor"}},
+      {"ratio",
+       {{1, 2, 4, 6, 8, 10},
+        [](exp::Scenario& s, double x) { s.workload.deadlines.high_low_ratio = x; },
+        "deadline high:low ratio"}},
+      {"high-urgency",
+       {{0, 20, 40, 60, 80, 100},
+        [](exp::Scenario& s, double x) {
+          s.workload.deadlines.high_urgency_fraction = x / 100.0;
+        },
+        "% of high urgency jobs"}},
+      {"inaccuracy",
+       {{0, 20, 40, 60, 80, 100},
+        [](exp::Scenario& s, double x) { s.workload.inaccuracy_pct = x; },
+        "% of inaccuracy"}},
+      {"nodes",
+       {{32, 64, 96, 128, 192, 256},
+        [](exp::Scenario& s, double x) { s.nodes = static_cast<int>(x); },
+        "cluster nodes"}},
+  };
+  const auto it = axes.find(axis_opt.value);
+  if (it == axes.end()) throw cli::ParseError("unknown --axis " + axis_opt.value);
+
+  exp::SweepConfig config;
+  config.axis = it->second.values;
+  config.apply = it->second.apply;
+  config.policies = core::paper_policies();
+  config.seeds.clear();
+  for (int i = 0; i < seeds_opt.value; ++i)
+    config.seeds.push_back(static_cast<std::uint64_t>(i) + f.seed->value);
+
+  const exp::Scenario base = scenario_from_flags(f, cfg);
+  const auto cells = exp::run_sweep(base, config);
+  exp::print_series(out, "jobs with deadlines fulfilled (%)", it->second.label,
+                    cells, exp::Measure::FulfilledPct);
+  exp::print_series(out, "average slowdown (fulfilled jobs)", it->second.label,
+                    cells, exp::Measure::AvgSlowdown);
+  exp::print_significance(out, cells, core::Policy::LibraRisk, core::Policy::Libra);
+
+  if (!csv_opt.value.empty()) {
+    std::ofstream file(csv_opt.value);
+    csv::Writer writer(file);
+    exp::write_series_csv(writer, "sweep/" + axis_opt.value, cells,
+                          {exp::Measure::FulfilledPct, exp::Measure::AvgSlowdown,
+                           exp::Measure::Utilization});
+    out << "series written to " << csv_opt.value << '\n';
+  }
+  return 0;
+}
+
+}  // namespace librisk::tool

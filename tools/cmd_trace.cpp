@@ -1,0 +1,118 @@
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "tools/common.hpp"
+#include "trace/diff.hpp"
+#include "trace/reader.hpp"
+#include "trace/recorder.hpp"
+#include "trace/sink.hpp"
+#include "trace/summary.hpp"
+
+namespace librisk::tool {
+
+namespace {
+
+int cmd_trace_record(const std::vector<std::string>& args, std::ostream& out) {
+  cli::Parser parser("librisk-sim trace record",
+                     "Run a scenario, writing a decision-audit trace");
+  ScenarioFlags f = add_scenario_flags(parser);
+  auto& policy_opt = parser.add<std::string>("policy", "scheduling policy", "LibraRisk");
+  auto& out_opt = parser.add<std::string>("out", "trace output path", "trace.lrt");
+  auto& format_opt = parser.add<std::string>("format", "trace format: lrt | jsonl", "lrt");
+  parser.parse(args);
+
+  const json::Value cfg = load_config(f);
+  exp::Scenario scenario = scenario_from_flags(f, cfg);
+  scenario.policy = core::parse_policy(
+      policy_opt.set ? policy_opt.value : cfg.string_or("policy", policy_opt.value));
+  const auto jobs = workload_from_flags(f, cfg, scenario);
+
+  std::ofstream file(out_opt.value, std::ios::binary);
+  if (!file)
+    throw cli::ParseError("cannot open trace output file: " + out_opt.value);
+  const trace::TraceMeta meta{std::string(core::to_string(scenario.policy)),
+                              scenario.seed};
+  std::unique_ptr<trace::Sink> sink;
+  if (format_opt.value == "lrt")
+    sink = std::make_unique<trace::BinarySink>(file, meta);
+  else if (format_opt.value == "jsonl")
+    sink = std::make_unique<trace::JsonlSink>(file, meta);
+  else
+    throw cli::ParseError("--format must be 'lrt' or 'jsonl', got '" +
+                          format_opt.value + "'");
+
+  trace::Recorder recorder(*sink);
+  scenario.options.hooks.trace = &recorder;
+  const exp::ScenarioResult r = exp::run_jobs(scenario, jobs);
+  sink->close();
+
+  out << "wrote " << format_opt.value << " trace to " << out_opt.value << " ("
+      << meta.policy << ", seed " << meta.seed << ", " << jobs.size()
+      << " jobs, " << r.summary.accepted << " accepted)\n";
+  return 0;
+}
+
+int cmd_trace_summary(const std::vector<std::string>& args, std::ostream& out) {
+  cli::Parser parser("librisk-sim trace summary",
+                     "Event counts + rejection-reason histogram of trace file(s)");
+  auto& in_opt =
+      parser.add<std::string>("in", "trace file(s), comma-separated", "");
+  parser.parse(args);
+  if (in_opt.value.empty())
+    throw cli::ParseError("trace summary requires --in <file>[,<file>...]");
+
+  std::vector<std::string> paths;
+  std::stringstream ss(in_opt.value);
+  for (std::string part; std::getline(ss, part, ',');)
+    if (!part.empty()) paths.push_back(part);
+
+  std::vector<std::pair<trace::TraceMeta, trace::TraceSummary>> rows;
+  rows.reserve(paths.size());
+  for (const std::string& path : paths) {
+    const trace::TraceData data = trace::read_trace_file(path);
+    rows.emplace_back(data.meta, trace::summarize(data.events));
+  }
+  if (rows.size() == 1) {
+    trace::print_summary(out, rows.front().first, rows.front().second);
+  } else {
+    trace::print_breakdown(out, rows);
+  }
+  return 0;
+}
+
+int cmd_trace_diff(const std::vector<std::string>& args, std::ostream& out) {
+  cli::Parser parser("librisk-sim trace diff",
+                     "First divergent event between two traces (determinism oracle)");
+  auto& a_opt = parser.add<std::string>("a", "first trace file", "");
+  auto& b_opt = parser.add<std::string>("b", "second trace file", "");
+  parser.parse(args);
+  if (a_opt.value.empty() || b_opt.value.empty())
+    throw cli::ParseError("trace diff requires --a <file> --b <file>");
+
+  const trace::TraceData a = trace::read_trace_file(a_opt.value);
+  const trace::TraceData b = trace::read_trace_file(b_opt.value);
+  const trace::Divergence d = trace::first_divergence(a, b);
+  out << trace::describe(d, a, b);
+  return d.identical() ? 0 : 1;
+}
+
+}  // namespace
+
+/// Dispatches `librisk-sim trace <record|summary|diff>`. Exit code 1 from
+/// `diff` means "traces diverge", not an error.
+int cmd_trace(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty())
+    throw cli::ParseError(
+        "trace requires a subcommand: record | summary | diff");
+  const std::string sub = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (sub == "record") return cmd_trace_record(rest, out);
+  if (sub == "summary") return cmd_trace_summary(rest, out);
+  if (sub == "diff") return cmd_trace_diff(rest, out);
+  throw cli::ParseError("unknown trace subcommand '" + sub +
+                        "' (expected record | summary | diff)");
+}
+
+}  // namespace librisk::tool

@@ -1,0 +1,30 @@
+#include <ostream>
+
+#include "tools/common.hpp"
+#include "workload/swf.hpp"
+#include "workload/workload_stats.hpp"
+
+namespace librisk::tool {
+
+int cmd_workload(const std::vector<std::string>& args, std::ostream& out) {
+  cli::Parser parser("librisk-sim workload", "Generate a synthetic trace as SWF");
+  ScenarioFlags f = add_scenario_flags(parser);
+  auto& out_opt = parser.add<std::string>("out", "SWF output path", "workload.swf");
+  auto& deadlines_opt =
+      parser.add<bool>("deadlines", "embed librisk deadline comments", true);
+  parser.parse(args);
+
+  const json::Value cfg = load_config(f);
+  const exp::Scenario scenario = scenario_from_flags(f, cfg);
+  const auto jobs = workload_from_flags(f, cfg, scenario);
+  workload::swf::write_file(
+      out_opt.value, jobs,
+      {.include_deadlines = deadlines_opt.value,
+       .header = {"synthetic " + f.effective_model(cfg) + " trace (librisk-sim)",
+                  "seed " + std::to_string(scenario.seed)}});
+  workload::print_stats(out, workload::compute_stats(jobs));
+  out << "wrote " << jobs.size() << " jobs to " << out_opt.value << '\n';
+  return 0;
+}
+
+}  // namespace librisk::tool

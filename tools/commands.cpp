@@ -1,551 +1,20 @@
+// Registry + dispatch for librisk-sim. Each subcommand lives in its own
+// translation unit (cmd_*.cpp, entry points declared in tools/common.hpp);
+// this file only enumerates them, so adding a command is one cmd_*.cpp file
+// plus one kCommands row.
 #include "tools/commands.hpp"
 
 #include <algorithm>
-#include <fstream>
-#include <iostream>
-#include <map>
-#include <memory>
 #include <ostream>
 #include <sstream>
 #include <string_view>
 
-#include "cluster/timeshared.hpp"
-#include "core/scheduler.hpp"
-#include "exp/series.hpp"
-#include "exp/sweep.hpp"
-#include "metrics/car.hpp"
-#include "metrics/report.hpp"
-#include "obs/render.hpp"
-#include "obs/telemetry.hpp"
 #include "support/cli.hpp"
-#include "support/json.hpp"
-#include "support/table.hpp"
-#include "trace/diff.hpp"
-#include "trace/reader.hpp"
-#include "trace/recorder.hpp"
-#include "trace/sink.hpp"
-#include "trace/summary.hpp"
-#include "workload/lublin.hpp"
-#include "workload/predictor.hpp"
-#include "workload/swf.hpp"
-#include "workload/workload_stats.hpp"
+#include "tools/common.hpp"
 
 namespace librisk::tool {
 
 namespace {
-
-// Common workload/scenario flags shared by run/compare/sweep.
-struct ScenarioFlags {
-  cli::Option<std::string>* config;
-  cli::Option<int>* jobs;
-  cli::Option<int>* nodes;
-  cli::Option<double>* rating;
-  cli::Option<double>* inaccuracy;
-  cli::Option<double>* delay_factor;
-  cli::Option<double>* high_urgency;
-  cli::Option<double>* ratio;
-  cli::Option<std::uint64_t>* seed;
-  cli::Option<std::string>* model;
-  cli::Option<bool>* predictor;
-  cli::Option<bool>* kill;
-
-  /// Effective workload-model name (config, overridden by --model).
-  [[nodiscard]] std::string effective_model(const json::Value& cfg) const {
-    return model->set ? model->value : cfg.string_or("model", model->value);
-  }
-  /// Effective predictor switch.
-  [[nodiscard]] bool effective_predictor(const json::Value& cfg) const {
-    return predictor->set ? predictor->value
-                          : cfg.bool_or("predictor", predictor->value);
-  }
-};
-
-ScenarioFlags add_scenario_flags(cli::Parser& parser) {
-  ScenarioFlags f;
-  f.config = &parser.add<std::string>(
-      "config", "JSON experiment file; explicit flags override its fields", "");
-  f.jobs = &parser.add<int>("jobs", "number of jobs", 3000);
-  f.nodes = &parser.add<int>("nodes", "cluster size", 128);
-  f.rating = &parser.add<double>("rating", "node SPEC rating", 168.0);
-  f.inaccuracy =
-      &parser.add<double>("inaccuracy", "estimate inaccuracy % (0-100)", 100.0);
-  f.delay_factor = &parser.add<double>("delay-factor", "arrival delay factor", 1.0);
-  f.high_urgency = &parser.add<double>("high-urgency", "high-urgency fraction", 0.20);
-  f.ratio = &parser.add<double>("ratio", "deadline high:low ratio", 4.0);
-  f.seed = &parser.add<std::uint64_t>("seed", "workload seed", 1);
-  f.model = &parser.add<std::string>("model", "workload model: sdsc | lublin", "sdsc");
-  f.predictor = &parser.add<bool>(
-      "predictor", "correct estimates with the online per-user predictor", false);
-  f.kill = &parser.add<bool>(
-      "kill-at-estimate", "terminate jobs when their estimate elapses", false);
-  return f;
-}
-
-/// Parses the --config file (an empty Object when none given).
-json::Value load_config(const ScenarioFlags& f) {
-  if (f.config->value.empty()) return json::Value(json::Object{});
-  return json::parse_file(f.config->value);
-}
-
-exp::Scenario scenario_from_flags(const ScenarioFlags& f, const json::Value& cfg) {
-  // Precedence: built-in default < config file < explicitly set flag.
-  const auto pick_double = [&](const cli::Option<double>* opt, const char* key) {
-    return opt->set ? opt->value : cfg.number_or(key, opt->value);
-  };
-  const auto pick_int = [&](const cli::Option<int>* opt, const char* key) {
-    return opt->set ? opt->value : cfg.int_or(key, opt->value);
-  };
-  exp::Scenario s;
-  s.workload.trace.job_count = static_cast<std::size_t>(pick_int(f.jobs, "jobs"));
-  s.workload.trace.arrival_delay_factor = pick_double(f.delay_factor, "delay_factor");
-  s.workload.inaccuracy_pct = pick_double(f.inaccuracy, "inaccuracy");
-  s.workload.deadlines.high_urgency_fraction =
-      pick_double(f.high_urgency, "high_urgency");
-  s.workload.deadlines.high_low_ratio = pick_double(f.ratio, "ratio");
-  s.nodes = pick_int(f.nodes, "nodes");
-  s.rating = pick_double(f.rating, "rating");
-  s.seed = f.seed->set ? f.seed->value
-                       : static_cast<std::uint64_t>(
-                             cfg.int_or("seed", static_cast<int>(f.seed->value)));
-  s.options.share_model.kill_at_estimate =
-      f.kill->set ? f.kill->value : cfg.bool_or("kill_at_estimate", f.kill->value);
-  s.warmup_fraction = cfg.number_or("warmup_fraction", 0.0);
-  s.cooldown_fraction = cfg.number_or("cooldown_fraction", 0.0);
-  return s;
-}
-
-std::vector<workload::Job> workload_from_flags(const ScenarioFlags& f,
-                                               const json::Value& cfg,
-                                               const exp::Scenario& s) {
-  const std::string model = f.effective_model(cfg);
-  std::vector<workload::Job> jobs;
-  if (model == "lublin") {
-    workload::LublinConfig trace;
-    trace.job_count = s.workload.trace.job_count;
-    trace.arrival_delay_factor = s.workload.trace.arrival_delay_factor;
-    trace.max_procs = s.nodes;
-    rng::Stream trace_stream("lublin-trace", s.seed);
-    jobs = workload::generate_lublin_trace(trace, trace_stream);
-    rng::Stream est_stream("estimates", s.seed);
-    workload::assign_user_estimates(jobs, s.workload.estimates, est_stream);
-    rng::Stream dl_stream("deadlines", s.seed);
-    workload::assign_deadlines(jobs, s.workload.deadlines, dl_stream);
-    workload::apply_inaccuracy(jobs, s.workload.inaccuracy_pct);
-  } else if (model == "sdsc") {
-    jobs = workload::make_paper_workload(s.workload, s.seed);
-  } else {
-    throw cli::ParseError("--model must be 'sdsc' or 'lublin', got '" + model +
-                          "'");
-  }
-  if (f.effective_predictor(cfg)) (void)workload::apply_predictor_causally(jobs);
-  return jobs;
-}
-
-int cmd_run(const std::vector<std::string>& args, std::ostream& out) {
-  cli::Parser parser("librisk-sim run", "Run one policy on one workload");
-  ScenarioFlags f = add_scenario_flags(parser);
-  auto& policy_opt = parser.add<std::string>("policy", "scheduling policy", "LibraRisk");
-  auto& gantt_opt = parser.add<bool>("gantt", "print an ASCII Gantt chart", false);
-  auto& gantt_width = parser.add<int>("gantt-width", "Gantt chart width", 100);
-  auto& car_opt = parser.add<bool>("car", "print Computation-at-Risk tails", false);
-  auto& tel_out = parser.add<std::string>(
-      "telemetry-out",
-      "write telemetry exports (per-series CSV/JSONL, OpenMetrics, profile) "
-      "under this directory",
-      "");
-  auto& tel_period = parser.add<double>(
-      "telemetry-period", "sim-seconds between sampler ticks", 600.0);
-  auto& profile_opt =
-      parser.add<bool>("profile", "print the wall-clock phase profile", false);
-  parser.parse(args);
-
-  const json::Value cfg = load_config(f);
-  exp::Scenario scenario = scenario_from_flags(f, cfg);
-  scenario.policy = core::parse_policy(
-      policy_opt.set ? policy_opt.value : cfg.string_or("policy", policy_opt.value));
-  const auto jobs = workload_from_flags(f, cfg, scenario);
-
-  // One telemetry hub backs the stats rendering below and the optional
-  // exports; periodic sampling only runs when exports were requested (the
-  // registry's pull metrics and the profiler cost nothing sim-side).
-  obs::TelemetryConfig tel_config;
-  if (!tel_out.value.empty()) tel_config.sample_period = tel_period.value;
-  obs::Telemetry telemetry(tel_config);
-  scenario.options.telemetry = &telemetry;
-
-  const auto cluster = cluster::Cluster::homogeneous(scenario.nodes, scenario.rating);
-  sim::Simulator simulator;
-  metrics::Collector collector;
-  cluster::TimelineRecorder timeline;
-  const auto stack = core::make_scheduler(scenario.policy, simulator, cluster,
-                                          collector, scenario.options);
-  core::run_trace(simulator, stack->scheduler(), collector, jobs,
-                  scenario.options.trace, &telemetry);
-
-  metrics::RunSummary summary = collector.summarize();
-  if (summary.makespan > 0.0) {
-    summary.utilization = stack->busy_node_seconds(simulator.now()) /
-                          (static_cast<double>(scenario.nodes) * summary.makespan);
-  }
-  metrics::print_summary(out, std::string(core::to_string(scenario.policy)), summary);
-
-  // Counters render from the telemetry registry — the same source the
-  // `metrics` subcommand and the --telemetry-out exports read.
-  out << "\nMetrics:\n" << obs::metrics_table(telemetry.registry()).str();
-  const core::AdmissionStats adm = stack->admission_stats();
-  if (adm.submissions > 0)
-    out << "admission: " << table::num(adm.scans_per_submission())
-        << " scans/job, " << table::pct(100.0 * adm.accept_rate())
-        << "% accepted\n";
-  const cluster::KernelStats kern = stack->kernel_stats();
-  if (kern.settles > 0)
-    out << "kernel: " << table::num(kern.recomputes_per_settle())
-        << " recomputes/settle, " << table::num(kern.skip_pct(), 1)
-        << "% of resident tasks skipped\n";
-
-  if (car_opt.value) {
-    table::Table t({"measure", "CaR(95%)", "tail mean", "mean", "max"});
-    for (const auto measure :
-         {metrics::CarMeasure::ResponseTime, metrics::CarMeasure::Slowdown}) {
-      const auto report = metrics::computation_at_risk(collector, measure, 95.0);
-      const int dec = measure == metrics::CarMeasure::Slowdown ? 2 : 0;
-      t.add_row({metrics::to_string(measure), table::num(report.at_risk, dec),
-                 table::num(report.tail_mean, dec), table::num(report.mean, dec),
-                 table::num(report.max, dec)});
-    }
-    out << "\nComputation-at-Risk over completed jobs:\n" << t.str();
-  }
-  if (gantt_opt.value) {
-    // Re-run with the recorder attached (recording needs executor access,
-    // which the factory hides; the Libra family is the interesting case).
-    sim::Simulator sim2;
-    metrics::Collector collector2;
-    cluster::TimeSharedExecutor executor(sim2, cluster,
-                                         scenario.options.share_model);
-    executor.set_timeline_recorder(&timeline);
-    const bool risk = scenario.policy == core::Policy::LibraRisk;
-    core::LibraScheduler scheduler(
-        sim2, executor, collector2,
-        risk ? core::LibraConfig::libra_risk() : core::LibraConfig::libra(),
-        std::string(core::to_string(scenario.policy)));
-    core::run_trace(sim2, scheduler, collector2, jobs);
-    out << "\n" << timeline.render_gantt(scenario.nodes, gantt_width.value);
-  }
-  if (profile_opt.value)
-    out << "\nPhase profile (wall-clock):\n"
-        << telemetry.profiler().report().str();
-  if (!tel_out.value.empty()) {
-    telemetry.write_dir(tel_out.value);
-    out << "telemetry written to " << tel_out.value << " ("
-        << telemetry.samples() << " samples)\n";
-  }
-  return 0;
-}
-
-int cmd_compare(const std::vector<std::string>& args, std::ostream& out) {
-  cli::Parser parser("librisk-sim compare", "All policies side by side");
-  ScenarioFlags f = add_scenario_flags(parser);
-  auto& all_opt = parser.add<bool>("all", "include the non-paper baselines", true);
-  parser.parse(args);
-
-  const json::Value cfg = load_config(f);
-  exp::Scenario scenario = scenario_from_flags(f, cfg);
-  const auto jobs = workload_from_flags(f, cfg, scenario);
-  workload::print_stats(out, workload::compute_stats(jobs));
-  out << '\n';
-
-  std::vector<metrics::LabelledSummary> results;
-  for (const core::Policy policy :
-       all_opt.value ? core::all_policies() : core::paper_policies()) {
-    scenario.policy = policy;
-    const exp::ScenarioResult r = exp::run_jobs(scenario, jobs);
-    results.push_back({std::string(core::to_string(policy)), r.summary});
-  }
-  metrics::print_comparison(out, results);
-  return 0;
-}
-
-int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
-  cli::Parser parser("librisk-sim sweep", "Sweep one axis, print paper-style series");
-  ScenarioFlags f = add_scenario_flags(parser);
-  auto& axis_opt = parser.add<std::string>(
-      "axis", "axis: delay-factor | ratio | high-urgency | inaccuracy | nodes",
-      "delay-factor");
-  auto& seeds_opt = parser.add<int>("seeds", "replications per cell", 3);
-  auto& csv_opt = parser.add<std::string>("csv", "CSV output path (empty: none)", "");
-  parser.parse(args);
-
-  const json::Value cfg = load_config(f);
-  if (f.effective_model(cfg) != "sdsc")
-    throw cli::ParseError("sweep currently supports only --model sdsc");
-
-  struct Axis {
-    std::vector<double> values;
-    std::function<void(exp::Scenario&, double)> apply;
-    const char* label;
-  };
-  const std::map<std::string, Axis> axes{
-      {"delay-factor",
-       {{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
-        [](exp::Scenario& s, double x) { s.workload.trace.arrival_delay_factor = x; },
-        "arrival delay factor"}},
-      {"ratio",
-       {{1, 2, 4, 6, 8, 10},
-        [](exp::Scenario& s, double x) { s.workload.deadlines.high_low_ratio = x; },
-        "deadline high:low ratio"}},
-      {"high-urgency",
-       {{0, 20, 40, 60, 80, 100},
-        [](exp::Scenario& s, double x) {
-          s.workload.deadlines.high_urgency_fraction = x / 100.0;
-        },
-        "% of high urgency jobs"}},
-      {"inaccuracy",
-       {{0, 20, 40, 60, 80, 100},
-        [](exp::Scenario& s, double x) { s.workload.inaccuracy_pct = x; },
-        "% of inaccuracy"}},
-      {"nodes",
-       {{32, 64, 96, 128, 192, 256},
-        [](exp::Scenario& s, double x) { s.nodes = static_cast<int>(x); },
-        "cluster nodes"}},
-  };
-  const auto it = axes.find(axis_opt.value);
-  if (it == axes.end()) throw cli::ParseError("unknown --axis " + axis_opt.value);
-
-  exp::SweepConfig config;
-  config.axis = it->second.values;
-  config.apply = it->second.apply;
-  config.policies = core::paper_policies();
-  config.seeds.clear();
-  for (int i = 0; i < seeds_opt.value; ++i)
-    config.seeds.push_back(static_cast<std::uint64_t>(i) + f.seed->value);
-
-  const exp::Scenario base = scenario_from_flags(f, cfg);
-  const auto cells = exp::run_sweep(base, config);
-  exp::print_series(out, "jobs with deadlines fulfilled (%)", it->second.label,
-                    cells, exp::Measure::FulfilledPct);
-  exp::print_series(out, "average slowdown (fulfilled jobs)", it->second.label,
-                    cells, exp::Measure::AvgSlowdown);
-  exp::print_significance(out, cells, core::Policy::LibraRisk, core::Policy::Libra);
-
-  if (!csv_opt.value.empty()) {
-    std::ofstream file(csv_opt.value);
-    csv::Writer writer(file);
-    exp::write_series_csv(writer, "sweep/" + axis_opt.value, cells,
-                          {exp::Measure::FulfilledPct, exp::Measure::AvgSlowdown,
-                           exp::Measure::Utilization});
-    out << "series written to " << csv_opt.value << '\n';
-  }
-  return 0;
-}
-
-int cmd_workload(const std::vector<std::string>& args, std::ostream& out) {
-  cli::Parser parser("librisk-sim workload", "Generate a synthetic trace as SWF");
-  ScenarioFlags f = add_scenario_flags(parser);
-  auto& out_opt = parser.add<std::string>("out", "SWF output path", "workload.swf");
-  auto& deadlines_opt =
-      parser.add<bool>("deadlines", "embed librisk deadline comments", true);
-  parser.parse(args);
-
-  const json::Value cfg = load_config(f);
-  const exp::Scenario scenario = scenario_from_flags(f, cfg);
-  const auto jobs = workload_from_flags(f, cfg, scenario);
-  workload::swf::write_file(
-      out_opt.value, jobs,
-      {.include_deadlines = deadlines_opt.value,
-       .header = {"synthetic " + f.effective_model(cfg) + " trace (librisk-sim)",
-                  "seed " + std::to_string(scenario.seed)}});
-  workload::print_stats(out, workload::compute_stats(jobs));
-  out << "wrote " << jobs.size() << " jobs to " << out_opt.value << '\n';
-  return 0;
-}
-
-int cmd_replay(const std::vector<std::string>& args, std::ostream& out) {
-  cli::Parser parser("librisk-sim replay", "Run policies over an SWF trace file");
-  auto& trace_opt = parser.add<std::string>("trace", "SWF file", "");
-  auto& last_opt = parser.add<int>("last", "keep only the last N jobs (0 = all)", 0);
-  auto& nodes_opt = parser.add<int>("nodes", "cluster size", 128);
-  auto& rating_opt = parser.add<double>("rating", "node SPEC rating", 168.0);
-  auto& seed_opt = parser.add<std::uint64_t>("seed", "deadline synthesis seed", 1);
-  auto& inaccuracy_opt = parser.add<double>("inaccuracy", "estimate inaccuracy %", 100.0);
-  auto& high_urgency_opt =
-      parser.add<double>("high-urgency", "high-urgency fraction (synthesised)", 0.20);
-  auto& ratio_opt = parser.add<double>("ratio", "deadline high:low ratio", 4.0);
-  parser.parse(args);
-
-  if (trace_opt.value.empty()) throw cli::ParseError("replay requires --trace <file>");
-  workload::swf::ReadOptions read_opts;
-  read_opts.last_n = last_opt.value > 0 ? static_cast<std::size_t>(last_opt.value) : 0;
-  auto jobs = workload::swf::read_file(trace_opt.value, read_opts);
-  if (jobs.empty()) throw cli::ParseError("trace contains no usable jobs");
-
-  bool missing = false;
-  for (const auto& j : jobs) missing |= j.deadline <= 0.0;
-  if (missing) {
-    workload::DeadlineConfig config;
-    config.high_urgency_fraction = high_urgency_opt.value;
-    config.high_low_ratio = ratio_opt.value;
-    rng::Stream stream("deadlines", seed_opt.value);
-    workload::assign_deadlines(jobs, config, stream);
-  }
-  workload::apply_inaccuracy(jobs, inaccuracy_opt.value);
-  workload::validate_trace(jobs);
-  workload::print_stats(out, workload::compute_stats(jobs));
-  out << '\n';
-
-  exp::Scenario scenario;
-  scenario.nodes = nodes_opt.value;
-  scenario.rating = rating_opt.value;
-  std::vector<metrics::LabelledSummary> results;
-  for (const core::Policy policy : core::all_policies()) {
-    scenario.policy = policy;
-    const exp::ScenarioResult r = exp::run_jobs(scenario, jobs);
-    results.push_back({std::string(core::to_string(policy)), r.summary});
-  }
-  metrics::print_comparison(out, results);
-  return 0;
-}
-
-// ---- `trace` subcommand family (docs/TRACING.md) ----
-
-int cmd_trace_record(const std::vector<std::string>& args, std::ostream& out) {
-  cli::Parser parser("librisk-sim trace record",
-                     "Run a scenario, writing a decision-audit trace");
-  ScenarioFlags f = add_scenario_flags(parser);
-  auto& policy_opt = parser.add<std::string>("policy", "scheduling policy", "LibraRisk");
-  auto& out_opt = parser.add<std::string>("out", "trace output path", "trace.lrt");
-  auto& format_opt = parser.add<std::string>("format", "trace format: lrt | jsonl", "lrt");
-  parser.parse(args);
-
-  const json::Value cfg = load_config(f);
-  exp::Scenario scenario = scenario_from_flags(f, cfg);
-  scenario.policy = core::parse_policy(
-      policy_opt.set ? policy_opt.value : cfg.string_or("policy", policy_opt.value));
-  const auto jobs = workload_from_flags(f, cfg, scenario);
-
-  std::ofstream file(out_opt.value, std::ios::binary);
-  if (!file)
-    throw cli::ParseError("cannot open trace output file: " + out_opt.value);
-  const trace::TraceMeta meta{std::string(core::to_string(scenario.policy)),
-                              scenario.seed};
-  std::unique_ptr<trace::Sink> sink;
-  if (format_opt.value == "lrt")
-    sink = std::make_unique<trace::BinarySink>(file, meta);
-  else if (format_opt.value == "jsonl")
-    sink = std::make_unique<trace::JsonlSink>(file, meta);
-  else
-    throw cli::ParseError("--format must be 'lrt' or 'jsonl', got '" +
-                          format_opt.value + "'");
-
-  trace::Recorder recorder(*sink);
-  scenario.options.trace = &recorder;
-  const exp::ScenarioResult r = exp::run_jobs(scenario, jobs);
-  sink->close();
-
-  out << "wrote " << format_opt.value << " trace to " << out_opt.value << " ("
-      << meta.policy << ", seed " << meta.seed << ", " << jobs.size()
-      << " jobs, " << r.summary.accepted << " accepted)\n";
-  return 0;
-}
-
-int cmd_trace_summary(const std::vector<std::string>& args, std::ostream& out) {
-  cli::Parser parser("librisk-sim trace summary",
-                     "Event counts + rejection-reason histogram of trace file(s)");
-  auto& in_opt =
-      parser.add<std::string>("in", "trace file(s), comma-separated", "");
-  parser.parse(args);
-  if (in_opt.value.empty())
-    throw cli::ParseError("trace summary requires --in <file>[,<file>...]");
-
-  std::vector<std::string> paths;
-  std::stringstream ss(in_opt.value);
-  for (std::string part; std::getline(ss, part, ',');)
-    if (!part.empty()) paths.push_back(part);
-
-  std::vector<std::pair<trace::TraceMeta, trace::TraceSummary>> rows;
-  rows.reserve(paths.size());
-  for (const std::string& path : paths) {
-    const trace::TraceData data = trace::read_trace_file(path);
-    rows.emplace_back(data.meta, trace::summarize(data.events));
-  }
-  if (rows.size() == 1) {
-    trace::print_summary(out, rows.front().first, rows.front().second);
-  } else {
-    trace::print_breakdown(out, rows);
-  }
-  return 0;
-}
-
-int cmd_trace_diff(const std::vector<std::string>& args, std::ostream& out) {
-  cli::Parser parser("librisk-sim trace diff",
-                     "First divergent event between two traces (determinism oracle)");
-  auto& a_opt = parser.add<std::string>("a", "first trace file", "");
-  auto& b_opt = parser.add<std::string>("b", "second trace file", "");
-  parser.parse(args);
-  if (a_opt.value.empty() || b_opt.value.empty())
-    throw cli::ParseError("trace diff requires --a <file> --b <file>");
-
-  const trace::TraceData a = trace::read_trace_file(a_opt.value);
-  const trace::TraceData b = trace::read_trace_file(b_opt.value);
-  const trace::Divergence d = trace::first_divergence(a, b);
-  out << trace::describe(d, a, b);
-  return d.identical() ? 0 : 1;
-}
-
-/// Dispatches `librisk-sim trace <record|summary|diff>`. Exit code 1 from
-/// `diff` means "traces diverge", not an error.
-int cmd_trace(const std::vector<std::string>& args, std::ostream& out) {
-  if (args.empty())
-    throw cli::ParseError(
-        "trace requires a subcommand: record | summary | diff");
-  const std::string sub = args[0];
-  const std::vector<std::string> rest(args.begin() + 1, args.end());
-  if (sub == "record") return cmd_trace_record(rest, out);
-  if (sub == "summary") return cmd_trace_summary(rest, out);
-  if (sub == "diff") return cmd_trace_diff(rest, out);
-  throw cli::ParseError("unknown trace subcommand '" + sub +
-                        "' (expected record | summary | diff)");
-}
-
-int cmd_metrics(const std::vector<std::string>& args, std::ostream& out) {
-  cli::Parser parser("librisk-sim metrics",
-                     "Run a scenario, render its live telemetry registry");
-  ScenarioFlags f = add_scenario_flags(parser);
-  auto& policy_opt = parser.add<std::string>("policy", "scheduling policy", "LibraRisk");
-  auto& format_opt = parser.add<std::string>(
-      "format", "output format: table | openmetrics", "table");
-  auto& period_opt = parser.add<double>(
-      "period", "sim-seconds between sampler ticks (0 = terminal sample only)",
-      0.0);
-  auto& out_opt = parser.add<std::string>(
-      "out", "also write full telemetry exports under this directory", "");
-  parser.parse(args);
-  if (format_opt.value != "table" && format_opt.value != "openmetrics")
-    throw cli::ParseError("--format must be 'table' or 'openmetrics', got '" +
-                          format_opt.value + "'");
-
-  const json::Value cfg = load_config(f);
-  exp::Scenario scenario = scenario_from_flags(f, cfg);
-  scenario.policy = core::parse_policy(
-      policy_opt.set ? policy_opt.value : cfg.string_or("policy", policy_opt.value));
-  const auto jobs = workload_from_flags(f, cfg, scenario);
-
-  obs::TelemetryConfig tel_config;
-  tel_config.sample_period = period_opt.value;
-  obs::Telemetry telemetry(tel_config);
-  scenario.options.telemetry = &telemetry;
-  (void)exp::run_jobs(scenario, jobs);
-
-  if (format_opt.value == "table")
-    out << obs::metrics_table(telemetry.registry()).str();
-  else
-    obs::write_openmetrics(out, telemetry.registry());
-  if (!out_opt.value.empty()) {
-    telemetry.write_dir(out_opt.value);
-    out << "telemetry written to " << out_opt.value << " ("
-        << telemetry.samples() << " samples)\n";
-  }
-  return 0;
-}
 
 /// The single registration table: dispatch (run_command) and the usage text
 /// both enumerate it, so a subcommand cannot exist in one and not the other.
@@ -564,7 +33,8 @@ constexpr CommandSpec kCommands[] = {
      cmd_sweep},
     {"workload", "generate a synthetic trace (sdsc or lublin model) as SWF",
      cmd_workload},
-    {"replay", "run every policy over an SWF trace file", cmd_replay},
+    {"replay", "run policies over an SWF trace file (--stream: online engine)",
+     cmd_replay},
     {"trace", "decision-audit traces: record | summary | diff", cmd_trace},
     {"metrics",
      "run a scenario, render its telemetry registry (table | openmetrics)",
