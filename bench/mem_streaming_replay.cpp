@@ -47,8 +47,10 @@ int run_child(const std::string& mode, const std::string& trace, int nodes) {
   core::AdmissionEngine engine(cluster::Cluster::homogeneous(nodes, kRating),
                                core::Policy::LibraRisk);
   if (mode == "materialized") {
+    // enqueue(), not submit(): this leg measures the whole-trace-resident
+    // batch shape, which eager submission would deflate.
     const std::vector<workload::Job> jobs = workload::swf::read_file(trace);
-    for (const workload::Job& job : jobs) engine.submit(job);
+    for (const workload::Job& job : jobs) engine.enqueue(job);
   } else {
     workload::swf::SwfStream stream(trace);
     workload::Job job;

@@ -40,9 +40,10 @@ int main(int argc, char** argv) {
   base.seed = seed_opt.value;
 
   table::Table t({"policy", "fulfilled %", "slowdown", "rejected", "rej(share)",
-                  "rej(sigma)", "rej(no-node)", "late(under-est)",
-                  "late(victims)", "ful(under-est)", "doomable", "scans/job",
-                  "skips", "recomp/settle", "kern-skip%"});
+                  "rej(sigma)", "rej(deadline)", "rej(no-node)",
+                  "late(under-est)", "late(victims)", "ful(under-est)",
+                  "doomable", "scans/job", "skips", "recomp/settle",
+                  "kern-skip%"});
   for (const core::Policy policy : core::all_policies()) {
     exp::Scenario scenario = base;
     scenario.policy = policy;
@@ -50,12 +51,24 @@ int main(int argc, char** argv) {
 
     std::size_t late_under = 0, late_victim = 0, ful_under = 0, under_total = 0;
     std::size_t rejected = 0;
+    // Rejection attribution from the per-job outcome reasons (the typed
+    // AdmissionOutcome surface) instead of diffing AdmissionStats counters
+    // — which also attributes the space-shared policies' rejections, a
+    // column the Libra-only counters could never fill.
+    std::size_t rej_share = 0, rej_sigma = 0, rej_deadline = 0, rej_node = 0;
     for (const exp::JobOutcome& o : r.outcomes) {
       if (o.underestimated) ++under_total;
       switch (o.fate) {
         case metrics::JobFate::RejectedAtSubmit:
         case metrics::JobFate::RejectedAtDispatch:
           ++rejected;
+          switch (o.reason) {
+            case trace::RejectionReason::ShareOverflow: ++rej_share; break;
+            case trace::RejectionReason::RiskSigma: ++rej_sigma; break;
+            case trace::RejectionReason::DeadlineInfeasible: ++rej_deadline; break;
+            case trace::RejectionReason::NoSuitableNode: ++rej_node; break;
+            case trace::RejectionReason::None: break;
+          }
           break;
         case metrics::JobFate::CompletedLate:
           (o.underestimated ? late_under : late_victim) += 1;
@@ -76,9 +89,10 @@ int main(int argc, char** argv) {
                table::pct(r.summary.fulfilled_pct),
                table::num(r.summary.avg_slowdown_fulfilled),
                std::to_string(rejected),
-               std::to_string(adm.rejected_share_overflow),
-               std::to_string(adm.rejected_risk_sigma),
-               std::to_string(adm.rejected_no_suitable_node),
+               std::to_string(rej_share),
+               std::to_string(rej_sigma),
+               std::to_string(rej_deadline),
+               std::to_string(rej_node),
                std::to_string(late_under),
                std::to_string(late_victim), std::to_string(ful_under),
                std::to_string(under_total),

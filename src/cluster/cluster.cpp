@@ -47,4 +47,10 @@ double Cluster::max_speed_factor() const noexcept {
   return m / reference_rating_;
 }
 
+double Cluster::total_speed_factor() const noexcept {
+  double sum = 0.0;
+  for (const auto& n : nodes_) sum += n.rating;
+  return sum / reference_rating_;
+}
+
 }  // namespace librisk::cluster

@@ -42,6 +42,12 @@ class Cluster {
   [[nodiscard]] double min_speed_factor() const noexcept;
   [[nodiscard]] double max_speed_factor() const noexcept;
 
+  /// Sum of speed factors across all nodes: the cluster's aggregate
+  /// processing capacity in reference-node units (a homogeneous cluster's
+  /// total equals its size). The admission gateway scales its fast-reject
+  /// share budget by this.
+  [[nodiscard]] double total_speed_factor() const noexcept;
+
  private:
   std::vector<NodeSpec> nodes_;
   double reference_rating_;

@@ -39,7 +39,8 @@ void EdfScheduler::on_job_submitted(const Job& job) {
   // A request larger than the machine can never run; even EDF-NoAC must
   // reject it or the queue head would block forever.
   if (job.num_procs > executor_.cluster().size()) {
-    collector_.record_rejected(job, sim_.now(), /*at_dispatch=*/false);
+    collector_.record_rejected(job, sim_.now(), /*at_dispatch=*/false,
+                               trace::RejectionReason::NoSuitableNode);
     if (trace_ != nullptr)
       trace_->job_rejected(sim_.now(), job.id,
                            trace::RejectionReason::NoSuitableNode, 0,
@@ -104,7 +105,8 @@ void EdfScheduler::dispatch() {
 
     if (config_.admission_control && !deadline_feasible(*job)) {
       // The relaxed admission control: reject only at selection time.
-      collector_.record_rejected(*job, sim_.now(), /*at_dispatch=*/true);
+      collector_.record_rejected(*job, sim_.now(), /*at_dispatch=*/true,
+                                 trace::RejectionReason::DeadlineInfeasible);
       if (trace_ != nullptr)
         trace_->job_rejected(sim_.now(), job->id,
                              trace::RejectionReason::DeadlineInfeasible, 0,

@@ -6,6 +6,15 @@
 
 namespace librisk::core {
 
+const char* to_string(AdmissionOutcome::Verdict verdict) noexcept {
+  switch (verdict) {
+    case AdmissionOutcome::Verdict::Accepted: return "accepted";
+    case AdmissionOutcome::Verdict::Queued: return "queued";
+    case AdmissionOutcome::Verdict::Rejected: return "rejected";
+  }
+  return "?";
+}
+
 AdmissionEngine::AdmissionEngine(cluster::Cluster cluster, Policy policy,
                                  const PolicyOptions& options)
     : owned_cluster_(std::make_unique<cluster::Cluster>(std::move(cluster))),
@@ -18,7 +27,7 @@ AdmissionEngine::AdmissionEngine(cluster::Cluster cluster, Policy policy,
       scheduler_(stack_->scheduler()),
       hooks_(options.hooks),
       cluster_size_(owned_cluster_->size()) {
-  collector_.set_resolution_observer(
+  observer_id_ = collector_.add_resolution_observer(
       [this](std::int64_t id) { resolved_backlog_.push_back(id); });
   if (hooks_.telemetry != nullptr) hooks_.telemetry->arm(sim_);
 }
@@ -29,18 +38,38 @@ AdmissionEngine::AdmissionEngine(sim::Simulator& simulator, Scheduler& scheduler
       collector_(collector),
       scheduler_(scheduler),
       hooks_(hooks) {
-  collector_.set_resolution_observer(
+  observer_id_ = collector_.add_resolution_observer(
       [this](std::int64_t id) { resolved_backlog_.push_back(id); });
   if (hooks_.telemetry != nullptr) hooks_.telemetry->arm(sim_);
 }
 
 AdmissionEngine::~AdmissionEngine() {
   // The observer captures `this`; a borrowed collector outlives the engine.
-  collector_.set_resolution_observer(nullptr);
+  collector_.remove_resolution_observer(observer_id_);
 }
 
-void AdmissionEngine::submit(const workload::Job& job) {
-  LIBRISK_CHECK(!finished_, "submit() after finish() on job " << job.id);
+std::unique_ptr<AdmissionEngine> make_engine(EngineConfig config) {
+  const bool borrowed = config.simulator != nullptr || config.scheduler != nullptr ||
+                        config.collector != nullptr;
+  if (borrowed) {
+    LIBRISK_CHECK(!config.cluster.has_value(),
+                  "EngineConfig names both modes: cluster set and components borrowed");
+    LIBRISK_CHECK(config.simulator != nullptr && config.scheduler != nullptr &&
+                      config.collector != nullptr,
+                  "borrowed-mode EngineConfig needs simulator, scheduler and "
+                  "collector all set");
+    return std::make_unique<AdmissionEngine>(*config.simulator, *config.scheduler,
+                                             *config.collector, config.hooks);
+  }
+  LIBRISK_CHECK(config.cluster.has_value(),
+                "EngineConfig names no mode: set cluster (owning) or "
+                "simulator+scheduler+collector (borrowed)");
+  return std::make_unique<AdmissionEngine>(std::move(*config.cluster),
+                                           config.policy, config.options);
+}
+
+sim::EventId AdmissionEngine::enqueue(const workload::Job& job) {
+  LIBRISK_CHECK(!finished_, "submit after finish() on job " << job.id);
   job.validate();
   LIBRISK_CHECK(submitted_ == 0 || job.submit_time >= last_submit_,
                 "job " << job.id << " submitted out of order: submit time "
@@ -65,13 +94,65 @@ void AdmissionEngine::submit(const workload::Job& job) {
   last_submit_ = job.submit_time;
 
   const workload::Job* stored = &slab_[slot];
-  sim_.at(stored->submit_time, sim::EventPriority::Arrival, [this, stored] {
+  return sim_.at(stored->submit_time, sim::EventPriority::Arrival, [this, stored] {
     collector_.record_submitted(*stored, sim_.now());
     if (hooks_.trace != nullptr)
       hooks_.trace->job_submitted(sim_.now(), stored->id, stored->num_procs,
                                   stored->deadline, stored->scheduler_estimate);
     scheduler_.on_job_submitted(*stored);
   });
+}
+
+AdmissionOutcome AdmissionEngine::submit(const workload::Job& job) {
+  const sim::EventId arrival = enqueue(job);
+  const std::int64_t id = job.id;
+  {
+    obs::ScopedPhase phase(
+        hooks_.telemetry != nullptr ? &hooks_.telemetry->profiler() : nullptr,
+        obs::Phase::Run);
+    // Runs the batch prefix of this arrival — everything that precedes it
+    // in the deterministic (time, priority, seq) total order, equal-time
+    // completions included — then the arrival itself and nothing after, so
+    // eager submission cannot reorder decisions relative to the batch
+    // drive (docs/MODEL.md §"engine stepping").
+    sim_.run_through(arrival);
+  }
+  reclaim();
+  return outcome_of(id);
+}
+
+AdmissionOutcome AdmissionEngine::outcome_of(std::int64_t job_id) const {
+  const metrics::JobRecord& r = collector_.record(job_id);
+  AdmissionOutcome out;
+  out.job_id = job_id;
+  switch (r.fate) {
+    case metrics::JobFate::RejectedAtSubmit:
+    case metrics::JobFate::RejectedAtDispatch:
+      out.verdict = AdmissionOutcome::Verdict::Rejected;
+      out.reason = r.reject_reason;
+      return out;
+    case metrics::JobFate::Pending:
+      out.verdict = r.started ? AdmissionOutcome::Verdict::Accepted
+                              : AdmissionOutcome::Verdict::Queued;
+      break;
+    case metrics::JobFate::FulfilledInTime:
+    case metrics::JobFate::CompletedLate:
+    case metrics::JobFate::Killed:
+      // Zero-runtime jobs can complete inside their own arrival step.
+      out.verdict = AdmissionOutcome::Verdict::Accepted;
+      break;
+  }
+  if (out.verdict == AdmissionOutcome::Verdict::Accepted) {
+    // The placement note is only trustworthy for the job just decided:
+    // policies overwrite it per admission, and queueing policies never
+    // write it at all — the id guard covers both.
+    const Scheduler::Decision& d = scheduler_.last_decision();
+    if (d.job_id == job_id) {
+      out.node = d.node;
+      out.sigma = d.sigma;
+    }
+  }
+  return out;
 }
 
 std::uint64_t AdmissionEngine::advance_to(sim::SimTime t) {

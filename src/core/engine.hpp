@@ -7,38 +7,75 @@
 // (Eq. 1–6) — and real RMS front-ends deliver jobs incrementally. The
 // AdmissionEngine inverts the batch shape into an explicit lifecycle:
 //
-//   AdmissionEngine engine(cluster, Policy::LibraRisk, options);
+//   auto engine = make_engine({.cluster = cluster, .policy = Policy::LibraRisk});
 //   while (stream.next(job)) {
-//     engine.advance_to(job.submit_time);   // bounded stepping
-//     engine.submit(job);                   // one decision per arrival
+//     engine->advance_to(job.submit_time);      // bounded stepping
+//     auto outcome = engine->submit(job);       // one decision per arrival
+//     if (outcome.rejected()) log(outcome.reason);
 //   }
-//   engine.finish();                        // drain + seal telemetry
+//   engine->finish();                           // drain + seal telemetry
+//
+// submit() is *eager*: it schedules the arrival and steps the simulator
+// through it (and through everything that precedes it in the deterministic
+// event order — equal-time completions first), so the admission decision is
+// known when submit() returns and comes back as a typed AdmissionOutcome.
+// The stepping is exactly the prefix the batch driver would have run before
+// that arrival, so interleaving submissions with stepping stays
+// byte-identical — at the .lrt decision-trace level — to the batch driver
+// (tests/test_engine_equivalence.cpp and docs/MODEL.md §"engine stepping").
+// enqueue() is the lazy sibling: schedule-only, no stepping, no outcome —
+// the batch drivers use it to keep the whole-trace-resident memory shape
+// that bench/mem_streaming_replay measures.
 //
 // Jobs may arrive one at a time, monotone in submit time; the engine copies
 // each into its own slab and reclaims the slot the moment the job resolves
 // (rejected, completed, or killed), so replay memory is bounded by the
 // resident/pending set, not the trace length (live_jobs()/peak_live_jobs()
-// expose the claim). Interleaving submissions with stepping is
-// byte-identical — at the .lrt decision-trace level — to the batch driver:
-// arrivals keep their submission order within the Arrival priority class,
-// equal-time completions still run first by priority, and everything else
-// is scheduled by the deterministic execution itself (see
-// tests/test_engine_equivalence.cpp and docs/MODEL.md §"engine stepping").
+// expose the claim).
 //
 // The batch entry points still exist — core::run_trace and exp::run_jobs
-// are now thin loops over this class — and the engine is the seam later
-// sharding work plugs into (N engines, one per cluster partition).
+// are thin loops over this class — and the engine is the seam the
+// concurrent gateway (core/gateway.hpp) drives from its single consumer
+// thread: the engine itself is strictly single-threaded.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/factory.hpp"
 
 namespace librisk::core {
+
+/// Typed result of one eager admission decision (AdmissionEngine::submit).
+/// What used to require diffing AdmissionStats counters around a submission
+/// — or parsing the .lrt trace — is now returned in-band, per job.
+struct AdmissionOutcome {
+  enum class Verdict : std::uint8_t {
+    Accepted,  ///< started execution at its arrival instant
+    Queued,    ///< admitted to a wait queue; fate still pending
+    Rejected,  ///< shed at submit or at dispatch within the arrival step
+  };
+
+  std::int64_t job_id = -1;
+  Verdict verdict = Verdict::Queued;
+  /// Which admission test said no. None unless verdict == Rejected.
+  trace::RejectionReason reason = trace::RejectionReason::None;
+  /// First node the job was placed on; -1 when not accepted or when the
+  /// policy does not report placement at admission (space-shared family).
+  std::int32_t node = -1;
+  /// Tentative sigma (Eq. 6) the admission test saw; -1 when no sigma test
+  /// ran (non-ZeroRisk policies, or node == -1).
+  double sigma = -1.0;
+
+  [[nodiscard]] bool accepted() const noexcept { return verdict == Verdict::Accepted; }
+  [[nodiscard]] bool rejected() const noexcept { return verdict == Verdict::Rejected; }
+};
+
+[[nodiscard]] const char* to_string(AdmissionOutcome::Verdict verdict) noexcept;
 
 class AdmissionEngine {
  public:
@@ -63,13 +100,23 @@ class AdmissionEngine {
 
   // ---- lifecycle ----
 
-  /// Accepts one job: validates it, copies it into engine-owned storage and
-  /// schedules its arrival (the admission decision fires when the clock
-  /// reaches job.submit_time). Jobs must arrive monotone in submit time and
-  /// not before now(). submit() never advances the clock — pair it with
-  /// advance_to()/step_until() for bounded streaming, or submit everything
-  /// and finish() for batch semantics.
-  void submit(const workload::Job& job);
+  /// Accepts one job and decides it: validates, copies into engine-owned
+  /// storage, schedules the arrival, then steps the simulator through the
+  /// arrival event — running exactly the events that precede it in the
+  /// deterministic total order first — and returns the decision. Jobs must
+  /// arrive monotone in submit time and not before now(). The clock is at
+  /// job.submit_time when this returns; an explicit advance_to() before
+  /// submitting is allowed but no longer required. Deliberately not
+  /// [[nodiscard]]: pre-outcome call sites that ignore the result remain
+  /// correct, the decision is also in the collector.
+  AdmissionOutcome submit(const workload::Job& job);
+
+  /// Schedule-only sibling of submit(): same validation and storage, but
+  /// never advances the clock and returns only the arrival's event id. The
+  /// batch drivers (run_trace, the materialized leg of
+  /// bench/mem_streaming_replay) use it to pre-schedule every arrival
+  /// before running anything — the shape the seed driver had.
+  sim::EventId enqueue(const workload::Job& job);
 
   /// Runs events strictly before `t` and reclaims resolved jobs. This is
   /// the streaming driver's step: advancing to the next arrival's submit
@@ -97,6 +144,10 @@ class AdmissionEngine {
   [[nodiscard]] std::uint64_t events_processed() const noexcept;
 
   [[nodiscard]] const Collector& collector() const noexcept { return collector_; }
+  /// Mutable access for observer registration (the gateway's
+  /// subtract-on-resolve hook); the engine remains the collector's owner
+  /// or borrower exactly as before.
+  [[nodiscard]] Collector& collector() noexcept { return collector_; }
   /// Summary of everything resolved so far (cheap enough mid-run; equals
   /// the end-of-run summary once finished). Utilization is filled in when
   /// the engine owns its stack.
@@ -124,6 +175,10 @@ class AdmissionEngine {
 
  private:
   void reclaim();
+  /// Reads the decision the arrival step just produced for `job_id` out of
+  /// the collector record (fate + reason) and the scheduler's last placement
+  /// note (node + sigma, id-guarded).
+  [[nodiscard]] AdmissionOutcome outcome_of(std::int64_t job_id) const;
 
   // Owning-mode storage (null in borrowed mode). Declaration order matters:
   // the stack borrows the simulator/collector and must die first.
@@ -148,11 +203,41 @@ class AdmissionEngine {
   /// collector's observer fires mid-event, when the executor may still hold
   /// the Job pointer; slots are only recycled between stepping calls).
   std::vector<std::int64_t> resolved_backlog_;
+  metrics::Collector::ObserverId observer_id_ = 0;
 
   std::size_t submitted_ = 0;
   std::size_t peak_live_ = 0;
   sim::SimTime last_submit_ = 0.0;
   bool finished_ = false;
 };
+
+/// One-struct construction for both engine modes. Exactly one of the two
+/// mode sections must be filled in:
+///   owning:   `cluster` set — the engine builds simulator + collector +
+///             policy stack itself; `policy`/`options` apply, and
+///             `options.hooks` is the single observation attach point.
+///   borrowed: `simulator`/`scheduler`/`collector` all non-null — the
+///             engine drives a caller-owned stack; `hooks` must be the
+///             ones already attached to it.
+/// This replaces picking between two positional constructors; the old
+/// overloads remain for source compatibility but are deprecated in
+/// docs/API.md.
+struct EngineConfig {
+  // -- owning mode --
+  std::optional<cluster::Cluster> cluster;
+  Policy policy = Policy::LibraRisk;
+  PolicyOptions options;
+
+  // -- borrowed mode --
+  sim::Simulator* simulator = nullptr;
+  Scheduler* scheduler = nullptr;
+  Collector* collector = nullptr;
+  Hooks hooks;
+};
+
+/// Builds an engine from an EngineConfig, validating that the config names
+/// exactly one mode. The heap indirection keeps the (immovable) engine easy
+/// to hand around; the engine itself is identical to one built directly.
+[[nodiscard]] std::unique_ptr<AdmissionEngine> make_engine(EngineConfig config);
 
 }  // namespace librisk::core

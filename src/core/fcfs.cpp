@@ -37,7 +37,8 @@ bool FcfsScheduler::deadline_feasible(const Job& job) const {
 
 void FcfsScheduler::on_job_submitted(const Job& job) {
   if (job.num_procs > executor_.cluster().size()) {
-    collector_.record_rejected(job, sim_.now(), /*at_dispatch=*/false);
+    collector_.record_rejected(job, sim_.now(), /*at_dispatch=*/false,
+                               trace::RejectionReason::NoSuitableNode);
     if (trace_ != nullptr)
       trace_->job_rejected(sim_.now(), job.id,
                            trace::RejectionReason::NoSuitableNode, 0,
@@ -96,7 +97,8 @@ void FcfsScheduler::dispatch() {
     // Resolve the head: reject if infeasible (optional), start if it fits.
     const Job* head = queue_.front();
     if (config_.deadline_admission && !deadline_feasible(*head)) {
-      collector_.record_rejected(*head, sim_.now(), /*at_dispatch=*/true);
+      collector_.record_rejected(*head, sim_.now(), /*at_dispatch=*/true,
+                                 trace::RejectionReason::DeadlineInfeasible);
       if (trace_ != nullptr)
         trace_->job_rejected(sim_.now(), head->id,
                              trace::RejectionReason::DeadlineInfeasible, 0,
@@ -119,7 +121,8 @@ void FcfsScheduler::dispatch() {
     for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
       const Job* job = *it;
       if (config_.deadline_admission && !deadline_feasible(*job)) {
-        collector_.record_rejected(*job, sim_.now(), /*at_dispatch=*/true);
+        collector_.record_rejected(*job, sim_.now(), /*at_dispatch=*/true,
+                                   trace::RejectionReason::DeadlineInfeasible);
         if (trace_ != nullptr)
           trace_->job_rejected(sim_.now(), job->id,
                                trace::RejectionReason::DeadlineInfeasible, 0,

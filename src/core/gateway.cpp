@@ -1,0 +1,283 @@
+#include "core/gateway.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "cluster/share_model.hpp"
+#include "obs/telemetry.hpp"
+#include "support/check.hpp"
+
+namespace librisk::core {
+
+AdmissionGateway::AdmissionGateway(GatewayConfig config)
+    : config_(std::move(config)), queue_(config_.queue_capacity) {
+  LIBRISK_CHECK(config_.engine.cluster.has_value(),
+                "the gateway requires an owning-mode EngineConfig (cluster "
+                "set): its drive thread must be the engine's only user");
+  LIBRISK_CHECK(config_.granularity > 0, "granularity must be positive");
+  LIBRISK_CHECK(config_.aggregate_headroom > 0.0, "headroom must be positive");
+
+  // Derive the certificate parameters before the cluster is moved into the
+  // engine. Each mirrors the policy's own admission expression exactly —
+  // same floating-point operations, same tolerances — so the monotonicity
+  // argument in docs/CONCURRENCY.md applies to the computed values, not
+  // just the real-number idealisation.
+  const cluster::Cluster& cluster = *config_.engine.cluster;
+  model_.cluster_size = cluster.size();
+  model_.max_speed = cluster.max_speed_factor();
+  switch (config_.engine.policy) {
+    case Policy::Libra:
+      // Eq. 2 on the fastest node with an empty resident set is a lower
+      // bound on every node's total-share test. Capacity/tolerance are
+      // LibraConfig::libra() defaults, which make_scheduler never
+      // overrides; the clamp is the executor's share model.
+      model_.share_test = true;
+      model_.deadline_clamp = config_.engine.options.share_model.deadline_clamp;
+      model_.share_capacity = LibraConfig{}.capacity;
+      model_.share_tolerance = LibraConfig{}.tolerance;
+      break;
+    case Policy::Edf:
+    case Policy::EdfBackfill:
+      // deadline_feasible() at the earliest possible `now` (the submit
+      // instant) with the fastest node; admission_control is always on for
+      // these two in the factory.
+      model_.deadline_test = true;
+      model_.slack_factor = 1.0;
+      break;
+    case Policy::Qops:
+      // The candidate's own completion bound inside feasible_with():
+      // start >= submit, finish >= submit + estimate/max_speed.
+      model_.deadline_test = true;
+      model_.slack_factor = config_.engine.options.qops_slack_factor;
+      break;
+    case Policy::LibraRisk:  // sigma-only salvage lane admits any share on
+    case Policy::EdfNoAC:    // an empty node / no admission test at all —
+    case Policy::Fcfs:       // no sound C2 certificate exists; C1 only.
+    case Policy::Easy:
+      break;
+  }
+  const double budget = config_.aggregate_headroom * cluster.total_speed_factor() *
+                        static_cast<double>(config_.granularity);
+  share_budget_scaled_ = static_cast<std::uint64_t>(std::min(budget, 9.0e18));
+
+  Hooks hooks = config_.engine.options.hooks;
+  engine_ = make_engine(std::move(config_.engine));
+
+  // Subtract-on-resolve: fires on the drive thread (the only thread that
+  // steps the engine), so the accumulator has a single writer. Jobs the
+  // gate or the engine rejected at submit have no entry — the map guard
+  // makes underflow structurally impossible.
+  observer_id_ = engine_->collector().add_resolution_observer(
+      [this](std::int64_t id) {
+        // Deferred audit: a pre-shed job the engine queued must resolve as
+        // a rejection (for the EDF family that happens at dispatch time);
+        // any shed job that actually ran falsifies a certificate.
+        const auto shed_it = shed_pending_.find(id);
+        if (shed_it != shed_pending_.end()) {
+          const metrics::JobFate fate = engine_->collector().record(id).fate;
+          if (fate != metrics::JobFate::RejectedAtSubmit &&
+              fate != metrics::JobFate::RejectedAtDispatch)
+            audit_violations_.fetch_add(1, std::memory_order_relaxed);
+          shed_pending_.erase(shed_it);
+        }
+        const auto it = contributions_.find(id);
+        if (it == contributions_.end()) return;
+        share_scaled_.store(share_scaled_.load(std::memory_order_relaxed) -
+                                it->second,
+                            std::memory_order_release);
+        contributions_.erase(it);
+      });
+
+  if (hooks.telemetry != nullptr) {
+    obs::Registry& reg = hooks.telemetry->registry();
+    reg.counter_fn("gateway_submitted", "jobs offered to the gateway",
+                   [this] { return submitted_.load(std::memory_order_relaxed); });
+    reg.counter_fn("gateway_fast_rejected", "jobs shed by the fast-reject gate",
+                   [this] { return fast_rejected_.load(std::memory_order_relaxed); });
+    reg.counter_fn("gateway_enqueued", "jobs handed to the drive thread",
+                   [this] { return enqueued_.load(std::memory_order_relaxed); });
+    reg.counter_fn("gateway_decided", "engine decisions made",
+                   [this] { return decided_.load(std::memory_order_relaxed); });
+    reg.counter_fn(
+        "gateway_audit_violations",
+        "fast-shed jobs the exact path admitted (certificate failures)",
+        [this] { return audit_violations_.load(std::memory_order_relaxed); });
+    reg.counter_fn("gateway_queue_high_water", "peak drive-queue occupancy",
+                   [this] { return static_cast<std::uint64_t>(queue_.high_water()); });
+    reg.gauge_fn("gateway_queue_depth", "current drive-queue occupancy",
+                 [this] { return static_cast<double>(queue_.size()); });
+    reg.gauge_fn("gateway_inflight_share",
+                 "in-flight share accumulator (processor units)", [this] {
+                   return static_cast<double>(
+                              share_scaled_.load(std::memory_order_relaxed)) /
+                          static_cast<double>(config_.granularity);
+                 });
+  }
+
+  drive_thread_ = std::thread([this] { drive(); });
+}
+
+AdmissionGateway::~AdmissionGateway() {
+  try {
+    close();
+  } catch (...) {
+    // A drive-thread error surfaces from close(); in a destructor the best
+    // we can do is not terminate. Callers who care call close() themselves.
+  }
+}
+
+std::uint64_t AdmissionGateway::scaled_share(
+    const workload::Job& job) const noexcept {
+  const double min_share =
+      cluster::required_share(job.scheduler_estimate, job.deadline,
+                              model_.deadline_clamp, model_.max_speed);
+  // Fixed-point in double first (floor keeps truncation deterministic),
+  // clamped below the uint64 range before the cast — a near-zero deadline
+  // can push the share to ~1e18 and beyond.
+  const double scaled = static_cast<double>(job.num_procs) *
+                        std::floor(static_cast<double>(config_.granularity) *
+                                   min_share);
+  return static_cast<std::uint64_t>(std::min(scaled, 9.0e18));
+}
+
+std::optional<trace::RejectionReason> AdmissionGateway::fast_reject_reason(
+    const workload::Job& job) const noexcept {
+  // C1: structurally impossible on every policy.
+  if (job.num_procs > model_.cluster_size)
+    return trace::RejectionReason::NoSuitableNode;
+  // C2-share: Eq. 2's per-node total is resident + new_share with
+  // resident >= 0, and new_share is antitone in node speed — so the
+  // fastest-node empty-cluster share is a lower bound on every node's
+  // test value (both monotonicities hold under IEEE round-to-nearest).
+  if (model_.share_test) {
+    const double share =
+        cluster::required_share(job.scheduler_estimate, job.deadline,
+                                model_.deadline_clamp, model_.max_speed);
+    if (share > model_.share_capacity + model_.share_tolerance)
+      return trace::RejectionReason::ShareOverflow;
+  }
+  // C2-deadline: the dispatch-time test compares now + estimate/max_speed
+  // against submit + slack*deadline + eps, and `now >= submit` at every
+  // evaluation; IEEE addition is weakly monotone, so failing at
+  // now == submit implies failing at every later now.
+  if (model_.deadline_test) {
+    const double best_finish =
+        job.submit_time + job.scheduler_estimate / model_.max_speed;
+    const double allowed =
+        job.submit_time + model_.slack_factor * job.deadline;
+    if (best_finish > allowed + sim::kTimeEpsilon)
+      return trace::RejectionReason::DeadlineInfeasible;
+  }
+  // C3: aggregate saturation — NOT a certificate (per-node admission can
+  // admit under aggregate overload); sheds only when explicitly unsound.
+  if (config_.shedding == GatewayConfig::Shedding::Aggressive) {
+    const std::uint64_t c = scaled_share(job);
+    const std::uint64_t spent = share_scaled_.load(std::memory_order_acquire);
+    if (c > share_budget_scaled_ || spent > share_budget_scaled_ - c)
+      return trace::RejectionReason::ShareOverflow;
+  }
+  return std::nullopt;
+}
+
+SubmitStatus AdmissionGateway::submit(const workload::Job& job) {
+  if (closed_.load(std::memory_order_acquire)) return SubmitStatus::Closed;
+  const std::optional<trace::RejectionReason> shed = fast_reject_reason(job);
+  if (shed.has_value()) {
+    if (config_.audit_shed) {
+      // Replay the shed job through the exact path: byte-identity with an
+      // ungated run, plus a live audit of the certificate.
+      if (!queue_.push(QueueItem{job, /*pre_shed=*/true}))
+        return SubmitStatus::Closed;
+      enqueued_.fetch_add(1, std::memory_order_relaxed);
+    }
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    fast_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return SubmitStatus::FastRejected;
+  }
+  if (!queue_.push(QueueItem{job, /*pre_shed=*/false}))
+    return SubmitStatus::Closed;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  return SubmitStatus::Enqueued;
+}
+
+void AdmissionGateway::drive() {
+  try {
+    QueueItem item;
+    while (queue_.pop(item)) {
+      workload::Job job = std::move(item.job);
+      // Multi-producer interleaving can deliver a job stamped earlier than
+      // one already submitted; clamp to the watermark (and the clock) so
+      // the engine's monotonicity contract holds. With one producer the
+      // stream is already monotone and both clamps are the identity —
+      // that is the byte-identity case.
+      job.submit_time =
+          std::max({job.submit_time, last_submit_, engine_->now()});
+      const AdmissionOutcome outcome = engine_->submit(job);
+      last_submit_ = job.submit_time;
+      decided_.fetch_add(1, std::memory_order_relaxed);
+      if (item.pre_shed && !outcome.rejected()) {
+        if (outcome.accepted()) {
+          // Started at its arrival instant: the certificate is plainly wrong.
+          audit_violations_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // Queued: the EDF family decides feasibility at dispatch, so the
+          // verdict is not in yet — audit it when the job resolves.
+          shed_pending_.insert(job.id);
+        }
+      }
+      if (!outcome.rejected()) {
+        // Add-on-admit — unless the job already resolved inside its own
+        // arrival step (zero-runtime completion), in which case the
+        // observer has already fired and an add here would never be
+        // subtracted.
+        const metrics::JobRecord& rec = engine_->collector().record(job.id);
+        if (rec.fate == metrics::JobFate::Pending) {
+          const std::uint64_t c = scaled_share(job);
+          if (c > 0) {
+            contributions_.emplace(job.id, c);
+            const std::uint64_t next =
+                share_scaled_.load(std::memory_order_relaxed) + c;
+            share_scaled_.store(next, std::memory_order_release);
+            share_peak_.observe(next);
+          }
+        }
+      }
+    }
+  } catch (...) {
+    drive_error_ = std::current_exception();
+    // Unblock producers waiting on a full queue; their pushes fail Closed.
+    queue_.close();
+  }
+}
+
+void AdmissionGateway::close() {
+  closed_.store(true, std::memory_order_release);
+  queue_.close();
+  if (!join_done_) {
+    if (drive_thread_.joinable()) drive_thread_.join();
+    join_done_ = true;
+  }
+  if (drive_error_ != nullptr) {
+    std::exception_ptr error = drive_error_;
+    drive_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+  if (!engine_->finished()) engine_->finish();
+}
+
+GatewayStats AdmissionGateway::stats() const {
+  GatewayStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.fast_rejected = fast_rejected_.load(std::memory_order_relaxed);
+  s.enqueued = enqueued_.load(std::memory_order_relaxed);
+  s.decided = decided_.load(std::memory_order_relaxed);
+  s.audit_violations = audit_violations_.load(std::memory_order_relaxed);
+  s.queue_high_water = static_cast<std::uint64_t>(queue_.high_water());
+  s.share_scaled_now = share_scaled_.load(std::memory_order_relaxed);
+  s.share_scaled_peak = share_peak_.value();
+  return s;
+}
+
+}  // namespace librisk::core

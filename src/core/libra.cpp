@@ -253,7 +253,8 @@ void LibraScheduler::submit_fast(const Job& job) {
   if (job.num_procs > cluster_size) {
     ++stats_.rejections;
     ++stats_.rejected_no_suitable_node;
-    collector_.record_rejected(job, now, /*at_dispatch=*/false);
+    collector_.record_rejected(job, now, /*at_dispatch=*/false,
+                               trace::RejectionReason::NoSuitableNode);
     if (trace_ != nullptr)
       trace_->job_rejected(now, job.id, trace::RejectionReason::NoSuitableNode,
                            0, job.num_procs);
@@ -274,13 +275,16 @@ void LibraScheduler::submit_fast(const Job& job) {
     ++stats_.nodes_scanned;
     double fit = 0.0;
     double sigma = -1.0;
-    const bool ok = node_suitable_fast(n, job, fit, tracing ? &sigma : nullptr);
+    // sigma is a by-product of the assessment either way; capturing it
+    // unconditionally costs one store and feeds both the trace event and
+    // the admission outcome (Scheduler::Decision).
+    const bool ok = node_suitable_fast(n, job, fit, &sigma);
     if (tracing)
       trace_->node_evaluated(
           now, job.id, n,
           ok ? trace::RejectionReason::None : scan_reason(), sigma, fit);
     if (ok) {
-      suitable_.push_back(Candidate{n, fit});
+      suitable_.push_back(Candidate{n, fit, sigma});
       if (can_stop_early &&
           static_cast<int>(suitable_.size()) == job.num_procs) {
         if (n + 1 < cluster_size) ++stats_.early_exits;
@@ -298,7 +302,7 @@ void LibraScheduler::submit_fast(const Job& job) {
       ++stats_.rejected_share_overflow;
     else
       ++stats_.rejected_risk_sigma;
-    collector_.record_rejected(job, now, /*at_dispatch=*/false);
+    collector_.record_rejected(job, now, /*at_dispatch=*/false, scan_reason());
     if (trace_ != nullptr)
       trace_->job_rejected(now, job.id, scan_reason(),
                            static_cast<int>(suitable_.size()), job.num_procs);
@@ -318,6 +322,7 @@ void LibraScheduler::submit_fast(const Job& job) {
     slowest = std::min(slowest, executor_.cluster().speed_factor(suitable_[i].node));
   }
   ++stats_.accepted;
+  note_decision(job.id, suitable_[0].node, suitable_[0].sigma);
   if (trace_ != nullptr)
     trace_->job_admitted(now, job.id, suitable_[0].node,
                          static_cast<int>(suitable_.size()), suitable_[0].fit);
@@ -376,7 +381,8 @@ void LibraScheduler::submit_legacy(const Job& job) {
   if (job.num_procs > executor_.cluster().size()) {
     ++stats_.rejections;
     ++stats_.rejected_no_suitable_node;
-    collector_.record_rejected(job, now, /*at_dispatch=*/false);
+    collector_.record_rejected(job, now, /*at_dispatch=*/false,
+                               trace::RejectionReason::NoSuitableNode);
     if (trace_ != nullptr)
       trace_->job_rejected(now, job.id, trace::RejectionReason::NoSuitableNode,
                            0, job.num_procs);
@@ -392,12 +398,12 @@ void LibraScheduler::submit_legacy(const Job& job) {
     ++stats_.nodes_scanned;
     double fit = 0.0;
     double sigma = -1.0;
-    const bool ok = node_suitable_legacy(n, job, fit, tracing ? &sigma : nullptr);
+    const bool ok = node_suitable_legacy(n, job, fit, &sigma);
     if (tracing)
       trace_->node_evaluated(
           now, job.id, n,
           ok ? trace::RejectionReason::None : scan_reason(), sigma, fit);
-    if (ok) suitable.push_back(Candidate{n, fit});
+    if (ok) suitable.push_back(Candidate{n, fit, sigma});
   }
   if (scan_nodes_hist_ != nullptr)
     scan_nodes_hist_->record(
@@ -409,7 +415,7 @@ void LibraScheduler::submit_legacy(const Job& job) {
       ++stats_.rejected_share_overflow;
     else
       ++stats_.rejected_risk_sigma;
-    collector_.record_rejected(job, now, /*at_dispatch=*/false);
+    collector_.record_rejected(job, now, /*at_dispatch=*/false, scan_reason());
     if (trace_ != nullptr)
       trace_->job_rejected(now, job.id, scan_reason(),
                            static_cast<int>(suitable.size()), job.num_procs);
@@ -445,6 +451,7 @@ void LibraScheduler::submit_legacy(const Job& job) {
     slowest = std::min(slowest, executor_.cluster().speed_factor(suitable[i].node));
   }
   ++stats_.accepted;
+  note_decision(job.id, suitable[0].node, suitable[0].sigma);
   if (trace_ != nullptr)
     trace_->job_admitted(now, job.id, suitable[0].node,
                          static_cast<int>(suitable.size()), suitable[0].fit);

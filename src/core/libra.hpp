@@ -123,7 +123,8 @@ class LibraScheduler final : public Scheduler {
  private:
   struct Candidate {
     cluster::NodeId node;
-    double fit;  // total share after acceptance; higher = fuller
+    double fit;    // total share after acceptance; higher = fuller
+    double sigma;  // sigma the suitability test saw (-1 for TotalShare)
   };
 
   [[nodiscard]] double new_job_share(const Job& job, cluster::NodeId node) const;
@@ -132,8 +133,9 @@ class LibraScheduler final : public Scheduler {
   [[nodiscard]] trace::RejectionReason scan_reason() const noexcept;
   /// Workspace-based suitability (the hot path; no allocation steady-state).
   /// `sigma_out`, when non-null, receives the sigma the decision saw
-  /// (-1 for the TotalShare test, which has no sigma); only tracing call
-  /// sites pass it, so the default path computes nothing extra.
+  /// (-1 for the TotalShare test, which has no sigma). The submit paths
+  /// always pass it — sigma is a free by-product of the assessment and
+  /// feeds both the node-evaluated trace event and the admission outcome.
   [[nodiscard]] bool node_suitable_fast(cluster::NodeId node, const Job& job,
                                         double& fit,
                                         double* sigma_out = nullptr) const;

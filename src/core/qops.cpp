@@ -86,7 +86,8 @@ bool QopsScheduler::feasible_with(const Job& candidate) const {
 
 void QopsScheduler::on_job_submitted(const Job& job) {
   if (job.num_procs > executor_.cluster().size()) {
-    collector_.record_rejected(job, sim_.now(), /*at_dispatch=*/false);
+    collector_.record_rejected(job, sim_.now(), /*at_dispatch=*/false,
+                               trace::RejectionReason::NoSuitableNode);
     if (trace_ != nullptr)
       trace_->job_rejected(sim_.now(), job.id,
                            trace::RejectionReason::NoSuitableNode, 0,
@@ -94,7 +95,8 @@ void QopsScheduler::on_job_submitted(const Job& job) {
     return;
   }
   if (!feasible_with(job)) {
-    collector_.record_rejected(job, sim_.now(), /*at_dispatch=*/false);
+    collector_.record_rejected(job, sim_.now(), /*at_dispatch=*/false,
+                               trace::RejectionReason::DeadlineInfeasible);
     if (trace_ != nullptr)
       trace_->job_rejected(sim_.now(), job.id,
                            trace::RejectionReason::DeadlineInfeasible, 0,

@@ -9,7 +9,12 @@ void run_trace(sim::Simulator& simulator, Scheduler& scheduler,
                const Hooks& hooks) {
   workload::validate_trace(jobs);
   AdmissionEngine engine(simulator, scheduler, collector, hooks);
-  for (const Job& job : jobs) engine.submit(job);
+  // enqueue(), not submit(): the batch drive schedules every arrival before
+  // running anything, which is the shape the seed driver had (and what the
+  // whole-trace-resident memory baseline in bench/mem_streaming_replay
+  // measures). Dispatch order — hence the .lrt trace — is identical either
+  // way; see docs/MODEL.md §"engine stepping".
+  for (const Job& job : jobs) engine.enqueue(job);
   engine.finish();
 }
 

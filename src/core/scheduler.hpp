@@ -33,6 +33,23 @@ class Scheduler {
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
+  /// Placement detail of the most recent admission decision, for
+  /// AdmissionEngine::submit's per-job outcome. Valid only while
+  /// `job_id` matches the job just submitted — policies that queue instead
+  /// of deciding at submission leave it untouched (the engine checks the id
+  /// and reports such jobs as queued). Rejection *reasons* travel through
+  /// the collector record, which survives later overwrites; this struct
+  /// carries what the collector cannot: the node the job landed on and the
+  /// tentative sigma its admission test saw.
+  struct Decision {
+    std::int64_t job_id = -1;
+    std::int32_t node = -1;  ///< first selected node; -1 when none
+    double sigma = -1.0;     ///< tentative sigma (Eq. 6); -1 when no sigma test ran
+  };
+  [[nodiscard]] const Decision& last_decision() const noexcept {
+    return last_decision_;
+  }
+
   /// Attaches the observation hooks (docs/TRACING.md, docs/OBSERVABILITY.md)
   /// in one shot: the trace recorder receives admission events, and a
   /// non-null telemetry makes the scheduler register its counters as pull
@@ -53,6 +70,11 @@ class Scheduler {
   /// from attach() with a telemetry that outlives the run.
   virtual void on_telemetry(obs::Telemetry& telemetry) { (void)telemetry; }
 
+  /// Records the placement of an accepted job for last_decision().
+  void note_decision(std::int64_t job_id, std::int32_t node, double sigma) noexcept {
+    last_decision_ = Decision{job_id, node, sigma};
+  }
+
   /// Borrowed, may be null; subclasses emit admission events through it.
   trace::Recorder* trace_ = nullptr;
   /// Borrowed, may be null.
@@ -60,6 +82,9 @@ class Scheduler {
   /// Cached &telemetry_->profiler(), null when telemetry is absent — so
   /// ScopedPhase sites pay a single null check.
   obs::PhaseProfiler* profiler_ = nullptr;
+
+ private:
+  Decision last_decision_;
 };
 
 /// Batch driver: submits every job of a validated, submit-ordered trace and

@@ -1,5 +1,7 @@
 #include "exp/scenario.hpp"
 
+#include <unordered_map>
+
 #include "core/engine.hpp"
 #include "support/check.hpp"
 
@@ -29,7 +31,13 @@ ScenarioResult run_jobs(const Scenario& scenario,
 
   core::AdmissionEngine engine(build_cluster(scenario), scenario.policy,
                                scenario.options);
-  for (const workload::Job& job : jobs) engine.submit(job);
+  // Eager submission: each call returns the decision, which carries the
+  // placement detail (node, tentative sigma) that the collector record
+  // cannot — keep it until the outcomes are assembled below.
+  std::unordered_map<std::int64_t, core::AdmissionOutcome> decisions;
+  decisions.reserve(jobs.size());
+  for (const workload::Job& job : jobs)
+    decisions.emplace(job.id, engine.submit(job));
   engine.finish();
 
   metrics::Collector::MeasurementWindow window;
@@ -55,13 +63,17 @@ ScenarioResult run_jobs(const Scenario& scenario,
   const auto& records = engine.collector().records();
   result.outcomes.reserve(records.size());
   for (const auto& [id, record] : records) {
+    const core::AdmissionOutcome& decision = decisions.at(id);
     result.outcomes.push_back(JobOutcome{
         .id = id,
         .fate = record.fate,
         .delay = record.delay,
         .slowdown = record.started ? record.slowdown() : 0.0,
         .underestimated = record.underestimated,
-        .urgency = record.urgency});
+        .urgency = record.urgency,
+        .reason = record.reject_reason,
+        .node = decision.node,
+        .sigma = decision.sigma});
   }
   // Utilization over the whole simulated horizon (not the measurement
   // window): delivered busy node-seconds / total capacity.

@@ -7,6 +7,7 @@
 
 #include "core/factory.hpp"
 #include "metrics/collector.hpp"
+#include "trace/event.hpp"
 #include "workload/synthetic.hpp"
 
 namespace librisk::exp {
@@ -34,7 +35,9 @@ struct Scenario {
 
 /// Per-job outcome kept alongside the aggregate summary, enabling
 /// diagnosis (e.g. were the late jobs the under-estimated ones themselves,
-/// or well-estimated victims squeezed by a co-located overrun?).
+/// or well-estimated victims squeezed by a co-located overrun?). The
+/// decision fields (reason, node, sigma) come from the engine's per-job
+/// AdmissionOutcome — run_jobs submits eagerly and keeps each verdict.
 struct JobOutcome {
   std::int64_t id = 0;
   metrics::JobFate fate{};
@@ -42,6 +45,13 @@ struct JobOutcome {
   double slowdown = 0.0;
   bool underestimated = false;  ///< user_estimate < actual_runtime
   workload::Urgency urgency{};
+  /// Which admission test said no (None unless the fate is a rejection).
+  trace::RejectionReason reason = trace::RejectionReason::None;
+  /// First node an accepted job was placed on; -1 when rejected or when
+  /// the policy does not report placement at admission.
+  std::int32_t node = -1;
+  /// Tentative sigma the admission test saw; -1 when no sigma test ran.
+  double sigma = -1.0;
 };
 
 struct ScenarioResult {

@@ -30,7 +30,27 @@ JobRecord& Collector::fetch(const Job& job, bool must_exist) {
 
 void Collector::resolved(const Job& job) {
   ++resolved_;
-  if (on_resolved_) on_resolved_(job.id);
+  for (const ResolutionObserver& observer : observers_)
+    if (observer) observer(job.id);
+}
+
+Collector::ObserverId Collector::add_resolution_observer(
+    ResolutionObserver observer) {
+  LIBRISK_CHECK(observer != nullptr, "null resolution observer");
+  for (ObserverId id = 0; id < observers_.size(); ++id) {
+    if (!observers_[id]) {
+      observers_[id] = std::move(observer);
+      return id;
+    }
+  }
+  observers_.push_back(std::move(observer));
+  return observers_.size() - 1;
+}
+
+void Collector::remove_resolution_observer(ObserverId id) {
+  LIBRISK_CHECK(id < observers_.size() && observers_[id] != nullptr,
+                "removing unknown resolution observer " << id);
+  observers_[id] = nullptr;
 }
 
 void Collector::record_submitted(const Job& job, SimTime now) {
@@ -41,13 +61,15 @@ void Collector::record_submitted(const Job& job, SimTime now) {
   r.underestimated = job.user_estimate < job.actual_runtime;
 }
 
-void Collector::record_rejected(const Job& job, SimTime now, bool at_dispatch) {
+void Collector::record_rejected(const Job& job, SimTime now, bool at_dispatch,
+                                trace::RejectionReason reason) {
   JobRecord& r = fetch(job, /*must_exist=*/true);
   LIBRISK_CHECK(r.fate == JobFate::Pending,
                 "job " << job.id << " already resolved as " << to_string(r.fate));
   LIBRISK_CHECK(!r.started, "job " << job.id << " rejected after starting");
   r.fate = at_dispatch ? JobFate::RejectedAtDispatch : JobFate::RejectedAtSubmit;
   r.finish_time = now;
+  r.reject_reason = reason;
   resolved(job);
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "support/stats.hpp"
+#include "trace/event.hpp"
 #include "workload/job.hpp"
 
 namespace librisk::metrics {
@@ -53,6 +54,10 @@ struct JobRecord {
   int num_procs = 0;
   workload::Urgency urgency = workload::Urgency::Unspecified;
   bool underestimated = false;  ///< user_estimate < actual_runtime
+  /// Which admission test said no (None unless fate is a rejection) — the
+  /// per-job attribution that used to require diffing AdmissionStats
+  /// counters around each submission.
+  trace::RejectionReason reject_reason = trace::RejectionReason::None;
 
   [[nodiscard]] double response_time() const noexcept {
     return finish_time - submit_time;
@@ -99,7 +104,8 @@ class Collector {
  public:
   /// Every job must be announced exactly once before any other record_* call.
   void record_submitted(const Job& job, SimTime now);
-  void record_rejected(const Job& job, SimTime now, bool at_dispatch);
+  void record_rejected(const Job& job, SimTime now, bool at_dispatch,
+                       trace::RejectionReason reason = trace::RejectionReason::None);
   /// `min_runtime`: the job's best-case runtime on the nodes it received.
   void record_started(const Job& job, SimTime now, double min_runtime);
   void record_completed(const Job& job, SimTime finish);
@@ -112,14 +118,18 @@ class Collector {
   /// Jobs that reached a terminal fate so far.
   [[nodiscard]] std::size_t resolved_count() const noexcept { return resolved_; }
 
-  /// Observer fired once per job the instant it reaches a terminal fate
-  /// (rejected, completed, or killed), with the job's id. Used by
-  /// core::AdmissionEngine to reclaim job storage; at most one observer.
-  /// The callback must not call back into this Collector.
+  /// Observers fired once per job the instant it reaches a terminal fate
+  /// (rejected, completed, or killed), with the job's id, in registration
+  /// order. core::AdmissionEngine registers one to reclaim job storage;
+  /// core::AdmissionGateway registers another to subtract the job's
+  /// fixed-point share from its fast-reject accumulator. Callbacks must not
+  /// call back into this Collector. remove_resolution_observer() is safe
+  /// while other observers stay registered (tokens are stable); it must not
+  /// be called from inside an observer.
   using ResolutionObserver = std::function<void(std::int64_t)>;
-  void set_resolution_observer(ResolutionObserver observer) {
-    on_resolved_ = std::move(observer);
-  }
+  using ObserverId = std::size_t;
+  ObserverId add_resolution_observer(ResolutionObserver observer);
+  void remove_resolution_observer(ObserverId id);
   [[nodiscard]] const JobRecord& record(std::int64_t job_id) const;
   [[nodiscard]] const std::map<std::int64_t, JobRecord>& records() const noexcept {
     return records_;
@@ -142,7 +152,9 @@ class Collector {
   void resolved(const Job& job);
   std::map<std::int64_t, JobRecord> records_;
   std::size_t resolved_ = 0;
-  ResolutionObserver on_resolved_;
+  /// Fan-out slots; a removed observer leaves a null slot so ObserverId
+  /// tokens stay stable (slots are reused by the next add).
+  std::vector<ResolutionObserver> observers_;
 };
 
 }  // namespace librisk::metrics

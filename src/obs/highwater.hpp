@@ -1,0 +1,33 @@
+// Lock-free high-water mark: concurrent writers race to raise it, readers
+// see the maximum ever observed. The gateway uses one per contended gauge
+// (queue depth, in-flight share) where a plain Gauge would need a lock to
+// keep "last written" meaningful across threads — for a watermark only the
+// max matters, and compare-exchange gives exactly that.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace librisk::obs {
+
+class HighWater {
+ public:
+  /// Raises the mark to at least `value`. Wait-free for readers; writers
+  /// loop only while the mark is being raised past them by someone else,
+  /// in which case their own update is already subsumed.
+  void observe(std::uint64_t value) noexcept {
+    std::uint64_t seen = mark_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !mark_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return mark_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> mark_{0};
+};
+
+}  // namespace librisk::obs

@@ -51,7 +51,7 @@ EventQueue::Popped EventQueue::pop() {
   const std::uint32_t idx = heap_.front();
   Slot& slot = slots_[idx];
   Popped out{slot.time, static_cast<EventPriority>(slot.priority),
-             std::move(slot.handler)};
+             std::move(slot.handler), slot.seq};
   heap_erase(0);
   release(idx);
   return out;

@@ -63,11 +63,14 @@ class EventQueue {
   /// Timestamp of the next live event; empty() must be false.
   [[nodiscard]] SimTime next_time() const;
 
-  /// Pops the next live event. empty() must be false.
+  /// Pops the next live event. empty() must be false. `seq` is the schedule
+  /// sequence number (EventId::value), letting a driver recognise a
+  /// specific event as it is dispatched (Simulator::run_through).
   struct Popped {
     SimTime time;
     EventPriority priority;
     Handler handler;
+    std::uint64_t seq;
   };
   [[nodiscard]] Popped pop();
 

@@ -31,7 +31,7 @@ void Simulator::clear_metronome() noexcept {
   tick_period_ = 0.0;
 }
 
-void Simulator::dispatch_next() {
+std::uint64_t Simulator::dispatch_next() {
   if (metronome_) {
     // Fire every nominal tick at-or-before the next event's timestamp,
     // observing pre-event state. Nominal times are computed as k * period
@@ -45,13 +45,14 @@ void Simulator::dispatch_next() {
       metronome_(tick);
     }
   }
-  auto [time, priority, handler] = queue_.pop();
+  auto [time, priority, handler, seq] = queue_.pop();
   LIBRISK_CHECK(time >= now_, "event queue returned a past event");
   now_ = time;
   in_event_ = true;
   handler();
   in_event_ = false;
   ++processed_;
+  return seq;
 }
 
 std::uint64_t Simulator::run() {
@@ -74,6 +75,19 @@ std::uint64_t Simulator::run_before(SimTime horizon) {
   const std::uint64_t start = processed_;
   while (!queue_.empty() && !stopping_ && queue_.next_time() < horizon)
     dispatch_next();
+  return processed_ - start;
+}
+
+std::uint64_t Simulator::run_through(EventId target) {
+  LIBRISK_CHECK(target.valid(), "run_through on an invalid event id");
+  stopping_ = false;
+  const std::uint64_t start = processed_;
+  while (!queue_.empty() && !stopping_) {
+    if (dispatch_next() == target.value) return processed_ - start;
+  }
+  LIBRISK_CHECK(stopping_,
+                "run_through drained the queue without dispatching event "
+                    << target.value << " — it already fired or was cancelled");
   return processed_ - start;
 }
 

@@ -44,6 +44,15 @@ class Simulator {
   /// the same (time, priority, seq) order the batch driver produces.
   std::uint64_t run_before(SimTime horizon);
 
+  /// Runs events up to and including the one identified by `target`, which
+  /// must be pending (not fired, not cancelled). Everything that precedes
+  /// `target` in the (time, priority, seq) total order fires first — the
+  /// exact prefix the batch driver would run — then `target` itself, and
+  /// nothing after it. This is AdmissionEngine::submit's eager step: it
+  /// yields a per-job verdict at the submit() call site while keeping the
+  /// dispatch order byte-identical to the batch drive.
+  std::uint64_t run_through(EventId target);
+
   /// Requests run() to return after the current event completes.
   void stop() noexcept { stopping_ = true; }
 
@@ -67,7 +76,8 @@ class Simulator {
   [[nodiscard]] std::uint64_t metronome_ticks() const noexcept { return ticks_; }
 
  private:
-  void dispatch_next();
+  /// Dispatches the next event; returns its schedule sequence number.
+  std::uint64_t dispatch_next();
 
   EventQueue queue_;
   SimTime now_ = kTimeZero;

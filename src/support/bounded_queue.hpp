@@ -1,0 +1,104 @@
+// Bounded multi-producer queue with blocking push/pop, used as the handoff
+// between the gateway's submitter threads and its single drive thread.
+//
+// A mutex + two condition variables over a fixed ring. Deliberately not
+// lock-free: the lock-free stage of the gateway is the fast-reject
+// accumulator, which runs *before* a job reaches this queue — by the time a
+// job is enqueued it has survived the cheap shed test, and the bound is
+// doing its real work (backpressure on producers so an engine running
+// slower than the submit rate cannot grow memory without limit). Under
+// contention a short critical section (copy one element, bump an index)
+// keeps the queue far from being the bottleneck; bench/throughput_gateway
+// measures the whole pipeline.
+//
+// close() wakes everyone: producers get `false` from push (the run is
+// over), the consumer drains what is left and then gets `false` from pop.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace librisk::support {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : ring_(capacity) {
+    LIBRISK_CHECK(capacity > 0, "queue capacity must be positive");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full. Returns false (and drops `value`) iff the queue was
+  /// closed — the element is NOT enqueued then.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return size_ < ring_.size() || closed_; });
+    if (closed_) return false;
+    ring_[(head_ + size_) % ring_.size()] = std::move(value);
+    ++size_;
+    high_water_ = std::max(high_water_, size_);
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns false iff the queue is closed AND drained —
+  /// elements pushed before close() are always delivered.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return size_ > 0 || closed_; });
+    if (size_ == 0) return false;  // closed and drained
+    out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --size_;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Ends the stream: all blocked and future pushes fail, pops drain the
+  /// remainder then fail. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+  /// Peak occupancy since construction (backpressure diagnostics).
+  [[nodiscard]] std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_water_;
+  }
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace librisk::support

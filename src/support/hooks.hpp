@@ -10,6 +10,12 @@
 // point; core::AdmissionEngine fans it out), so a partially-wired stack can
 // no longer be expressed.
 //
+// Thread affinity: hook implementations are single-threaded and are only
+// ever called from the thread driving the simulator they observe. In a
+// concurrent front-end (core::AdmissionGateway) that is the gateway's drive
+// thread — producers never touch hooks, so recorders and telemetry need no
+// locking (docs/CONCURRENCY.md).
+//
 // This header only forward-declares the hook types so layers below
 // trace/obs can carry a Hooks value without inheriting their dependencies.
 #pragma once

@@ -215,16 +215,22 @@ bool SwfStream::next(Job& job) {
     }
     if (opts_.require_monotone && returned_ > 0 &&
         parsed.submit_time < last_raw_submit_) {
+      // Name both offenders fully — job id, submit time and line for each
+      // side of the inversion — so a bad trace can be fixed without a
+      // second pass to find the earlier half of the pair.
       std::ostringstream os;
       os << "SWF line " << line_no_ << ": job " << parsed.id
-         << " submitted at " << parsed.submit_time
-         << ", before the previous job at " << last_raw_submit_
+         << " submitted at " << parsed.submit_time << ", before job "
+         << last_id_ << " (line " << last_line_ << ") submitted at "
+         << last_raw_submit_
          << " — streaming replay needs a submit-ordered trace; sort it first"
             " (the batch reader swf::read() sorts) or set"
             " StreamOptions::require_monotone = false";
       throw ParseError(os.str());
     }
     last_raw_submit_ = parsed.submit_time;
+    last_id_ = parsed.id;
+    last_line_ = line_no_;
 
     const auto it = notes_.find(parsed.id);
     if (it != notes_.end()) {

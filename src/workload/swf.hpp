@@ -117,6 +117,8 @@ class SwfStream {
   std::size_t skipped_ = 0;
   double base_ = 0.0;             ///< first kept job's raw submit time
   double last_raw_submit_ = 0.0;  ///< monotonicity watermark (pre-rebase)
+  std::int64_t last_id_ = -1;     ///< job that set the watermark…
+  int last_line_ = 0;             ///< …and the line it came from
 };
 
 struct WriteOptions {

@@ -182,7 +182,9 @@ TEST(EngineEquivalence, StreamingMemoryBoundedByResidentSet) {
 
   core::AdmissionEngine batch(cluster::Cluster::homogeneous(32, 168.0),
                               core::Policy::LibraRisk);
-  for (const workload::Job& job : jobs) batch.submit(job);
+  // enqueue(), not submit(): eager submission resolves-and-reclaims as it
+  // goes, which is exactly what this leg must NOT do.
+  for (const workload::Job& job : jobs) batch.enqueue(job);
   batch.finish();
   EXPECT_EQ(batch.peak_live_jobs(), jobs.size())
       << "batch submission peaks at the whole trace by construction";

@@ -1,7 +1,10 @@
+#include <mutex>
 #include <ostream>
 #include <string>
+#include <thread>
 
 #include "core/engine.hpp"
+#include "core/gateway.hpp"
 #include "metrics/report.hpp"
 #include "obs/render.hpp"
 #include "obs/telemetry.hpp"
@@ -23,7 +26,70 @@ struct ReplayFlags {
   double inaccuracy = 100.0;
   double high_urgency = 0.20;
   double ratio = 4.0;
+  int threads = 0;  ///< 0 = direct engine; >= 1 = gateway with N producers
 };
+
+/// Concurrent streaming replay: N producer threads feed the
+/// core::AdmissionGateway. The SWF stream and the deadline-synthesis RNG
+/// are shared under one mutex so per-job synthesis stays identical to the
+/// single-threaded path; the gateway's drive thread makes every decision.
+/// With one producer the decision trace is byte-identical to the direct
+/// engine path; with several, only the queue interleaving differs.
+int run_gateway(const ReplayFlags& f, core::Policy policy,
+                const std::string& telemetry_out, double telemetry_period,
+                std::ostream& out) {
+  obs::TelemetryConfig tel_config;
+  if (!telemetry_out.empty()) tel_config.sample_period = telemetry_period;
+  obs::Telemetry telemetry(tel_config);
+
+  core::GatewayConfig config;
+  config.engine.cluster = cluster::Cluster::homogeneous(f.nodes, f.rating);
+  config.engine.policy = policy;
+  config.engine.options.hooks.telemetry = &telemetry;
+  core::AdmissionGateway gateway(std::move(config));
+
+  workload::swf::SwfStream stream(f.trace);
+  workload::DeadlineConfig dl_config;
+  dl_config.high_urgency_fraction = f.high_urgency;
+  dl_config.high_low_ratio = f.ratio;
+  rng::Stream dl_stream("deadlines", f.seed);
+  std::mutex source_mutex;
+
+  const auto produce = [&] {
+    std::vector<workload::Job> one(1);
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(source_mutex);
+        if (!stream.next(one[0])) return;
+        if (one[0].deadline <= 0.0)
+          workload::assign_deadlines(one, dl_config, dl_stream);
+        workload::apply_inaccuracy(one, f.inaccuracy);
+      }
+      if (gateway.submit(one[0]) == core::SubmitStatus::Closed) return;
+    }
+  };
+  std::vector<std::thread> producers;
+  producers.reserve(f.threads);
+  for (int i = 0; i < f.threads; ++i) producers.emplace_back(produce);
+  for (std::thread& t : producers) t.join();
+  gateway.close();
+
+  if (gateway.engine().jobs_submitted() == 0)
+    throw cli::ParseError("trace contains no usable jobs");
+  metrics::print_summary(out, std::string(core::to_string(policy)),
+                         gateway.engine().summary());
+  const core::GatewayStats gs = gateway.stats();
+  out << "\ngateway: " << f.threads << " producer(s), " << gs.submitted
+      << " submitted, " << gs.fast_rejected << " fast-rejected, "
+      << gs.decided << " decided, queue high-water " << gs.queue_high_water
+      << ", audit violations " << gs.audit_violations << '\n';
+  if (!telemetry_out.empty()) {
+    telemetry.write_dir(telemetry_out);
+    out << "telemetry written to " << telemetry_out << " ("
+        << telemetry.samples() << " samples)\n";
+  }
+  return 0;
+}
 
 /// Streaming replay: pipe the SWF file line-at-a-time through a long-lived
 /// AdmissionEngine. Job objects in memory stay proportional to the
@@ -105,6 +171,11 @@ int cmd_replay(const std::vector<std::string>& args, std::ostream& out) {
       "--stream only: write live-telemetry exports under this directory", "");
   auto& tel_period = parser.add<double>(
       "telemetry-period", "sim-seconds between sampler ticks", 600.0);
+  auto& threads_opt = parser.add<int>(
+      "threads",
+      "--stream only: feed the concurrent AdmissionGateway with N producer "
+      "threads (0 = direct single-threaded engine; 1 is byte-identical to it)",
+      0);
   parser.parse(args);
 
   if (trace_opt.value.empty()) throw cli::ParseError("replay requires --trace <file>");
@@ -122,9 +193,16 @@ int cmd_replay(const std::vector<std::string>& args, std::ostream& out) {
     f.inaccuracy = inaccuracy_opt.value;
     f.high_urgency = high_urgency_opt.value;
     f.ratio = ratio_opt.value;
+    f.threads = threads_opt.value;
+    if (f.threads < 0) throw cli::ParseError("--threads must be >= 0");
+    if (f.threads > 0)
+      return run_gateway(f, core::parse_policy(policy_opt.value),
+                         tel_out.value, tel_period.value, out);
     return run_streaming(f, core::parse_policy(policy_opt.value),
                          tel_out.value, tel_period.value, out);
   }
+  if (threads_opt.value > 0)
+    throw cli::ParseError("--threads requires --stream");
 
   workload::swf::ReadOptions read_opts;
   read_opts.last_n = last_opt.value > 0 ? static_cast<std::size_t>(last_opt.value) : 0;
