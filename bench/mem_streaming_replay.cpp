@@ -25,6 +25,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -44,36 +45,38 @@ constexpr double kRating = 168.0;
 /// one machine-readable RESULT line. Runs in its own process so ru_maxrss
 /// reflects exactly one replay.
 int run_child(const std::string& mode, const std::string& trace, int nodes) {
-  core::AdmissionEngine engine(cluster::Cluster::homogeneous(nodes, kRating),
-                               core::Policy::LibraRisk);
+  core::EngineConfig config;
+  config.cluster = cluster::Cluster::homogeneous(nodes, kRating);
+  const std::unique_ptr<core::AdmissionEngine> engine =
+      core::make_engine(std::move(config));
   if (mode == "materialized") {
     // enqueue(), not submit(): this leg measures the whole-trace-resident
     // batch shape, which eager submission would deflate.
     const std::vector<workload::Job> jobs = workload::swf::read_file(trace);
-    for (const workload::Job& job : jobs) engine.enqueue(job);
+    for (const workload::Job& job : jobs) engine->enqueue(job);
   } else {
     workload::swf::SwfStream stream(trace);
     workload::Job job;
     while (stream.next(job)) {
-      engine.advance_to(job.submit_time);
-      engine.submit(job);
+      engine->advance_to(job.submit_time);
+      engine->submit(job);
     }
   }
-  engine.finish();
+  engine->finish();
 
   struct rusage usage {};
   if (getrusage(RUSAGE_SELF, &usage) != 0) {
     std::cerr << "getrusage failed\n";
     return 1;
   }
-  const metrics::RunSummary summary = engine.summary();
+  const metrics::RunSummary summary = engine->summary();
   std::cout << "RESULT mode=" << mode << " maxrss_kib=" << usage.ru_maxrss
             << " submitted=" << summary.submitted
             << " fulfilled=" << summary.fulfilled
             << " completed_late=" << summary.completed_late
             << " killed=" << summary.killed
             << " rejected=" << summary.rejected_at_submit
-            << " peak_live=" << engine.peak_live_jobs() << "\n";
+            << " peak_live=" << engine->peak_live_jobs() << "\n";
   return 0;
 }
 

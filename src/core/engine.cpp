@@ -58,14 +58,15 @@ std::unique_ptr<AdmissionEngine> make_engine(EngineConfig config) {
                       config.collector != nullptr,
                   "borrowed-mode EngineConfig needs simulator, scheduler and "
                   "collector all set");
-    return std::make_unique<AdmissionEngine>(*config.simulator, *config.scheduler,
-                                             *config.collector, config.hooks);
+    // new over make_unique: the constructors are private (friend access).
+    return std::unique_ptr<AdmissionEngine>(new AdmissionEngine(
+        *config.simulator, *config.scheduler, *config.collector, config.hooks));
   }
   LIBRISK_CHECK(config.cluster.has_value(),
                 "EngineConfig names no mode: set cluster (owning) or "
                 "simulator+scheduler+collector (borrowed)");
-  return std::make_unique<AdmissionEngine>(std::move(*config.cluster),
-                                           config.policy, config.options);
+  return std::unique_ptr<AdmissionEngine>(new AdmissionEngine(
+      std::move(*config.cluster), config.policy, config.options));
 }
 
 sim::EventId AdmissionEngine::enqueue(const workload::Job& job) {

@@ -77,23 +77,10 @@ struct AdmissionOutcome {
 
 [[nodiscard]] const char* to_string(AdmissionOutcome::Verdict verdict) noexcept;
 
+struct EngineConfig;
+
 class AdmissionEngine {
  public:
-  /// Owning mode: builds the simulator, collector and policy stack, and
-  /// attaches `options.hooks` to every component plus the engine's own
-  /// driver-level emissions — the single attach point. The cluster is
-  /// copied; the engine is self-contained and long-lived.
-  AdmissionEngine(cluster::Cluster cluster, Policy policy,
-                  const PolicyOptions& options = {});
-
-  /// Borrowed mode (the run_trace compatibility path): drives caller-owned
-  /// components. `hooks` must be the same ones already attached to the
-  /// scheduler stack; the engine uses them only for its own emissions
-  /// (JobSubmitted events, telemetry arm/finish/seal) and does NOT attach
-  /// them to `scheduler` — a factory-built stack has done that already.
-  AdmissionEngine(sim::Simulator& simulator, Scheduler& scheduler,
-                  Collector& collector, const Hooks& hooks = {});
-
   AdmissionEngine(const AdmissionEngine&) = delete;
   AdmissionEngine& operator=(const AdmissionEngine&) = delete;
   ~AdmissionEngine();
@@ -174,6 +161,25 @@ class AdmissionEngine {
   [[nodiscard]] Scheduler& scheduler() noexcept { return scheduler_; }
 
  private:
+  /// Owning mode: builds the simulator, collector and policy stack, and
+  /// attaches `options.hooks` to every component plus the engine's own
+  /// driver-level emissions — the single attach point. The cluster is
+  /// copied; the engine is self-contained and long-lived.
+  AdmissionEngine(cluster::Cluster cluster, Policy policy,
+                  const PolicyOptions& options);
+
+  /// Borrowed mode (the run_trace compatibility path): drives caller-owned
+  /// components. `hooks` must be the same ones already attached to the
+  /// scheduler stack; the engine uses them only for its own emissions
+  /// (JobSubmitted events, telemetry arm/finish/seal) and does NOT attach
+  /// them to `scheduler` — a factory-built stack has done that already.
+  AdmissionEngine(sim::Simulator& simulator, Scheduler& scheduler,
+                  Collector& collector, const Hooks& hooks);
+
+  /// make_engine is the only way to construct an engine: it validates the
+  /// exactly-one-mode contract before dispatching to a constructor.
+  friend std::unique_ptr<AdmissionEngine> make_engine(EngineConfig config);
+
   void reclaim();
   /// Reads the decision the arrival step just produced for `job_id` out of
   /// the collector record (fate + reason) and the scheduler's last placement
@@ -219,9 +225,8 @@ class AdmissionEngine {
 ///   borrowed: `simulator`/`scheduler`/`collector` all non-null — the
 ///             engine drives a caller-owned stack; `hooks` must be the
 ///             ones already attached to it.
-/// This replaces picking between two positional constructors; the old
-/// overloads remain for source compatibility but are deprecated in
-/// docs/API.md.
+/// This is the only way to build an engine — the mode-specific constructors
+/// are private so every call site states its mode explicitly.
 struct EngineConfig {
   // -- owning mode --
   std::optional<cluster::Cluster> cluster;

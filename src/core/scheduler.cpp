@@ -8,14 +8,19 @@ void run_trace(sim::Simulator& simulator, Scheduler& scheduler,
                Collector& collector, const std::vector<Job>& jobs,
                const Hooks& hooks) {
   workload::validate_trace(jobs);
-  AdmissionEngine engine(simulator, scheduler, collector, hooks);
+  EngineConfig config;
+  config.simulator = &simulator;
+  config.scheduler = &scheduler;
+  config.collector = &collector;
+  config.hooks = hooks;
+  const std::unique_ptr<AdmissionEngine> engine = make_engine(std::move(config));
   // enqueue(), not submit(): the batch drive schedules every arrival before
   // running anything, which is the shape the seed driver had (and what the
   // whole-trace-resident memory baseline in bench/mem_streaming_replay
   // measures). Dispatch order — hence the .lrt trace — is identical either
   // way; see docs/MODEL.md §"engine stepping".
-  for (const Job& job : jobs) engine.enqueue(job);
-  engine.finish();
+  for (const Job& job : jobs) engine->enqueue(job);
+  engine->finish();
 }
 
 }  // namespace librisk::core

@@ -29,16 +29,20 @@ ScenarioResult run_jobs(const Scenario& scenario,
                     scenario.warmup_fraction + scenario.cooldown_fraction < 1.0,
                 "measurement window fractions out of domain");
 
-  core::AdmissionEngine engine(build_cluster(scenario), scenario.policy,
-                               scenario.options);
+  core::EngineConfig config;
+  config.cluster = build_cluster(scenario);
+  config.policy = scenario.policy;
+  config.options = scenario.options;
+  const std::unique_ptr<core::AdmissionEngine> engine =
+      core::make_engine(std::move(config));
   // Eager submission: each call returns the decision, which carries the
   // placement detail (node, tentative sigma) that the collector record
   // cannot — keep it until the outcomes are assembled below.
   std::unordered_map<std::int64_t, core::AdmissionOutcome> decisions;
   decisions.reserve(jobs.size());
   for (const workload::Job& job : jobs)
-    decisions.emplace(job.id, engine.submit(job));
-  engine.finish();
+    decisions.emplace(job.id, engine->submit(job));
+  engine->finish();
 
   metrics::Collector::MeasurementWindow window;
   if (!jobs.empty() &&
@@ -55,12 +59,12 @@ ScenarioResult run_jobs(const Scenario& scenario,
     obs::ScopedPhase phase(
         telemetry != nullptr ? &telemetry->profiler() : nullptr,
         obs::Phase::Metrics);
-    result.summary = engine.collector().summarize(window);
+    result.summary = engine->collector().summarize(window);
   }
-  result.events_processed = engine.events_processed();
-  result.admission = engine.admission_stats();
-  result.kernel = engine.kernel_stats();
-  const auto& records = engine.collector().records();
+  result.events_processed = engine->events_processed();
+  result.admission = engine->admission_stats();
+  result.kernel = engine->kernel_stats();
+  const auto& records = engine->collector().records();
   result.outcomes.reserve(records.size());
   for (const auto& [id, record] : records) {
     const core::AdmissionOutcome& decision = decisions.at(id);
@@ -77,10 +81,10 @@ ScenarioResult run_jobs(const Scenario& scenario,
   }
   // Utilization over the whole simulated horizon (not the measurement
   // window): delivered busy node-seconds / total capacity.
-  if (engine.now() > 0.0) {
+  if (engine->now() > 0.0) {
     result.summary.utilization =
-        engine.busy_node_seconds() /
-        (static_cast<double>(engine.cluster_size()) * engine.now());
+        engine->busy_node_seconds() /
+        (static_cast<double>(engine->cluster_size()) * engine->now());
   }
   if (telemetry != nullptr) result.profile = telemetry->profiler().report();
   return result;

@@ -1,0 +1,135 @@
+#include "federation/router.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace librisk::federation {
+
+namespace {
+
+constexpr std::array<RoutePolicy, 5> kAllPolicies = {
+    RoutePolicy::RoundRobin, RoutePolicy::LeastRisk, RoutePolicy::PriceWeighted,
+    RoutePolicy::Affinity, RoutePolicy::RandomTwoChoice};
+
+/// True when `view` can physically hold the job (enough nodes). Load is the
+/// policies' business; feasibility is not.
+bool feasible(const ShardView& view, const workload::Job& job) noexcept {
+  return view.nodes >= job.num_procs;
+}
+
+/// Fallback target when no shard is feasible: the largest shard (ties to
+/// the lowest index), where "not enough nodes" is closest to the truth.
+int largest_shard(std::span<const ShardView> views) noexcept {
+  int best = 0;
+  for (std::size_t i = 1; i < views.size(); ++i)
+    if (views[i].nodes > views[best].nodes) best = static_cast<int>(i);
+  return best;
+}
+
+}  // namespace
+
+const char* to_string(RoutePolicy policy) noexcept {
+  switch (policy) {
+    case RoutePolicy::RoundRobin: return "RoundRobin";
+    case RoutePolicy::LeastRisk: return "LeastRisk";
+    case RoutePolicy::PriceWeighted: return "PriceWeighted";
+    case RoutePolicy::Affinity: return "Affinity";
+    case RoutePolicy::RandomTwoChoice: return "RandomTwoChoice";
+  }
+  return "?";
+}
+
+std::optional<RoutePolicy> parse_route_policy(std::string_view name) noexcept {
+  for (const RoutePolicy policy : kAllPolicies)
+    if (name == to_string(policy)) return policy;
+  return std::nullopt;
+}
+
+std::span<const RoutePolicy> all_route_policies() noexcept { return kAllPolicies; }
+
+Router::Router(RoutePolicy policy, std::uint64_t seed)
+    : policy_(policy), stream_("federation-router", seed) {}
+
+int Router::pick_least_loaded(std::span<const ShardView> views) const {
+  int best = -1;
+  double best_load = 0.0;
+  for (const ShardView& view : views) {
+    if (best < 0 || view.load_factor() < best_load) {
+      best = view.shard;
+      best_load = view.load_factor();
+    }
+  }
+  return best;
+}
+
+int Router::route(const workload::Job& job, std::span<const ShardView> views) {
+  LIBRISK_CHECK(!views.empty(), "route() needs at least one shard view");
+
+  // Feasibility filter, preserving shard order.
+  std::vector<ShardView> eligible;
+  eligible.reserve(views.size());
+  for (const ShardView& view : views)
+    if (feasible(view, job)) eligible.push_back(view);
+  if (eligible.empty()) return views[largest_shard(views)].shard;
+
+  switch (policy_) {
+    case RoutePolicy::RoundRobin: {
+      const std::size_t pick = cursor_ % eligible.size();
+      ++cursor_;
+      return eligible[pick].shard;
+    }
+    case RoutePolicy::LeastRisk:
+      return pick_least_loaded(eligible);
+    case RoutePolicy::PriceWeighted: {
+      // Libra's economy, federated: each shard's effective offer is its
+      // price marked up by how contended it already is; take the cheapest.
+      int best = -1;
+      double best_offer = 0.0;
+      for (const ShardView& view : eligible) {
+        const double offer = view.price * (1.0 + view.load_factor());
+        if (best < 0 || offer < best_offer) {
+          best = view.shard;
+          best_offer = offer;
+        }
+      }
+      return best;
+    }
+    case RoutePolicy::Affinity: {
+      const std::int64_t user =
+          job.user_id >= 0 ? static_cast<std::int64_t>(job.user_id)
+                           : job.id % 1024;
+      const auto it = affinity_.find(user);
+      if (it != affinity_.end()) {
+        // Spill without re-pinning when the sticky shard cannot hold this
+        // job; the user's smaller jobs keep their home.
+        for (const ShardView& view : eligible)
+          if (view.shard == it->second) return it->second;
+        return pick_least_loaded(eligible);
+      }
+      const int home = pick_least_loaded(eligible);
+      affinity_.emplace(user, home);
+      return home;
+    }
+    case RoutePolicy::RandomTwoChoice: {
+      // Power of two choices: sample two distinct candidates, keep the
+      // less loaded. One eligible shard means no choice to make (but the
+      // stream still advances once per job, keeping decisions a pure
+      // function of arrival order).
+      const auto n = static_cast<std::int64_t>(eligible.size());
+      const std::int64_t a = stream_.uniform_int(0, n - 1);
+      const std::int64_t b = stream_.uniform_int(0, n - 1);
+      const ShardView& va = eligible[static_cast<std::size_t>(a)];
+      const ShardView& vb = eligible[static_cast<std::size_t>(b)];
+      if (va.load_factor() != vb.load_factor())
+        return va.load_factor() < vb.load_factor() ? va.shard : vb.shard;
+      return std::min(va.shard, vb.shard);
+    }
+  }
+  LIBRISK_CHECK(false, "unreachable route policy");
+  return 0;
+}
+
+}  // namespace librisk::federation

@@ -1,0 +1,87 @@
+// Routing policies for the federated meta-scheduler: which cluster shard
+// gets each arriving job.
+//
+// A Router is a pure sequential decision procedure over per-shard load
+// views. It never touches an engine: the Federation snapshots every shard's
+// pull metrics between stepping barriers (federation.hpp), hands the views
+// to route(), and submits the job to the chosen shard. All routing state —
+// the round-robin cursor, the affinity map, the two-choice RNG stream — is
+// consumed on the routing thread only and advanced exactly once per job in
+// arrival order, which is what makes federation results independent of how
+// many worker threads step the shards (docs/FEDERATION.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+
+#include "support/rng.hpp"
+#include "workload/job.hpp"
+
+namespace librisk::federation {
+
+/// Per-shard load snapshot the Federation refreshes before each decision.
+struct ShardView {
+  int shard = 0;            ///< index into the federation's shard list
+  int nodes = 0;            ///< cluster size (feasibility: nodes >= num_procs)
+  double total_speed = 0.0; ///< aggregate capacity, reference-node units
+  /// Sum of deadline-proportional shares (Eq. 1, processor units) of jobs
+  /// routed here and not yet resolved — the same quantity the admission
+  /// gateway budgets against, read from the shard's pull metrics.
+  double inflight_share = 0.0;
+  std::size_t live_jobs = 0;  ///< routed, not yet resolved
+  std::uint64_t routed = 0;   ///< jobs ever routed to this shard
+  double price = 1.0;         ///< $/share unit (PriceWeighted)
+
+  /// Demand-normalised load: in-flight share per unit capacity. 0 = idle;
+  /// ~1 = the shard's whole capacity is promised to deadlines.
+  [[nodiscard]] double load_factor() const noexcept {
+    return total_speed > 0.0 ? inflight_share / total_speed : 0.0;
+  }
+};
+
+enum class RoutePolicy : std::uint8_t {
+  RoundRobin = 0,    ///< cycle through feasible shards (baseline)
+  LeastRisk,         ///< lowest load factor: most share headroom
+  PriceWeighted,     ///< cheapest risk-adjusted offer: price * (1 + load)
+  Affinity,          ///< sticky user -> shard, spill when infeasible
+  RandomTwoChoice,   ///< power of two choices on load factor
+};
+
+[[nodiscard]] const char* to_string(RoutePolicy policy) noexcept;
+/// Case-sensitive parse of the to_string names ("LeastRisk", ...);
+/// nullopt for unknown names.
+[[nodiscard]] std::optional<RoutePolicy> parse_route_policy(
+    std::string_view name) noexcept;
+/// Every policy, for sweeps.
+[[nodiscard]] std::span<const RoutePolicy> all_route_policies() noexcept;
+
+class Router {
+ public:
+  explicit Router(RoutePolicy policy, std::uint64_t seed = 1);
+
+  [[nodiscard]] RoutePolicy policy() const noexcept { return policy_; }
+
+  /// Picks the shard for `job` given one view per shard (indexed by
+  /// ShardView::shard). Only shards with nodes >= job.num_procs are
+  /// eligible; when none is, the job goes to the largest shard (lowest
+  /// index on ties) so the rejection is recorded where it is least absurd.
+  /// Ties on the policy's score break toward the lowest shard index.
+  [[nodiscard]] int route(const workload::Job& job,
+                          std::span<const ShardView> views);
+
+ private:
+  [[nodiscard]] int pick_least_loaded(std::span<const ShardView> views) const;
+
+  RoutePolicy policy_;
+  rng::Stream stream_;
+  std::uint64_t cursor_ = 0;  ///< RoundRobin position
+  /// Affinity: user id -> sticky shard. Jobs without a user id (-1) hash
+  /// their job id into 1024 pseudo-users so the policy stays meaningful on
+  /// anonymised traces.
+  std::unordered_map<std::int64_t, int> affinity_;
+};
+
+}  // namespace librisk::federation

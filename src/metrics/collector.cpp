@@ -114,46 +114,54 @@ const JobRecord& Collector::record(std::int64_t job_id) const {
 RunSummary Collector::summarize() const { return summarize(MeasurementWindow{}); }
 
 RunSummary Collector::summarize(const MeasurementWindow& window) const {
+  return summarize_all({this}, window);
+}
+
+RunSummary summarize_all(const std::vector<const Collector*>& collectors,
+                         const Collector::MeasurementWindow& window) {
   RunSummary s;
   stats::Accumulator slowdown_fulfilled, slowdown_completed, delay_late;
   std::vector<double> fulfilled_slowdowns;
   std::size_t high_total = 0, high_fulfilled = 0;
   std::size_t low_total = 0, low_fulfilled = 0;
 
-  for (const auto& [id, r] : records_) {
-    if (r.submit_time < window.begin || r.submit_time > window.end) continue;
-    ++s.submitted;
-    s.makespan = std::max(s.makespan, std::max(r.finish_time, r.submit_time));
-    const bool high = r.urgency == workload::Urgency::High;
-    (high ? high_total : low_total) += 1;
-    switch (r.fate) {
-      case JobFate::Pending:
-        break;
-      case JobFate::RejectedAtSubmit:
-        ++s.rejected_at_submit;
-        break;
-      case JobFate::RejectedAtDispatch:
-        ++s.rejected_at_dispatch;
-        break;
-      case JobFate::FulfilledInTime:
-        ++s.accepted;
-        ++s.fulfilled;
-        (high ? high_fulfilled : low_fulfilled) += 1;
-        slowdown_fulfilled.add(r.slowdown());
-        fulfilled_slowdowns.push_back(r.slowdown());
-        slowdown_completed.add(r.slowdown());
-        break;
-      case JobFate::CompletedLate:
-        ++s.accepted;
-        ++s.completed_late;
-        slowdown_completed.add(r.slowdown());
-        delay_late.add(r.delay);
-        s.max_delay = std::max(s.max_delay, r.delay);
-        break;
-      case JobFate::Killed:
-        ++s.accepted;
-        ++s.killed;
-        break;
+  for (const Collector* collector : collectors) {
+    LIBRISK_CHECK(collector != nullptr, "null collector in summarize_all");
+    for (const auto& [id, r] : collector->records()) {
+      if (r.submit_time < window.begin || r.submit_time > window.end) continue;
+      ++s.submitted;
+      s.makespan = std::max(s.makespan, std::max(r.finish_time, r.submit_time));
+      const bool high = r.urgency == workload::Urgency::High;
+      (high ? high_total : low_total) += 1;
+      switch (r.fate) {
+        case JobFate::Pending:
+          break;
+        case JobFate::RejectedAtSubmit:
+          ++s.rejected_at_submit;
+          break;
+        case JobFate::RejectedAtDispatch:
+          ++s.rejected_at_dispatch;
+          break;
+        case JobFate::FulfilledInTime:
+          ++s.accepted;
+          ++s.fulfilled;
+          (high ? high_fulfilled : low_fulfilled) += 1;
+          slowdown_fulfilled.add(r.slowdown());
+          fulfilled_slowdowns.push_back(r.slowdown());
+          slowdown_completed.add(r.slowdown());
+          break;
+        case JobFate::CompletedLate:
+          ++s.accepted;
+          ++s.completed_late;
+          slowdown_completed.add(r.slowdown());
+          delay_late.add(r.delay);
+          s.max_delay = std::max(s.max_delay, r.delay);
+          break;
+        case JobFate::Killed:
+          ++s.accepted;
+          ++s.killed;
+          break;
+      }
     }
   }
 

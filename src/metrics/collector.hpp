@@ -157,4 +157,14 @@ class Collector {
   std::vector<ResolutionObserver> observers_;
 };
 
+/// Summary over the union of several collectors' records, as if every job
+/// had been recorded in one collector — the paper metrics are sums and
+/// record-weighted means, so a federation's K per-shard collectors
+/// aggregate exactly (no mean-of-means bias). Collector::summarize is the
+/// single-collector special case; job ids must be disjoint across inputs
+/// (each job lives in exactly one shard).
+[[nodiscard]] RunSummary summarize_all(
+    const std::vector<const Collector*>& collectors,
+    const Collector::MeasurementWindow& window = {});
+
 }  // namespace librisk::metrics

@@ -16,6 +16,7 @@ std::string_view to_string(MetricKind kind) noexcept {
 Registry::Entry& Registry::add(std::string name, std::string help,
                                MetricKind kind) {
   LIBRISK_CHECK(!name.empty(), "metric name must not be empty");
+  name.insert(0, prefix_);
   LIBRISK_CHECK(!contains(name), "metric '" << name << "' already registered");
   Entry entry;
   entry.name = std::move(name);

@@ -13,6 +13,12 @@
 // Registration order is preserved — visit() and the renderers are
 // deterministic, which keeps golden-output tests honest. Names must be
 // unique; use OpenMetrics-style snake_case ("admission_accepted").
+//
+// A registry may carry a name prefix ("cluster3_"): every registered name is
+// stored and exported prefixed, so K per-component registries (one per
+// federation shard) merge into a single metrics_table/OpenMetrics export
+// without collisions — the merged renderers in obs/render.hpp reject
+// duplicate names instead of silently shadowing one reading with another.
 #pragma once
 
 #include <cstdint>
@@ -53,8 +59,13 @@ enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
 class Registry {
  public:
   Registry() = default;
+  /// Registry whose every metric name is stored as `prefix + name`
+  /// (lookups via contains()/reading() use the full, prefixed name).
+  explicit Registry(std::string name_prefix) : prefix_(std::move(name_prefix)) {}
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] const std::string& name_prefix() const noexcept { return prefix_; }
 
   /// Owning registrations; the returned reference is stable for the
   /// registry's lifetime. Names must be unique across all metric kinds.
@@ -110,6 +121,7 @@ class Registry {
   Entry& add(std::string name, std::string help, MetricKind kind);
   [[nodiscard]] Reading read(const Entry& entry) const;
 
+  std::string prefix_;
   std::vector<Entry> entries_;
 };
 

@@ -4,12 +4,32 @@
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <unordered_set>
 
 #include "obs/registry.hpp"
+#include "support/check.hpp"
 
 namespace librisk::obs {
 
 namespace {
+
+/// Walks several registries in order, rejecting duplicate names: merged
+/// exports must never let one registry's reading shadow another's.
+void visit_merged(const std::vector<const Registry*>& registries,
+                  const std::function<void(const Registry::Reading&)>& fn) {
+  std::unordered_set<std::string_view> seen;
+  for (const Registry* registry : registries) {
+    LIBRISK_CHECK(registry != nullptr, "null registry in merged export");
+    registry->visit([&](const Registry::Reading& r) {
+      LIBRISK_CHECK(seen.insert(r.name).second,
+                    "metric '" << r.name
+                               << "' appears in more than one merged registry; "
+                                  "give each registry a name prefix");
+      fn(r);
+    });
+  }
+}
 
 /// Shortest round-trip double formatting (matches the JSONL/CSV writers).
 std::string fmt(double v) {
@@ -32,46 +52,71 @@ std::string fmt_value(const Registry::Reading& r) {
   return fmt(r.value);
 }
 
-}  // namespace
+void add_table_row(table::Table& table, const Registry::Reading& r) {
+  table.add_row({std::string(r.name), std::string(to_string(r.kind)),
+                 fmt_value(r), std::string(r.help)});
+}
 
-table::Table metrics_table(const Registry& registry) {
+void write_openmetrics_entry(std::ostream& out, const Registry::Reading& r) {
+  out << "# HELP " << r.name << " " << r.help << "\n";
+  out << "# TYPE " << r.name << " " << to_string(r.kind) << "\n";
+  switch (r.kind) {
+    case MetricKind::Counter:
+      out << r.name << "_total " << fmt(r.value) << "\n";
+      break;
+    case MetricKind::Gauge:
+      out << r.name << " " << fmt(r.value) << "\n";
+      break;
+    case MetricKind::Histogram: {
+      const Histogram& h = *r.histogram;
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+        const std::uint64_t n = h.bucket_value(b);
+        if (n == 0) continue;  // sparse: emit only occupied buckets
+        cumulative += n;
+        out << r.name << "_bucket{le=\"" << fmt(h.bucket_upper_edge(b))
+            << "\"} " << cumulative << "\n";
+      }
+      out << r.name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+      out << r.name << "_sum " << fmt(h.sum()) << "\n";
+      out << r.name << "_count " << h.count() << "\n";
+      break;
+    }
+  }
+}
+
+table::Table make_metrics_table() {
   table::Table table({"metric", "kind", "value", "help"});
   table.set_align(2, table::Align::Right);
   table.set_align(3, table::Align::Left);
-  registry.visit([&](const Registry::Reading& r) {
-    table.add_row({std::string(r.name), std::string(to_string(r.kind)),
-                   fmt_value(r), std::string(r.help)});
-  });
+  return table;
+}
+
+}  // namespace
+
+table::Table metrics_table(const Registry& registry) {
+  table::Table table = make_metrics_table();
+  registry.visit([&](const Registry::Reading& r) { add_table_row(table, r); });
+  return table;
+}
+
+table::Table metrics_table(const std::vector<const Registry*>& registries) {
+  table::Table table = make_metrics_table();
+  visit_merged(registries,
+               [&](const Registry::Reading& r) { add_table_row(table, r); });
   return table;
 }
 
 void write_openmetrics(std::ostream& out, const Registry& registry) {
-  registry.visit([&](const Registry::Reading& r) {
-    out << "# HELP " << r.name << " " << r.help << "\n";
-    out << "# TYPE " << r.name << " " << to_string(r.kind) << "\n";
-    switch (r.kind) {
-      case MetricKind::Counter:
-        out << r.name << "_total " << fmt(r.value) << "\n";
-        break;
-      case MetricKind::Gauge:
-        out << r.name << " " << fmt(r.value) << "\n";
-        break;
-      case MetricKind::Histogram: {
-        const Histogram& h = *r.histogram;
-        std::uint64_t cumulative = 0;
-        for (std::size_t b = 0; b < h.bucket_count(); ++b) {
-          const std::uint64_t n = h.bucket_value(b);
-          if (n == 0) continue;  // sparse: emit only occupied buckets
-          cumulative += n;
-          out << r.name << "_bucket{le=\"" << fmt(h.bucket_upper_edge(b))
-              << "\"} " << cumulative << "\n";
-        }
-        out << r.name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
-        out << r.name << "_sum " << fmt(h.sum()) << "\n";
-        out << r.name << "_count " << h.count() << "\n";
-        break;
-      }
-    }
+  registry.visit(
+      [&](const Registry::Reading& r) { write_openmetrics_entry(out, r); });
+  out << "# EOF\n";
+}
+
+void write_openmetrics(std::ostream& out,
+                       const std::vector<const Registry*>& registries) {
+  visit_merged(registries, [&](const Registry::Reading& r) {
+    write_openmetrics_entry(out, r);
   });
   out << "# EOF\n";
 }

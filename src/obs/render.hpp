@@ -1,8 +1,15 @@
 // Renderers over a Registry: the one plain-text metrics table every CLI
 // surface shares, and OpenMetrics text exposition for external tooling.
+//
+// The multi-registry overloads merge several registries (the federation's
+// per-shard hubs) into one export, preserving per-registry registration
+// order. Metric names must be unique across *all* inputs — a duplicate
+// throws CheckError instead of silently shadowing one reading with another
+// (give each registry a name prefix, registry.hpp).
 #pragma once
 
 #include <iosfwd>
+#include <vector>
 
 #include "support/table.hpp"
 
@@ -13,9 +20,13 @@ class Registry;
 /// All metrics as an aligned table (name, kind, value, help). Histograms
 /// render count/mean/p50/p99/max in the value cell.
 [[nodiscard]] table::Table metrics_table(const Registry& registry);
+[[nodiscard]] table::Table metrics_table(
+    const std::vector<const Registry*>& registries);
 
 /// OpenMetrics text exposition (counters as `<name>_total`, gauges as-is,
 /// histograms as cumulative `_bucket{le="..."}` plus `_sum`/`_count`).
 void write_openmetrics(std::ostream& out, const Registry& registry);
+void write_openmetrics(std::ostream& out,
+                       const std::vector<const Registry*>& registries);
 
 }  // namespace librisk::obs

@@ -8,7 +8,8 @@
 
 namespace librisk::obs {
 
-Telemetry::Telemetry(TelemetryConfig config) : config_(config) {
+Telemetry::Telemetry(TelemetryConfig config)
+    : config_(std::move(config)), registry_(config_.metric_prefix) {
   LIBRISK_CHECK(config_.sample_period >= 0.0,
                 "sample_period must be >= 0, got " << config_.sample_period);
 }

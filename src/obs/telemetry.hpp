@@ -39,6 +39,10 @@ struct TelemetryConfig {
   /// (metrics registry and profiler still work — finish() then records the
   /// single terminal sample).
   double sample_period = 0.0;
+  /// Name prefix for every metric registered in this hub's registry (e.g.
+  /// "cluster3_"), so per-shard hubs merge into one export collision-free
+  /// (obs/render.hpp merged overloads). Empty = unprefixed, the default.
+  std::string metric_prefix = {};
 };
 
 class Telemetry {

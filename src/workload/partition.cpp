@@ -1,0 +1,24 @@
+#include "workload/partition.hpp"
+
+#include "support/check.hpp"
+
+namespace librisk::workload {
+
+std::vector<std::vector<Job>> partition_by_assignment(
+    const std::vector<Job>& jobs, const std::vector<int>& assignment,
+    std::size_t groups) {
+  LIBRISK_CHECK(assignment.size() == jobs.size(),
+                "assignment covers " << assignment.size() << " jobs, trace has "
+                                     << jobs.size());
+  std::vector<std::vector<Job>> parts(groups);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const int g = assignment[i];
+    LIBRISK_CHECK(g >= 0 && static_cast<std::size_t>(g) < groups,
+                  "job " << jobs[i].id << " assigned to group " << g
+                         << ", have " << groups);
+    parts[static_cast<std::size_t>(g)].push_back(jobs[i]);
+  }
+  return parts;
+}
+
+}  // namespace librisk::workload

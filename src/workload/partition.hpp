@@ -1,0 +1,22 @@
+// Trace splitting: divide one globally-ordered job trace into per-group
+// sub-traces. The federation equivalence tests use this to prove routing
+// composes — record which shard each job was routed to, split the trace by
+// that assignment, and each sub-trace replayed on a standalone engine is
+// byte-identical to what the shard saw inside the federation.
+#pragma once
+
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace librisk::workload {
+
+/// Partitions `jobs` into `groups` sub-traces by `assignment[i]` (the group
+/// of jobs[i]). Relative order is preserved, so sub-traces of a trace with
+/// monotone submit times are themselves valid traces. Throws CheckError on
+/// size mismatch or an assignment out of [0, groups).
+[[nodiscard]] std::vector<std::vector<Job>> partition_by_assignment(
+    const std::vector<Job>& jobs, const std::vector<int>& assignment,
+    std::size_t groups);
+
+}  // namespace librisk::workload

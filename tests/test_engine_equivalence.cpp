@@ -45,6 +45,16 @@ core::PolicyOptions hooked(trace::Recorder* recorder) {
   return options;
 }
 
+/// Owning engine over a homogeneous paper-rated cluster.
+std::unique_ptr<core::AdmissionEngine> make_owning_engine(
+    int nodes, core::Policy policy, const core::PolicyOptions& options = {}) {
+  core::EngineConfig config;
+  config.cluster = cluster::Cluster::homogeneous(nodes, 168.0);
+  config.policy = policy;
+  config.options = options;
+  return core::make_engine(std::move(config));
+}
+
 /// The seed batch path: caller-owned components, factory stack, run_trace.
 TracedRun run_batch(core::Policy policy, const std::vector<workload::Job>& jobs) {
   std::ostringstream os;
@@ -82,23 +92,22 @@ TracedRun run_streaming(core::Policy policy,
   trace::BinarySink sink(os, {std::string(core::to_string(policy)), 1});
   trace::Recorder recorder(sink);
 
-  core::AdmissionEngine engine(cluster::Cluster::homogeneous(32, 168.0),
-                               policy, hooked(&recorder));
+  const auto engine = make_owning_engine(32, policy, hooked(&recorder));
   for (const workload::Job& job : jobs) {
-    engine.advance_to(job.submit_time);
-    engine.submit(job);
+    engine->advance_to(job.submit_time);
+    engine->submit(job);
   }
-  engine.finish();
+  engine->finish();
   sink.close();
 
   TracedRun run;
   run.lrt = os.str();
-  run.summary = engine.summary();
-  run.admission = engine.admission_stats();
-  run.events_processed = engine.events_processed();
-  run.peak_live = engine.peak_live_jobs();
-  EXPECT_EQ(engine.live_jobs(), 0u) << "every slot reclaimed after finish()";
-  EXPECT_EQ(engine.jobs_submitted(), jobs.size());
+  run.summary = engine->summary();
+  run.admission = engine->admission_stats();
+  run.events_processed = engine->events_processed();
+  run.peak_live = engine->peak_live_jobs();
+  EXPECT_EQ(engine->live_jobs(), 0u) << "every slot reclaimed after finish()";
+  EXPECT_EQ(engine->jobs_submitted(), jobs.size());
   return run;
 }
 
@@ -167,95 +176,87 @@ TEST(EngineEquivalence, BothEstimateRegimes) {
 TEST(EngineEquivalence, StreamingMemoryBoundedByResidentSet) {
   const auto jobs = workload::make_paper_workload(small_workload(), 1);
 
-  core::AdmissionEngine engine(cluster::Cluster::homogeneous(32, 168.0),
-                               core::Policy::LibraRisk);
+  const auto engine = make_owning_engine(32, core::Policy::LibraRisk);
   for (const workload::Job& job : jobs) {
-    engine.advance_to(job.submit_time);
-    engine.submit(job);
+    engine->advance_to(job.submit_time);
+    engine->submit(job);
   }
-  engine.finish();
-  EXPECT_EQ(engine.jobs_submitted(), jobs.size());
-  EXPECT_LT(engine.peak_live_jobs(), jobs.size() / 2)
+  engine->finish();
+  EXPECT_EQ(engine->jobs_submitted(), jobs.size());
+  EXPECT_LT(engine->peak_live_jobs(), jobs.size() / 2)
       << "peak resident set should be far below the trace length";
-  EXPECT_GT(engine.peak_live_jobs(), 0u);
-  EXPECT_EQ(engine.live_jobs(), 0u);
+  EXPECT_GT(engine->peak_live_jobs(), 0u);
+  EXPECT_EQ(engine->live_jobs(), 0u);
 
-  core::AdmissionEngine batch(cluster::Cluster::homogeneous(32, 168.0),
-                              core::Policy::LibraRisk);
+  const auto batch = make_owning_engine(32, core::Policy::LibraRisk);
   // enqueue(), not submit(): eager submission resolves-and-reclaims as it
   // goes, which is exactly what this leg must NOT do.
-  for (const workload::Job& job : jobs) batch.enqueue(job);
-  batch.finish();
-  EXPECT_EQ(batch.peak_live_jobs(), jobs.size())
+  for (const workload::Job& job : jobs) batch->enqueue(job);
+  batch->finish();
+  EXPECT_EQ(batch->peak_live_jobs(), jobs.size())
       << "batch submission peaks at the whole trace by construction";
 }
 
 // ---- lifecycle contract ----
 
 TEST(EngineLifecycle, RejectsOutOfOrderSubmission) {
-  core::AdmissionEngine engine(cluster::Cluster::homogeneous(4, 168.0),
-                               core::Policy::LibraRisk);
-  engine.submit(librisk::testing::make_job(1, 100.0, 60.0, 300.0));
-  EXPECT_THROW(engine.submit(librisk::testing::make_job(2, 50.0, 60.0, 300.0)),
+  const auto engine = make_owning_engine(4, core::Policy::LibraRisk);
+  engine->submit(librisk::testing::make_job(1, 100.0, 60.0, 300.0));
+  EXPECT_THROW(engine->submit(librisk::testing::make_job(2, 50.0, 60.0, 300.0)),
                CheckError);
 }
 
 TEST(EngineLifecycle, RejectsSubmissionInThePast) {
-  core::AdmissionEngine engine(cluster::Cluster::homogeneous(4, 168.0),
-                               core::Policy::LibraRisk);
-  engine.submit(librisk::testing::make_job(1, 0.0, 60.0, 300.0));
-  (void)engine.step_until(100.0);
+  const auto engine = make_owning_engine(4, core::Policy::LibraRisk);
+  engine->submit(librisk::testing::make_job(1, 0.0, 60.0, 300.0));
+  (void)engine->step_until(100.0);
   // Monotone vs. the last submission but behind the engine clock.
-  EXPECT_THROW(engine.submit(librisk::testing::make_job(2, 10.0, 60.0, 300.0)),
+  EXPECT_THROW(engine->submit(librisk::testing::make_job(2, 10.0, 60.0, 300.0)),
                CheckError);
 }
 
 TEST(EngineLifecycle, RejectsDuplicateLiveJobId) {
-  core::AdmissionEngine engine(cluster::Cluster::homogeneous(4, 168.0),
-                               core::Policy::LibraRisk);
-  engine.submit(librisk::testing::make_job(7, 0.0, 60.0, 300.0));
-  EXPECT_THROW(engine.submit(librisk::testing::make_job(7, 1.0, 60.0, 300.0)),
+  const auto engine = make_owning_engine(4, core::Policy::LibraRisk);
+  engine->submit(librisk::testing::make_job(7, 0.0, 60.0, 300.0));
+  EXPECT_THROW(engine->submit(librisk::testing::make_job(7, 1.0, 60.0, 300.0)),
                CheckError);
 }
 
 TEST(EngineLifecycle, RejectsSubmissionAfterFinish) {
-  core::AdmissionEngine engine(cluster::Cluster::homogeneous(4, 168.0),
-                               core::Policy::LibraRisk);
-  engine.submit(librisk::testing::make_job(1, 0.0, 60.0, 300.0));
-  engine.finish();
-  EXPECT_TRUE(engine.finished());
-  EXPECT_THROW(engine.submit(librisk::testing::make_job(2, 1000.0, 60.0, 300.0)),
+  const auto engine = make_owning_engine(4, core::Policy::LibraRisk);
+  engine->submit(librisk::testing::make_job(1, 0.0, 60.0, 300.0));
+  engine->finish();
+  EXPECT_TRUE(engine->finished());
+  EXPECT_THROW(engine->submit(librisk::testing::make_job(2, 1000.0, 60.0, 300.0)),
                CheckError);
 }
 
 TEST(EngineLifecycle, FinishIsIdempotent) {
-  core::AdmissionEngine engine(cluster::Cluster::homogeneous(4, 168.0),
-                               core::Policy::LibraRisk);
-  engine.submit(librisk::testing::make_job(1, 0.0, 60.0, 300.0));
-  engine.finish();
-  const std::uint64_t events = engine.events_processed();
-  engine.finish();
-  EXPECT_EQ(engine.events_processed(), events);
+  const auto engine = make_owning_engine(4, core::Policy::LibraRisk);
+  engine->submit(librisk::testing::make_job(1, 0.0, 60.0, 300.0));
+  engine->finish();
+  const std::uint64_t events = engine->events_processed();
+  engine->finish();
+  EXPECT_EQ(engine->events_processed(), events);
 }
 
 TEST(EngineLifecycle, IncrementalSnapshotsConverge) {
   const auto jobs = workload::make_paper_workload(small_workload(), 2);
-  core::AdmissionEngine engine(cluster::Cluster::homogeneous(32, 168.0),
-                               core::Policy::Libra);
+  const auto engine = make_owning_engine(32, core::Policy::Libra);
   std::size_t mid_resolved = 0;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    engine.advance_to(jobs[i].submit_time);
-    engine.submit(jobs[i]);
+    engine->advance_to(jobs[i].submit_time);
+    engine->submit(jobs[i]);
     if (i == jobs.size() / 2) {
       // A mid-run snapshot is well-formed: counts what has resolved so far.
-      const metrics::RunSummary snap = engine.summary();
+      const metrics::RunSummary snap = engine->summary();
       mid_resolved = snap.fulfilled + snap.completed_late + snap.killed +
                      snap.rejected_at_submit + snap.rejected_at_dispatch;
       EXPECT_GT(snap.submitted, 0u);
     }
   }
-  engine.finish();
-  const metrics::RunSummary final_summary = engine.summary();
+  engine->finish();
+  const metrics::RunSummary final_summary = engine->summary();
   EXPECT_EQ(final_summary.submitted, jobs.size());
   EXPECT_GE(final_summary.fulfilled + final_summary.completed_late +
                 final_summary.killed + final_summary.rejected_at_submit +

@@ -244,6 +244,52 @@ TEST(Registry, OpenMetricsExportIsWellFormed) {
   EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
 }
 
+TEST(Registry, NamePrefixAppliesToEveryMetric) {
+  obs::Registry reg("cluster3_");
+  reg.counter("hits", "hit count").inc(2);
+  reg.gauge_fn("load", "current load", [] { return 0.25; });
+  EXPECT_EQ(reg.name_prefix(), "cluster3_");
+  EXPECT_TRUE(reg.contains("cluster3_hits"));
+  EXPECT_FALSE(reg.contains("hits"));  // lookups use the full stored name
+  EXPECT_EQ(reg.reading("cluster3_hits").value, 2.0);
+  EXPECT_EQ(reg.reading("cluster3_load").value, 0.25);
+}
+
+TEST(Registry, MergedExportRejectsCollidingNames) {
+  // Two unprefixed registries registering the same name: concatenating their
+  // exports used to silently shadow one reading with the other. The merged
+  // renderers refuse instead.
+  obs::Registry a;
+  obs::Registry b;
+  a.counter("hits", "from a").inc(1);
+  b.counter("hits", "from b").inc(2);
+  EXPECT_THROW((void)obs::metrics_table({&a, &b}), CheckError);
+  std::ostringstream os;
+  EXPECT_THROW(obs::write_openmetrics(os, {&a, &b}), CheckError);
+}
+
+TEST(Registry, PrefixedRegistriesMergeCollisionFree) {
+  obs::Registry a("c0_");
+  obs::Registry b("c1_");
+  a.counter("hits", "hit count").inc(1);
+  b.counter("hits", "hit count").inc(2);
+  std::ostringstream os;
+  obs::write_openmetrics(os, {&a, &b});
+  const std::string text = os.str();
+  EXPECT_NE(text.find("c0_hits_total 1"), std::string::npos);
+  EXPECT_NE(text.find("c1_hits_total 2"), std::string::npos);
+  EXPECT_EQ(obs::metrics_table({&a, &b}).rows(), 2u);
+}
+
+TEST(Telemetry, ConfigPrefixFlowsIntoRegistry) {
+  obs::TelemetryConfig config;
+  config.metric_prefix = "c7_";
+  obs::Telemetry hub(config);
+  hub.registry().counter("jobs", "jobs seen").inc(1);
+  EXPECT_EQ(hub.registry().name_prefix(), "c7_");
+  EXPECT_TRUE(hub.registry().contains("c7_jobs"));
+}
+
 // ---------------------------------------------------------------------------
 // Series.
 

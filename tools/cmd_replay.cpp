@@ -1,10 +1,15 @@
 #include <mutex>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <thread>
 
+#include <filesystem>
+#include <fstream>
+
 #include "core/engine.hpp"
 #include "core/gateway.hpp"
+#include "federation/federation.hpp"
 #include "metrics/report.hpp"
 #include "obs/render.hpp"
 #include "obs/telemetry.hpp"
@@ -27,6 +32,9 @@ struct ReplayFlags {
   double high_urgency = 0.20;
   double ratio = 4.0;
   int threads = 0;  ///< 0 = direct engine; >= 1 = gateway with N producers
+  int shards = 1;   ///< > 1 = federated replay over this many clusters
+  federation::RoutePolicy route = federation::RoutePolicy::RoundRobin;
+  std::vector<double> shard_ratings;  ///< cycled across shards; empty = rating
 };
 
 /// Concurrent streaming replay: N producer threads feed the
@@ -106,8 +114,12 @@ int run_streaming(const ReplayFlags& f, core::Policy policy,
 
   core::PolicyOptions options;
   options.hooks.telemetry = &telemetry;
-  core::AdmissionEngine engine(
-      cluster::Cluster::homogeneous(f.nodes, f.rating), policy, options);
+  core::EngineConfig engine_config;
+  engine_config.cluster = cluster::Cluster::homogeneous(f.nodes, f.rating);
+  engine_config.policy = policy;
+  engine_config.options = options;
+  const std::unique_ptr<core::AdmissionEngine> engine =
+      core::make_engine(std::move(engine_config));
 
   workload::swf::SwfStream stream(f.trace);
   workload::DeadlineConfig dl_config;
@@ -125,23 +137,98 @@ int run_streaming(const ReplayFlags& f, core::Policy policy,
     if (one[0].deadline <= 0.0)
       workload::assign_deadlines(one, dl_config, dl_stream);
     workload::apply_inaccuracy(one, f.inaccuracy);
-    engine.advance_to(one[0].submit_time);
-    engine.submit(one[0]);
+    engine->advance_to(one[0].submit_time);
+    engine->submit(one[0]);
   }
-  if (engine.jobs_submitted() == 0)
+  if (engine->jobs_submitted() == 0)
     throw cli::ParseError("trace contains no usable jobs");
-  engine.finish();
+  engine->finish();
 
   metrics::print_summary(out, std::string(core::to_string(policy)),
-                         engine.summary());
+                         engine->summary());
   out << "\nstreaming: " << stream.jobs_returned() << " jobs streamed ("
       << stream.jobs_skipped() << " skipped), peak resident "
-      << engine.peak_live_jobs() << " job objects of "
-      << engine.jobs_submitted() << " submitted\n";
+      << engine->peak_live_jobs() << " job objects of "
+      << engine->jobs_submitted() << " submitted\n";
   if (!telemetry_out.empty()) {
     telemetry.write_dir(telemetry_out);
     out << "telemetry written to " << telemetry_out << " ("
         << telemetry.samples() << " samples)\n";
+  }
+  return 0;
+}
+
+/// Federated streaming replay: the --nodes cluster is split as evenly as
+/// possible into --shards independent engines (ratings cycled from
+/// --shard-ratings against the --rating reference, so a 84-rated shard
+/// really is half the speed of a 168-reference node), and every job is
+/// routed as it streams by the --route policy. Per-job deadline synthesis
+/// is shared with the single-engine path, so the K = 1 federation is
+/// byte-identical to run_streaming (tested).
+int run_federation(const ReplayFlags& f, core::Policy policy,
+                   const std::string& telemetry_out, std::ostream& out) {
+  federation::FederationConfig config;
+  config.route = f.route;
+  config.route_seed = f.seed;
+  // --threads: stepping workers for the per-job barrier (0 = hardware
+  // concurrency). Results are thread-count independent by construction.
+  config.threads = static_cast<std::size_t>(f.threads);
+  for (int k = 0; k < f.shards; ++k) {
+    const int nodes = f.nodes / f.shards + (k < f.nodes % f.shards ? 1 : 0);
+    const double rating = f.shard_ratings.empty()
+                              ? f.rating
+                              : f.shard_ratings[static_cast<std::size_t>(k) %
+                                                f.shard_ratings.size()];
+    std::vector<cluster::NodeSpec> specs;
+    specs.reserve(static_cast<std::size_t>(nodes));
+    for (int i = 0; i < nodes; ++i) specs.push_back({i, rating});
+    federation::ShardConfig shard;
+    shard.engine.cluster = cluster::Cluster(std::move(specs), f.rating);
+    shard.engine.policy = policy;
+    shard.price = rating / f.rating;  // faster capacity charges more
+    config.shards.push_back(std::move(shard));
+  }
+  federation::Federation fed(std::move(config));
+
+  workload::swf::SwfStream stream(f.trace);
+  workload::DeadlineConfig dl_config;
+  dl_config.high_urgency_fraction = f.high_urgency;
+  dl_config.high_low_ratio = f.ratio;
+  rng::Stream dl_stream("deadlines", f.seed);
+
+  std::vector<workload::Job> one(1);
+  workload::Job job;
+  while (stream.next(job)) {
+    one[0] = job;
+    if (one[0].deadline <= 0.0)
+      workload::assign_deadlines(one, dl_config, dl_stream);
+    workload::apply_inaccuracy(one, f.inaccuracy);
+    fed.submit(one[0]);
+  }
+  fed.finish();
+
+  const federation::FederationSummary summary = fed.summary();
+  if (summary.routed == 0)
+    throw cli::ParseError("trace contains no usable jobs");
+  metrics::print_summary(out, std::string(core::to_string(policy)),
+                         summary.total);
+  out << "\nfederation: " << f.shards << " shards, route "
+      << federation::to_string(fed.route_policy()) << ", " << summary.routed
+      << " jobs routed\n";
+  table::Table shard_table(
+      {"shard", "nodes", "routed", "fulfilled %", "avg slowdown"});
+  for (const federation::ShardSummary& s : summary.shards)
+    shard_table.add_row({s.name, std::to_string(s.nodes),
+                         std::to_string(s.routed),
+                         table::num(s.summary.fulfilled_pct, 2),
+                         table::num(s.summary.avg_slowdown_fulfilled, 3)});
+  out << shard_table.str();
+  if (!telemetry_out.empty()) {
+    std::filesystem::create_directories(telemetry_out);
+    std::ofstream metrics(std::filesystem::path(telemetry_out) / "metrics.txt");
+    fed.write_openmetrics(metrics);
+    out << "merged shard metrics written to " << telemetry_out
+        << "/metrics.txt\n";
   }
   return 0;
 }
@@ -174,8 +261,25 @@ int cmd_replay(const std::vector<std::string>& args, std::ostream& out) {
   auto& threads_opt = parser.add<int>(
       "threads",
       "--stream only: feed the concurrent AdmissionGateway with N producer "
-      "threads (0 = direct single-threaded engine; 1 is byte-identical to it)",
+      "threads (0 = direct single-threaded engine; 1 is byte-identical to "
+      "it). With --shards > 1: worker threads stepping the shards (0 = "
+      "hardware concurrency; results are identical for every value)",
       0);
+  auto& shards_opt = parser.add<int>(
+      "shards",
+      "--stream only: federate over this many independent cluster shards "
+      "(--nodes split evenly) with per-job routing",
+      1);
+  auto& route_opt = parser.add<std::string>(
+      "route",
+      "--shards routing policy: RoundRobin, LeastRisk, PriceWeighted, "
+      "Affinity or RandomTwoChoice",
+      "RoundRobin");
+  auto& shard_ratings_opt = parser.add<std::string>(
+      "shard-ratings",
+      "comma-separated SPEC ratings cycled across shards (heterogeneous "
+      "federation); empty = every shard at --rating",
+      "");
   parser.parse(args);
 
   if (trace_opt.value.empty()) throw cli::ParseError("replay requires --trace <file>");
@@ -195,6 +299,32 @@ int cmd_replay(const std::vector<std::string>& args, std::ostream& out) {
     f.ratio = ratio_opt.value;
     f.threads = threads_opt.value;
     if (f.threads < 0) throw cli::ParseError("--threads must be >= 0");
+    f.shards = shards_opt.value;
+    if (f.shards < 1) throw cli::ParseError("--shards must be >= 1");
+    if (f.shards > f.nodes)
+      throw cli::ParseError("--shards cannot exceed --nodes");
+    if (f.shards > 1) {
+      const auto route = federation::parse_route_policy(route_opt.value);
+      if (!route)
+        throw cli::ParseError("unknown --route policy '" + route_opt.value +
+                              "'");
+      f.route = *route;
+      if (!shard_ratings_opt.value.empty()) {
+        std::stringstream ss(shard_ratings_opt.value);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+          try {
+            f.shard_ratings.push_back(std::stod(item));
+          } catch (const std::exception&) {
+            throw cli::ParseError("bad --shard-ratings entry '" + item + "'");
+          }
+          if (f.shard_ratings.back() <= 0.0)
+            throw cli::ParseError("--shard-ratings must be positive");
+        }
+      }
+      return run_federation(f, core::parse_policy(policy_opt.value),
+                            tel_out.value, out);
+    }
     if (f.threads > 0)
       return run_gateway(f, core::parse_policy(policy_opt.value),
                          tel_out.value, tel_period.value, out);
@@ -203,6 +333,8 @@ int cmd_replay(const std::vector<std::string>& args, std::ostream& out) {
   }
   if (threads_opt.value > 0)
     throw cli::ParseError("--threads requires --stream");
+  if (shards_opt.value > 1)
+    throw cli::ParseError("--shards requires --stream");
 
   workload::swf::ReadOptions read_opts;
   read_opts.last_n = last_opt.value > 0 ? static_cast<std::size_t>(last_opt.value) : 0;

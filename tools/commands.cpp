@@ -33,7 +33,9 @@ constexpr CommandSpec kCommands[] = {
      cmd_sweep},
     {"workload", "generate a synthetic trace (sdsc or lublin model) as SWF",
      cmd_workload},
-    {"replay", "run policies over an SWF trace file (--stream: online engine)",
+    {"replay",
+     "run policies over an SWF trace file (--stream: online engine; "
+     "--shards/--route: federated multi-cluster)",
      cmd_replay},
     {"trace", "decision-audit traces: record | summary | diff", cmd_trace},
     {"metrics",
