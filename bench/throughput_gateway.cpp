@@ -14,6 +14,13 @@
 //           The engine serialises this mix, so it measures the whole
 //           pipeline under backpressure, not the gate.
 //
+// The mixed mix runs twice: once under Libra (C2-share certificate sheds
+// the hopeless half) and once under LibraRisk ("mixed-risk"; the sigma-only
+// salvage lane admits any share on an empty node, so no C2 certificate
+// exists and the shed half is C1-impossible instead — more processors than
+// the cluster). The mixed-risk rows drive the batched sigma-risk admission
+// scan end to end behind the queue.
+//
 // Results go to BENCH_gateway.json (--out overrides); EXPERIMENTS.md
 // "Concurrent admission gateway" carries the narrative. --quick shrinks the
 // job counts ~20x for the bench-smoke ctest label.
@@ -66,10 +73,20 @@ workload::Job easy_job() {
   return job;
 }
 
-core::GatewayConfig bench_config() {
+/// A job the C1 certificate sheds on every policy: wider than the cluster.
+/// LibraRisk's salvage lane voids the C2-share certificate, so this is the
+/// only sound gate-shed shape for the mixed-risk rows.
+workload::Job impossible_job() {
+  workload::Job job = hopeless_job();
+  job.deadline = 250.0;
+  job.num_procs = 4096;
+  return job;
+}
+
+core::GatewayConfig bench_config(core::Policy policy) {
   core::GatewayConfig config;
   config.engine.cluster = cluster::Cluster::homogeneous(128, 168.0);
-  config.engine.policy = core::Policy::Libra;
+  config.engine.policy = policy;
   config.audit_shed = false;  // drop at the gate: measure the gate itself
   config.queue_capacity = 4096;
   return config;
@@ -80,16 +97,18 @@ core::GatewayConfig bench_config() {
 /// clamp handles the interleaving). `shed_every` = 1 sheds everything
 /// (gate mix); 2 sheds every other job (mixed).
 MixResult run_mix(const std::string& mix, int threads,
-                  std::uint64_t jobs_per_thread, int shed_every) {
-  core::AdmissionGateway gateway(bench_config());
+                  std::uint64_t jobs_per_thread, int shed_every,
+                  core::Policy policy, const workload::Job& shed_proto) {
+  core::AdmissionGateway gateway(bench_config(policy));
 
   // Per-producer arrival spacing stretches with the thread count so the
   // *global* arrival rate (one job per sim-second) and horizon are the same
   // in every row — otherwise more threads would mean shorter, denser
   // simulated traces and the mixed rows would not be comparable.
   const double spacing = static_cast<double>(threads);
-  const auto produce = [&gateway, jobs_per_thread, shed_every, spacing](int lane) {
-    workload::Job shed = hopeless_job();
+  const auto produce = [&gateway, jobs_per_thread, shed_every, spacing,
+                        &shed_proto](int lane) {
+    workload::Job shed = shed_proto;
     workload::Job pass = easy_job();
     for (std::uint64_t i = 0; i < jobs_per_thread; ++i) {
       const bool is_shed = shed_every == 1 || i % 2 == 0;
@@ -128,11 +147,13 @@ void write_json(const std::string& path, const std::vector<MixResult>& results) 
      << " \"note\": \"Regenerated by build/bench/throughput_gateway; see "
         "EXPERIMENTS.md 'Concurrent admission gateway' for the narrative. "
         "gate = 100% fast-reject in drop mode (the lock-free stage alone); "
-        "mixed = 50% shed, rest through the queue + engine.\",\n"
+        "mixed = 50% shed, rest through the queue + engine; mixed-risk = "
+        "the same 50/50 split under LibraRisk (C1 sheds, batched sigma-risk "
+        "scan behind the queue).\",\n"
      << " \"context\": {\n"
      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
      << ",\n"
-     << "  \"policy\": \"Libra\",\n"
+     << "  \"policy\": \"Libra (gate, mixed); LibraRisk (mixed-risk)\",\n"
      << "  \"cluster\": \"homogeneous 128 x 168\",\n"
      << "  \"queue_capacity\": 4096\n"
      << " },\n"
@@ -168,13 +189,19 @@ int main(int argc, char** argv) {
   std::cout << "mix    threads       jobs   seconds   decisions/sec\n";
   for (const int threads : thread_counts) {
     // Fixed total work per row: scaling shows up as falling seconds.
-    for (const auto& [mix, total, shed_every] :
-         {std::tuple<const char*, std::uint64_t, int>{"gate", gate_jobs, 1},
-          std::tuple<const char*, std::uint64_t, int>{"mixed", mixed_jobs, 2}}) {
+    using Row = std::tuple<const char*, std::uint64_t, int, core::Policy,
+                           workload::Job>;
+    for (const auto& [mix, total, shed_every, policy, shed_proto] :
+         {Row{"gate", gate_jobs, 1, core::Policy::Libra, hopeless_job()},
+          Row{"mixed", mixed_jobs, 2, core::Policy::Libra, hopeless_job()},
+          Row{"mixed-risk", mixed_jobs, 2, core::Policy::LibraRisk,
+              impossible_job()}}) {
       const std::uint64_t per_thread =
           total / static_cast<std::uint64_t>(threads);
-      MixResult r = run_mix(mix, threads, per_thread, shed_every);
-      std::cout << mix << (std::string(6 - std::string(mix).size(), ' '))
+      MixResult r = run_mix(mix, threads, per_thread, shed_every, policy,
+                            shed_proto);
+      const std::size_t width = std::string(mix).size();
+      std::cout << mix << std::string(width < 11 ? 11 - width : 1, ' ')
                 << "  " << threads << "  " << r.jobs << "  " << r.seconds
                 << "  " << static_cast<std::uint64_t>(r.decisions_per_sec)
                 << '\n';

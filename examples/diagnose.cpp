@@ -42,8 +42,8 @@ int main(int argc, char** argv) {
   table::Table t({"policy", "fulfilled %", "slowdown", "rejected", "rej(share)",
                   "rej(sigma)", "rej(deadline)", "rej(no-node)",
                   "late(under-est)", "late(victims)", "ful(under-est)",
-                  "doomable", "scans/job", "skips", "recomp/settle",
-                  "kern-skip%"});
+                  "doomable", "scans/job", "skips", "batched", "bound-skip",
+                  "recomp/settle", "kern-skip%"});
   for (const core::Policy policy : core::all_policies()) {
     exp::Scenario scenario = base;
     scenario.policy = policy;
@@ -98,6 +98,8 @@ int main(int argc, char** argv) {
                std::to_string(under_total),
                table::num(adm.scans_per_submission()),
                std::to_string(adm.empty_node_skips),
+               std::to_string(adm.batched_assessments),
+               std::to_string(adm.nodes_batch_skipped),
                table::num(kern.recomputes_per_settle()),
                table::num(kern.skip_pct(), 1)});
   }

@@ -126,70 +126,115 @@ TaskView TimeSharedExecutor::view(JobId id) const {
 }
 
 double TimeSharedExecutor::node_total_share(NodeId node, EstimateKind kind) const {
-  const NodeStateView& state = node_state(node);
-  return kind == EstimateKind::Raw ? state.total_share_raw
-                                   : state.total_share_current;
+  if (kind == EstimateKind::Raw)
+    return node_state(node, kStateSharesRaw).total_share_raw;
+  return node_state(node, kStateSharesCurrent).total_share_current;
 }
 
 double TimeSharedExecutor::node_available_capacity(NodeId node) const {
-  return node_state(node).available_capacity;
+  return node_state(node, kStateCapacity).available_capacity;
 }
 
-const NodeStateView& TimeSharedExecutor::node_state(NodeId node) const {
+const NodeStateView& TimeSharedExecutor::node_state(NodeId node,
+                                                    NodeStateParts parts) const {
   LIBRISK_CHECK(node >= 0 && node < cluster_.size(), "node " << node << " out of range");
   NodeCache& cache = node_cache_[node];
   // An empty node's view is time-independent, so epoch agreement alone
   // keeps it fresh across submissions; a populated view also pins the
-  // instant it was computed at (remaining deadlines shrink with time).
-  const bool fresh =
-      cache.epoch == epoch_ &&
-      (cache.view.residents.empty() || cache.at == sim_.now());
-  if (!fresh) rebuild_node_cache(node, cache);
+  // instant it was computed at (remaining deadlines shrink with time) and
+  // must already hold every requested gated part.
+  const bool fresh = cache.epoch == epoch_ &&
+                     (cache.view.empty() || cache.at == sim_.now()) &&
+                     (parts & ~cache.view.parts) == 0;
+  if (!fresh) rebuild_node_cache(node, cache, parts);
   return cache.view;
 }
 
-void TimeSharedExecutor::rebuild_node_cache(NodeId node, NodeCache& cache) const {
+void TimeSharedExecutor::rebuild_node_cache(NodeId node, NodeCache& cache,
+                                            NodeStateParts parts) const {
   const sim::SimTime now = sim_.now();
   const double speed = cluster_.speed_factor(node);
   const std::vector<Task*>& residents = node_tasks_[node];
+  const std::size_t n = residents.size();
 
-  cache.residents.clear();
-  if (cache.residents.capacity() < residents.size())
-    cache.residents.reserve(residents.size());
+  // Parts already built at this same (epoch, instant) stay valid, so fold
+  // them into the rebuild rather than dropping them; an empty node's view
+  // is so cheap that it always carries every part.
+  const bool base_fresh = cache.epoch == epoch_ && (n == 0 || cache.at == now);
+  NodeStateParts want = parts | (base_fresh ? cache.view.parts : 0);
+  if ((want & kStateRiskAggregates) != 0) want |= kStateSharesCurrent;
+  if (n == 0) want = kStateAll;
+  const bool want_raw = (want & kStateSharesRaw) != 0;
+  const bool want_cur = (want & kStateSharesCurrent) != 0;
+  const bool want_cap = (want & kStateCapacity) != 0;
+  const bool want_agg = (want & kStateRiskAggregates) != 0;
+  const bool equal_share = config_.mode == ExecutionMode::EqualShare;
+
+  cache.jobs.resize(n);
+  cache.remaining_raw.resize(n);
+  cache.remaining_current.resize(n);
+  cache.remaining_deadline.resize(n);
+  cache.rate.resize(n);
+  cache.share_raw.resize(n);
+  cache.share_current.resize(n);
   double total_raw = 0.0;
   double total_current = 0.0;
   double demand = 0.0;
   double min_deadline = sim::kTimeInfinity;
-  for (const Task* t : residents) {
+  core::ResidentRiskAggregates agg;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task* t = residents[i];
     const double work = work_at(*t, now);
-    ResidentJobState r;
-    r.job = t->job;
-    r.remaining_raw = std::max(t->job->scheduler_estimate - work, 0.0);
-    r.remaining_current = std::max(t->est_current - work, 0.0);
-    r.remaining_deadline = t->job->absolute_deadline() - now;
-    r.rate = t->rate;
-    total_raw += required_share(r.remaining_raw, r.remaining_deadline,
-                                config_.deadline_clamp, speed);
-    total_current += required_share(r.remaining_current, r.remaining_deadline,
-                                    config_.deadline_clamp, speed);
-    demand += std::min(1.0, demand_of(*t, now) / speed);
-    min_deadline = std::min(min_deadline, r.remaining_deadline);
-    cache.residents.push_back(r);
+    const double rem_raw = std::max(t->job->scheduler_estimate - work, 0.0);
+    const double rem_current = std::max(t->est_current - work, 0.0);
+    const double rem_deadline = t->job->absolute_deadline() - now;
+    cache.jobs[i] = t->job;
+    cache.remaining_raw[i] = rem_raw;
+    cache.remaining_current[i] = rem_current;
+    cache.remaining_deadline[i] = rem_deadline;
+    cache.rate[i] = t->rate;
+    min_deadline = std::min(min_deadline, rem_deadline);
+    if (want_raw) {
+      const double share = required_share(rem_raw, rem_deadline,
+                                          config_.deadline_clamp, speed);
+      cache.share_raw[i] = share;
+      total_raw += share;
+    }
+    if (want_cur) {
+      const double share = required_share(rem_current, rem_deadline,
+                                          config_.deadline_clamp, speed);
+      cache.share_current[i] = share;
+      total_current += share;
+      if (want_agg)
+        agg.fold(share, rem_current, rem_deadline, t->rate,
+                 config_.deadline_clamp);
+    }
+    if (want_cap && !equal_share)
+      demand += std::min(1.0, demand_of(*t, now) / speed);
   }
+  agg.computed = want_agg;
 
   cache.epoch = epoch_;
   cache.at = now;
-  cache.view.residents = cache.residents;
+  cache.view.jobs = cache.jobs;
+  cache.view.remaining_raw = cache.remaining_raw;
+  cache.view.remaining_current = cache.remaining_current;
+  cache.view.remaining_deadline = cache.remaining_deadline;
+  cache.view.rate = cache.rate;
+  cache.view.share_raw = cache.share_raw;
+  cache.view.share_current = cache.share_current;
   cache.view.total_share_raw = total_raw;
   cache.view.total_share_current = total_current;
   // EqualShare has no notion of reserved shares: a non-empty node is fully
   // used. Pacing modes report the *guaranteed* leftover (1 - total demand)
   // even when work-conserving, because spare redistribution is a bonus a
   // new job cannot rely on.
-  cache.view.available_capacity = config_.mode == ExecutionMode::EqualShare
-                                      ? (residents.empty() ? 1.0 : 0.0)
+  cache.view.available_capacity = equal_share
+                                      ? (n == 0 ? 1.0 : 0.0)
                                       : std::max(0.0, 1.0 - demand);
   cache.view.min_remaining_deadline = min_deadline;
+  cache.view.risk_current = agg;
+  cache.view.parts = want;
 }
 
 double TimeSharedExecutor::demand_of(const Task& task, sim::SimTime now) const {

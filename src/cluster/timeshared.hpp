@@ -41,6 +41,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/share_model.hpp"
 #include "cluster/timeline.hpp"
+#include "core/risk.hpp"  // header-only value types (ResidentRiskAggregates)
 #include "sim/simulator.hpp"
 #include "support/hooks.hpp"
 #include "trace/recorder.hpp"
@@ -78,31 +79,47 @@ struct TaskView {
   [[nodiscard]] double remaining_deadline(sim::SimTime now) const noexcept;
 };
 
-/// One resident job of a node as seen by an admission control at a fixed
-/// instant (like TaskView, nothing leaks the job's actual runtime), flat and
-/// allocation-free so per-submission scans can read it straight into a risk
-/// workspace.
-struct ResidentJobState {
-  const Job* job = nullptr;
-  double remaining_raw = 0.0;      ///< raw-estimate remaining work (Eq. 1 belief)
-  double remaining_current = 0.0;  ///< overrun-bumped remaining work
-  double remaining_deadline = 0.0; ///< seconds to absolute deadline (may be < 0)
-  double rate = 0.0;               ///< current ref-seconds per second
-};
+/// Selector for which derived parts of a NodeStateView a caller needs.
+/// The base snapshot (jobs, remaining work/deadline, rates,
+/// min_remaining_deadline) is always built; each flag below gates one
+/// divide-per-resident family so policies that never read a part never pay
+/// for it. Flags accumulate in the cache: requesting a part another caller
+/// already built this instant is free.
+using NodeStateParts = std::uint8_t;
+inline constexpr NodeStateParts kStateSharesRaw = 1;      ///< share_raw[] + total_share_raw
+inline constexpr NodeStateParts kStateSharesCurrent = 2;  ///< share_current[] + total_share_current
+inline constexpr NodeStateParts kStateCapacity = 4;       ///< available_capacity
+inline constexpr NodeStateParts kStateRiskAggregates = 8; ///< risk_current (implies SharesCurrent)
+inline constexpr NodeStateParts kStateAll = 15;
 
-/// Cached per-node aggregates + resident snapshot. Spans alias the
-/// executor's internal cache: they stay valid until the executor's state
-/// next changes (start/completion/overrun/kill/sync that advances work) —
-/// i.e. for the duration of one admission scan, not across submissions.
+/// Cached per-node aggregates + resident snapshot in structure-of-arrays
+/// layout: index i across every span describes the i-th resident (in start
+/// order), so the σ-risk assessment and share summation stream over
+/// contiguous doubles instead of hopping through an array of structs.
+/// Spans alias the executor's internal cache: they stay valid until the
+/// executor's state next changes (start/completion/overrun/kill/sync that
+/// advances work) — i.e. for the duration of one admission scan, not across
+/// submissions.
 struct NodeStateView {
-  std::span<const ResidentJobState> residents;  ///< in start order
-  double total_share_raw = 0.0;      ///< == node_total_share(EstimateKind::Raw)
-  double total_share_current = 0.0;  ///< == node_total_share(EstimateKind::Current)
-  double available_capacity = 1.0;   ///< == node_available_capacity()
+  std::span<const Job* const> jobs;             ///< in start order
+  std::span<const double> remaining_raw;        ///< raw-estimate remaining work (Eq. 1 belief)
+  std::span<const double> remaining_current;    ///< overrun-bumped remaining work
+  std::span<const double> remaining_deadline;   ///< seconds to absolute deadline (may be < 0)
+  std::span<const double> rate;                 ///< current ref-seconds per second
+  std::span<const double> share_raw;            ///< required_share of remaining_raw [SharesRaw]
+  std::span<const double> share_current;        ///< required_share of remaining_current [SharesCurrent]
+  double total_share_raw = 0.0;      ///< == node_total_share(EstimateKind::Raw) [SharesRaw]
+  double total_share_current = 0.0;  ///< == node_total_share(EstimateKind::Current) [SharesCurrent]
+  double available_capacity = 1.0;   ///< == node_available_capacity() [Capacity]
   double min_remaining_deadline = 0.0;  ///< +inf when the node is empty
+  /// Left-fold of the CurrentRate σ-risk resident terms in start order
+  /// (share_current / observed rate), ready for core::assess_nodes'
+  /// O(1)-per-node aggregate path. [RiskAggregates]
+  core::ResidentRiskAggregates risk_current;
+  NodeStateParts parts = 0;  ///< which gated parts above are populated
 
-  [[nodiscard]] std::size_t count() const noexcept { return residents.size(); }
-  [[nodiscard]] bool empty() const noexcept { return residents.empty(); }
+  [[nodiscard]] std::size_t count() const noexcept { return jobs.size(); }
+  [[nodiscard]] bool empty() const noexcept { return jobs.empty(); }
 };
 
 /// Execution-kernel effort counters, AdmissionStats-style: cumulative over
@@ -194,10 +211,12 @@ class TimeSharedExecutor {
   [[nodiscard]] double node_available_capacity(NodeId node) const;
   /// Resident snapshot + aggregates for one node, served from a per-node
   /// cache invalidated by the state epoch (below) and, for non-empty nodes,
-  /// by simulation time. Each node is computed at most once per admission
-  /// scan; empty nodes stay cached across submissions until a start touches
-  /// them. Call sync() first mid-simulation, like the other views.
-  [[nodiscard]] const NodeStateView& node_state(NodeId node) const;
+  /// by simulation time. Each requested part is computed at most once per
+  /// admission scan (parts accumulate in the cache); empty nodes stay
+  /// cached across submissions until a start touches them. Call sync()
+  /// first mid-simulation, like the other views.
+  [[nodiscard]] const NodeStateView& node_state(
+      NodeId node, NodeStateParts parts = kStateAll) const;
   /// Monotonic counter bumped whenever observable execution state changes
   /// (start, completion, overrun bump, kill, or work advancing under sync).
   /// Snapshot it to detect staleness of previously read views.
@@ -286,14 +305,22 @@ class TimeSharedExecutor {
   void bheap_update(Task* task);
   void bheap_remove(Task* task);
 
-  /// Lazily rebuilt per-node admission view (see node_state()).
+  /// Lazily rebuilt per-node admission view (see node_state()). SoA
+  /// columns are grow-only storage the view's spans alias.
   struct NodeCache {
     std::uint64_t epoch = 0;  ///< 0 = never built (epoch_ starts at 1)
     sim::SimTime at = 0.0;
-    std::vector<ResidentJobState> residents;  ///< grow-only storage
+    std::vector<const Job*> jobs;
+    std::vector<double> remaining_raw;
+    std::vector<double> remaining_current;
+    std::vector<double> remaining_deadline;
+    std::vector<double> rate;
+    std::vector<double> share_raw;
+    std::vector<double> share_current;
     NodeStateView view;
   };
-  void rebuild_node_cache(NodeId node, NodeCache& cache) const;
+  void rebuild_node_cache(NodeId node, NodeCache& cache,
+                          NodeStateParts parts) const;
 
   sim::Simulator& sim_;
   const Cluster& cluster_;

@@ -34,6 +34,27 @@ LibraScheduler::LibraScheduler(sim::Simulator& simulator,
       config_(config),
       name_(std::move(name)) {
   LIBRISK_CHECK(config_.capacity > 0.0, "node capacity must be positive");
+  // The executor's cached risk aggregates reuse is sound only when the
+  // admission test reads exactly what the executor folded: current-estimate
+  // remaining work, CurrentRate completion prediction, and the same
+  // deadline clamp on both sides (the factory guarantees clamp equality;
+  // hand-built configs may not).
+  use_aggregates_ =
+      config_.admission == LibraConfig::Admission::ZeroRisk &&
+      config_.risk.prediction == RiskConfig::Prediction::CurrentRate &&
+      config_.estimate_kind ==
+          cluster::TimeSharedExecutor::EstimateKind::Current &&
+      config_.risk.deadline_clamp == executor_.config().deadline_clamp;
+  if (config_.admission == LibraConfig::Admission::ZeroRisk) {
+    scan_parts_ = use_aggregates_
+                      ? (cluster::kStateCapacity | cluster::kStateRiskAggregates)
+                      : cluster::kStateCapacity;
+  } else {
+    scan_parts_ =
+        config_.estimate_kind == cluster::TimeSharedExecutor::EstimateKind::Raw
+            ? cluster::kStateSharesRaw
+            : cluster::kStateSharesCurrent;
+  }
   executor_.set_completion_handler(
       [this](const Job& job, sim::SimTime finish) {
         if (response_hist_ != nullptr)
@@ -67,7 +88,8 @@ bool LibraScheduler::node_suitable_fast(cluster::NodeId node, const Job& job,
                                         double& fit, double* sigma_out) const {
   switch (config_.admission) {
     case LibraConfig::Admission::TotalShare: {
-      const cluster::NodeStateView& state = executor_.node_state(node);
+      const cluster::NodeStateView& state =
+          executor_.node_state(node, scan_parts_);
       ++stats_.assessments;
       const double resident_total =
           config_.estimate_kind == cluster::TimeSharedExecutor::EstimateKind::Raw
@@ -79,7 +101,8 @@ bool LibraScheduler::node_suitable_fast(cluster::NodeId node, const Job& job,
       return total <= config_.capacity + config_.tolerance;
     }
     case LibraConfig::Admission::ZeroRisk: {
-      const cluster::NodeStateView& state = executor_.node_state(node);
+      const cluster::NodeStateView& state =
+          executor_.node_state(node, scan_parts_);
       // Empty-node fast path: the assessment would see a single job, whose
       // sigma (Eq. 6) is 0 by definition, so under the paper's sigma-only
       // rule the node is suitable and the fit key collapses to the new
@@ -96,24 +119,24 @@ bool LibraScheduler::node_suitable_fast(cluster::NodeId node, const Job& job,
         return true;
       }
       ++stats_.assessments;
+      ++stats_.batched_assessments;
       const bool raw =
           config_.estimate_kind == cluster::TimeSharedExecutor::EstimateKind::Raw;
-      workspace_.inputs.clear();
-      for (const cluster::ResidentJobState& r : state.residents)
-        workspace_.inputs.push_back(RiskJobInput{
-            raw ? r.remaining_raw : r.remaining_current, r.remaining_deadline,
-            r.rate});
-      // Algorithm 1, line 2: add the new job temporarily.
-      workspace_.inputs.push_back(RiskJobInput{job.scheduler_estimate,
-                                               job.deadline,
-                                               RiskJobInput::kNewJob});
-      const RiskAssessmentView assessment = assess_node(
-          workspace_.inputs, config_.risk,
-          executor_.cluster().speed_factor(node), state.available_capacity,
-          workspace_);
-      fit = assessment.total_share;
-      if (sigma_out != nullptr) *sigma_out = assessment.sigma;
-      return assessment.zero_risk(config_.risk);
+      // Batch of one through the SoA kernel (the scan path batches wider;
+      // this keeps introspection and the scan on the same arithmetic).
+      NodeRiskInput input;
+      input.remaining_work = raw ? state.remaining_raw : state.remaining_current;
+      input.remaining_deadline = state.remaining_deadline;
+      input.rate = state.rate;
+      input.speed_factor = executor_.cluster().speed_factor(node);
+      input.available_capacity = state.available_capacity;
+      if (use_aggregates_) input.aggregates = &state.risk_current;
+      NodeRiskVerdict verdict;
+      assess_nodes({&input, 1}, job.scheduler_estimate, job.deadline,
+                   config_.risk, workspace_, {&verdict, 1});
+      fit = verdict.total_share;
+      if (sigma_out != nullptr) *sigma_out = verdict.sigma;
+      return verdict.suitable;
     }
   }
   return false;
@@ -165,6 +188,12 @@ void LibraScheduler::on_telemetry(obs::Telemetry& telemetry) {
   reg.counter_fn("admission_early_exits",
                  "FirstFit scans stopped before the last node",
                  [this] { return stats_.early_exits; });
+  reg.counter_fn("admission_batched_assessments",
+                 "assessments served by the batched risk kernel",
+                 [this] { return stats_.batched_assessments; });
+  reg.counter_fn("admission_nodes_batch_skipped",
+                 "nodes rejected by the batch sigma-spread bound",
+                 [this] { return stats_.nodes_batch_skipped; });
   reg.counter_fn("admission_rejected_share_overflow",
                  "rejections: Eq. 2 total-share shortfall",
                  [this] { return stats_.rejected_share_overflow; });
@@ -219,16 +248,24 @@ void LibraScheduler::sample_nodes(obs::Series& series, sim::SimTime now) const {
     const cluster::NodeStateView& state = executor_.node_state(n);
     double sigma = 0.0;
     if (!state.empty()) {
-      workspace_.inputs.clear();
-      for (const cluster::ResidentJobState& r : state.residents)
-        workspace_.inputs.push_back(RiskJobInput{
-            raw ? r.remaining_raw : r.remaining_current, r.remaining_deadline,
-            r.rate});
-      const RiskAssessmentView assessment = assess_node(
-          workspace_.inputs, config_.risk,
-          executor_.cluster().speed_factor(n), state.available_capacity,
-          workspace_);
-      sigma = assessment.sigma;
+      if (use_aggregates_ && state.risk_current.computed) {
+        // The executor's fold is the same left-fold over the same resident
+        // terms the scalar assessment would run, so the closed-form σ over
+        // its power sums is bitwise the assessment's σ.
+        sigma = sigma_from_sums(state.risk_current.dd_sum,
+                                state.risk_current.dd_sum_sq, state.count());
+      } else {
+        workspace_.inputs.clear();
+        for (std::size_t i = 0; i < state.count(); ++i)
+          workspace_.inputs.push_back(RiskJobInput{
+              raw ? state.remaining_raw[i] : state.remaining_current[i],
+              state.remaining_deadline[i], state.rate[i]});
+        const RiskAssessmentView assessment = assess_node(
+            workspace_.inputs, config_.risk,
+            executor_.cluster().speed_factor(n), state.available_capacity,
+            workspace_);
+        sigma = assessment.sigma;
+      }
     }
     series.append({now, static_cast<double>(n),
                    static_cast<double>(state.count()), state.total_share_raw,
@@ -271,24 +308,28 @@ void LibraScheduler::submit_fast(const Job& job) {
   // and a rejection (< num_procs suitable anywhere) still scans everything.
   const bool can_stop_early = config_.selection == LibraConfig::Selection::FirstFit;
   const std::uint64_t scanned_before = stats_.nodes_scanned;
-  for (cluster::NodeId n = 0; n < cluster_size; ++n) {
-    ++stats_.nodes_scanned;
-    double fit = 0.0;
-    double sigma = -1.0;
-    // sigma is a by-product of the assessment either way; capturing it
-    // unconditionally costs one store and feeds both the trace event and
-    // the admission outcome (Scheduler::Decision).
-    const bool ok = node_suitable_fast(n, job, fit, &sigma);
-    if (tracing)
-      trace_->node_evaluated(
-          now, job.id, n,
-          ok ? trace::RejectionReason::None : scan_reason(), sigma, fit);
-    if (ok) {
-      suitable_.push_back(Candidate{n, fit, sigma});
-      if (can_stop_early &&
-          static_cast<int>(suitable_.size()) == job.num_procs) {
-        if (n + 1 < cluster_size) ++stats_.early_exits;
-        break;
+  if (config_.admission == LibraConfig::Admission::ZeroRisk) {
+    scan_zero_risk_batched(job, now, tracing, can_stop_early);
+  } else {
+    for (cluster::NodeId n = 0; n < cluster_size; ++n) {
+      ++stats_.nodes_scanned;
+      double fit = 0.0;
+      double sigma = -1.0;
+      // sigma is a by-product of the assessment either way; capturing it
+      // unconditionally costs one store and feeds both the trace event and
+      // the admission outcome (Scheduler::Decision).
+      const bool ok = node_suitable_fast(n, job, fit, &sigma);
+      if (tracing)
+        trace_->node_evaluated(
+            now, job.id, n,
+            ok ? trace::RejectionReason::None : scan_reason(), sigma, fit);
+      if (ok) {
+        suitable_.push_back(Candidate{n, fit, sigma});
+        if (can_stop_early &&
+            static_cast<int>(suitable_.size()) == job.num_procs) {
+          if (n + 1 < cluster_size) ++stats_.early_exits;
+          break;
+        }
       }
     }
   }
@@ -328,6 +369,89 @@ void LibraScheduler::submit_fast(const Job& job) {
                          static_cast<int>(suitable_.size()), suitable_[0].fit);
   collector_.record_started(job, now, job.actual_runtime / slowest);
   executor_.start(job, std::move(chosen));
+}
+
+namespace {
+/// Adaptive batch sizing for the ZeroRisk scan: start small so a FirstFit
+/// hit in the cluster's head discards little speculative work, then double
+/// toward the sweet spot for long rejection scans.
+constexpr std::size_t kBatchChunkMin = 4;
+constexpr std::size_t kBatchChunkMax = 64;
+}  // namespace
+
+void LibraScheduler::scan_zero_risk_batched(const Job& job, sim::SimTime now,
+                                            bool tracing, bool can_stop_early) {
+  const int cluster_size = executor_.cluster().size();
+  const bool raw =
+      config_.estimate_kind == cluster::TimeSharedExecutor::EstimateKind::Raw;
+  // The empty-node fast path's exact legacy condition, hoisted: under it an
+  // empty node's verdict counts as a skip, not an assessment.
+  const bool empty_fast =
+      config_.risk.rule == RiskConfig::Rule::SigmaOnly &&
+      0.0 <= config_.risk.sigma_threshold + config_.risk.tolerance;
+  AssessNodesOptions options;
+  // The σ-spread bound rejects without computing the exact σ the
+  // node_evaluated event must carry, so it only arms when untraced
+  // (decisions are identical either way — the bound is conservative).
+  options.allow_bound_skip = !tracing;
+
+  std::size_t chunk = kBatchChunkMin;
+  int next = 0;
+  while (next < cluster_size) {
+    const int end =
+        std::min(next + static_cast<int>(chunk), cluster_size);
+    batch_inputs_.clear();
+    batch_meta_.clear();
+    for (int n = next; n < end; ++n) {
+      const cluster::NodeStateView& state =
+          executor_.node_state(n, scan_parts_);
+      NodeRiskInput input;
+      input.remaining_work =
+          raw ? state.remaining_raw : state.remaining_current;
+      input.remaining_deadline = state.remaining_deadline;
+      input.rate = state.rate;
+      input.speed_factor = executor_.cluster().speed_factor(n);
+      input.available_capacity = state.available_capacity;
+      if (use_aggregates_) input.aggregates = &state.risk_current;
+      batch_inputs_.push_back(input);
+      batch_meta_.push_back(BatchEntry{n, state.empty()});
+    }
+    batch_verdicts_.resize(batch_inputs_.size());
+    assess_nodes(batch_inputs_, job.scheduler_estimate, job.deadline,
+                 config_.risk, workspace_, batch_verdicts_, options);
+
+    // Consume verdicts in node order; counters and trace events fire per
+    // consumed node only, so a FirstFit stop mid-batch leaves the rest of
+    // the batch uncounted — exactly as if the scalar scan never got there.
+    for (std::size_t i = 0; i < batch_meta_.size(); ++i) {
+      const NodeRiskVerdict& verdict = batch_verdicts_[i];
+      const int n = batch_meta_[i].node;
+      ++stats_.nodes_scanned;
+      if (batch_meta_[i].empty && empty_fast)
+        ++stats_.empty_node_skips;
+      else if (verdict.bound_skipped)
+        ++stats_.nodes_batch_skipped;
+      else {
+        ++stats_.assessments;
+        ++stats_.batched_assessments;
+      }
+      if (tracing)
+        trace_->node_evaluated(now, job.id, n,
+                               verdict.suitable ? trace::RejectionReason::None
+                                                : scan_reason(),
+                               verdict.sigma, verdict.total_share);
+      if (verdict.suitable) {
+        suitable_.push_back(Candidate{n, verdict.total_share, verdict.sigma});
+        if (can_stop_early &&
+            static_cast<int>(suitable_.size()) == job.num_procs) {
+          if (n + 1 < cluster_size) ++stats_.early_exits;
+          return;
+        }
+      }
+    }
+    next = end;
+    chunk = std::min(chunk * 2, kBatchChunkMax);
+  }
 }
 
 // ---- seed implementation (differential-testing reference) ----

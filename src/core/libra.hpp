@@ -72,6 +72,14 @@ struct AdmissionStats {
   std::uint64_t assessments = 0;      ///< full share/risk evaluations run
   std::uint64_t empty_node_skips = 0; ///< ZeroRisk empty-node fast-path hits
   std::uint64_t early_exits = 0;      ///< FirstFit scans stopped before the last node
+  /// Of `assessments`, those served by the batched core::assess_nodes kernel
+  /// (ZeroRisk scans; the remainder went through the scalar per-node path).
+  std::uint64_t batched_assessments = 0;
+  /// Nodes rejected by the batch σ-spread bound without a full evaluation
+  /// (untraced ZeroRisk scans only — tracing needs the exact σ, so traced
+  /// runs evaluate every node and this stays 0). These nodes still count in
+  /// `nodes_scanned` but not in `assessments`.
+  std::uint64_t nodes_batch_skipped = 0;
   /// Rejections attributed by reason (sums to `rejections`):
   std::uint64_t rejected_share_overflow = 0;   ///< Eq. 2 total-share shortfall (Libra)
   std::uint64_t rejected_risk_sigma = 0;       ///< sigma-test shortfall (LibraRisk)
@@ -143,6 +151,11 @@ class LibraScheduler final : public Scheduler {
   /// full stable_sort would, without touching the rest.
   void select_prefix(int count);
   void submit_fast(const Job& job);
+  /// ZeroRisk candidate scan through core::assess_nodes over adaptive node
+  /// chunks; fills suitable_ and maintains the same per-consumed-node
+  /// counters and trace events as the scalar scan, in node order.
+  void scan_zero_risk_batched(const Job& job, sim::SimTime now, bool tracing,
+                              bool can_stop_early);
 
   // Seed implementation, kept for differential testing (LibraConfig::legacy_path).
   [[nodiscard]] RiskAssessment assess_with_job_legacy(cluster::NodeId node,
@@ -162,6 +175,20 @@ class LibraScheduler final : public Scheduler {
   /// submission; mutable because node_suitable() is a const query).
   mutable RiskWorkspace workspace_;
   std::vector<Candidate> suitable_;
+  /// Decided once at construction: whether the executor's cached
+  /// ResidentRiskAggregates can stand in for the per-resident fold (ZeroRisk
+  /// + CurrentRate + Current estimates + matching deadline clamps), and the
+  /// minimal NodeStateParts the admission scan needs from node_state().
+  bool use_aggregates_ = false;
+  cluster::NodeStateParts scan_parts_ = cluster::kStateAll;
+  /// Grow-only buffers for the batched ZeroRisk scan (submit_fast).
+  struct BatchEntry {
+    cluster::NodeId node;
+    bool empty;
+  };
+  std::vector<NodeRiskInput> batch_inputs_;
+  std::vector<NodeRiskVerdict> batch_verdicts_;
+  std::vector<BatchEntry> batch_meta_;
 
   /// Telemetry-registered sinks (null when telemetry is not attached; the
   /// registry owns the histograms).

@@ -6,6 +6,9 @@
 // delay with remaining deadline 20 s gives 3).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -67,18 +70,140 @@ struct RiskConfig {
   ///    kept as an ablation.
   enum class Rule { SigmaAndNoDelay, SigmaOnly };
   Rule rule = Rule::SigmaOnly;
+  /// How the batched kernel (assess_nodes) accumulates per-resident terms:
+  ///  - Strict (default): one left-fold in resident order, the exact
+  ///    operation sequence of the scalar assess_node — results (and hence
+  ///    decisions and .lrt traces) are bit-identical to the oracles.
+  ///  - Reassociated: multi-accumulator / SIMD-lane partial sums (and the
+  ///    explicit AVX2 path when built with LIBRISK_RISK_SIMD). Changes the
+  ///    floating-point grouping, so sums differ from Strict by at most the
+  ///    classical reassociation bound |Δsum| <= n*eps*Σ|term| (eps =
+  ///    2^-53); see docs/MODEL.md "SoA layout and the batched kernel" for
+  ///    the induced sigma bound. Opt-in precisely because it is *not*
+  ///    bit-identical: decisions can flip only when sigma sits within that
+  ///    bound of sigma_threshold + tolerance.
+  enum class Accumulation { Strict, Reassociated };
+  Accumulation batch_accumulation = Accumulation::Strict;
 };
 
 /// Eq. 3 clamped at zero: a job completing before its deadline has no delay.
-[[nodiscard]] double job_delay(double finish_time, double submit_time,
-                               double deadline) noexcept;
+[[nodiscard]] inline double job_delay(double finish_time, double submit_time,
+                                      double deadline) noexcept {
+  return std::max(0.0, (finish_time - submit_time) - deadline);
+}
 
 /// Eq. 4: impact of a delay on the remaining deadline; >= 1, equal to 1 iff
 /// the delay is zero. The remaining deadline is clamped below at
 /// `deadline_clamp` so jobs at/past their deadline register large but finite
 /// impact.
-[[nodiscard]] double deadline_delay_metric(double delay, double remaining_deadline,
-                                           double deadline_clamp) noexcept;
+///
+/// Inline (like the helpers below) so the executor's aggregate pass in
+/// cluster/timeshared.cpp can share the one definition without linking
+/// against librisk_core — bit-identity between the cached aggregates and the
+/// scalar kernel rests on both sides evaluating these exact expressions.
+[[nodiscard]] inline double deadline_delay_metric(double delay,
+                                                  double remaining_deadline,
+                                                  double deadline_clamp) noexcept {
+  const double rd = std::max(remaining_deadline, deadline_clamp);
+  return (std::max(delay, 0.0) + rd) / rd;
+}
+
+/// An effectively-starved job's predicted completion offset: far enough out
+/// to dominate any deadline, small enough to stay numerically benign.
+inline constexpr double kStarvedFinish = 1e15;
+
+/// CurrentRate finish offset of a *resident* job (observed rate, Algorithm 1
+/// line 4). Exactly the resident branch of the scalar assess_node loop.
+[[nodiscard]] inline double resident_finish_current_rate(double remaining_work,
+                                                         double rate) noexcept {
+  if (remaining_work <= 0.0) return 0.0;
+  const double finish = rate > 0.0 ? remaining_work / rate : kStarvedFinish;
+  return std::min(finish, kStarvedFinish);
+}
+
+/// Predicted delay from a finish offset: past-deadline jobs believed
+/// finished are already late by their overshoot.
+[[nodiscard]] inline double delay_from_finish_offset(double remaining_work,
+                                                     double remaining_deadline,
+                                                     double finish_offset) noexcept {
+  if (remaining_work > 0.0)
+    return std::max(0.0, finish_offset - remaining_deadline);
+  if (remaining_deadline < 0.0) return -remaining_deadline;
+  return 0.0;
+}
+
+/// Eq. 6 from the in-order power sums, exactly as the scalar kernel computes
+/// it: population stddev via sqrt(max(0, E[x^2] - E[x]^2)), 0 below two
+/// samples.
+[[nodiscard]] inline double sigma_from_sums(double dd_sum, double dd_sum_sq,
+                                            std::size_t n) noexcept {
+  if (n < 2) return 0.0;
+  const double dn = static_cast<double>(n);
+  const double m = dd_sum / dn;
+  return std::sqrt(std::max(0.0, dd_sum_sq / dn - m * m));
+}
+
+/// Candidate-independent risk aggregates over one node's residents under the
+/// CurrentRate prediction: the left-fold (resident start order) power sums
+/// of Eq. 4's deadline_delay and Eq. 1's required shares. Because resident
+/// finish predictions under CurrentRate do not depend on the job under
+/// admission, an executor can fold these once per (node, instant) and the
+/// batched kernel completes any candidate's assessment in O(1) by appending
+/// the candidate's terms last — reproducing the scalar kernel's accumulation
+/// order, hence its bits (docs/MODEL.md "SoA layout and the batched
+/// kernel").
+struct ResidentRiskAggregates {
+  double share_sum = 0.0;    ///< Σ required_share, in resident order
+  double dd_sum = 0.0;       ///< Σ dd_i (Eq. 4), in resident order
+  double dd_sum_sq = 0.0;    ///< Σ dd_i^2, in resident order
+  double dd_max = 0.0;       ///< left-fold max from 0.0 (dd >= 1 if any)
+  /// Min over residents (any fold order; feeds only the conservative spread
+  /// bound, which is not bit-constrained). +inf when there are no residents.
+  double dd_min = std::numeric_limits<double>::infinity();
+  bool computed = false;     ///< false when the producer skipped this part
+
+  /// Folds one resident in, in start order, with the exact expressions of
+  /// the scalar assess_node CurrentRate loop. `share` must already be
+  /// required_share(remaining_work, remaining_deadline, clamp, speed) for
+  /// the same clamp/speed the consumer's RiskConfig will use.
+  void fold(double share, double remaining_work, double remaining_deadline,
+            double rate, double deadline_clamp) noexcept {
+    const double finish = resident_finish_current_rate(remaining_work, rate);
+    const double delay =
+        delay_from_finish_offset(remaining_work, remaining_deadline, finish);
+    const double dd =
+        deadline_delay_metric(delay, remaining_deadline, deadline_clamp);
+    share_sum += share;
+    dd_sum += dd;
+    dd_sum_sq += dd * dd;
+    dd_max = std::max(dd_max, dd);
+    dd_min = std::min(dd_min, dd);
+  }
+};
+
+/// The batch-level early-exit bound (conservative necessary condition for
+/// suitability): a population of N values with spread S = max - min has
+/// sigma >= S / sqrt(2N), and adding the admission candidate can only widen
+/// the spread, so when the residents' spread alone forces
+/// sigma > sigma_threshold + tolerance the node can be rejected without
+/// evaluating the candidate. Shared by the kernel and the conservativeness
+/// property test. `n_with_candidate` counts residents + 1. The comparison
+/// carries a ~5e-10 relative slack so rounding in the exact test's σ can
+/// never make the bound over-reject, and a degenerate (<= 0) threshold
+/// disables the bound outright: there the exact σ may round to 0 on a
+/// rounding-scale spread, which no finite slack covers.
+[[nodiscard]] inline bool sigma_bound_rejects(double dd_max, double dd_min,
+                                              std::size_t n_with_candidate,
+                                              const RiskConfig& config) noexcept {
+  const double threshold =
+      std::max(0.0, config.sigma_threshold + config.tolerance);
+  if (threshold <= 0.0) return false;  // degenerate rule; exact test decides
+  const double spread = dd_max - dd_min;
+  if (!(spread > 0.0)) return false;  // empty/uniform (or min still +inf)
+  return spread * spread >
+         threshold * threshold * (2.0 + 1e-9) *
+             static_cast<double>(n_with_candidate);
+}
 
 /// Full assessment of one node (Algorithm 1, lines 2-6): predicted delay
 /// and deadline_delay per job, plus Eq. 5-6 aggregates.
@@ -141,9 +266,72 @@ class RiskWorkspace {
                                              double available_capacity,
                                              RiskWorkspace& workspace);
 
+/// One node of a batched assessment, as structure-of-arrays spans over
+/// executor-owned storage (cluster::NodeStateView exposes exactly this
+/// layout). Spans must be index-aligned and ordered by resident start time;
+/// `remaining_work` carries whichever estimate kind (raw/current) the caller
+/// admits against.
+struct NodeRiskInput {
+  std::span<const double> remaining_work;
+  std::span<const double> remaining_deadline;
+  std::span<const double> rate;
+  double speed_factor = 1.0;
+  double available_capacity = 1.0;
+  /// Optional O(1) fast path: candidate-independent aggregates folded by the
+  /// producer in resident order. Only pass when the producer's clamp/speed
+  /// match `config` (RiskConfig::deadline_clamp equal to the executor's) and
+  /// the prediction is CurrentRate with `remaining_work` the same estimate
+  /// kind the aggregates were folded over; assess_nodes checks `computed`
+  /// but cannot verify those preconditions. Null → per-resident loop.
+  const ResidentRiskAggregates* aggregates = nullptr;
+};
+
+/// Per-node outcome of assess_nodes. Unlike RiskAssessmentView there are no
+/// per-job arrays: the batch path exists for the admission scan, which only
+/// consumes the Eq. 5-6 aggregates and the Eq. 2 fit key.
+struct NodeRiskVerdict {
+  bool suitable = false;
+  /// The conservative spread bound rejected the node without evaluating the
+  /// candidate; sigma/total_share/mu/max_deadline_delay are NOT computed
+  /// (left at their sentinel values below). Only possible when
+  /// AssessNodesOptions::allow_bound_skip is set.
+  bool bound_skipped = false;
+  bool aggregate_path = false;  ///< O(1) cached-aggregate evaluation used
+  double sigma = -1.0;
+  double total_share = -1.0;  ///< Eq. 2 fit key (residents + candidate)
+  double mu = -1.0;
+  double max_deadline_delay = -1.0;
+};
+
+struct AssessNodesOptions {
+  /// Permit the spread bound to reject nodes without computing sigma.
+  /// Decisions are unchanged (the bound is a proven necessary condition,
+  /// tests/test_risk_batch.cpp holds it to that), but skipped nodes report
+  /// no sigma — callers that must observe sigma for every scanned node
+  /// (e.g. while emitting node_evaluated trace events) leave this off.
+  bool allow_bound_skip = false;
+};
+
+/// Batched assessment of one admission candidate against many nodes — the
+/// hot path behind the LibraRisk scan (docs/API.md "Batched risk
+/// assessment"). Per node: the O(1) cached-aggregate path when
+/// `aggregates` is supplied, otherwise a branch-light fused loop over the
+/// SoA spans (CurrentRate), otherwise the scalar workspace kernel staged
+/// through `workspace.inputs` (ProcessorSharing / ProportionalShare). Under
+/// RiskConfig::Accumulation::Strict every path reproduces the scalar
+/// assess_node bit-for-bit; Reassociated trades bits for vectorizable
+/// partial sums within the documented bound. `verdicts` must have at least
+/// `nodes.size()` entries.
+void assess_nodes(std::span<const NodeRiskInput> nodes, double candidate_work,
+                  double candidate_deadline, const RiskConfig& config,
+                  RiskWorkspace& workspace, std::span<NodeRiskVerdict> verdicts,
+                  const AssessNodesOptions& options = {});
+
 /// Convenience wrapper over the workspace overload: allocates a fresh
-/// RiskAssessment per call. Fine for tests and one-off introspection; use
-/// the workspace overload in per-submission loops.
+/// RiskAssessment per call. Tests-only convenience — the non-test call
+/// sites migrated to the workspace overload (hot paths) or assess_nodes
+/// (batch scans); new code should do the same, this wrapper allocates three
+/// vectors per call.
 [[nodiscard]] RiskAssessment assess_node(std::span<const RiskJobInput> jobs,
                                          const RiskConfig& config,
                                          double speed_factor = 1.0,

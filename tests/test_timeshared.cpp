@@ -239,8 +239,8 @@ TEST(TimeShared, NodeStateAggregatesMatchAccessors) {
   f.executor.start(b, {0});
   const NodeStateView& s = f.executor.node_state(0);
   ASSERT_EQ(s.count(), 2u);
-  EXPECT_EQ(s.residents[0].job->id, 1);
-  EXPECT_EQ(s.residents[1].job->id, 2);
+  EXPECT_EQ(s.jobs[0]->id, 1);
+  EXPECT_EQ(s.jobs[1]->id, 2);
   EXPECT_DOUBLE_EQ(s.total_share_raw,
                    f.executor.node_total_share(
                        0, TimeSharedExecutor::EstimateKind::Raw));
@@ -270,8 +270,8 @@ TEST(TimeShared, NodeStateRefreshesAfterTimeAdvances) {
   const NodeStateView& s = f.executor.node_state(0);
   // Believed remaining 50 over remaining deadline 200: share unchanged at
   // 0.25 for strict pacing, but remaining_* fields must have moved.
-  EXPECT_NEAR(s.residents[0].remaining_raw, 50.0, 1e-9);
-  EXPECT_DOUBLE_EQ(s.residents[0].remaining_deadline, 200.0);
+  EXPECT_NEAR(s.remaining_raw[0], 50.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.remaining_deadline[0], 200.0);
   EXPECT_NEAR(s.total_share_raw, share_before, 1e-12);
   EXPECT_DOUBLE_EQ(s.min_remaining_deadline, 200.0);
 }

@@ -64,10 +64,14 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out) {
   // `metrics` subcommand and the --telemetry-out exports read.
   out << "\nMetrics:\n" << obs::metrics_table(telemetry.registry()).str();
   const core::AdmissionStats adm = stack->admission_stats();
-  if (adm.submissions > 0)
+  if (adm.submissions > 0) {
     out << "admission: " << table::num(adm.scans_per_submission())
         << " scans/job, " << table::pct(100.0 * adm.accept_rate())
         << "% accepted\n";
+    if (adm.batched_assessments > 0 || adm.nodes_batch_skipped > 0)
+      out << "batched risk: " << adm.batched_assessments << " assessments, "
+          << adm.nodes_batch_skipped << " bound skips\n";
+  }
   const cluster::KernelStats kern = stack->kernel_stats();
   if (kern.settles > 0)
     out << "kernel: " << table::num(kern.recomputes_per_settle())
