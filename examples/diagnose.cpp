@@ -40,10 +40,10 @@ int main(int argc, char** argv) {
   base.seed = seed_opt.value;
 
   table::Table t({"policy", "fulfilled %", "slowdown", "rejected", "rej(share)",
-                  "rej(sigma)", "rej(deadline)", "rej(no-node)",
-                  "late(under-est)", "late(victims)", "ful(under-est)",
-                  "doomable", "scans/job", "skips", "batched", "bound-skip",
-                  "recomp/settle", "kern-skip%"});
+                  "rej(sigma)", "rej(deadline)", "rej(no-node)", "near5%",
+                  "near10%", "late(under-est)", "late(victims)",
+                  "ful(under-est)", "doomable", "scans/job", "skips", "batched",
+                  "bound-skip", "recomp/settle", "kern-skip%"});
   for (const core::Policy policy : core::all_policies()) {
     exp::Scenario scenario = base;
     scenario.policy = policy;
@@ -93,6 +93,11 @@ int main(int argc, char** argv) {
                std::to_string(rej_sigma),
                std::to_string(rej_deadline),
                std::to_string(rej_node),
+               // Near-miss rejections: within 5%/10% of flipping the
+               // decisive test (conservative undercount when the batch
+               // spread bound skipped exact sigmas).
+               std::to_string(adm.near_miss_5()),
+               std::to_string(adm.near_miss_10()),
                std::to_string(late_under),
                std::to_string(late_victim), std::to_string(ful_under),
                std::to_string(under_total),

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare a fresh google-benchmark JSON run against a checked-in baseline.
+
+Usage:
+    bench_diff.py --baseline BENCH_admission.json --fresh fresh.json \
+                  [--threshold 25] [--metric real_time]
+
+Matches benchmarks by name. A benchmark regresses when its fresh time
+exceeds the baseline by more than --threshold percent; any regression makes
+the script exit 1 with a per-benchmark report. Benchmarks present on only
+one side are reported but never fail the run (renames and new benchmarks
+are routine; deleting a baseline entry is a review decision, not a CI one).
+
+Baselines are the repo's BENCH_*.json files. Those store either a plain
+google-benchmark run or an aggregates-only run (repetitions with
+*_mean/_median/_stddev rows); for aggregate baselines the _median row is
+compared, since the median is the stable statistic across noisy CI hosts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path: str, metric: str) -> dict[str, float]:
+    """Benchmark name -> metric value, preferring _median aggregate rows."""
+    with open(path) as f:
+        doc = json.load(f)
+    # The checked-in baselines keep benchmark arrays under varying top-level
+    # keys ("benchmarks" for a raw google-benchmark dump; "micro_admission",
+    # "micro_admission_endtoend", "results", ... for the curated merges), so
+    # accept every top-level list whose entries look like benchmark rows.
+    rows = []
+    for value in doc.values():
+        if isinstance(value, list):
+            rows.extend(r for r in value
+                        if isinstance(r, dict) and "name" in r)
+    values: dict[str, float] = {}
+    medians: dict[str, float] = {}
+    for row in rows:
+        name = row.get("name", "")
+        if metric not in row:
+            continue
+        value = float(row[metric])
+        if row.get("aggregate_name") == "median" or name.endswith("_median"):
+            medians[name.removesuffix("_median")] = value
+        elif "aggregate_name" not in row and not name.endswith(
+            ("_mean", "_median", "_stddev", "_cv")
+        ):
+            values[name] = value
+    # Median aggregates shadow raw rows of the same name: an aggregates-only
+    # baseline compares against a plain fresh run (and vice versa).
+    values.update(medians)
+    return values
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in BENCH_*.json")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly generated benchmark JSON")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="allowed regression in percent (default 25)")
+    parser.add_argument("--metric", default="real_time",
+                        help="benchmark field to compare (default real_time)")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline, args.metric)
+    fresh = load_benchmarks(args.fresh, args.metric)
+    if not baseline:
+        print(f"error: no '{args.metric}' benchmarks in {args.baseline}")
+        return 2
+    if not fresh:
+        print(f"error: no '{args.metric}' benchmarks in {args.fresh}")
+        return 2
+
+    regressions = []
+    compared = 0
+    for name in sorted(baseline):
+        if name not in fresh:
+            print(f"  baseline-only (skipped): {name}")
+            continue
+        compared += 1
+        base, now = baseline[name], fresh[name]
+        delta_pct = 100.0 * (now - base) / base if base > 0 else 0.0
+        flag = " REGRESSION" if delta_pct > args.threshold else ""
+        print(f"  {name}: {base:.1f} -> {now:.1f} {args.metric} "
+              f"({delta_pct:+.1f}%){flag}")
+        if delta_pct > args.threshold:
+            regressions.append((name, delta_pct))
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"  fresh-only (skipped): {name}")
+
+    if compared == 0:
+        print("error: no benchmark names in common — wrong baseline file?")
+        return 2
+    if regressions:
+        print(f"\n{len(regressions)} of {compared} benchmarks regressed "
+              f"more than {args.threshold:.0f}%:")
+        for name, delta_pct in regressions:
+            print(f"  {name}: {delta_pct:+.1f}%")
+        return 1
+    print(f"\nall {compared} compared benchmarks within "
+          f"{args.threshold:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,16 +35,30 @@ bool EdfScheduler::deadline_feasible(const Job& job) const {
   return now + best_runtime <= job.absolute_deadline() + sim::kTimeEpsilon;
 }
 
+double EdfScheduler::deadline_margin(const Job& job) const {
+  const double best_runtime =
+      job.scheduler_estimate / executor_.cluster().max_speed_factor();
+  return job.absolute_deadline() - (sim_.now() + best_runtime);
+}
+
 void EdfScheduler::on_job_submitted(const Job& job) {
+  ++stats_.submissions;
   // A request larger than the machine can never run; even EDF-NoAC must
   // reject it or the queue head would block forever.
   if (job.num_procs > executor_.cluster().size()) {
+    ++stats_.rejections;
+    ++stats_.rejected_no_suitable_node;
     collector_.record_rejected(job, sim_.now(), /*at_dispatch=*/false,
                                trace::RejectionReason::NoSuitableNode);
     if (trace_ != nullptr)
       trace_->job_rejected(sim_.now(), job.id,
                            trace::RejectionReason::NoSuitableNode, 0,
                            job.num_procs);
+    if (explain_ != nullptr) {
+      explain_->begin(sim_.now(), job.id, job.num_procs, job.deadline,
+                      job.scheduler_estimate);
+      explain_->finish_reject(trace::RejectionReason::NoSuitableNode, 0, 0.0);
+    }
     return;
   }
   queue_.push_back(&job);
@@ -52,6 +66,7 @@ void EdfScheduler::on_job_submitted(const Job& job) {
 }
 
 void EdfScheduler::start_job(const Job& job) {
+  ++stats_.accepted;
   std::vector<cluster::NodeId> nodes = executor_.take_free_nodes(job.num_procs);
   double slowest = sim::kTimeInfinity;
   for (const cluster::NodeId n : nodes)
@@ -104,13 +119,26 @@ void EdfScheduler::dispatch() {
     const Job* job = *head;
 
     if (config_.admission_control && !deadline_feasible(*job)) {
-      // The relaxed admission control: reject only at selection time.
+      // The relaxed admission control: reject only at selection time. The
+      // margin is the best-case-finish headroom (< 0 on this path); the
+      // near-miss scale is the job's own deadline window.
+      ++stats_.rejections;
+      const double margin = deadline_margin(*job);
+      const double deficit = -margin;
+      if (deficit <= 0.05 * job->deadline) ++stats_.near_miss_deadline_5;
+      if (deficit <= 0.10 * job->deadline) ++stats_.near_miss_deadline_10;
       collector_.record_rejected(*job, sim_.now(), /*at_dispatch=*/true,
                                  trace::RejectionReason::DeadlineInfeasible);
       if (trace_ != nullptr)
         trace_->job_rejected(sim_.now(), job->id,
                              trace::RejectionReason::DeadlineInfeasible, 0,
-                             job->num_procs);
+                             job->num_procs, margin);
+      if (explain_ != nullptr) {
+        explain_->begin(sim_.now(), job->id, job->num_procs, job->deadline,
+                        job->scheduler_estimate);
+        explain_->finish_reject(trace::RejectionReason::DeadlineInfeasible, 0,
+                                margin);
+      }
       queue_.erase(head);
       LIBRISK_LOG(Debug) << name_ << ": rejected job " << job->id
                          << " at dispatch (deadline infeasible)";

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cluster/spaceshared.hpp"
+#include "core/libra.hpp"  // AdmissionStats (the shared stats shape)
 #include "core/scheduler.hpp"
 
 namespace librisk::core {
@@ -40,12 +41,26 @@ class EdfScheduler final : public Scheduler {
 
   [[nodiscard]] std::size_t queue_length() const noexcept { return queue_.size(); }
 
+  /// Hot-path counters in the shared AdmissionStats shape. EDF has no node
+  /// scan, so only submissions/accepted/rejections, the reason attribution
+  /// and the deadline near-miss pair are populated. Rejections happen at
+  /// dispatch (the relaxed admission control), so provenance records
+  /// (Hooks::explain) are emitted for rejections only — acceptance is
+  /// implicit in starting.
+  [[nodiscard]] const AdmissionStats& admission_stats() const noexcept {
+    return stats_;
+  }
+
  private:
   void dispatch();
   void start_job(const Job& job);
   /// True when the job, started now on the fastest free nodes, could still
   /// meet its deadline according to its runtime estimate.
   [[nodiscard]] bool deadline_feasible(const Job& job) const;
+  /// Signed headroom of that test (obs::NodeMargin convention):
+  /// absolute_deadline - (now + best_runtime); the feasibility test passes
+  /// iff margin >= -kTimeEpsilon (and the deadline has not expired).
+  [[nodiscard]] double deadline_margin(const Job& job) const;
   /// EASY reservation for the waiting head (backfilling only).
   struct Reservation {
     sim::SimTime shadow_time = 0.0;
@@ -58,6 +73,7 @@ class EdfScheduler final : public Scheduler {
   Collector& collector_;
   EdfConfig config_;
   std::string name_;
+  AdmissionStats stats_;
   std::vector<const Job*> queue_;
   /// Estimate-based completion times of running jobs (backfilling only).
   std::map<std::int64_t, sim::SimTime> estimated_finish_;

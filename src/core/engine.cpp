@@ -151,6 +151,7 @@ AdmissionOutcome AdmissionEngine::outcome_of(std::int64_t job_id) const {
     if (d.job_id == job_id) {
       out.node = d.node;
       out.sigma = d.sigma;
+      out.margin = d.margin;
     }
   }
   return out;

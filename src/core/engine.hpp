@@ -70,6 +70,9 @@ struct AdmissionOutcome {
   /// Tentative sigma (Eq. 6) the admission test saw; -1 when no sigma test
   /// ran (non-ZeroRisk policies, or node == -1).
   double sigma = -1.0;
+  /// Chosen-node admission margin (signed headroom of the decisive test,
+  /// obs::NodeMargin convention); 0.0 when the policy computes none.
+  double margin = 0.0;
 
   [[nodiscard]] bool accepted() const noexcept { return verdict == Verdict::Accepted; }
   [[nodiscard]] bool rejected() const noexcept { return verdict == Verdict::Rejected; }

@@ -89,6 +89,14 @@ class SpaceSharedStack final : public SchedulerStack {
   double busy_node_seconds(sim::SimTime now) const override {
     return executor_.busy_node_seconds(now);
   }
+  AdmissionStats admission_stats() const override {
+    // Schedulers that track the shared stats shape (EDF's dispatch-time
+    // admission control) surface it; the rest keep the all-zero default.
+    if constexpr (requires { scheduler_.admission_stats(); })
+      return scheduler_.admission_stats();
+    else
+      return {};
+  }
 
  private:
   cluster::SpaceSharedExecutor executor_;

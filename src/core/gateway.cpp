@@ -7,11 +7,14 @@
 #include "cluster/share_model.hpp"
 #include "obs/telemetry.hpp"
 #include "support/check.hpp"
+#include "support/log.hpp"
 
 namespace librisk::core {
 
 AdmissionGateway::AdmissionGateway(GatewayConfig config)
-    : config_(std::move(config)), queue_(config_.queue_capacity) {
+    : config_(std::move(config)),
+      queue_(config_.queue_capacity),
+      flight_(obs::FlightConfig{.capacity = config_.flight_capacity}) {
   LIBRISK_CHECK(config_.engine.cluster.has_value(),
                 "the gateway requires an owning-mode EngineConfig (cluster "
                 "set): its drive thread must be the engine's only user");
@@ -113,6 +116,40 @@ AdmissionGateway::AdmissionGateway(GatewayConfig config)
                               share_scaled_.load(std::memory_order_relaxed)) /
                           static_cast<double>(config_.granularity);
                  });
+    reg.gauge_fn("gateway_inflight_share_peak",
+                 "in-flight share accumulator high-water mark (processor "
+                 "units)",
+                 [this] {
+                   return static_cast<double>(share_peak_.value()) /
+                          static_cast<double>(config_.granularity);
+                 });
+    reg.counter_fn("gateway_shed_no_suitable_node",
+                   "sheds by certificate C1 (larger than the cluster)",
+                   [this] { return shed_no_node_.load(std::memory_order_relaxed); });
+    reg.counter_fn("gateway_shed_share",
+                   "sheds by certificate C2-share (Eq. 2 lower bound)",
+                   [this] { return shed_share_.load(std::memory_order_relaxed); });
+    reg.counter_fn("gateway_shed_deadline",
+                   "sheds by certificate C2-deadline (best-case finish)",
+                   [this] { return shed_deadline_.load(std::memory_order_relaxed); });
+    reg.counter_fn("gateway_shed_aggregate",
+                   "sheds by the aggregate accumulator (Aggressive only)",
+                   [this] { return shed_aggregate_.load(std::memory_order_relaxed); });
+    reg.counter_fn("gateway_shed_spikes",
+                   "shed-spike threshold crossings observed",
+                   [this] { return spike_events_.load(std::memory_order_relaxed); });
+    if (config_.flight_capacity > 0) {
+      // Registry-owned sinks the flight histograms merge into at close():
+      // the recorder's own copies stay mutex-guarded for live snapshots,
+      // the registry ones feed the OpenMetrics render.
+      queue_wait_hist_ =
+          &reg.histogram("gateway_queue_wait_seconds",
+                         "wall seconds from enqueue to decision",
+                         flight_.config().latency);
+      decide_hist_ = &reg.histogram("gateway_decide_seconds",
+                                    "drive-loop wall seconds per decision",
+                                    flight_.config().latency);
+    }
   }
 
   drive_thread_ = std::thread([this] { drive(); });
@@ -141,11 +178,10 @@ std::uint64_t AdmissionGateway::scaled_share(
   return static_cast<std::uint64_t>(std::min(scaled, 9.0e18));
 }
 
-std::optional<trace::RejectionReason> AdmissionGateway::fast_reject_reason(
+AdmissionGateway::Certificate AdmissionGateway::classify(
     const workload::Job& job) const noexcept {
   // C1: structurally impossible on every policy.
-  if (job.num_procs > model_.cluster_size)
-    return trace::RejectionReason::NoSuitableNode;
+  if (job.num_procs > model_.cluster_size) return Certificate::NoNode;
   // C2-share: Eq. 2's per-node total is resident + new_share with
   // resident >= 0, and new_share is antitone in node speed — so the
   // fastest-node empty-cluster share is a lower bound on every node's
@@ -155,7 +191,7 @@ std::optional<trace::RejectionReason> AdmissionGateway::fast_reject_reason(
         cluster::required_share(job.scheduler_estimate, job.deadline,
                                 model_.deadline_clamp, model_.max_speed);
     if (share > model_.share_capacity + model_.share_tolerance)
-      return trace::RejectionReason::ShareOverflow;
+      return Certificate::Share;
   }
   // C2-deadline: the dispatch-time test compares now + estimate/max_speed
   // against submit + slack*deadline + eps, and `now >= submit` at every
@@ -167,7 +203,7 @@ std::optional<trace::RejectionReason> AdmissionGateway::fast_reject_reason(
     const double allowed =
         job.submit_time + model_.slack_factor * job.deadline;
     if (best_finish > allowed + sim::kTimeEpsilon)
-      return trace::RejectionReason::DeadlineInfeasible;
+      return Certificate::Deadline;
   }
   // C3: aggregate saturation — NOT a certificate (per-node admission can
   // admit under aggregate overload); sheds only when explicitly unsound.
@@ -175,27 +211,86 @@ std::optional<trace::RejectionReason> AdmissionGateway::fast_reject_reason(
     const std::uint64_t c = scaled_share(job);
     const std::uint64_t spent = share_scaled_.load(std::memory_order_acquire);
     if (c > share_budget_scaled_ || spent > share_budget_scaled_ - c)
+      return Certificate::Aggregate;
+  }
+  return Certificate::None;
+}
+
+std::optional<trace::RejectionReason> AdmissionGateway::fast_reject_reason(
+    const workload::Job& job) const noexcept {
+  switch (classify(job)) {
+    case Certificate::None:
+      return std::nullopt;
+    case Certificate::NoNode:
+      return trace::RejectionReason::NoSuitableNode;
+    case Certificate::Share:
+    case Certificate::Aggregate:
       return trace::RejectionReason::ShareOverflow;
+    case Certificate::Deadline:
+      return trace::RejectionReason::DeadlineInfeasible;
   }
   return std::nullopt;
 }
 
+void AdmissionGateway::note_shed_spike() noexcept {
+  const std::uint64_t now_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  const std::uint64_t window_ns =
+      static_cast<std::uint64_t>(config_.shed_spike_window * 1e9);
+  std::uint64_t start = spike_window_start_ns_.load(std::memory_order_relaxed);
+  if (now_ns - start > window_ns) {
+    // Rotate the window; the one winning producer resets the count. Racing
+    // losers keep counting into the fresh window — the detector is
+    // deliberately approximate (relaxed, never blocking).
+    if (spike_window_start_ns_.compare_exchange_strong(
+            start, now_ns, std::memory_order_relaxed))
+      spike_count_.store(0, std::memory_order_relaxed);
+  }
+  const std::uint64_t in_window =
+      spike_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (in_window == config_.shed_spike_threshold) {
+    spike_events_.fetch_add(1, std::memory_order_relaxed);
+    spike_pending_.store(true, std::memory_order_release);
+  }
+}
+
 SubmitStatus AdmissionGateway::submit(const workload::Job& job) {
   if (closed_.load(std::memory_order_acquire)) return SubmitStatus::Closed;
-  const std::optional<trace::RejectionReason> shed = fast_reject_reason(job);
-  if (shed.has_value()) {
+  const Certificate cert = classify(job);
+  if (cert != Certificate::None) {
     if (config_.audit_shed) {
       // Replay the shed job through the exact path: byte-identity with an
       // ungated run, plus a live audit of the certificate.
-      if (!queue_.push(QueueItem{job, /*pre_shed=*/true}))
+      if (!queue_.push(QueueItem{job, /*pre_shed=*/true,
+                                 std::chrono::steady_clock::now()}))
         return SubmitStatus::Closed;
       enqueued_.fetch_add(1, std::memory_order_relaxed);
     }
     submitted_.fetch_add(1, std::memory_order_relaxed);
     fast_rejected_.fetch_add(1, std::memory_order_relaxed);
+    switch (cert) {
+      case Certificate::NoNode:
+        shed_no_node_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Certificate::Share:
+        shed_share_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Certificate::Deadline:
+        shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Certificate::Aggregate:
+        shed_aggregate_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Certificate::None:
+        break;
+    }
+    if (config_.shed_spike_threshold > 0) note_shed_spike();
     return SubmitStatus::FastRejected;
   }
-  if (!queue_.push(QueueItem{job, /*pre_shed=*/false}))
+  if (!queue_.push(QueueItem{job, /*pre_shed=*/false,
+                             std::chrono::steady_clock::now()}))
     return SubmitStatus::Closed;
   submitted_.fetch_add(1, std::memory_order_relaxed);
   enqueued_.fetch_add(1, std::memory_order_relaxed);
@@ -206,6 +301,8 @@ void AdmissionGateway::drive() {
   try {
     QueueItem item;
     while (queue_.pop(item)) {
+      const std::chrono::steady_clock::time_point decide_start =
+          std::chrono::steady_clock::now();
       workload::Job job = std::move(item.job);
       // Multi-producer interleaving can deliver a job stamped earlier than
       // one already submitted; clamp to the watermark (and the clock) so
@@ -244,6 +341,35 @@ void AdmissionGateway::drive() {
           }
         }
       }
+      if (config_.flight_capacity > 0) {
+        obs::FlightEntry entry;
+        entry.job_id = job.id;
+        entry.verdict = item.pre_shed        ? obs::FlightVerdict::Shed
+                        : outcome.accepted() ? obs::FlightVerdict::Accepted
+                        : outcome.rejected() ? obs::FlightVerdict::Rejected
+                                             : obs::FlightVerdict::Queued;
+        entry.reason = outcome.reason;
+        entry.node = outcome.node;
+        entry.sigma = outcome.sigma;
+        entry.margin = outcome.margin;
+        entry.sim_time = job.submit_time;
+        entry.queue_wait =
+            std::chrono::duration<double>(decide_start - item.enqueued_at)
+                .count();
+        entry.decide_latency = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   decide_start)
+                                   .count();
+        flight_.record(entry);
+      }
+      // Shed-spike dump, issued from the drive thread so the log line and
+      // the flight snapshot come from one place.
+      if (spike_pending_.exchange(false, std::memory_order_acq_rel)) {
+        LIBRISK_LOG(Warn) << "gateway: shed spike (>= "
+                          << config_.shed_spike_threshold << " sheds within "
+                          << config_.shed_spike_window << " s)\n"
+                          << flight_.dump();
+      }
     }
   } catch (...) {
     drive_error_ = std::current_exception();
@@ -264,6 +390,15 @@ void AdmissionGateway::close() {
     drive_error_ = nullptr;
     std::rethrow_exception(error);
   }
+  // Fold the flight latency histograms into the registry-owned sinks before
+  // the engine seals telemetry (the OpenMetrics render reads the registry).
+  if (!flight_merged_) {
+    flight_merged_ = true;
+    if (queue_wait_hist_ != nullptr)
+      queue_wait_hist_->merge(flight_.queue_wait_histogram());
+    if (decide_hist_ != nullptr)
+      decide_hist_->merge(flight_.decide_histogram());
+  }
   if (!engine_->finished()) engine_->finish();
 }
 
@@ -277,6 +412,12 @@ GatewayStats AdmissionGateway::stats() const {
   s.queue_high_water = static_cast<std::uint64_t>(queue_.high_water());
   s.share_scaled_now = share_scaled_.load(std::memory_order_relaxed);
   s.share_scaled_peak = share_peak_.value();
+  s.shed_no_suitable_node = shed_no_node_.load(std::memory_order_relaxed);
+  s.shed_share = shed_share_.load(std::memory_order_relaxed);
+  s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  s.shed_aggregate = shed_aggregate_.load(std::memory_order_relaxed);
+  s.shed_spikes = spike_events_.load(std::memory_order_relaxed);
+  s.flight_recorded = flight_.recorded();
   return s;
 }
 

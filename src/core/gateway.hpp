@@ -56,6 +56,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <memory>
@@ -65,6 +66,7 @@
 #include <unordered_set>
 
 #include "core/engine.hpp"
+#include "obs/flight.hpp"
 #include "obs/highwater.hpp"
 #include "support/bounded_queue.hpp"
 
@@ -95,6 +97,15 @@ struct GatewayConfig {
   /// Aggressive only: shed when in-flight share exceeds
   /// `headroom * total_speed_factor` processors.
   double aggregate_headroom = 1.0;
+  /// Flight-recorder ring capacity (last N decisions with wall-clock
+  /// timing, obs::FlightRecorder); 0 disables it entirely.
+  std::size_t flight_capacity = 256;
+  /// Shed-spike dump: when at least this many jobs are fast-shed within
+  /// `shed_spike_window` wall seconds, the drive thread logs one flight-
+  /// recorder dump (Warn level). 0 disables. The window bookkeeping is
+  /// producer-side relaxed atomics — approximate by design, never blocking.
+  std::uint64_t shed_spike_threshold = 0;
+  double shed_spike_window = 1.0;  ///< wall seconds
 };
 
 /// What a producer learns synchronously. The admission *decision* is made
@@ -121,6 +132,13 @@ struct GatewayStats {
   std::uint64_t queue_high_water = 0;     ///< peak drive-queue occupancy
   std::uint64_t share_scaled_now = 0;     ///< accumulator (granularity units)
   std::uint64_t share_scaled_peak = 0;    ///< its high-water mark
+  /// `fast_rejected` attributed by certificate (sums to it):
+  std::uint64_t shed_no_suitable_node = 0;  ///< C1
+  std::uint64_t shed_share = 0;             ///< C2-share (Libra)
+  std::uint64_t shed_deadline = 0;          ///< C2-deadline (EDF family, QoPS)
+  std::uint64_t shed_aggregate = 0;         ///< C3 (Aggressive mode only)
+  std::uint64_t shed_spikes = 0;   ///< spike-threshold crossings observed
+  std::uint64_t flight_recorded = 0;  ///< decisions offered to the recorder
 };
 
 class AdmissionGateway {
@@ -153,6 +171,14 @@ class AdmissionGateway {
 
   [[nodiscard]] GatewayStats stats() const;
 
+  /// The wall-clock flight recorder (last `flight_capacity` decisions +
+  /// queue-wait / decide-latency histograms). Snapshot-safe from any thread
+  /// during the run; its histograms are merged into the telemetry registry
+  /// (OpenMetrics export) at close().
+  [[nodiscard]] const obs::FlightRecorder& flight() const noexcept {
+    return flight_;
+  }
+
   /// The underlying engine. During the run it belongs to the drive thread
   /// — only touch it after close(); results (summary, collector records,
   /// admission stats) are read through it.
@@ -169,7 +195,23 @@ class AdmissionGateway {
     /// Set when the gate shed this job and audit mode re-enqueued it: the
     /// drive thread checks the engine agrees.
     bool pre_shed = false;
+    /// Wall clock at push, for the flight recorder's queue-wait histogram.
+    std::chrono::steady_clock::time_point enqueued_at{};
   };
+
+  /// Which fast-reject certificate fires for a job (None = passes the
+  /// gate). The public fast_reject_reason() collapses this to the trace
+  /// vocabulary, where C2-share and C3 are both ShareOverflow.
+  enum class Certificate : std::uint8_t {
+    None,
+    NoNode,     ///< C1
+    Share,      ///< C2-share
+    Deadline,   ///< C2-deadline
+    Aggregate,  ///< C3
+  };
+  [[nodiscard]] Certificate classify(const workload::Job& job) const noexcept;
+  /// Producer-side windowed spike detector (relaxed atomics, approximate).
+  void note_shed_spike() noexcept;
 
   /// Certificate parameters, derived once from policy + options; const
   /// after construction, so producer reads need no synchronisation.
@@ -212,6 +254,25 @@ class AdmissionGateway {
   std::atomic<std::uint64_t> enqueued_{0};
   std::atomic<std::uint64_t> decided_{0};
   std::atomic<std::uint64_t> audit_violations_{0};
+  // Per-certificate shed attribution (producer-side, relaxed).
+  std::atomic<std::uint64_t> shed_no_node_{0};
+  std::atomic<std::uint64_t> shed_share_{0};
+  std::atomic<std::uint64_t> shed_deadline_{0};
+  std::atomic<std::uint64_t> shed_aggregate_{0};
+
+  /// Decision flight recorder; drive thread writes, any thread snapshots.
+  obs::FlightRecorder flight_;
+  /// Registry-owned histogram sinks the flight histograms merge into at
+  /// close() (null without telemetry).
+  obs::Histogram* queue_wait_hist_ = nullptr;
+  obs::Histogram* decide_hist_ = nullptr;
+  bool flight_merged_ = false;
+
+  // Shed-spike window (producer-side, approximate by design).
+  std::atomic<std::uint64_t> spike_window_start_ns_{0};
+  std::atomic<std::uint64_t> spike_count_{0};
+  std::atomic<std::uint64_t> spike_events_{0};
+  std::atomic<bool> spike_pending_{false};
 
   /// Drive-thread-only submit-time watermark: with several producers a job
   /// can reach the queue behind one with a later stamp; clamping to the

@@ -1,6 +1,8 @@
 #include "core/libra.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "support/check.hpp"
@@ -203,6 +205,12 @@ void LibraScheduler::on_telemetry(obs::Telemetry& telemetry) {
   reg.counter_fn("admission_rejected_no_suitable_node",
                  "rejections: needs more nodes than the cluster has",
                  [this] { return stats_.rejected_no_suitable_node; });
+  reg.counter_fn("admission_near_miss_5pct",
+                 "rejections within 5% margin of the decisive test",
+                 [this] { return stats_.near_miss_5(); });
+  reg.counter_fn("admission_near_miss_10pct",
+                 "rejections within 10% margin of the decisive test",
+                 [this] { return stats_.near_miss_10(); });
 
   obs::HistogramConfig scan_cfg;
   scan_cfg.min_value = 1.0;
@@ -274,6 +282,43 @@ void LibraScheduler::sample_nodes(obs::Series& series, sim::SimTime now) const {
   }
 }
 
+double LibraScheduler::reject_job_margin(const Job& job, int suitable_count) {
+  // Rebuild the failing-node deficits from the scan's per-node metrics. A
+  // node failed its decisive test iff the metric exceeds the configured
+  // tolerance band — the same comparison the scan ran — and an
+  // unquantifiable shortfall (bound-skipped sigma, stored as +inf, or a
+  // delay failure whose sigma passed) contributes no finite deficit, so
+  // the near-miss counters undercount, never over.
+  const bool share = config_.admission == LibraConfig::Admission::TotalShare;
+  const double floor = share ? config_.capacity : config_.risk.sigma_threshold;
+  const double tol = share ? config_.tolerance : config_.risk.tolerance;
+  fail_deficit_.clear();
+  for (const double metric : scan_metric_) {
+    const double d = metric - floor;
+    if (d > tol) fail_deficit_.push_back(d);
+  }
+  // The smallest per-node improvement that would have admitted the job:
+  // it needed k = num_procs - suitable more suitable nodes, so the k-th
+  // smallest failing-node deficit is decisive. nth_element scrambles
+  // fail_deficit_, which is dead after this call.
+  const int k = job.num_procs - suitable_count;
+  double deficit = std::numeric_limits<double>::infinity();
+  if (k >= 1 && static_cast<int>(fail_deficit_.size()) >= k) {
+    std::nth_element(fail_deficit_.begin(), fail_deficit_.begin() + (k - 1),
+                     fail_deficit_.end());
+    deficit = fail_deficit_[static_cast<std::size_t>(k) - 1];
+  }
+  const double scale =
+      share ? config_.capacity : std::max(config_.risk.sigma_threshold, 1.0);
+  if (deficit <= 0.05 * scale)
+    ++(share ? stats_.near_miss_share_5 : stats_.near_miss_sigma_5);
+  if (deficit <= 0.10 * scale)
+    ++(share ? stats_.near_miss_share_10 : stats_.near_miss_sigma_10);
+  // A rejection's quantified deficit is strictly positive (it exceeded the
+  // tolerance), so 0.0 unambiguously means "no margin computed".
+  return std::isfinite(deficit) ? -deficit : 0.0;
+}
+
 void LibraScheduler::on_job_submitted(const Job& job) {
   obs::ScopedPhase phase(profiler_, obs::Phase::Admission);
   if (config_.legacy_path) {
@@ -286,6 +331,10 @@ void LibraScheduler::on_job_submitted(const Job& job) {
 void LibraScheduler::submit_fast(const Job& job) {
   const sim::SimTime now = sim_.now();
   ++stats_.submissions;
+  const bool explaining = explain_ != nullptr;
+  if (explaining)
+    explain_->begin(now, job.id, job.num_procs, job.deadline,
+                    job.scheduler_estimate);
   const int cluster_size = executor_.cluster().size();
   if (job.num_procs > cluster_size) {
     ++stats_.rejections;
@@ -295,11 +344,14 @@ void LibraScheduler::submit_fast(const Job& job) {
     if (trace_ != nullptr)
       trace_->job_rejected(now, job.id, trace::RejectionReason::NoSuitableNode,
                            0, job.num_procs);
+    if (explaining)
+      explain_->finish_reject(trace::RejectionReason::NoSuitableNode, 0, 0.0);
     return;
   }
   executor_.sync();
 
   suitable_.clear();
+  scan_metric_.resize(static_cast<std::size_t>(cluster_size));
   if (suitable_.capacity() < static_cast<std::size_t>(cluster_size))
     suitable_.reserve(cluster_size);
   const bool tracing = trace_ != nullptr && trace_->enabled();
@@ -319,10 +371,19 @@ void LibraScheduler::submit_fast(const Job& job) {
       // unconditionally costs one store and feeds both the trace event and
       // the admission outcome (Scheduler::Decision).
       const bool ok = node_suitable_fast(n, job, fit, &sigma);
-      if (tracing)
-        trace_->node_evaluated(
-            now, job.id, n,
-            ok ? trace::RejectionReason::None : scan_reason(), sigma, fit);
+      scan_metric_[static_cast<std::size_t>(n)] = fit;
+      if (tracing || explaining) {
+        const double margin = config_.capacity - fit;  // Eq. 2 headroom
+        if (tracing)
+          trace_->node_evaluated(
+              now, job.id, n,
+              ok ? trace::RejectionReason::None : scan_reason(), sigma, fit,
+              margin);
+        if (explaining)
+          explain_->node(obs::NodeMargin{
+              n, ok, ok ? trace::RejectionReason::None : scan_reason(), sigma,
+              fit, margin});
+      }
       if (ok) {
         suitable_.push_back(Candidate{n, fit, sigma});
         if (can_stop_early &&
@@ -343,10 +404,16 @@ void LibraScheduler::submit_fast(const Job& job) {
       ++stats_.rejected_share_overflow;
     else
       ++stats_.rejected_risk_sigma;
+    const double margin =
+        reject_job_margin(job, static_cast<int>(suitable_.size()));
     collector_.record_rejected(job, now, /*at_dispatch=*/false, scan_reason());
     if (trace_ != nullptr)
       trace_->job_rejected(now, job.id, scan_reason(),
-                           static_cast<int>(suitable_.size()), job.num_procs);
+                           static_cast<int>(suitable_.size()), job.num_procs,
+                           margin);
+    if (explaining)
+      explain_->finish_reject(scan_reason(),
+                              static_cast<int>(suitable_.size()), margin);
     LIBRISK_LOG(Debug) << name_ << ": rejected job " << job.id << " ("
                        << suitable_.size() << '/' << job.num_procs
                        << " suitable nodes)";
@@ -363,10 +430,15 @@ void LibraScheduler::submit_fast(const Job& job) {
     slowest = std::min(slowest, executor_.cluster().speed_factor(suitable_[i].node));
   }
   ++stats_.accepted;
-  note_decision(job.id, suitable_[0].node, suitable_[0].sigma);
+  const double margin = node_margin(suitable_[0].fit, suitable_[0].sigma);
+  note_decision(job.id, suitable_[0].node, suitable_[0].sigma, margin);
   if (trace_ != nullptr)
     trace_->job_admitted(now, job.id, suitable_[0].node,
-                         static_cast<int>(suitable_.size()), suitable_[0].fit);
+                         static_cast<int>(suitable_.size()), suitable_[0].fit,
+                         margin);
+  if (explaining)
+    explain_->finish_accept(suitable_[0].node, margin,
+                            static_cast<int>(suitable_.size()));
   collector_.record_started(job, now, job.actual_runtime / slowest);
   executor_.start(job, std::move(chosen));
 }
@@ -389,11 +461,13 @@ void LibraScheduler::scan_zero_risk_batched(const Job& job, sim::SimTime now,
   const bool empty_fast =
       config_.risk.rule == RiskConfig::Rule::SigmaOnly &&
       0.0 <= config_.risk.sigma_threshold + config_.risk.tolerance;
+  const bool explaining = explain_ != nullptr;
   AssessNodesOptions options;
   // The σ-spread bound rejects without computing the exact σ the
-  // node_evaluated event must carry, so it only arms when untraced
-  // (decisions are identical either way — the bound is conservative).
-  options.allow_bound_skip = !tracing;
+  // node_evaluated event and the explain record must carry, so it only arms
+  // when neither observer is attached (decisions are identical either way —
+  // the bound is conservative).
+  options.allow_bound_skip = !tracing && !explaining;
 
   std::size_t chunk = kBatchChunkMin;
   int next = 0;
@@ -435,11 +509,26 @@ void LibraScheduler::scan_zero_risk_batched(const Job& job, sim::SimTime now,
         ++stats_.assessments;
         ++stats_.batched_assessments;
       }
-      if (tracing)
-        trace_->node_evaluated(now, job.id, n,
-                               verdict.suitable ? trace::RejectionReason::None
-                                                : scan_reason(),
-                               verdict.sigma, verdict.total_share);
+      // The reject-path deficit rebuild reads this: the sigma the test ran
+      // on, or +inf for a bound-skipped node (shortfall unquantifiable —
+      // near-miss counters then undercount, never over).
+      scan_metric_[static_cast<std::size_t>(n)] =
+          verdict.bound_skipped ? std::numeric_limits<double>::infinity()
+                                : verdict.sigma;
+      if (tracing || explaining) {
+        const double margin = config_.risk.sigma_threshold - verdict.sigma;
+        if (tracing)
+          trace_->node_evaluated(now, job.id, n,
+                                 verdict.suitable
+                                     ? trace::RejectionReason::None
+                                     : scan_reason(),
+                                 verdict.sigma, verdict.total_share, margin);
+        if (explaining)
+          explain_->node(obs::NodeMargin{
+              n, verdict.suitable,
+              verdict.suitable ? trace::RejectionReason::None : scan_reason(),
+              verdict.sigma, verdict.total_share, margin});
+      }
       if (verdict.suitable) {
         suitable_.push_back(Candidate{n, verdict.total_share, verdict.sigma});
         if (can_stop_early &&
@@ -502,6 +591,10 @@ bool LibraScheduler::node_suitable_legacy(cluster::NodeId node, const Job& job,
 void LibraScheduler::submit_legacy(const Job& job) {
   const sim::SimTime now = sim_.now();
   ++stats_.submissions;
+  const bool explaining = explain_ != nullptr;
+  if (explaining)
+    explain_->begin(now, job.id, job.num_procs, job.deadline,
+                    job.scheduler_estimate);
   if (job.num_procs > executor_.cluster().size()) {
     ++stats_.rejections;
     ++stats_.rejected_no_suitable_node;
@@ -510,6 +603,8 @@ void LibraScheduler::submit_legacy(const Job& job) {
     if (trace_ != nullptr)
       trace_->job_rejected(now, job.id, trace::RejectionReason::NoSuitableNode,
                            0, job.num_procs);
+    if (explaining)
+      explain_->finish_reject(trace::RejectionReason::NoSuitableNode, 0, 0.0);
     return;
   }
   executor_.sync();
@@ -517,16 +612,29 @@ void LibraScheduler::submit_legacy(const Job& job) {
   const bool tracing = trace_ != nullptr && trace_->enabled();
   std::vector<Candidate> suitable;
   suitable.reserve(executor_.cluster().size());
+  // Decisive metric per node for the reject-path deficit rebuild. Legacy
+  // never bound-skips, so the sigma itself is always the right record.
+  const bool share_mode = config_.admission == LibraConfig::Admission::TotalShare;
+  scan_metric_.resize(static_cast<std::size_t>(executor_.cluster().size()));
   const std::uint64_t scanned_before = stats_.nodes_scanned;
   for (cluster::NodeId n = 0; n < executor_.cluster().size(); ++n) {
     ++stats_.nodes_scanned;
     double fit = 0.0;
     double sigma = -1.0;
     const bool ok = node_suitable_legacy(n, job, fit, &sigma);
-    if (tracing)
-      trace_->node_evaluated(
-          now, job.id, n,
-          ok ? trace::RejectionReason::None : scan_reason(), sigma, fit);
+    scan_metric_[static_cast<std::size_t>(n)] = share_mode ? fit : sigma;
+    if (tracing || explaining) {
+      const double margin = node_margin(fit, sigma);
+      if (tracing)
+        trace_->node_evaluated(
+            now, job.id, n,
+            ok ? trace::RejectionReason::None : scan_reason(), sigma, fit,
+            margin);
+      if (explaining)
+        explain_->node(obs::NodeMargin{
+            n, ok, ok ? trace::RejectionReason::None : scan_reason(), sigma,
+            fit, margin});
+    }
     if (ok) suitable.push_back(Candidate{n, fit, sigma});
   }
   if (scan_nodes_hist_ != nullptr)
@@ -539,10 +647,16 @@ void LibraScheduler::submit_legacy(const Job& job) {
       ++stats_.rejected_share_overflow;
     else
       ++stats_.rejected_risk_sigma;
+    const double margin =
+        reject_job_margin(job, static_cast<int>(suitable.size()));
     collector_.record_rejected(job, now, /*at_dispatch=*/false, scan_reason());
     if (trace_ != nullptr)
       trace_->job_rejected(now, job.id, scan_reason(),
-                           static_cast<int>(suitable.size()), job.num_procs);
+                           static_cast<int>(suitable.size()), job.num_procs,
+                           margin);
+    if (explaining)
+      explain_->finish_reject(scan_reason(), static_cast<int>(suitable.size()),
+                              margin);
     LIBRISK_LOG(Debug) << name_ << ": rejected job " << job.id << " ("
                        << suitable.size() << '/' << job.num_procs
                        << " suitable nodes)";
@@ -575,10 +689,15 @@ void LibraScheduler::submit_legacy(const Job& job) {
     slowest = std::min(slowest, executor_.cluster().speed_factor(suitable[i].node));
   }
   ++stats_.accepted;
-  note_decision(job.id, suitable[0].node, suitable[0].sigma);
+  const double margin = node_margin(suitable[0].fit, suitable[0].sigma);
+  note_decision(job.id, suitable[0].node, suitable[0].sigma, margin);
   if (trace_ != nullptr)
     trace_->job_admitted(now, job.id, suitable[0].node,
-                         static_cast<int>(suitable.size()), suitable[0].fit);
+                         static_cast<int>(suitable.size()), suitable[0].fit,
+                         margin);
+  if (explaining)
+    explain_->finish_accept(suitable[0].node, margin,
+                            static_cast<int>(suitable.size()));
   collector_.record_started(job, now, job.actual_runtime / slowest);
   executor_.start(job, std::move(chosen));
 }

@@ -84,6 +84,21 @@ struct AdmissionStats {
   std::uint64_t rejected_share_overflow = 0;   ///< Eq. 2 total-share shortfall (Libra)
   std::uint64_t rejected_risk_sigma = 0;       ///< sigma-test shortfall (LibraRisk)
   std::uint64_t rejected_no_suitable_node = 0; ///< needs more nodes than the cluster has
+  /// Near-miss rejections, attributed by the decisive test: the job-level
+  /// deficit (the k-th smallest failing-node shortfall, k = num_procs -
+  /// suitable — i.e. the smallest improvement that would have admitted) was
+  /// within 5% / 10% of the test's scale (share: node capacity; sigma:
+  /// max(sigma_threshold, 1); deadline: the job's relative deadline). The
+  /// 10% counters include the 5% ones. Exact when margins are observed
+  /// (trace/explain attached); conservative — an undercount — when the
+  /// batch spread bound skipped exact sigmas, same caveat as
+  /// `nodes_batch_skipped`.
+  std::uint64_t near_miss_share_5 = 0;
+  std::uint64_t near_miss_share_10 = 0;
+  std::uint64_t near_miss_sigma_5 = 0;
+  std::uint64_t near_miss_sigma_10 = 0;
+  std::uint64_t near_miss_deadline_5 = 0;   ///< EDF-family dispatch rejections
+  std::uint64_t near_miss_deadline_10 = 0;
 
   /// Derived views shared by every stats surface (CLI, diagnose, telemetry)
   /// so the arithmetic lives in exactly one place. All are 0 when the
@@ -97,6 +112,12 @@ struct AdmissionStats {
     return submissions > 0
                ? static_cast<double>(accepted) / static_cast<double>(submissions)
                : 0.0;
+  }
+  [[nodiscard]] std::uint64_t near_miss_5() const noexcept {
+    return near_miss_share_5 + near_miss_sigma_5 + near_miss_deadline_5;
+  }
+  [[nodiscard]] std::uint64_t near_miss_10() const noexcept {
+    return near_miss_share_10 + near_miss_sigma_10 + near_miss_deadline_10;
   }
 };
 
@@ -147,6 +168,21 @@ class LibraScheduler final : public Scheduler {
   [[nodiscard]] bool node_suitable_fast(cluster::NodeId node, const Job& job,
                                         double& fit,
                                         double* sigma_out = nullptr) const;
+  /// Signed headroom of the decisive admission test for a scanned node
+  /// (obs::NodeMargin convention): TotalShare: capacity - fit;
+  /// ZeroRisk: sigma_threshold - sigma.
+  [[nodiscard]] double node_margin(double fit, double sigma) const noexcept {
+    return config_.admission == LibraConfig::Admission::TotalShare
+               ? config_.capacity - fit
+               : config_.risk.sigma_threshold - sigma;
+  }
+  /// Shortfall-rejection bookkeeping shared by both submit paths: rebuilds
+  /// the failing-node deficits from scan_metric_, takes the k-th smallest
+  /// (k = num_procs - suitable_count — the smallest improvement that would
+  /// have admitted), feeds the near-miss counters, and returns the job
+  /// margin (-deficit; 0.0 when unquantifiable). Reject path only, so the
+  /// scan loops stay store-only.
+  [[nodiscard]] double reject_job_margin(const Job& job, int suitable_count);
   /// Orders the first `count` candidates of suitable_ exactly as the legacy
   /// full stable_sort would, without touching the rest.
   void select_prefix(int count);
@@ -175,6 +211,14 @@ class LibraScheduler final : public Scheduler {
   /// submission; mutable because node_suitable() is a const query).
   mutable RiskWorkspace workspace_;
   std::vector<Candidate> suitable_;
+  /// Per-node decisive metric of the current scan, indexed by node: fit
+  /// (TotalShare) or sigma (ZeroRisk; +inf for a bound-skipped node, whose
+  /// shortfall is unquantifiable). One flat store per scanned node keeps
+  /// the hot loop branch-free; a rejection — which always scans the whole
+  /// cluster — rebuilds the failing-node deficits from it after the fact.
+  std::vector<double> scan_metric_;
+  /// Reject-path scratch for those rebuilt deficits (reused allocation).
+  std::vector<double> fail_deficit_;
   /// Decided once at construction: whether the executor's cached
   /// ResidentRiskAggregates can stand in for the per-resident fold (ZeroRisk
   /// + CurrentRate + Current estimates + matching deadline clamps), and the

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "metrics/collector.hpp"
+#include "obs/explain.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
 #include "support/hooks.hpp"
@@ -45,6 +46,9 @@ class Scheduler {
     std::int64_t job_id = -1;
     std::int32_t node = -1;  ///< first selected node; -1 when none
     double sigma = -1.0;     ///< tentative sigma (Eq. 6); -1 when no sigma test ran
+    /// Chosen-node admission margin (signed headroom of the decisive test,
+    /// obs::NodeMargin convention); 0.0 when the policy computes none.
+    double margin = 0.0;
   };
   [[nodiscard]] const Decision& last_decision() const noexcept {
     return last_decision_;
@@ -59,6 +63,7 @@ class Scheduler {
   void attach(const Hooks& hooks) {
     trace_ = hooks.trace;
     telemetry_ = hooks.telemetry;
+    explain_ = hooks.explain;
     profiler_ = hooks.telemetry != nullptr ? &hooks.telemetry->profiler() : nullptr;
     if (hooks.telemetry != nullptr) on_telemetry(*hooks.telemetry);
   }
@@ -71,14 +76,17 @@ class Scheduler {
   virtual void on_telemetry(obs::Telemetry& telemetry) { (void)telemetry; }
 
   /// Records the placement of an accepted job for last_decision().
-  void note_decision(std::int64_t job_id, std::int32_t node, double sigma) noexcept {
-    last_decision_ = Decision{job_id, node, sigma};
+  void note_decision(std::int64_t job_id, std::int32_t node, double sigma,
+                     double margin = 0.0) noexcept {
+    last_decision_ = Decision{job_id, node, sigma, margin};
   }
 
   /// Borrowed, may be null; subclasses emit admission events through it.
   trace::Recorder* trace_ = nullptr;
   /// Borrowed, may be null.
   obs::Telemetry* telemetry_ = nullptr;
+  /// Borrowed, may be null; subclasses record decision provenance through it.
+  obs::ExplainRecorder* explain_ = nullptr;
   /// Cached &telemetry_->profiler(), null when telemetry is absent — so
   /// ScopedPhase sites pay a single null check.
   obs::PhaseProfiler* profiler_ = nullptr;

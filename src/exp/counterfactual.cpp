@@ -1,0 +1,68 @@
+#include "exp/counterfactual.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace librisk::exp {
+
+ScenarioResult run_with_margins(Scenario scenario,
+                                obs::ExplainRecorder& recorder) {
+  scenario.options.hooks.explain = &recorder;
+  return run_scenario(scenario);
+}
+
+CounterfactualSweep sweep_sigma_thresholds(
+    const Scenario& base, const std::vector<double>& thresholds) {
+  LIBRISK_CHECK(base.policy == core::Policy::LibraRisk,
+                "the counterfactual sigma sweep needs LibraRisk (the policy "
+                "whose admission test the threshold parameterises)");
+  LIBRISK_CHECK(base.options.risk.rule == core::RiskConfig::Rule::SigmaOnly,
+                "the stability-interval argument holds for the sigma-only "
+                "rule; SigmaAndNoDelay fails nodes for threshold-independent "
+                "reasons the recorded extremes cannot certify");
+  const double tolerance = base.options.risk.tolerance;
+
+  // One cached entry per simulation actually run: the extremes certify the
+  // threshold interval on which its decisions — hence its summary — are
+  // provably those of a fresh run.
+  struct Segment {
+    obs::SigmaExtremes extremes;
+    metrics::RunSummary summary;
+  };
+  std::vector<Segment> segments;
+
+  CounterfactualSweep sweep;
+  sweep.points.reserve(thresholds.size());
+  for (const double threshold : thresholds) {
+    CounterfactualPoint point;
+    point.threshold = threshold;
+    const auto covering =
+        std::find_if(segments.begin(), segments.end(),
+                     [&](const Segment& s) {
+                       return s.extremes.covers(threshold, tolerance);
+                     });
+    if (covering != segments.end()) {
+      point.replayed = false;
+      point.summary = covering->summary;
+      point.extremes = covering->extremes;
+    } else {
+      Scenario probe = base;
+      probe.options.risk.sigma_threshold = threshold;
+      // Extremes-only recording: capacity 0 retains no decision bodies, so
+      // the sweep's memory cost is O(1) per segment.
+      obs::ExplainRecorder recorder(
+          obs::ExplainConfig{.capacity = 0, .keep_nodes = false});
+      const ScenarioResult result = run_with_margins(probe, recorder);
+      point.replayed = true;
+      point.summary = result.summary;
+      point.extremes = recorder.sigma_extremes();
+      segments.push_back(Segment{point.extremes, point.summary});
+      ++sweep.replays;
+    }
+    sweep.points.push_back(point);
+  }
+  return sweep;
+}
+
+}  // namespace librisk::exp

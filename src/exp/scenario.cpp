@@ -77,7 +77,8 @@ ScenarioResult run_jobs(const Scenario& scenario,
         .urgency = record.urgency,
         .reason = record.reject_reason,
         .node = decision.node,
-        .sigma = decision.sigma});
+        .sigma = decision.sigma,
+        .margin = decision.margin});
   }
   // Utilization over the whole simulated horizon (not the measurement
   // window): delivered busy node-seconds / total capacity.

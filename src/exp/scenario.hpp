@@ -52,6 +52,9 @@ struct JobOutcome {
   std::int32_t node = -1;
   /// Tentative sigma the admission test saw; -1 when no sigma test ran.
   double sigma = -1.0;
+  /// Chosen-node admission margin for accepts (signed headroom of the
+  /// decisive test); 0.0 when the policy computes none.
+  double margin = 0.0;
 };
 
 struct ScenarioResult {

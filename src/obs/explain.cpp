@@ -1,0 +1,143 @@
+#include "obs/explain.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace librisk::obs {
+
+ExplainRecorder::ExplainRecorder(ExplainConfig config) : config_(config) {}
+
+void ExplainRecorder::begin(sim::SimTime time, std::int64_t job_id,
+                            int num_procs, double deadline, double estimate) {
+  current_ = DecisionExplain{};
+  current_.time = time;
+  current_.job_id = job_id;
+  current_.num_procs = num_procs;
+  current_.deadline = deadline;
+  current_.estimate = estimate;
+  in_flight_ = true;
+}
+
+void ExplainRecorder::node(const NodeMargin& m) {
+  // Extremes fold every sigma evaluation, retained or not: the stability
+  // interval must certify the complete verdict sequence.
+  if (m.sigma >= 0.0) {
+    if (m.suitable) {
+      extremes_.pass_max = std::max(extremes_.pass_max, m.sigma);
+      ++extremes_.passes;
+    } else if (m.test == trace::RejectionReason::RiskSigma) {
+      extremes_.fail_min = std::min(extremes_.fail_min, m.sigma);
+      ++extremes_.fails;
+    }
+  }
+  if (!in_flight_) return;
+  current_.nodes.push_back(m);
+}
+
+namespace {
+
+bool retained(const ExplainConfig& config, const DecisionExplain& d) noexcept {
+  if (config.capacity == 0) return false;
+  if (config.only_job >= 0 && d.job_id != config.only_job) return false;
+  if (config.only_rejections && d.accepted) return false;
+  return true;
+}
+
+}  // namespace
+
+void ExplainRecorder::finish_accept(std::int32_t chosen_node,
+                                    double chosen_margin, int suitable) {
+  if (!in_flight_) return;
+  in_flight_ = false;
+  current_.accepted = true;
+  current_.reason = trace::RejectionReason::None;
+  current_.suitable = suitable;
+  current_.chosen_node = chosen_node;
+  current_.margin = chosen_margin;
+  ++recorded_;
+  if (!retained(config_, current_)) {
+    ++dropped_;
+    return;
+  }
+  if (!config_.keep_nodes) current_.nodes.clear();
+  ring_.push_back(std::move(current_));
+  while (ring_.size() > config_.capacity) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+}
+
+void ExplainRecorder::finish_reject(trace::RejectionReason reason,
+                                    int suitable, double job_margin) {
+  if (!in_flight_) return;
+  in_flight_ = false;
+  current_.accepted = false;
+  current_.reason = reason;
+  current_.suitable = suitable;
+  current_.chosen_node = -1;
+  current_.margin = job_margin;
+  ++recorded_;
+  if (!retained(config_, current_)) {
+    ++dropped_;
+    return;
+  }
+  if (!config_.keep_nodes) current_.nodes.clear();
+  ring_.push_back(std::move(current_));
+  while (ring_.size() > config_.capacity) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+}
+
+const DecisionExplain* ExplainRecorder::find(std::int64_t job_id) const noexcept {
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it)
+    if (it->job_id == job_id) return &*it;
+  return nullptr;
+}
+
+void ExplainRecorder::clear() {
+  ring_.clear();
+  in_flight_ = false;
+  extremes_ = SigmaExtremes{};
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+double required_improvement(const DecisionExplain& d) noexcept {
+  return d.accepted ? 0.0 : std::max(0.0, -d.margin);
+}
+
+std::string describe(const DecisionExplain& d) {
+  std::ostringstream os;
+  os << "job " << d.job_id << " @ t=" << d.time << "  (procs=" << d.num_procs
+     << ", deadline=" << d.deadline << ", estimate=" << d.estimate << ")\n";
+  if (d.accepted) {
+    os << "  ACCEPTED on node " << d.chosen_node << " (" << d.suitable
+       << " suitable node(s); chosen-node margin " << d.margin << ")\n";
+  } else {
+    os << "  REJECTED: " << trace::to_string(d.reason) << " (" << d.suitable
+       << '/' << d.num_procs << " suitable nodes; job margin " << d.margin
+       << ")\n";
+    const double need = required_improvement(d);
+    if (need > 0.0)
+      os << "  to admit: the decisive test needed " << need
+         << " more headroom on " << (d.num_procs - d.suitable)
+         << " more node(s)\n";
+  }
+  if (!d.nodes.empty()) {
+    table::Table t({"node", "verdict", "test", "sigma", "share", "margin"});
+    for (const NodeMargin& m : d.nodes) {
+      t.add_row({std::to_string(m.node), m.suitable ? "ok" : "fail",
+                 m.suitable ? "-" : std::string(trace::to_string(m.test)),
+                 m.sigma >= 0.0 ? table::num(m.sigma, 4) : "-",
+                 m.share >= 0.0 ? table::num(m.share, 4) : "-",
+                 table::num(m.margin, 4)});
+    }
+    os << t.str();
+  }
+  return os.str();
+}
+
+}  // namespace librisk::obs

@@ -25,6 +25,7 @@ class Recorder;
 }
 namespace librisk::obs {
 class Telemetry;
+class ExplainRecorder;
 }
 
 namespace librisk {
@@ -34,9 +35,14 @@ struct Hooks {
   trace::Recorder* trace = nullptr;
   /// Live metrics/series/profiling hub; null costs one branch per hook site.
   obs::Telemetry* telemetry = nullptr;
+  /// Decision-provenance recorder (per-submission margin records,
+  /// docs/OBSERVABILITY.md); null costs one branch per submission. Like
+  /// tracing, attaching forces exact sigma evaluation (no batch spread-bound
+  /// skips) — effort counters change, decisions never do.
+  obs::ExplainRecorder* explain = nullptr;
 
   [[nodiscard]] bool any() const noexcept {
-    return trace != nullptr || telemetry != nullptr;
+    return trace != nullptr || telemetry != nullptr || explain != nullptr;
   }
 };
 

@@ -5,15 +5,31 @@
 
 namespace librisk::trace {
 
+namespace {
+
+/// Field-for-field event equality, with the margin payload compared only
+/// when both files actually serialised one — this is what lets `trace diff`
+/// hold a margin-bearing v2 trace against a v1 (or margin-free v2) trace of
+/// the same run and still report "identical": the decisions are the oracle,
+/// the margins are annotation.
+bool events_equal(const Event& a, const Event& b, bool with_margins) noexcept {
+  if (with_margins) return a == b;
+  return a.time == b.time && a.job == b.job && a.a == b.a && a.b == b.b &&
+         a.kind == b.kind && a.reason == b.reason && a.node == b.node;
+}
+
+}  // namespace
+
 Divergence first_divergence(const TraceData& a, const TraceData& b) {
   Divergence d;
   if (a.meta != b.meta) {
     d.kind = Divergence::Kind::MetaDiffers;
     return d;
   }
+  const bool with_margins = a.has_margins && b.has_margins;
   const std::size_t n = std::min(a.events.size(), b.events.size());
   for (std::size_t i = 0; i < n; ++i) {
-    if (a.events[i] != b.events[i]) {
+    if (!events_equal(a.events[i], b.events[i], with_margins)) {
       d.kind = Divergence::Kind::EventDiffers;
       d.index = i;
       d.has_a = d.has_b = true;

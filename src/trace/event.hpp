@@ -62,6 +62,11 @@ struct Event {
   EventKind kind = EventKind::JobSubmitted;
   RejectionReason reason = RejectionReason::None;
   std::int32_t node = -1;
+  /// Signed headroom of the decisive admission test (format v2 payload,
+  /// docs/TRACING.md "Margins"): >= 0 passed with that much slack, < 0
+  /// failed by that much. 0.0 when the emitter computed no margin; only
+  /// serialised when the sink was opened with margins enabled.
+  double margin = 0.0;
 
   friend bool operator==(const Event&, const Event&) = default;
 };

@@ -112,6 +112,7 @@ Event event_from_json(const json::Value& v, std::size_t line_no) {
     e.node = static_cast<std::int32_t>(v.int_or("node", -1));
     e.a = v.number_or("a", 0.0);
     e.b = v.number_or("b", 0.0);
+    e.margin = v.number_or("margin", 0.0);
     if (const json::Value* reason = v.find("reason"); reason != nullptr)
       e.reason = parse_rejection_reason(reason->as_string());
   } catch (const std::invalid_argument& err) {
@@ -132,10 +133,18 @@ TraceData read_lrt(std::istream& in) {
   if (std::string_view(magic, 4) != std::string_view(kLrtMagic, 4))
     throw TraceError("not an .lrt trace (bad magic)");
   const std::uint8_t version = cur.take_u8();
-  if (version != kLrtVersion)
+  if (version != kLrtVersionV1 && version != kLrtVersion)
     throw TraceError("unsupported .lrt version " + std::to_string(version));
 
   TraceData data;
+  data.version = version;
+  // v2 grew a header flags byte; v1 files go straight to the policy name.
+  if (version >= 2) {
+    const std::uint8_t flags = cur.take_u8();
+    if ((flags & ~kLrtFlagMargins) != 0)
+      throw TraceError("unknown .lrt header flags " + std::to_string(flags));
+    data.has_margins = (flags & kLrtFlagMargins) != 0;
+  }
   const std::uint64_t name_len = cur.take_varint();
   if (name_len > 4096) throw TraceError("implausible policy-name length (corrupt trace)");
   data.meta.policy = cur.take_string(static_cast<std::size_t>(name_len));
@@ -158,6 +167,7 @@ TraceData read_lrt(std::istream& in) {
     e.time = cur.take_f64();
     e.a = cur.take_f64();
     e.b = cur.take_f64();
+    if (data.has_margins) e.margin = cur.take_f64();
     data.events.push_back(e);
   }
 
@@ -193,6 +203,9 @@ TraceData read_jsonl(std::istream& in) {
         throw TraceError("not a librisk JSONL trace (missing meta line)");
       data.meta.policy = v.string_or("policy", "");
       data.meta.seed = static_cast<std::uint64_t>(v.number_or("seed", 0.0));
+      data.version =
+          static_cast<std::uint8_t>(v.number_or("version", kLrtVersionV1));
+      data.has_margins = v.bool_or("margins", false);
       saw_meta = true;
       continue;
     }

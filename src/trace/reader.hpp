@@ -21,11 +21,17 @@ class TraceError : public std::runtime_error {
 struct TraceData {
   TraceMeta meta;
   std::vector<Event> events;
+  /// Container version the file declared (1 = seed format, 2 = current).
+  std::uint8_t version = 0;
+  /// True when every event carried a serialised margin (v2 flag bit 0 /
+  /// JSONL meta "margins"); false for v1 files and margin-free v2 files,
+  /// whose events read back with margin == 0.0.
+  bool has_margins = false;
 };
 
-/// Parses a binary .lrt stream. Throws TraceError on bad magic, unknown
-/// version/kind/reason, truncation, event-count mismatch, checksum mismatch,
-/// or trailing bytes.
+/// Parses a binary .lrt stream, version 1 or 2. Throws TraceError on bad
+/// magic, unknown version/flags/kind/reason, truncation, event-count
+/// mismatch, checksum mismatch, or trailing bytes.
 [[nodiscard]] TraceData read_lrt(std::istream& in);
 
 /// Parses a JSONL trace (meta line first). Throws TraceError on a missing or

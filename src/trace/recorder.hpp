@@ -43,24 +43,30 @@ class Recorder {
           RejectionReason::None, num_procs});
   }
 
+  /// The three decision-carrying emitters take an optional margin — the
+  /// signed headroom of the decisive admission test (Event::margin). Call
+  /// sites that compute no margin (FCFS/QoPS family) use the 0.0 default;
+  /// the payload only reaches disk when the sink enabled margins.
   void job_admitted(sim::SimTime t, std::int64_t job, int first_node,
-                    int suitable, double fit) {
+                    int suitable, double fit, double margin = 0.0) {
     if (!enabled_) return;
     emit({t, job, static_cast<double>(suitable), fit, EventKind::JobAdmitted,
-          RejectionReason::None, first_node});
+          RejectionReason::None, first_node, margin});
   }
 
   void job_rejected(sim::SimTime t, std::int64_t job, RejectionReason reason,
-                    int suitable, int num_procs) {
+                    int suitable, int num_procs, double margin = 0.0) {
     if (!enabled_) return;
     emit({t, job, static_cast<double>(suitable),
-          static_cast<double>(num_procs), EventKind::JobRejected, reason, -1});
+          static_cast<double>(num_procs), EventKind::JobRejected, reason, -1,
+          margin});
   }
 
   void node_evaluated(sim::SimTime t, std::int64_t job, int node,
-                      RejectionReason reason, double sigma, double share) {
+                      RejectionReason reason, double sigma, double share,
+                      double margin = 0.0) {
     if (!enabled_) return;
-    emit({t, job, sigma, share, EventKind::NodeEvaluated, reason, node});
+    emit({t, job, sigma, share, EventKind::NodeEvaluated, reason, node, margin});
   }
 
   void job_started(sim::SimTime t, std::int64_t job, int first_node,

@@ -5,14 +5,17 @@
 
 namespace librisk::trace {
 
-JsonlSink::JsonlSink(std::ostream& os, const TraceMeta& meta)
-    : os_(&os), writer_(os) {
+JsonlSink::JsonlSink(std::ostream& os, const TraceMeta& meta, SinkOptions options)
+    : os_(&os), writer_(os), options_(options) {
   writer_.begin()
       .field("trace", "librisk")
       .field("version", static_cast<std::uint64_t>(kLrtVersion))
       .field("policy", meta.policy)
-      .field("seed", meta.seed)
-      .end();
+      .field("seed", meta.seed);
+  // Written even when false-by-omission would do: the meta line is the one
+  // place readers learn whether event lines carry margins.
+  if (options_.margins) writer_.field("margins", true);
+  writer_.end();
 }
 
 void JsonlSink::write(const Event& event) {
@@ -23,14 +26,21 @@ void JsonlSink::write(const Event& event) {
       .field("node", static_cast<std::int64_t>(event.node));
   if (event.reason != RejectionReason::None)
     writer_.field("reason", to_string(event.reason));
-  writer_.field("a", event.a).field("b", event.b).end();
+  writer_.field("a", event.a).field("b", event.b);
+  // Margins are written unconditionally (0.0 included) when enabled, so a
+  // margin-bearing file has one shape, not a per-event optional.
+  if (options_.margins) writer_.field("margin", event.margin);
+  writer_.end();
 }
 
 void JsonlSink::close() { os_->flush(); }
 
-BinarySink::BinarySink(std::ostream& os, const TraceMeta& meta) : os_(&os) {
+BinarySink::BinarySink(std::ostream& os, const TraceMeta& meta,
+                       SinkOptions options)
+    : os_(&os), options_(options) {
   put_bytes(kLrtMagic, sizeof kLrtMagic);
   put_u8(kLrtVersion);
+  put_u8(options_.margins ? kLrtFlagMargins : 0);
   put_varint(meta.policy.size());
   put_bytes(meta.policy.data(), meta.policy.size());
   put_varint(meta.seed);
@@ -79,6 +89,7 @@ void BinarySink::write(const Event& event) {
   put_f64(event.time);
   put_f64(event.a);
   put_f64(event.b);
+  if (options_.margins) put_f64(event.margin);
   ++count_;
 }
 

@@ -20,13 +20,28 @@
 
 namespace librisk::trace {
 
-/// .lrt container constants (format version 1).
+/// .lrt container constants. The magic names the container family, the
+/// version byte the layout: v1 is the seed format, v2 adds a header flags
+/// byte and (when flag bit 0 is set) a per-event margin payload. Writers
+/// emit v2; readers accept both (docs/TRACING.md "Format v2").
 inline constexpr char kLrtMagic[4] = {'L', 'R', 'T', '1'};
-inline constexpr std::uint8_t kLrtVersion = 1;
+inline constexpr std::uint8_t kLrtVersionV1 = 1;
+inline constexpr std::uint8_t kLrtVersion = 2;
+/// v2 header flags bit 0: every event record carries a trailing f64 margin.
+inline constexpr std::uint8_t kLrtFlagMargins = 0x01;
 /// FNV-1a 64-bit, computed incrementally over every byte that precedes the
 /// checksum itself (header, events, end marker, event count).
 inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
 inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Per-sink format options shared by both encoders.
+struct SinkOptions {
+  /// Serialise each event's margin (v2 flag bit 0 / JSONL "margin" field).
+  /// Off by default: margin-free v2 events are byte-compatible with what a
+  /// margin-unaware emitter produces, so determinism oracles keep working
+  /// across runs that do and do not compute margins.
+  bool margins = false;
+};
 
 class Sink {
  public:
@@ -57,27 +72,31 @@ class NullSink final : public Sink {
 /// when None so the common case stays short; readers default it.
 class JsonlSink final : public Sink {
  public:
-  JsonlSink(std::ostream& os, const TraceMeta& meta);
+  JsonlSink(std::ostream& os, const TraceMeta& meta, SinkOptions options = {});
   void write(const Event& event) override;
   void close() override;
 
  private:
   std::ostream* os_;
   json::LineWriter writer_;
+  SinkOptions options_;
 };
 
-/// Binary .lrt v1. Layout (all integers varint unless noted):
-///   header:  magic "LRT1", u8 version, varint policy length + bytes,
-///            varint seed
+/// Binary .lrt v2. Layout (all integers varint unless noted):
+///   header:  magic "LRT1", u8 version (2), u8 flags, varint policy
+///            length + bytes, varint seed
 ///   events:  u8 kind (nonzero), u8 reason, zigzag node, zigzag job,
 ///            raw LE64 bits of time, a, b
+///            [+ raw LE64 bits of margin when flags bit 0 is set]
 ///   footer:  u8 0x00 end marker, varint event count, u64 LE FNV-1a of all
 ///            preceding bytes
+/// v1 (the seed format) differs only in the version byte and the absence of
+/// the flags byte and margin payload; trace::read_lrt accepts both.
 /// Doubles are stored as raw bit patterns, never formatted, so identical
 /// decisions serialise to identical bytes — the property trace-diff relies on.
 class BinarySink final : public Sink {
  public:
-  BinarySink(std::ostream& os, const TraceMeta& meta);
+  BinarySink(std::ostream& os, const TraceMeta& meta, SinkOptions options = {});
   ~BinarySink() override;
   void write(const Event& event) override;
   void close() override;
@@ -90,6 +109,7 @@ class BinarySink final : public Sink {
   void put_f64(double v);
 
   std::ostream* os_;
+  SinkOptions options_;
   std::uint64_t hash_ = kFnvOffset;
   std::uint64_t count_ = 0;
   bool closed_ = false;

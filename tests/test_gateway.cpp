@@ -15,6 +15,7 @@
 //     every run (subtract-on-resolve can never underflow or leak).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cctype>
@@ -478,6 +479,142 @@ TEST(GatewayConcurrent, SubmitAfterCloseReportsClosed) {
 TEST(GatewayConcurrent, RequiresOwningEngineConfig) {
   core::GatewayConfig config;  // no cluster: borrowed mode
   EXPECT_THROW(core::AdmissionGateway{std::move(config)}, CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder + per-certificate shed attribution. The "Flight" suite
+// name is load-bearing: the TSan CI job's filter regex selects it, so the
+// concurrent snapshot test below runs under ThreadSanitizer on every push.
+
+TEST(GatewayFlight, RecordsEveryDecisionAndShedCertificatesSum) {
+  const cluster::Cluster cluster = cluster::Cluster::homogeneous(8, 168.0);
+  for (const core::Policy policy :
+       {core::Policy::Libra, core::Policy::Edf, core::Policy::LibraRisk}) {
+    core::GatewayConfig config = gateway_config(cluster, policy);
+    core::AdmissionGateway gateway(std::move(config));
+    for (const Job& job : spectrum_trace(21, 300, 8, 0.4))
+      (void)gateway.submit(job);
+    gateway.close();
+
+    const core::GatewayStats stats = gateway.stats();
+    // The certificate attribution partitions the shed count exactly.
+    EXPECT_EQ(stats.shed_no_suitable_node + stats.shed_share +
+                  stats.shed_deadline + stats.shed_aggregate,
+              stats.fast_rejected)
+        << core::to_string(policy);
+    // spectrum_trace oversizes some jobs, so C1 fires on every policy;
+    // Conservative mode never uses the aggregate certificate.
+    EXPECT_GT(stats.shed_no_suitable_node, 0u) << core::to_string(policy);
+    EXPECT_EQ(stats.shed_aggregate, 0u) << core::to_string(policy);
+    if (policy == core::Policy::Libra) {
+      EXPECT_GT(stats.shed_share, 0u);
+    }
+    if (policy == core::Policy::Edf) {
+      EXPECT_GT(stats.shed_deadline, 0u);
+    }
+
+    // Every drive-loop decision reached the flight recorder; the ring keeps
+    // the newest `capacity` of them, and sheds carry the Shed verdict.
+    EXPECT_EQ(stats.flight_recorded, stats.decided) << core::to_string(policy);
+    const std::vector<obs::FlightEntry> snap = gateway.flight().snapshot();
+    EXPECT_EQ(snap.size(),
+              std::min<std::size_t>(stats.decided, gateway.flight().capacity()));
+    std::uint64_t shed_seen = 0;
+    for (const obs::FlightEntry& e : snap)
+      if (e.verdict == obs::FlightVerdict::Shed) ++shed_seen;
+    EXPECT_LE(shed_seen, stats.fast_rejected) << core::to_string(policy);
+    EXPECT_EQ(gateway.flight().queue_wait_histogram().count(), stats.decided);
+  }
+}
+
+TEST(GatewayFlight, CapacityZeroDisablesTheRecorder) {
+  core::GatewayConfig config = gateway_config(
+      cluster::Cluster::homogeneous(8, 168.0), core::Policy::LibraRisk);
+  config.flight_capacity = 0;
+  core::AdmissionGateway gateway(std::move(config));
+  for (const Job& job : spectrum_trace(22, 100, 8, 1.0))
+    (void)gateway.submit(job);
+  gateway.close();
+  EXPECT_EQ(gateway.stats().flight_recorded, 0u);
+  EXPECT_TRUE(gateway.flight().snapshot().empty());
+}
+
+TEST(GatewayFlight, ConcurrentSnapshotWhileDeciding) {
+  // Monitoring-path race coverage (runs under TSan in CI): producers feed
+  // the gateway while a monitor thread snapshots the flight ring, renders
+  // dumps and reads live stats the whole time.
+  core::GatewayConfig config = gateway_config(
+      cluster::Cluster::homogeneous(16, 168.0), core::Policy::LibraRisk);
+  config.queue_capacity = 64;
+  core::AdmissionGateway gateway(std::move(config));
+
+  std::atomic<bool> monitoring{true};
+  std::thread monitor([&] {
+    std::uint64_t last_recorded = 0;
+    while (monitoring.load(std::memory_order_acquire)) {
+      const std::vector<obs::FlightEntry> snap = gateway.flight().snapshot();
+      EXPECT_LE(snap.size(), gateway.flight().capacity());
+      (void)gateway.flight().dump();
+      const core::GatewayStats live = gateway.stats();
+      EXPECT_GE(live.flight_recorded, last_recorded);  // monotone
+      last_recorded = live.flight_recorded;
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 120;
+  std::vector<std::thread> producers;
+  for (int lane = 0; lane < kProducers; ++lane)
+    producers.emplace_back([&gateway, lane] {
+      rng::Stream stream(static_cast<std::uint64_t>(3000 + lane));
+      double t = 0.0;
+      for (int i = 0; i < kPerProducer; ++i) {
+        t += stream.uniform(1.0, 20.0);
+        const double runtime = stream.uniform(10.0, 200.0);
+        (void)gateway.submit(JobBuilder(lane * kPerProducer + i + 1)
+                                 .submit(t)
+                                 .set_runtime(runtime)
+                                 .deadline(runtime * stream.uniform(0.3, 5.0))
+                                 .procs(static_cast<int>(
+                                     stream.uniform_int(1, 20)))
+                                 .build());
+      }
+    });
+  for (std::thread& thread : producers) thread.join();
+  gateway.close();
+  monitoring.store(false, std::memory_order_release);
+  monitor.join();
+
+  const core::GatewayStats stats = gateway.stats();
+  EXPECT_EQ(stats.flight_recorded, stats.decided);
+  EXPECT_EQ(stats.decided,
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+}
+
+TEST(GatewayFlight, ShedSpikeDetectorCountsBursts) {
+  // A burst of certifiably hopeless jobs crosses the spike threshold; the
+  // drive thread logs one flight dump and the crossing is counted.
+  core::GatewayConfig config = gateway_config(
+      cluster::Cluster::homogeneous(4, 168.0), core::Policy::LibraRisk);
+  config.shed_spike_threshold = 8;
+  config.shed_spike_window = 60.0;  // one wall-clock window for the test
+  core::AdmissionGateway gateway(std::move(config));
+  double t = 0.0;
+  for (int i = 0; i < 32; ++i) {
+    t += 1.0;
+    (void)gateway.submit(JobBuilder(i + 1)
+                             .submit(t)
+                             .set_runtime(10.0)
+                             .deadline(50.0)
+                             .procs(8)  // > cluster size: C1 sheds
+                             .build());
+  }
+  gateway.close();
+  const core::GatewayStats stats = gateway.stats();
+  EXPECT_EQ(stats.fast_rejected, 32u);
+  EXPECT_EQ(stats.shed_no_suitable_node, 32u);
+  EXPECT_GE(stats.shed_spikes, 1u);
 }
 
 // ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "exp/scenario.hpp"
+#include "obs/flight.hpp"
 #include "obs/histogram.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
@@ -538,6 +539,71 @@ TEST(Telemetry, ArmTwiceIsAnError) {
   telemetry.arm(s);
   EXPECT_THROW(telemetry.arm(s), CheckError);
   EXPECT_TRUE(telemetry.registry().contains("event_queue_depth"));
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: fixed decision ring + wall-clock latency histograms.
+
+obs::FlightEntry flight_entry(std::int64_t id) {
+  obs::FlightEntry e;
+  e.job_id = id;
+  e.verdict = obs::FlightVerdict::Accepted;
+  e.sim_time = static_cast<double>(id);
+  e.queue_wait = 1e-6 * static_cast<double>(id + 1);
+  e.decide_latency = 1e-6;
+  return e;
+}
+
+TEST(FlightRecorder, RingWrapsKeepingTheNewestOldestFirst) {
+  obs::FlightRecorder rec(obs::FlightConfig{.capacity = 4});
+  EXPECT_TRUE(rec.snapshot().empty());
+
+  // Below capacity: insertion order, no wrap.
+  for (std::int64_t id = 1; id <= 3; ++id) rec.record(flight_entry(id));
+  std::vector<obs::FlightEntry> snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap.front().job_id, 1);
+  EXPECT_EQ(snap.back().job_id, 3);
+
+  // Past capacity: the ring holds exactly the last 4, oldest first.
+  for (std::int64_t id = 4; id <= 11; ++id) rec.record(flight_entry(id));
+  snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::size_t i = 0; i < snap.size(); ++i)
+    EXPECT_EQ(snap[i].job_id, 8 + static_cast<std::int64_t>(i));
+  EXPECT_EQ(rec.recorded(), 11u);
+
+  // The histograms saw every record, not just the retained ones.
+  EXPECT_EQ(rec.queue_wait_histogram().count(), 11u);
+  EXPECT_EQ(rec.decide_histogram().count(), 11u);
+
+  const std::string dump = rec.dump();
+  EXPECT_NE(dump.find("job"), std::string::npos);
+  EXPECT_NE(dump.find("11"), std::string::npos);  // newest entry rendered
+
+  rec.clear();
+  EXPECT_TRUE(rec.snapshot().empty());
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.queue_wait_histogram().count(), 0u);
+}
+
+TEST(FlightRecorder, CapacityZeroDisablesRecording) {
+  obs::FlightRecorder rec(obs::FlightConfig{.capacity = 0});
+  for (std::int64_t id = 1; id <= 5; ++id) rec.record(flight_entry(id));
+  EXPECT_TRUE(rec.snapshot().empty());
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.queue_wait_histogram().count(), 0u);
+  EXPECT_EQ(rec.decide_histogram().count(), 0u);
+}
+
+TEST(FlightRecorder, VerdictStringsAndEntryDefaults) {
+  EXPECT_STREQ(obs::to_string(obs::FlightVerdict::Accepted), "accepted");
+  EXPECT_STREQ(obs::to_string(obs::FlightVerdict::Queued), "queued");
+  EXPECT_STREQ(obs::to_string(obs::FlightVerdict::Rejected), "rejected");
+  EXPECT_STREQ(obs::to_string(obs::FlightVerdict::Shed), "shed");
+  const obs::FlightEntry e;
+  EXPECT_EQ(e.node, -1);
+  EXPECT_EQ(e.sigma, -1.0);
 }
 
 }  // namespace

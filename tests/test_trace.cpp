@@ -257,6 +257,108 @@ TEST(TraceAdmission, PerReasonCountersSumToRejections) {
   }
 }
 
+// ---- format v2: version negotiation + margin payloads ----
+
+std::string record_lrt_margins(core::Policy policy, std::uint64_t seed) {
+  std::ostringstream os;
+  trace::BinarySink sink(os, {std::string(core::to_string(policy)), seed},
+                         {.margins = true});
+  record_into(sink, policy, seed);
+  return os.str();
+}
+
+TEST(TraceFormat, V1FixtureStillReads) {
+  // Checked-in blob written by the version-1 encoder (before the margins
+  // flag existed) — the compatibility contract, pinned as bytes on disk.
+  const std::string fixture =
+      std::string(LIBRISK_TEST_DATA_DIR) + "/trace_v1.lrt";
+  const trace::TraceData v1 = trace::read_trace_file(fixture);
+  EXPECT_EQ(v1.version, trace::kLrtVersionV1);
+  EXPECT_FALSE(v1.has_margins);
+  EXPECT_EQ(v1.meta.policy, "LibraRisk");
+  EXPECT_EQ(v1.meta.seed, 7u);
+  EXPECT_EQ(v1.events.size(), 419u);
+  for (const trace::Event& e : v1.events) ASSERT_EQ(e.margin, 0.0);
+
+  // Round trip through the current encoder: same meta, same events; only
+  // the container version differs, and diff sees them as identical.
+  std::ostringstream os;
+  trace::BinarySink sink(os, v1.meta);
+  for (const trace::Event& e : v1.events) sink.write(e);
+  sink.close();
+  std::istringstream in(os.str());
+  const trace::TraceData v2 = trace::read_lrt(in);
+  EXPECT_EQ(v2.version, trace::kLrtVersion);
+  EXPECT_EQ(v2.meta, v1.meta);
+  ASSERT_EQ(v2.events.size(), v1.events.size());
+  for (std::size_t i = 0; i < v1.events.size(); ++i)
+    ASSERT_EQ(v2.events[i], v1.events[i]) << "event " << i;
+  EXPECT_TRUE(trace::first_divergence(v1, v2).identical());
+}
+
+TEST(TraceFormat, MarginsRoundTripBothFormats) {
+  const std::uint64_t seed = 11;
+  std::ostringstream lrt_os, jsonl_os;
+  trace::BinarySink lrt_sink(lrt_os, {"LibraRisk", seed}, {.margins = true});
+  record_into(lrt_sink, core::Policy::LibraRisk, seed);
+  trace::JsonlSink jsonl_sink(jsonl_os, {"LibraRisk", seed},
+                              {.margins = true});
+  record_into(jsonl_sink, core::Policy::LibraRisk, seed);
+
+  std::istringstream lrt_in(lrt_os.str());
+  std::istringstream jsonl_in(jsonl_os.str());
+  const trace::TraceData a = trace::read_lrt(lrt_in);
+  const trace::TraceData b = trace::read_jsonl(jsonl_in);
+  EXPECT_EQ(a.version, trace::kLrtVersion);
+  EXPECT_TRUE(a.has_margins);
+  EXPECT_TRUE(b.has_margins);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i)
+    ASSERT_EQ(a.events[i], b.events[i]) << "event " << i;
+  // The payload is real: a LibraRisk run rejects, and every rejection's
+  // decisive test failed by a strictly positive amount.
+  bool nonzero_margin = false;
+  for (const trace::Event& e : a.events)
+    nonzero_margin |= e.margin != 0.0;
+  EXPECT_TRUE(nonzero_margin);
+}
+
+TEST(TraceDiff, CrossVersionComparisonIgnoresMargins) {
+  // Same scenario recorded with and without margin payloads: the decisions
+  // are identical (margins only observe), so diff — which compares margins
+  // only when *both* sides carry them — reports no divergence.
+  const std::string plain = record_lrt(core::Policy::LibraRisk, 11);
+  const std::string margins = record_lrt_margins(core::Policy::LibraRisk, 11);
+  EXPECT_NE(plain, margins);  // the files differ (flags byte + payloads)...
+
+  std::istringstream plain_in(plain);
+  std::istringstream margins_in(margins);
+  const trace::TraceData a = trace::read_lrt(plain_in);
+  const trace::TraceData b = trace::read_lrt(margins_in);
+  EXPECT_FALSE(a.has_margins);
+  EXPECT_TRUE(b.has_margins);
+  // ...but the decision streams do not.
+  EXPECT_TRUE(trace::first_divergence(a, b).identical());
+  EXPECT_TRUE(trace::first_divergence(b, a).identical());
+
+  // Two margin-carrying traces *are* compared margin-and-all: a margin-only
+  // perturbation is a divergence there.
+  std::istringstream again_in(margins);
+  trace::TraceData c = trace::read_lrt(again_in);
+  std::size_t perturbed = c.events.size();
+  for (std::size_t i = 0; i < c.events.size(); ++i) {
+    if (c.events[i].margin != 0.0) {
+      c.events[i].margin += 0.5;
+      perturbed = i;
+      break;
+    }
+  }
+  ASSERT_LT(perturbed, c.events.size());
+  const trace::Divergence d = trace::first_divergence(b, c);
+  EXPECT_EQ(d.kind, trace::Divergence::Kind::EventDiffers);
+  EXPECT_EQ(d.index, perturbed);
+}
+
 /// Drives `librisk-sim trace ...` in-process against real temp files.
 class TraceToolTest : public ::testing::Test {
  protected:
@@ -311,6 +413,36 @@ TEST_F(TraceToolTest, RecordSummaryDiffEndToEnd) {
   EXPECT_NE(text.find("submitted"), std::string::npos);
 
   EXPECT_EQ(tool({"frobnicate"}, &text), 2);
+}
+
+TEST_F(TraceToolTest, RecordMarginsAndExplain) {
+  const std::string m = path("m.lrt");
+  const std::string plain = path("plain.lrt");
+  ASSERT_EQ(tool({"record", "--jobs=200", "--nodes=32", "--seed=4",
+                  "--policy=LibraRisk", "--margins", "--out=" + m}),
+            0);
+  ASSERT_EQ(tool({"record", "--jobs=200", "--nodes=32", "--seed=4",
+                  "--policy=LibraRisk", "--out=" + plain}),
+            0);
+
+  // Margins are payload, not decisions: diff across the two is clean.
+  std::string text;
+  EXPECT_EQ(tool({"diff", "--a=" + plain, "--b=" + m}, &text), 0) << text;
+
+  // Explain reconstructs a decision; job ids are sequential, so 5 exists.
+  EXPECT_EQ(tool({"explain", "--in=" + m, "--job=5"}, &text), 0);
+  EXPECT_NE(text.find("job 5"), std::string::npos);
+  EXPECT_TRUE(text.find("ACCEPTED") != std::string::npos ||
+              text.find("REJECTED") != std::string::npos)
+      << text;
+
+  // Margin-free traces explain too, with a warning.
+  EXPECT_EQ(tool({"explain", "--in=" + plain, "--job=5"}, &text), 0);
+  EXPECT_NE(text.find("without margins"), std::string::npos);
+
+  // Unknown job / missing flags are parse errors (exit 2).
+  EXPECT_EQ(tool({"explain", "--in=" + m, "--job=99999"}, &text), 2);
+  EXPECT_EQ(tool({"explain", "--in=" + m}, &text), 2);
 }
 
 }  // namespace

@@ -91,6 +91,43 @@ int run_gateway(const ReplayFlags& f, core::Policy policy,
       << " submitted, " << gs.fast_rejected << " fast-rejected, "
       << gs.decided << " decided, queue high-water " << gs.queue_high_water
       << ", audit violations " << gs.audit_violations << '\n';
+  if (gs.fast_rejected > 0) {
+    const auto shed_pct = [&](std::uint64_t n) {
+      return gs.submitted > 0 ? 100.0 * static_cast<double>(n) /
+                                    static_cast<double>(gs.submitted)
+                              : 0.0;
+    };
+    table::Table shed({"certificate", "shed", "% of submitted"});
+    shed.add_row({"C1 no-suitable-node",
+                  std::to_string(gs.shed_no_suitable_node),
+                  table::num(shed_pct(gs.shed_no_suitable_node), 2)});
+    shed.add_row({"C2 share", std::to_string(gs.shed_share),
+                  table::num(shed_pct(gs.shed_share), 2)});
+    shed.add_row({"C2 deadline", std::to_string(gs.shed_deadline),
+                  table::num(shed_pct(gs.shed_deadline), 2)});
+    shed.add_row({"C3 aggregate", std::to_string(gs.shed_aggregate),
+                  table::num(shed_pct(gs.shed_aggregate), 2)});
+    out << shed.str();
+    if (gs.shed_spikes > 0)
+      out << "shed spikes: " << gs.shed_spikes << " window crossings\n";
+  }
+  if (gs.flight_recorded > 0) {
+    const obs::Histogram wait = gateway.flight().queue_wait_histogram();
+    const obs::Histogram decide = gateway.flight().decide_histogram();
+    const auto us = [](double seconds) { return table::num(seconds * 1e6, 1); };
+    out << "flight recorder: " << gs.flight_recorded
+        << " decisions (last " << gateway.flight().snapshot().size()
+        << " retained), queue-wait p50/p99 " << us(wait.quantile(50.0)) << "/"
+        << us(wait.quantile(99.0)) << " us, decide p50/p99 "
+        << us(decide.quantile(50.0)) << "/" << us(decide.quantile(99.0))
+        << " us\n";
+  }
+  const core::AdmissionStats adm = gateway.engine().admission_stats();
+  if (adm.near_miss_10() > 0)
+    out << "near-miss rejections: " << adm.near_miss_5() << " within 5%, "
+        << adm.near_miss_10() << " within 10% of flipping (share "
+        << adm.near_miss_share_10 << ", sigma " << adm.near_miss_sigma_10
+        << ", deadline " << adm.near_miss_deadline_10 << ")\n";
   if (!telemetry_out.empty()) {
     telemetry.write_dir(telemetry_out);
     out << "telemetry written to " << telemetry_out << " ("
@@ -150,6 +187,12 @@ int run_streaming(const ReplayFlags& f, core::Policy policy,
       << stream.jobs_skipped() << " skipped), peak resident "
       << engine->peak_live_jobs() << " job objects of "
       << engine->jobs_submitted() << " submitted\n";
+  const core::AdmissionStats adm = engine->admission_stats();
+  if (adm.near_miss_10() > 0)
+    out << "near-miss rejections: " << adm.near_miss_5() << " within 5%, "
+        << adm.near_miss_10() << " within 10% of flipping (share "
+        << adm.near_miss_share_10 << ", sigma " << adm.near_miss_sigma_10
+        << ", deadline " << adm.near_miss_deadline_10 << ")\n";
   if (!telemetry_out.empty()) {
     telemetry.write_dir(telemetry_out);
     out << "telemetry written to " << telemetry_out << " ("
@@ -215,13 +258,14 @@ int run_federation(const ReplayFlags& f, core::Policy policy,
   out << "\nfederation: " << f.shards << " shards, route "
       << federation::to_string(fed.route_policy()) << ", " << summary.routed
       << " jobs routed\n";
-  table::Table shard_table(
-      {"shard", "nodes", "routed", "fulfilled %", "avg slowdown"});
+  table::Table shard_table({"shard", "nodes", "routed", "fulfilled %",
+                            "avg slowdown", "near-miss 10%"});
   for (const federation::ShardSummary& s : summary.shards)
     shard_table.add_row({s.name, std::to_string(s.nodes),
                          std::to_string(s.routed),
                          table::num(s.summary.fulfilled_pct, 2),
-                         table::num(s.summary.avg_slowdown_fulfilled, 3)});
+                         table::num(s.summary.avg_slowdown_fulfilled, 3),
+                         std::to_string(s.admission.near_miss_10())});
   out << shard_table.str();
   if (!telemetry_out.empty()) {
     std::filesystem::create_directories(telemetry_out);

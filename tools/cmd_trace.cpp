@@ -3,6 +3,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/explain.hpp"
 #include "tools/common.hpp"
 #include "trace/diff.hpp"
 #include "trace/reader.hpp"
@@ -21,6 +22,11 @@ int cmd_trace_record(const std::vector<std::string>& args, std::ostream& out) {
   auto& policy_opt = parser.add<std::string>("policy", "scheduling policy", "LibraRisk");
   auto& out_opt = parser.add<std::string>("out", "trace output path", "trace.lrt");
   auto& format_opt = parser.add<std::string>("format", "trace format: lrt | jsonl", "lrt");
+  auto& margins_opt = parser.add<bool>(
+      "margins",
+      "serialise per-decision admission margins (format v2 payload; forces "
+      "exact sigmas, decisions unchanged)",
+      false);
   parser.parse(args);
 
   const json::Value cfg = load_config(f);
@@ -34,11 +40,12 @@ int cmd_trace_record(const std::vector<std::string>& args, std::ostream& out) {
     throw cli::ParseError("cannot open trace output file: " + out_opt.value);
   const trace::TraceMeta meta{std::string(core::to_string(scenario.policy)),
                               scenario.seed};
+  const trace::SinkOptions sink_options{.margins = margins_opt.value};
   std::unique_ptr<trace::Sink> sink;
   if (format_opt.value == "lrt")
-    sink = std::make_unique<trace::BinarySink>(file, meta);
+    sink = std::make_unique<trace::BinarySink>(file, meta, sink_options);
   else if (format_opt.value == "jsonl")
-    sink = std::make_unique<trace::JsonlSink>(file, meta);
+    sink = std::make_unique<trace::JsonlSink>(file, meta, sink_options);
   else
     throw cli::ParseError("--format must be 'lrt' or 'jsonl', got '" +
                           format_opt.value + "'");
@@ -98,21 +105,89 @@ int cmd_trace_diff(const std::vector<std::string>& args, std::ostream& out) {
   return d.identical() ? 0 : 1;
 }
 
+/// Rebuilds one job's DecisionExplain from its trace events. The trace is
+/// sequential per job — JobSubmitted, the NodeEvaluated scan, then exactly
+/// one JobAdmitted or JobRejected — so a single pass suffices.
+int cmd_trace_explain(const std::vector<std::string>& args, std::ostream& out) {
+  cli::Parser parser("librisk-sim trace explain",
+                     "Reconstruct one job's admission decision from a trace");
+  auto& in_opt = parser.add<std::string>("in", "trace file", "");
+  auto& job_opt = parser.add<int>("job", "job id to explain", -1);
+  parser.parse(args);
+  if (in_opt.value.empty())
+    throw cli::ParseError("trace explain requires --in <file>");
+  if (job_opt.value < 0)
+    throw cli::ParseError("trace explain requires --job <id>");
+  const auto job_id = static_cast<std::int64_t>(job_opt.value);
+
+  const trace::TraceData data = trace::read_trace_file(in_opt.value);
+  obs::DecisionExplain d;
+  bool submitted = false;
+  bool decided = false;
+  for (const trace::Event& e : data.events) {
+    if (e.job != job_id || decided) continue;
+    switch (e.kind) {
+      case trace::EventKind::JobSubmitted:
+        d.job_id = e.job;
+        d.time = e.time;
+        d.num_procs = e.node;  // JobSubmitted stores num_procs in `node`
+        d.deadline = e.a;
+        d.estimate = e.b;
+        submitted = true;
+        break;
+      case trace::EventKind::NodeEvaluated:
+        d.nodes.push_back(obs::NodeMargin{
+            e.node, e.reason == trace::RejectionReason::None, e.reason, e.a,
+            e.b, e.margin});
+        break;
+      case trace::EventKind::JobAdmitted:
+        d.accepted = true;
+        d.chosen_node = e.node;
+        d.suitable = static_cast<int>(e.a);
+        d.margin = e.margin;
+        decided = true;
+        break;
+      case trace::EventKind::JobRejected:
+        d.accepted = false;
+        d.reason = e.reason;
+        d.suitable = static_cast<int>(e.a);
+        d.margin = e.margin;
+        decided = true;
+        break;
+      default:
+        break;  // lifecycle events past the decision carry no margin context
+    }
+  }
+  if (!submitted && !decided)
+    throw cli::ParseError("job " + std::to_string(job_id) +
+                          " does not appear in " + in_opt.value);
+  if (!decided)
+    throw cli::ParseError("job " + std::to_string(job_id) +
+                          " was submitted but never decided in " +
+                          in_opt.value);
+  if (!data.has_margins)
+    out << "note: trace was recorded without margins (record with --margins); "
+           "margins below are 0\n";
+  out << obs::describe(d);
+  return 0;
+}
+
 }  // namespace
 
-/// Dispatches `librisk-sim trace <record|summary|diff>`. Exit code 1 from
-/// `diff` means "traces diverge", not an error.
+/// Dispatches `librisk-sim trace <record|summary|diff|explain>`. Exit code 1
+/// from `diff` means "traces diverge", not an error.
 int cmd_trace(const std::vector<std::string>& args, std::ostream& out) {
   if (args.empty())
     throw cli::ParseError(
-        "trace requires a subcommand: record | summary | diff");
+        "trace requires a subcommand: record | summary | diff | explain");
   const std::string sub = args[0];
   const std::vector<std::string> rest(args.begin() + 1, args.end());
   if (sub == "record") return cmd_trace_record(rest, out);
   if (sub == "summary") return cmd_trace_summary(rest, out);
   if (sub == "diff") return cmd_trace_diff(rest, out);
+  if (sub == "explain") return cmd_trace_explain(rest, out);
   throw cli::ParseError("unknown trace subcommand '" + sub +
-                        "' (expected record | summary | diff)");
+                        "' (expected record | summary | diff | explain)");
 }
 
 }  // namespace librisk::tool

@@ -37,7 +37,11 @@ constexpr CommandSpec kCommands[] = {
      "run policies over an SWF trace file (--stream: online engine; "
      "--shards/--route: federated multi-cluster)",
      cmd_replay},
-    {"trace", "decision-audit traces: record | summary | diff", cmd_trace},
+    {"trace", "decision-audit traces: record | summary | diff | explain",
+     cmd_trace},
+    {"explain",
+     "run a scenario, print per-decision admission margins (--job for one)",
+     cmd_explain},
     {"metrics",
      "run a scenario, render its telemetry registry (table | openmetrics)",
      cmd_metrics},

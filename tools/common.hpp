@@ -61,5 +61,6 @@ int cmd_workload(const std::vector<std::string>& args, std::ostream& out);
 int cmd_replay(const std::vector<std::string>& args, std::ostream& out);
 int cmd_trace(const std::vector<std::string>& args, std::ostream& out);
 int cmd_metrics(const std::vector<std::string>& args, std::ostream& out);
+int cmd_explain(const std::vector<std::string>& args, std::ostream& out);
 
 }  // namespace librisk::tool
