@@ -9,6 +9,7 @@
 //   $ diagnose --inaccuracy 100 --work-conserving
 #include <iostream>
 
+#include "core/overload.hpp"
 #include "exp/scenario.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -25,6 +26,13 @@ int main(int argc, char** argv) {
   auto& equal_opt = parser.add<bool>("equal-share",
                                      "equal-share execution instead of proportional pacing", false);
   auto& hu_opt = parser.add<double>("high-urgency", "high-urgency fraction", 0.20);
+  auto& overload_opt = parser.add<std::string>(
+      "overload-mode",
+      "graceful-degradation mode: hard-reject | shed-tail | relax-sigma | "
+      "defer-to-salvage | downgrade-qos",
+      "hard-reject");
+  auto& load_scale_opt = parser.add<double>(
+      "load-scale", "inter-arrival gap factor (< 1 raises offered load)", 1.0);
   parser.parse(argc, argv);
 
   exp::Scenario base;
@@ -37,10 +45,14 @@ int main(int argc, char** argv) {
                                       : cluster::ExecutionMode::ProportionalPacing;
   if (equal_opt.value)
     base.options.risk.prediction = core::RiskConfig::Prediction::ProcessorSharing;
+  base.options.overload.mode = core::parse_degraded_mode(overload_opt.value);
   base.seed = seed_opt.value;
+  if (load_scale_opt.value != 1.0)
+    base.workload.trace.arrival_delay_factor *= load_scale_opt.value;
 
   table::Table t({"policy", "fulfilled %", "slowdown", "rejected", "rej(share)",
-                  "rej(sigma)", "rej(deadline)", "rej(no-node)", "near5%",
+                  "rej(sigma)", "rej(deadline)", "rej(no-node)", "degraded",
+                  "deferred", "near5%",
                   "near10%", "late(under-est)", "late(victims)",
                   "ful(under-est)", "doomable", "scans/job", "skips", "batched",
                   "bound-skip", "recomp/settle", "kern-skip%"});
@@ -51,6 +63,11 @@ int main(int argc, char** argv) {
 
     std::size_t late_under = 0, late_victim = 0, ful_under = 0, under_total = 0;
     std::size_t rejected = 0;
+    // The overload variants are their own columns — a DegradedAdmit is not
+    // a plain accept (it rode a licensed bend) and a Deferred is not a
+    // reject (its fate resolved later); folding either would misattribute
+    // exactly the jobs this breakdown exists to explain.
+    std::size_t degraded = 0, deferred = 0;
     // Rejection attribution from the per-job outcome reasons (the typed
     // AdmissionOutcome surface) instead of diffing AdmissionStats counters
     // — which also attributes the space-shared policies' rejections, a
@@ -58,6 +75,10 @@ int main(int argc, char** argv) {
     std::size_t rej_share = 0, rej_sigma = 0, rej_deadline = 0, rej_node = 0;
     for (const exp::JobOutcome& o : r.outcomes) {
       if (o.underestimated) ++under_total;
+      if (o.verdict == core::AdmissionOutcome::Verdict::DegradedAdmit)
+        ++degraded;
+      else if (o.verdict == core::AdmissionOutcome::Verdict::Deferred)
+        ++deferred;
       switch (o.fate) {
         case metrics::JobFate::RejectedAtSubmit:
         case metrics::JobFate::RejectedAtDispatch:
@@ -93,6 +114,8 @@ int main(int argc, char** argv) {
                std::to_string(rej_sigma),
                std::to_string(rej_deadline),
                std::to_string(rej_node),
+               std::to_string(degraded),
+               std::to_string(deferred),
                // Near-miss rejections: within 5%/10% of flipping the
                // decisive test (conservative undercount when the batch
                // spread bound skipped exact sigmas).

@@ -15,6 +15,11 @@ EdfScheduler::EdfScheduler(sim::Simulator& simulator,
       collector_(collector),
       config_(config),
       name_(std::move(name)) {
+  governor_ = OverloadGovernor(config_.overload);
+  // EDF's one rejection site tests deadline feasibility, so DowngradeQoS is
+  // the only mode with a license to bend it; the rest reduce to HardReject.
+  overload_enabled_ =
+      governor_.enabled() && config_.overload.mode == DegradedMode::DowngradeQoS;
   executor_.set_completion_handler([this](const Job& job, sim::SimTime finish) {
     estimated_finish_.erase(job.id);
     collector_.record_completed(job, finish);
@@ -42,6 +47,8 @@ double EdfScheduler::deadline_margin(const Job& job) const {
 }
 
 void EdfScheduler::on_job_submitted(const Job& job) {
+  // The recorder arrives via attach() after construction; borrow it lazily.
+  if (overload_enabled_) governor_.attach(trace_);
   ++stats_.submissions;
   // A request larger than the machine can never run; even EDF-NoAC must
   // reject it or the queue head would block forever.
@@ -67,6 +74,23 @@ void EdfScheduler::on_job_submitted(const Job& job) {
 
 void EdfScheduler::start_job(const Job& job) {
   ++stats_.accepted;
+  if (overload_enabled_) {
+    const auto it = downgraded_deadline_.find(job.id);
+    if (it != downgraded_deadline_.end()) {
+      // The job got here on a granted deadline extension: degraded-admit
+      // provenance. The Job itself is untouched — it may simply finish late
+      // and the collector judges it against the submitted deadline.
+      ++stats_.degraded_admits;
+      note_decision(job.id, /*node=*/-1, /*sigma=*/-1.0, /*margin=*/0.0,
+                    /*degraded=*/true);
+      if (trace_ != nullptr)
+        trace_->job_degraded_admit(sim_.now(), job.id,
+                                   trace::RejectionReason::DeadlineInfeasible,
+                                   /*first_node=*/-1, /*sigma=*/-1.0,
+                                   /*fit=*/0.0);
+      downgraded_deadline_.erase(it);
+    }
+  }
   std::vector<cluster::NodeId> nodes = executor_.take_free_nodes(job.num_procs);
   double slowest = sim::kTimeInfinity;
   for (const cluster::NodeId n : nodes)
@@ -118,11 +142,14 @@ void EdfScheduler::dispatch() {
     const auto head = std::min_element(queue_.begin(), queue_.end(), deadline_before);
     const Job* job = *head;
 
-    if (config_.admission_control && !deadline_feasible(*job)) {
+    if (config_.admission_control && !deadline_feasible(*job) &&
+        !(overload_enabled_ && try_degrade_head(*job))) {
       // The relaxed admission control: reject only at selection time. The
       // margin is the best-case-finish headroom (< 0 on this path); the
       // near-miss scale is the job's own deadline window.
+      if (overload_enabled_) downgraded_deadline_.erase(job->id);
       ++stats_.rejections;
+      ++stats_.rejected_deadline_infeasible;
       const double margin = deadline_margin(*job);
       const double deficit = -margin;
       if (deficit <= 0.05 * job->deadline) ++stats_.near_miss_deadline_5;
@@ -175,6 +202,35 @@ void EdfScheduler::dispatch() {
     }
     if (!progressed) return;
   }
+}
+
+LoadSignal EdfScheduler::load_signal() const noexcept {
+  const int size = executor_.cluster().size();
+  return LoadSignal{static_cast<double>(size - executor_.free_count()),
+                    static_cast<double>(size)};
+}
+
+bool EdfScheduler::try_degrade_head(const Job& job) {
+  const sim::SimTime now = sim_.now();
+  governor_.evaluate(now, load_signal());
+  stats_.overload_activations = governor_.activations();
+  const auto it = downgraded_deadline_.find(job.id);
+  const bool granted = it != downgraded_deadline_.end();
+  // A fresh extension needs the governor engaged; a previously granted one
+  // is sticky — later passes honor it even after the load drops, so the
+  // job's fate never depends on when capacity happened to free up relative
+  // to a disengagement (determinism stays trivial; fairness stays sane).
+  if (!granted && !governor_.engaged()) return false;
+  const sim::SimTime effective =
+      granted ? it->second
+              : job.submit_time +
+                    job.deadline * governor_.config().downgrade_factor;
+  if (now > effective) return false;
+  const double best_runtime =
+      job.scheduler_estimate / executor_.cluster().max_speed_factor();
+  if (now + best_runtime > effective + sim::kTimeEpsilon) return false;
+  if (!granted) downgraded_deadline_.emplace(job.id, effective);
+  return true;
 }
 
 }  // namespace librisk::core

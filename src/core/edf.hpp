@@ -29,6 +29,12 @@ struct EdfConfig {
   /// processors, a later-deadline job may start if — by runtime estimates —
   /// it cannot delay the head's reservation.
   bool backfilling = false;
+  /// Graceful-degradation catalog entry (core/overload.hpp). EDF's only
+  /// rejection site is the dispatch-time deadline-feasibility test, so the
+  /// only mode with something to bend is DowngradeQoS (evaluate feasibility
+  /// against deadline x downgrade_factor while engaged); every other mode
+  /// behaves exactly like HardReject here (docs/OVERLOAD.md support matrix).
+  OverloadConfig overload;
 };
 
 class EdfScheduler final : public Scheduler {
@@ -68,6 +74,16 @@ class EdfScheduler final : public Scheduler {
   };
   [[nodiscard]] Reservation head_reservation(const Job& head) const;
 
+  // ---- overload-catalog consult (core/overload.hpp) ----
+  /// EDF's load signal: busy-processor fraction.
+  [[nodiscard]] LoadSignal load_signal() const noexcept;
+  /// DowngradeQoS consult at the dispatch rejection site: true when the
+  /// selected job, infeasible at its submitted deadline, is feasible at the
+  /// downgraded one — the job then keeps its granted extension (sticky in
+  /// downgraded_deadline_) so later passes stay consistent even after the
+  /// governor disengages.
+  [[nodiscard]] bool try_degrade_head(const Job& job);
+
   sim::Simulator& sim_;
   cluster::SpaceSharedExecutor& executor_;
   Collector& collector_;
@@ -77,6 +93,13 @@ class EdfScheduler final : public Scheduler {
   std::vector<const Job*> queue_;
   /// Estimate-based completion times of running jobs (backfilling only).
   std::map<std::int64_t, sim::SimTime> estimated_finish_;
+  /// Only DowngradeQoS has a license EDF can honor; every other mode keeps
+  /// this false and the consult sites dead (byte-identity under HardReject).
+  bool overload_enabled_ = false;
+  OverloadGovernor governor_;
+  /// Granted deadline extensions (job id -> effective absolute deadline);
+  /// erased at start (with degraded-admit provenance) or final rejection.
+  std::map<std::int64_t, sim::SimTime> downgraded_deadline_;
 };
 
 }  // namespace librisk::core

@@ -55,9 +55,13 @@ namespace librisk::core {
 /// — or parsing the .lrt trace — is now returned in-band, per job.
 struct AdmissionOutcome {
   enum class Verdict : std::uint8_t {
-    Accepted,  ///< started execution at its arrival instant
-    Queued,    ///< admitted to a wait queue; fate still pending
-    Rejected,  ///< shed at submit or at dispatch within the arrival step
+    Accepted,      ///< started execution at its arrival instant
+    Queued,        ///< admitted to a wait queue; fate still pending
+    Rejected,      ///< shed at submit or at dispatch within the arrival step
+    /// Overload-catalog variants (core/overload.hpp); only produced when a
+    /// degraded mode other than HardReject is configured.
+    DegradedAdmit, ///< failed the normal test; a licensed degraded mode admitted it
+    Deferred,      ///< parked by DeferToSalvage; a salvage retry is scheduled
   };
 
   std::int64_t job_id = -1;
@@ -74,8 +78,14 @@ struct AdmissionOutcome {
   /// obs::NodeMargin convention); 0.0 when the policy computes none.
   double margin = 0.0;
 
-  [[nodiscard]] bool accepted() const noexcept { return verdict == Verdict::Accepted; }
+  /// DegradedAdmit counts as accepted: the job IS running — every
+  /// share-accounting guard upstream (gateway, federation) treats it like a
+  /// normal admission, it just carries the degraded provenance.
+  [[nodiscard]] bool accepted() const noexcept {
+    return verdict == Verdict::Accepted || verdict == Verdict::DegradedAdmit;
+  }
   [[nodiscard]] bool rejected() const noexcept { return verdict == Verdict::Rejected; }
+  [[nodiscard]] bool deferred() const noexcept { return verdict == Verdict::Deferred; }
 };
 
 [[nodiscard]] const char* to_string(AdmissionOutcome::Verdict verdict) noexcept;

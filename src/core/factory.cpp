@@ -116,6 +116,7 @@ LibraConfig libra_family_config(Policy policy, const PolicyOptions& options) {
   config.risk.rule = options.risk.rule;
   if (options.selection_override) config.selection = *options.selection_override;
   config.legacy_path = options.legacy_admission;
+  config.overload = options.overload;
   return config;
 }
 
@@ -127,6 +128,10 @@ std::unique_ptr<SchedulerStack> make_scheduler(Policy policy,
                                                Collector& collector,
                                                const PolicyOptions& options) {
   const std::string name(to_string(policy));
+  // The catalog self-audit runs once per stack: a malformed catalog (or a
+  // nonsensical config) fails construction instead of misbehaving mid-run.
+  audit_catalog();
+  options.overload.validate();
   const cluster::SpaceSharedConfig space_config{
       .kill_at_estimate = options.share_model.kill_at_estimate};
   switch (policy) {
@@ -137,17 +142,20 @@ std::unique_ptr<SchedulerStack> make_scheduler(Policy policy,
           name, options.share_model, options.hooks);
     case Policy::Edf:
       return std::make_unique<SpaceSharedStack<EdfScheduler, EdfConfig>>(
-          simulator, cluster, collector, EdfConfig{.admission_control = true},
+          simulator, cluster, collector,
+          EdfConfig{.admission_control = true, .overload = options.overload},
           name, space_config, options.hooks);
     case Policy::EdfNoAC:
+      // No admission control means no rejection site for any mode to bend.
       return std::make_unique<SpaceSharedStack<EdfScheduler, EdfConfig>>(
-          simulator, cluster, collector, EdfConfig{.admission_control = false},
+          simulator, cluster, collector, EdfConfig{.admission_control = false, .overload = {}},
           name, space_config, options.hooks);
     case Policy::EdfBackfill:
       return std::make_unique<SpaceSharedStack<EdfScheduler, EdfConfig>>(
           simulator, cluster, collector,
-          EdfConfig{.admission_control = true, .backfilling = true}, name,
-          space_config, options.hooks);
+          EdfConfig{.admission_control = true, .backfilling = true,
+                    .overload = options.overload},
+          name, space_config, options.hooks);
     case Policy::Fcfs:
       return std::make_unique<SpaceSharedStack<FcfsScheduler, FcfsConfig>>(
           simulator, cluster, collector,

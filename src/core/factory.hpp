@@ -12,6 +12,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/share_model.hpp"
 #include "core/libra.hpp"
+#include "core/overload.hpp"
 #include "core/scheduler.hpp"
 
 namespace librisk::core {
@@ -45,6 +46,13 @@ struct PolicyOptions {
   std::optional<LibraConfig::Selection> selection_override;
   /// QoPS slack factor (>= 1; 1 = hard deadlines at admission).
   double qops_slack_factor = 1.0;
+  /// Graceful-degradation catalog entry (core/overload.hpp). The default
+  /// (HardReject) reproduces today's behavior exactly — byte-identical
+  /// traces; any other mode bends the named shortfall sites while the
+  /// configured load threshold is exceeded. Consulted by the Libra family
+  /// and EDF; the FCFS/EASY/QoPS family has no shortfall site to bend and
+  /// treats every mode as HardReject (docs/OVERLOAD.md, support matrix).
+  OverloadConfig overload;
   /// Libra-family only: route admission through the seed (allocating)
   /// implementation instead of the workspace/cached fast path. Decisions
   /// are bit-identical either way; differential tests flip this.

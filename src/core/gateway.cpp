@@ -60,6 +60,21 @@ AdmissionGateway::AdmissionGateway(GatewayConfig config)
     case Policy::Easy:
       break;
   }
+  // Overload-catalog gating (core/overload.hpp): the C2 certificates rest
+  // on "no now implies no later" monotonicity of the *normal* admission
+  // test. A mode licensed to bend a shortfall site breaks that implication
+  // — DowngradeQoS re-tests against an extended deadline (both C2
+  // expressions), and the salvage/relax lanes re-decide under bent terms —
+  // so those modes drop the gate to C1 (structural) only. ShedTail never
+  // admits more than HardReject, so every certificate stays sound under it.
+  // The rule is deliberately coarse: disabling a certificate only reduces
+  // shedding, never correctness.
+  const DegradedMode degraded_mode = config_.engine.options.overload.mode;
+  if (degraded_mode != DegradedMode::HardReject &&
+      degraded_mode != DegradedMode::ShedTail) {
+    model_.share_test = false;
+    model_.deadline_test = false;
+  }
   const double budget = config_.aggregate_headroom * cluster.total_speed_factor() *
                         static_cast<double>(config_.granularity);
   share_budget_scaled_ = static_cast<std::uint64_t>(std::min(budget, 9.0e18));
@@ -138,6 +153,18 @@ AdmissionGateway::AdmissionGateway(GatewayConfig config)
     reg.counter_fn("gateway_shed_spikes",
                    "shed-spike threshold crossings observed",
                    [this] { return spike_events_.load(std::memory_order_relaxed); });
+    reg.counter_fn(
+        "gateway_degraded_admits",
+        "engine decisions that were degraded-mode admissions",
+        [this] { return degraded_admits_.load(std::memory_order_relaxed); });
+    reg.counter_fn(
+        "gateway_deferred", "engine decisions parked by the salvage lane",
+        [this] { return deferred_.load(std::memory_order_relaxed); });
+    reg.gauge_fn("gateway_overload_mode",
+                 "configured degraded mode (catalog index; 0 = hard-reject)",
+                 [degraded_mode] {
+                   return static_cast<double>(degraded_mode);
+                 });
     if (config_.flight_capacity > 0) {
       // Registry-owned sinks the flight histograms merge into at close():
       // the recorder's own copies stay mutex-guarded for live snapshots,
@@ -314,6 +341,10 @@ void AdmissionGateway::drive() {
       const AdmissionOutcome outcome = engine_->submit(job);
       last_submit_ = job.submit_time;
       decided_.fetch_add(1, std::memory_order_relaxed);
+      if (outcome.verdict == AdmissionOutcome::Verdict::DegradedAdmit)
+        degraded_admits_.fetch_add(1, std::memory_order_relaxed);
+      else if (outcome.deferred())
+        deferred_.fetch_add(1, std::memory_order_relaxed);
       if (item.pre_shed && !outcome.rejected()) {
         if (outcome.accepted()) {
           // Started at its arrival instant: the certificate is plainly wrong.
@@ -344,10 +375,14 @@ void AdmissionGateway::drive() {
       if (config_.flight_capacity > 0) {
         obs::FlightEntry entry;
         entry.job_id = job.id;
-        entry.verdict = item.pre_shed        ? obs::FlightVerdict::Shed
-                        : outcome.accepted() ? obs::FlightVerdict::Accepted
-                        : outcome.rejected() ? obs::FlightVerdict::Rejected
-                                             : obs::FlightVerdict::Queued;
+        entry.verdict =
+            item.pre_shed ? obs::FlightVerdict::Shed
+            : outcome.verdict == AdmissionOutcome::Verdict::DegradedAdmit
+                ? obs::FlightVerdict::DegradedAdmit
+            : outcome.deferred() ? obs::FlightVerdict::Deferred
+            : outcome.accepted() ? obs::FlightVerdict::Accepted
+            : outcome.rejected() ? obs::FlightVerdict::Rejected
+                                 : obs::FlightVerdict::Queued;
         entry.reason = outcome.reason;
         entry.node = outcome.node;
         entry.sigma = outcome.sigma;
@@ -418,6 +453,8 @@ GatewayStats AdmissionGateway::stats() const {
   s.shed_aggregate = shed_aggregate_.load(std::memory_order_relaxed);
   s.shed_spikes = spike_events_.load(std::memory_order_relaxed);
   s.flight_recorded = flight_.recorded();
+  s.degraded_admits = degraded_admits_.load(std::memory_order_relaxed);
+  s.deferred = deferred_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -139,6 +139,12 @@ struct GatewayStats {
   std::uint64_t shed_aggregate = 0;         ///< C3 (Aggressive mode only)
   std::uint64_t shed_spikes = 0;   ///< spike-threshold crossings observed
   std::uint64_t flight_recorded = 0;  ///< decisions offered to the recorder
+  /// Overload-catalog occupancy (core/overload.hpp): engine decisions that
+  /// came back as degraded admissions / salvage deferrals. Both 0 under
+  /// HardReject. A degraded admit is also counted in the engine's accepted
+  /// totals — these attribute, they do not add.
+  std::uint64_t degraded_admits = 0;
+  std::uint64_t deferred = 0;
 };
 
 class AdmissionGateway {
@@ -259,6 +265,9 @@ class AdmissionGateway {
   std::atomic<std::uint64_t> shed_share_{0};
   std::atomic<std::uint64_t> shed_deadline_{0};
   std::atomic<std::uint64_t> shed_aggregate_{0};
+  // Overload-catalog outcome attribution (drive-thread writes, any reader).
+  std::atomic<std::uint64_t> degraded_admits_{0};
+  std::atomic<std::uint64_t> deferred_{0};
 
   /// Decision flight recorder; drive thread writes, any thread snapshots.
   obs::FlightRecorder flight_;

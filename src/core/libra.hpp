@@ -23,8 +23,10 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 
 #include "cluster/timeshared.hpp"
+#include "core/overload.hpp"
 #include "core/risk.hpp"
 #include "core/scheduler.hpp"
 
@@ -53,6 +55,13 @@ struct LibraConfig {
   /// two paths make bit-identical decisions — tests/test_admission_equivalence
   /// asserts it — so this exists only to keep that claim checkable.
   bool legacy_path = false;
+  /// Graceful-degradation catalog entry (core/overload.hpp). HardReject —
+  /// the default — reproduces the paper's behavior exactly; other modes
+  /// bend the shortfall path while the load threshold is exceeded. Both
+  /// submit paths consult the same helpers, and degraded re-scans always
+  /// use the fast arithmetic (bit-identical to legacy per
+  /// tests/test_admission_equivalence).
+  OverloadConfig overload;
 
   /// The paper's Libra: total-share admission, best-fit, raw estimates.
   static LibraConfig libra();
@@ -84,6 +93,7 @@ struct AdmissionStats {
   std::uint64_t rejected_share_overflow = 0;   ///< Eq. 2 total-share shortfall (Libra)
   std::uint64_t rejected_risk_sigma = 0;       ///< sigma-test shortfall (LibraRisk)
   std::uint64_t rejected_no_suitable_node = 0; ///< needs more nodes than the cluster has
+  std::uint64_t rejected_deadline_infeasible = 0; ///< EDF dispatch-time deadline test
   /// Near-miss rejections, attributed by the decisive test: the job-level
   /// deficit (the k-th smallest failing-node shortfall, k = num_procs -
   /// suitable — i.e. the smallest improvement that would have admitted) was
@@ -99,6 +109,14 @@ struct AdmissionStats {
   std::uint64_t near_miss_sigma_10 = 0;
   std::uint64_t near_miss_deadline_5 = 0;   ///< EDF-family dispatch rejections
   std::uint64_t near_miss_deadline_10 = 0;
+  /// Overload-catalog outcomes (core/overload.hpp); all 0 under HardReject.
+  /// `degraded_admits` is a subset of `accepted` (the job IS running, it
+  /// just got there through a licensed bend); `shed_tail` is a subset of
+  /// `rejected_share_overflow` — the per-reason sums stay exact either way.
+  std::uint64_t degraded_admits = 0;       ///< admissions via a degraded-mode bend
+  std::uint64_t deferrals = 0;             ///< DeferToSalvage park events (retries, not jobs)
+  std::uint64_t shed_tail = 0;             ///< ShedTail pre-rejections
+  std::uint64_t overload_activations = 0;  ///< governor flips into degraded operation
 
   /// Derived views shared by every stats surface (CLI, diagnose, telemetry)
   /// so the arithmetic lives in exactly one place. All are 0 when the
@@ -193,6 +211,52 @@ class LibraScheduler final : public Scheduler {
   void scan_zero_risk_batched(const Job& job, sim::SimTime now, bool tracing,
                               bool can_stop_early);
 
+  // ---- overload-catalog consult sites (core/overload.hpp) ----
+  // Every helper below is only reachable when a non-HardReject mode is
+  // configured (overload_enabled_), so the default path stays byte-identical
+  // to pre-catalog builds.
+
+  /// The Libra-family load signal: admitted-but-unfinished share demand vs
+  /// total share capacity (cluster size x per-node capacity).
+  [[nodiscard]] LoadSignal load_signal() const noexcept {
+    return LoadSignal{inflight_share_,
+                      static_cast<double>(executor_.cluster().size()) *
+                          config_.capacity};
+  }
+  /// Per-submission governor pulse + the ShedTail pre-check. Returns true
+  /// when the job was shed (fully accounted as a rejection).
+  [[nodiscard]] bool shed_or_pulse(const Job& job, sim::SimTime now);
+  /// Shortfall consult: called when the normal scan came up short. Applies
+  /// the engaged mode's bend (relaxed re-scan, QoS downgrade, or deferral);
+  /// returns true when the job was admitted or parked, false to fall
+  /// through to the normal reject path.
+  [[nodiscard]] bool try_degraded(const Job& job, sim::SimTime now);
+  /// Full-cluster re-scan with a (possibly) relaxed sigma threshold and a
+  /// (possibly) rewritten deadline, with the Eq. 2 share cap enforced on
+  /// every candidate (catalog flag kForbidAdmitPastEq2). Admits on success.
+  [[nodiscard]] bool rescan_and_admit(const Job& job, sim::SimTime now,
+                                      double sigma_threshold, double deadline,
+                                      trace::RejectionReason bent);
+  /// Admits the job over the first num_procs entries of suitable_ with the
+  /// degraded provenance (stats, Decision mark, JobDegradedAdmit event).
+  /// `run` is the job handed to the executor — the degraded copy for
+  /// DowngradeQoS, `job` itself otherwise.
+  void degraded_admit_prepared(const Job& job, const Job& run,
+                               sim::SimTime now, trace::RejectionReason bent);
+  /// DeferToSalvage: parks the job and schedules its retry.
+  void defer_job(const Job& job, sim::SimTime now);
+  /// Salvage-lane retry: re-runs the NORMAL test (DeferToSalvage may bend
+  /// neither risk nor deadline); re-parks or finally rejects at_dispatch.
+  void retry_deferred(std::int64_t job_id);
+  /// Inflight-share bookkeeping feeding load_signal().
+  void track_inflight(const Job& job,
+                      const std::vector<cluster::NodeId>& nodes);
+  void release_inflight(std::int64_t job_id);
+  /// Completion/kill epilogue under an enabled catalog: releases the
+  /// inflight contribution and, for a DowngradeQoS job, restores the
+  /// original deadline before the collector judges lateness.
+  void resolve_overload(const Job& job, sim::SimTime when, bool killed);
+
   // Seed implementation, kept for differential testing (LibraConfig::legacy_path).
   [[nodiscard]] RiskAssessment assess_with_job_legacy(cluster::NodeId node,
                                                       const Job& job) const;
@@ -233,6 +297,40 @@ class LibraScheduler final : public Scheduler {
   std::vector<NodeRiskInput> batch_inputs_;
   std::vector<NodeRiskVerdict> batch_verdicts_;
   std::vector<BatchEntry> batch_meta_;
+
+  // ---- overload-catalog state (all idle under HardReject) ----
+  /// mode != HardReject, decided once at construction; every consult site
+  /// guards on it so the default path never touches the state below.
+  bool overload_enabled_ = false;
+  OverloadGovernor governor_;
+  /// Fastest node speed, for the ShedTail required-share bound (a job's
+  /// cheapest possible per-node share is on the fastest node).
+  double max_speed_ = 1.0;
+  /// Degraded re-scan scratch: rescan_and_admit builds candidates here so a
+  /// failed bend leaves suitable_ (and the normal reject accounting that
+  /// reads it) untouched; swapped into suitable_ on success only.
+  std::vector<Candidate> rescan_suitable_;
+  /// Admitted-but-unfinished share demand (sum over running jobs of their
+  /// admission-time share on every chosen node); the load signal numerator.
+  double inflight_share_ = 0.0;
+  std::unordered_map<std::int64_t, double> inflight_contrib_;
+  /// DowngradeQoS: the executor borrows Job pointers until completion, so
+  /// the deadline-extended copy needs stable scheduler-owned storage. The
+  /// completion/kill handler restores `original_deadline` before the
+  /// collector judges lateness, and erases the entry last (its `const Job&`
+  /// parameter aliases the map-owned copy).
+  struct DowngradedJob {
+    Job job;
+    double original_deadline;
+  };
+  std::unordered_map<std::int64_t, DowngradedJob> downgraded_;
+  /// DeferToSalvage parking lot. The engine slab keeps a parked job's
+  /// storage alive while it is Pending, same contract EDF's queue relies on.
+  struct Parked {
+    const Job* job;
+    int deferrals;
+  };
+  std::unordered_map<std::int64_t, Parked> parked_;
 
   /// Telemetry-registered sinks (null when telemetry is not attached; the
   /// registry owns the histograms).

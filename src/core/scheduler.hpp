@@ -49,6 +49,13 @@ class Scheduler {
     /// Chosen-node admission margin (signed headroom of the decisive test,
     /// obs::NodeMargin convention); 0.0 when the policy computes none.
     double margin = 0.0;
+    /// The admission went through a degraded-mode bend (core/overload.hpp):
+    /// the job failed the normal test and a licensed mode admitted it
+    /// anyway. The engine reports such jobs as Verdict::DegradedAdmit.
+    bool degraded = false;
+    /// The decision was parked by DeferToSalvage: no verdict yet, a salvage
+    /// retry is scheduled. The engine reports Verdict::Deferred.
+    bool deferred = false;
   };
   [[nodiscard]] const Decision& last_decision() const noexcept {
     return last_decision_;
@@ -77,8 +84,14 @@ class Scheduler {
 
   /// Records the placement of an accepted job for last_decision().
   void note_decision(std::int64_t job_id, std::int32_t node, double sigma,
-                     double margin = 0.0) noexcept {
-    last_decision_ = Decision{job_id, node, sigma, margin};
+                     double margin = 0.0, bool degraded = false) noexcept {
+    last_decision_ = Decision{job_id, node, sigma, margin, degraded, false};
+  }
+
+  /// Records that DeferToSalvage parked `job_id` (no placement yet); the
+  /// engine maps a pending job carrying this mark to Verdict::Deferred.
+  void note_deferred(std::int64_t job_id) noexcept {
+    last_decision_ = Decision{job_id, -1, -1.0, 0.0, false, true};
   }
 
   /// Borrowed, may be null; subclasses emit admission events through it.

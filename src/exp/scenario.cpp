@@ -71,6 +71,7 @@ ScenarioResult run_jobs(const Scenario& scenario,
     result.outcomes.push_back(JobOutcome{
         .id = id,
         .fate = record.fate,
+        .verdict = decision.verdict,
         .delay = record.delay,
         .slowdown = record.started ? record.slowdown() : 0.0,
         .underestimated = record.underestimated,

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "core/engine.hpp"
 #include "core/factory.hpp"
 #include "metrics/collector.hpp"
 #include "trace/event.hpp"
@@ -41,6 +42,12 @@ struct Scenario {
 struct JobOutcome {
   std::int64_t id = 0;
   metrics::JobFate fate{};
+  /// Submit-time verdict, overload variants included: DegradedAdmit marks a
+  /// licensed degraded-mode admission, Deferred a salvage-lane park (the
+  /// job's final word is still `fate`). Renderers must not fold these into
+  /// plain accepted/rejected — they are the jobs the overload catalog
+  /// exists to account for.
+  core::AdmissionOutcome::Verdict verdict = core::AdmissionOutcome::Verdict::Queued;
   double delay = 0.0;
   double slowdown = 0.0;
   bool underestimated = false;  ///< user_estimate < actual_runtime

@@ -30,6 +30,8 @@ struct Federation::Shard {
   double inflight_share = 0.0;
   std::unordered_map<std::int64_t, double> contributions;
   std::uint64_t routed = 0;
+  std::uint64_t spilled_in = 0;   ///< jobs received via the spill lane
+  std::uint64_t spilled_out = 0;  ///< router picks moved away from here
 
   /// Full (prefixed) metric names, precomputed for refresh_views().
   std::string inflight_metric;
@@ -37,8 +39,10 @@ struct Federation::Shard {
 };
 
 Federation::Federation(FederationConfig config)
-    : router_(config.route, config.route_seed) {
+    : router_(config.route, config.route_seed), overload_(config.overload) {
   LIBRISK_CHECK(!config.shards.empty(), "federation needs at least one shard");
+  overload_.validate();
+  spill_enabled_ = overload_.mode != core::DegradedMode::HardReject;
   if (config.threads != 1 && config.shards.size() > 1)
     pool_ = std::make_unique<support::ThreadPool>(config.threads);
 
@@ -87,6 +91,12 @@ Federation::Federation(FederationConfig config)
                  [raw] { return static_cast<double>(raw->engine->live_jobs()); });
     reg.counter_fn("federation_routed", "jobs ever routed to this shard",
                    [raw] { return raw->routed; });
+    reg.counter_fn("federation_spilled_in",
+                   "jobs received via the overload spill lane",
+                   [raw] { return raw->spilled_in; });
+    reg.counter_fn("federation_spilled_out",
+                   "router picks the overload spill lane moved elsewhere",
+                   [raw] { return raw->spilled_out; });
 
     shard->engine->collector().add_resolution_observer([raw](std::int64_t id) {
       const auto it = raw->contributions.find(id);
@@ -141,7 +151,24 @@ RouteResult Federation::submit(const workload::Job& job) {
 
   RouteResult result;
   result.shard = router_.route(job, views_);
+  result.routed_shard = result.shard;
+  // Spill lane (docs/OVERLOAD.md): before a saturated shard gets to reject
+  // the job, offer it to a salvage shard that still has headroom. Runs
+  // after route() so every router's internal state (cursor, affinity map,
+  // RNG stream) advances exactly as it would without the lane — the spill
+  // is a pure function of the same views the router saw, keeping the run
+  // deterministic and HardReject byte-identical (lane disarmed).
+  if (spill_enabled_) {
+    const int salvage = pick_salvage_shard(job, result.shard);
+    if (salvage >= 0) {
+      shards_[static_cast<std::size_t>(result.shard)]->spilled_out++;
+      result.shard = salvage;
+      result.spilled = true;
+      ++spilled_;
+    }
+  }
   Shard& shard = *shards_[static_cast<std::size_t>(result.shard)];
+  if (result.spilled) ++shard.spilled_in;
   result.outcome = shard.engine->submit(job);
   ++shard.routed;
   ++routed_;
@@ -163,6 +190,27 @@ RouteResult Federation::submit(const workload::Job& job) {
   return result;
 }
 
+int Federation::pick_salvage_shard(const workload::Job& job,
+                                   int routed_shard) const {
+  const ShardView& routed = views_[static_cast<std::size_t>(routed_shard)];
+  if (routed.load_factor() < overload_.activation_load) return -1;
+  int best = -1;
+  double best_load = 0.0;
+  for (const ShardView& view : views_) {
+    if (view.shard == routed_shard) continue;
+    if (view.nodes < job.num_procs) continue;
+    const double load = view.load_factor();
+    // Salvage must have real headroom; a shard past the activation line
+    // would just be a different flavour of saturated.
+    if (load >= overload_.activation_load) continue;
+    if (best < 0 || load < best_load) {  // strict <: ties keep lowest index
+      best = view.shard;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
 void Federation::finish() {
   if (finished_) return;
   finished_ = true;
@@ -172,6 +220,7 @@ void Federation::finish() {
 FederationSummary Federation::summary() const {
   FederationSummary fs;
   fs.routed = routed_;
+  fs.spilled = spilled_;
 
   std::vector<const metrics::Collector*> collectors;
   collectors.reserve(shards_.size());
@@ -188,6 +237,8 @@ FederationSummary Federation::summary() const {
     ss.name = shard->name;
     ss.nodes = shard->nodes;
     ss.routed = shard->routed;
+    ss.spilled_in = shard->spilled_in;
+    ss.spilled_out = shard->spilled_out;
     ss.summary = shard->engine->summary();
     ss.admission = shard->engine->admission_stats();
     fs.shards.push_back(std::move(ss));

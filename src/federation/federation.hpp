@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/overload.hpp"
 #include "federation/router.hpp"
 #include "obs/telemetry.hpp"
 #include "support/table.hpp"
@@ -64,12 +65,26 @@ struct FederationConfig {
   /// inline on the caller's thread (default), 0 = hardware concurrency.
   /// Results are identical for every value (see header comment).
   std::size_t threads = 1;
+  /// Federation-level degradation (core/overload.hpp): any mode other than
+  /// HardReject arms the spill lane — when the routed shard's load factor
+  /// is at or past `overload.activation_load`, the job is re-routed to the
+  /// least-loaded feasible shard still below that line (the *salvage
+  /// shard*, ties to the lowest index) before the saturated shard gets to
+  /// reject it. Reject-everywhere only happens when every feasible shard is
+  /// saturated. HardReject (default) keeps routing byte-identical to the
+  /// pre-catalog federation. Per-shard engines carry their own
+  /// `options.overload` independently; this knob only bends routing.
+  core::OverloadConfig overload;
 };
 
 /// Decision for one submitted job: where it went and what that shard said.
 struct RouteResult {
   int shard = 0;
   core::AdmissionOutcome outcome;
+  /// The router's original pick before the overload spill lane moved the
+  /// job; equals `shard` when no spill happened.
+  int routed_shard = 0;
+  bool spilled = false;
 };
 
 /// Per-shard slice of a federation run.
@@ -77,6 +92,11 @@ struct ShardSummary {
   std::string name;
   int nodes = 0;
   std::uint64_t routed = 0;
+  /// Jobs this shard *received* through the overload spill lane (they count
+  /// in `routed` too — spilled_in attributes, it does not add).
+  std::uint64_t spilled_in = 0;
+  /// Jobs the router picked this shard for but the spill lane moved away.
+  std::uint64_t spilled_out = 0;
   metrics::RunSummary summary;
   core::AdmissionStats admission;
 };
@@ -88,6 +108,8 @@ struct FederationSummary {
   metrics::RunSummary total;
   std::vector<ShardSummary> shards;
   std::uint64_t routed = 0;
+  /// Jobs moved by the overload spill lane (0 under HardReject).
+  std::uint64_t spilled = 0;
 };
 
 class Federation {
@@ -127,12 +149,20 @@ class Federation {
   /// Rebuilds views_ from each shard's registry readings. Only called
   /// between barriers, on the caller's thread.
   void refresh_views();
+  /// Overload spill lane: when the routed shard is saturated
+  /// (load_factor >= activation_load) returns the least-loaded feasible
+  /// shard still under the line (ties to the lowest index), else -1.
+  [[nodiscard]] int pick_salvage_shard(const workload::Job& job,
+                                       int routed_shard) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   Router router_;
   std::unique_ptr<support::ThreadPool> pool_;  ///< null when threads == 1
   std::vector<ShardView> views_;
   std::uint64_t routed_ = 0;
+  std::uint64_t spilled_ = 0;
+  bool spill_enabled_ = false;
+  core::OverloadConfig overload_;
   sim::SimTime last_submit_ = 0.0;
   bool finished_ = false;
 };

@@ -33,7 +33,16 @@ namespace librisk::obs {
 /// core::AdmissionOutcome::Verdict, plus Shed for fast-rejected jobs that
 /// never reached the engine — obs sits below core, so the enum is restated
 /// here rather than included).
-enum class FlightVerdict : std::uint8_t { Accepted, Queued, Rejected, Shed };
+enum class FlightVerdict : std::uint8_t {
+  Accepted,
+  Queued,
+  Rejected,
+  Shed,
+  /// Overload-catalog mirrors (core/overload.hpp): admitted through a
+  /// licensed degraded-mode bend / parked by the salvage lane.
+  DegradedAdmit,
+  Deferred,
+};
 
 [[nodiscard]] const char* to_string(FlightVerdict verdict) noexcept;
 

@@ -15,6 +15,9 @@ std::string_view to_string(EventKind kind) noexcept {
     case EventKind::JobOverrun: return "job_overrun";
     case EventKind::NodeEvaluated: return "node_evaluated";
     case EventKind::ShareRealloc: return "share_realloc";
+    case EventKind::ModeTransition: return "mode_transition";
+    case EventKind::JobDeferred: return "job_deferred";
+    case EventKind::JobDegradedAdmit: return "job_degraded_admit";
   }
   return "?";
 }

@@ -141,9 +141,10 @@ TraceData read_lrt(std::istream& in) {
   // v2 grew a header flags byte; v1 files go straight to the policy name.
   if (version >= 2) {
     const std::uint8_t flags = cur.take_u8();
-    if ((flags & ~kLrtFlagMargins) != 0)
+    if ((flags & ~(kLrtFlagMargins | kLrtFlagOverload)) != 0)
       throw TraceError("unknown .lrt header flags " + std::to_string(flags));
     data.has_margins = (flags & kLrtFlagMargins) != 0;
+    data.has_overload = (flags & kLrtFlagOverload) != 0;
   }
   const std::uint64_t name_len = cur.take_varint();
   if (name_len > 4096) throw TraceError("implausible policy-name length (corrupt trace)");
@@ -206,6 +207,7 @@ TraceData read_jsonl(std::istream& in) {
       data.version =
           static_cast<std::uint8_t>(v.number_or("version", kLrtVersionV1));
       data.has_margins = v.bool_or("margins", false);
+      data.has_overload = v.bool_or("overload", false);
       saw_meta = true;
       continue;
     }

@@ -101,6 +101,37 @@ class Recorder {
           EventKind::ShareRealloc, RejectionReason::None, -1});
   }
 
+  // Overload-catalog emitters (core/overload.hpp). Only a non-HardReject
+  // governor reaches these, so default traces keep their pre-catalog bytes.
+
+  /// The overload governor flipped between normal and degraded operation.
+  void mode_transition(sim::SimTime t, int mode, bool engaged,
+                       double utilization) {
+    if (!enabled_) return;
+    emit({t, -1, utilization, static_cast<double>(mode),
+          EventKind::ModeTransition, RejectionReason::None, engaged ? 1 : 0});
+  }
+
+  /// DeferToSalvage parked a shortfall job; `reason` names the test that
+  /// failed, `retry_time` when the salvage retry fires, `deferral` which
+  /// retry this will be (1-based).
+  void job_deferred(sim::SimTime t, std::int64_t job, RejectionReason reason,
+                    double retry_time, int deferral) {
+    if (!enabled_) return;
+    emit({t, job, retry_time, static_cast<double>(deferral),
+          EventKind::JobDeferred, reason, -1});
+  }
+
+  /// A degraded mode admitted a job that failed the normal test; `reason`
+  /// names the test the mode was licensed to bend.
+  void job_degraded_admit(sim::SimTime t, std::int64_t job,
+                          RejectionReason reason, int first_node, double sigma,
+                          double fit, double margin = 0.0) {
+    if (!enabled_) return;
+    emit({t, job, sigma, fit, EventKind::JobDegradedAdmit, reason, first_node,
+          margin});
+  }
+
  private:
   void emit(const Event& event) { sink_->write(event); }
 

@@ -42,4 +42,23 @@ void sort_by_submit(std::vector<Job>& jobs) {
   });
 }
 
+void scale_interarrivals(std::vector<Job>& jobs, double factor) {
+  InterarrivalScaler scaler(factor);
+  for (Job& job : jobs) scaler.apply(job);
+}
+
+InterarrivalScaler::InterarrivalScaler(double factor) : factor_(factor) {
+  LIBRISK_CHECK(factor > 0.0,
+                "inter-arrival scale factor must be > 0, got " << factor);
+}
+
+void InterarrivalScaler::apply(Job& job) noexcept {
+  if (!seen_first_) {
+    seen_first_ = true;
+    first_ = job.submit_time;
+    return;  // the anchor maps to itself
+  }
+  job.submit_time = first_ + (job.submit_time - first_) * factor_;
+}
+
 }  // namespace librisk::workload

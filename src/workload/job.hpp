@@ -70,4 +70,28 @@ void validate_trace(const std::vector<Job>& jobs);
 /// Sorts by (submit_time, id) — canonical arrival order.
 void sort_by_submit(std::vector<Job>& jobs);
 
+/// Scales every inter-arrival gap by `factor`, anchored at the first
+/// arrival: submit' = first + (submit - first) * factor. Deadlines are
+/// relative so they move with their job untouched. factor < 1 compresses
+/// the trace (offered load / factor — the saturation sweep's knob), > 1
+/// stretches it; 1 is the identity. Monotone-preserving for factor > 0.
+void scale_interarrivals(std::vector<Job>& jobs, double factor);
+
+/// Streaming form of scale_interarrivals for line-at-a-time replay: the
+/// first job seen anchors the map, every later job is rescaled around it.
+/// Feeding the same arrival sequence gives byte-identical submit times to
+/// the batch helper.
+class InterarrivalScaler {
+ public:
+  /// factor must be > 0 (checked).
+  explicit InterarrivalScaler(double factor);
+
+  void apply(Job& job) noexcept;
+
+ private:
+  double factor_;
+  bool seen_first_ = false;
+  SimTime first_ = 0.0;
+};
+
 }  // namespace librisk::workload

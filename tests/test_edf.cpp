@@ -132,7 +132,7 @@ TEST(Edf, UsesEstimateNotActualForAdmission) {
 }
 
 TEST(EdfNoAC, RunsEverythingEvenLate) {
-  Fixture f(1, EdfConfig{.admission_control = false});
+  Fixture f(1, EdfConfig{.admission_control = false, .overload = {}});
   const workload::Job a = JobBuilder(1).set_runtime(100.0).deadline(150.0).build();
   const workload::Job b = JobBuilder(2).set_runtime(100.0).deadline(150.0).build();
   f.submit(a);
@@ -144,7 +144,7 @@ TEST(EdfNoAC, RunsEverythingEvenLate) {
 }
 
 TEST(EdfBackfill, FillsTheShadowWindow) {
-  Fixture f(2, EdfConfig{.admission_control = true, .backfilling = true});
+  Fixture f(2, EdfConfig{.admission_control = true, .backfilling = true, .overload = {}});
   const workload::Job occupant = JobBuilder(1).set_runtime(100.0).deadline(400.0).build();
   f.submit(occupant);
   const workload::Job head =
@@ -161,7 +161,7 @@ TEST(EdfBackfill, FillsTheShadowWindow) {
 }
 
 TEST(EdfBackfill, RefusesBackfillThatWouldDelayHead) {
-  Fixture f(2, EdfConfig{.admission_control = true, .backfilling = true});
+  Fixture f(2, EdfConfig{.admission_control = true, .backfilling = true, .overload = {}});
   const workload::Job occupant = JobBuilder(1).set_runtime(100.0).deadline(400.0).build();
   f.submit(occupant);
   const workload::Job head =
@@ -175,7 +175,7 @@ TEST(EdfBackfill, RefusesBackfillThatWouldDelayHead) {
 }
 
 TEST(EdfBackfill, BackfillsInDeadlineOrder) {
-  Fixture f(3, EdfConfig{.admission_control = true, .backfilling = true});
+  Fixture f(3, EdfConfig{.admission_control = true, .backfilling = true, .overload = {}});
   // Occupy all three nodes: nothing can backfill yet.
   const workload::Job wide =
       JobBuilder(1).set_runtime(100.0).deadline(400.0).procs(2).build();
@@ -202,7 +202,7 @@ TEST(EdfBackfill, BackfillsInDeadlineOrder) {
 }
 
 TEST(EdfBackfill, SkipsInfeasibleCandidatesWithoutRejectingThem) {
-  Fixture f(2, EdfConfig{.admission_control = true, .backfilling = true});
+  Fixture f(2, EdfConfig{.admission_control = true, .backfilling = true, .overload = {}});
   // Shadow time 600 (occupant's estimate) is *later* than the head's
   // deadline, which opens the window for a candidate that fits the window
   // by estimate (580 <= 600) yet cannot meet its own deadline (580 > 560).

@@ -7,8 +7,11 @@
 #include <filesystem>
 #include <fstream>
 
+#include <stdexcept>
+
 #include "core/engine.hpp"
 #include "core/gateway.hpp"
+#include "core/overload.hpp"
 #include "federation/federation.hpp"
 #include "metrics/report.hpp"
 #include "obs/render.hpp"
@@ -35,6 +38,8 @@ struct ReplayFlags {
   int shards = 1;   ///< > 1 = federated replay over this many clusters
   federation::RoutePolicy route = federation::RoutePolicy::RoundRobin;
   std::vector<double> shard_ratings;  ///< cycled across shards; empty = rating
+  double load_scale = 1.0;            ///< inter-arrival gap factor (< 1 = hotter)
+  core::OverloadConfig overload;      ///< degradation mode for every engine
 };
 
 /// Concurrent streaming replay: N producer threads feed the
@@ -54,6 +59,7 @@ int run_gateway(const ReplayFlags& f, core::Policy policy,
   config.engine.cluster = cluster::Cluster::homogeneous(f.nodes, f.rating);
   config.engine.policy = policy;
   config.engine.options.hooks.telemetry = &telemetry;
+  config.engine.options.overload = f.overload;
   core::AdmissionGateway gateway(std::move(config));
 
   workload::swf::SwfStream stream(f.trace);
@@ -61,6 +67,7 @@ int run_gateway(const ReplayFlags& f, core::Policy policy,
   dl_config.high_urgency_fraction = f.high_urgency;
   dl_config.high_low_ratio = f.ratio;
   rng::Stream dl_stream("deadlines", f.seed);
+  workload::InterarrivalScaler scaler(f.load_scale);
   std::mutex source_mutex;
 
   const auto produce = [&] {
@@ -72,6 +79,7 @@ int run_gateway(const ReplayFlags& f, core::Policy policy,
         if (one[0].deadline <= 0.0)
           workload::assign_deadlines(one, dl_config, dl_stream);
         workload::apply_inaccuracy(one, f.inaccuracy);
+        scaler.apply(one[0]);  // under the lock: arrival-order anchoring
       }
       if (gateway.submit(one[0]) == core::SubmitStatus::Closed) return;
     }
@@ -91,6 +99,10 @@ int run_gateway(const ReplayFlags& f, core::Policy policy,
       << " submitted, " << gs.fast_rejected << " fast-rejected, "
       << gs.decided << " decided, queue high-water " << gs.queue_high_water
       << ", audit violations " << gs.audit_violations << '\n';
+  if (gs.degraded_admits > 0 || gs.deferred > 0)
+    out << "overload ("
+        << core::to_string(f.overload.mode) << "): " << gs.degraded_admits
+        << " degraded admits, " << gs.deferred << " deferrals\n";
   if (gs.fast_rejected > 0) {
     const auto shed_pct = [&](std::uint64_t n) {
       return gs.submitted > 0 ? 100.0 * static_cast<double>(n) /
@@ -151,6 +163,7 @@ int run_streaming(const ReplayFlags& f, core::Policy policy,
 
   core::PolicyOptions options;
   options.hooks.telemetry = &telemetry;
+  options.overload = f.overload;
   core::EngineConfig engine_config;
   engine_config.cluster = cluster::Cluster::homogeneous(f.nodes, f.rating);
   engine_config.policy = policy;
@@ -167,6 +180,7 @@ int run_streaming(const ReplayFlags& f, core::Policy policy,
   // Single-element scratch vector: the synthesis helpers are batch-shaped
   // but strictly sequential per job, so feeding them one job at a time with
   // a persistent RNG stream reproduces the batch sequence exactly.
+  workload::InterarrivalScaler scaler(f.load_scale);
   std::vector<workload::Job> one(1);
   workload::Job job;
   while (stream.next(job)) {
@@ -174,6 +188,7 @@ int run_streaming(const ReplayFlags& f, core::Policy policy,
     if (one[0].deadline <= 0.0)
       workload::assign_deadlines(one, dl_config, dl_stream);
     workload::apply_inaccuracy(one, f.inaccuracy);
+    scaler.apply(one[0]);
     engine->advance_to(one[0].submit_time);
     engine->submit(one[0]);
   }
@@ -193,6 +208,12 @@ int run_streaming(const ReplayFlags& f, core::Policy policy,
         << adm.near_miss_10() << " within 10% of flipping (share "
         << adm.near_miss_share_10 << ", sigma " << adm.near_miss_sigma_10
         << ", deadline " << adm.near_miss_deadline_10 << ")\n";
+  if (adm.overload_activations > 0 || adm.degraded_admits > 0 ||
+      adm.deferrals > 0 || adm.shed_tail > 0)
+    out << "overload (" << core::to_string(f.overload.mode)
+        << "): " << adm.overload_activations << " activations, "
+        << adm.degraded_admits << " degraded admits, " << adm.deferrals
+        << " deferrals, " << adm.shed_tail << " tail sheds\n";
   if (!telemetry_out.empty()) {
     telemetry.write_dir(telemetry_out);
     out << "telemetry written to " << telemetry_out << " ("
@@ -228,9 +249,13 @@ int run_federation(const ReplayFlags& f, core::Policy policy,
     federation::ShardConfig shard;
     shard.engine.cluster = cluster::Cluster(std::move(specs), f.rating);
     shard.engine.policy = policy;
+    shard.engine.options.overload = f.overload;
     shard.price = rating / f.rating;  // faster capacity charges more
     config.shards.push_back(std::move(shard));
   }
+  // Same mode federation-side: arms the spill lane (saturated shard →
+  // least-loaded salvage shard) whenever the engines themselves degrade.
+  config.overload = f.overload;
   federation::Federation fed(std::move(config));
 
   workload::swf::SwfStream stream(f.trace);
@@ -238,6 +263,7 @@ int run_federation(const ReplayFlags& f, core::Policy policy,
   dl_config.high_urgency_fraction = f.high_urgency;
   dl_config.high_low_ratio = f.ratio;
   rng::Stream dl_stream("deadlines", f.seed);
+  workload::InterarrivalScaler scaler(f.load_scale);
 
   std::vector<workload::Job> one(1);
   workload::Job job;
@@ -246,6 +272,7 @@ int run_federation(const ReplayFlags& f, core::Policy policy,
     if (one[0].deadline <= 0.0)
       workload::assign_deadlines(one, dl_config, dl_stream);
     workload::apply_inaccuracy(one, f.inaccuracy);
+    scaler.apply(one[0]);
     fed.submit(one[0]);
   }
   fed.finish();
@@ -257,13 +284,24 @@ int run_federation(const ReplayFlags& f, core::Policy policy,
                          summary.total);
   out << "\nfederation: " << f.shards << " shards, route "
       << federation::to_string(fed.route_policy()) << ", " << summary.routed
-      << " jobs routed\n";
-  table::Table shard_table({"shard", "nodes", "routed", "fulfilled %",
+      << " jobs routed";
+  if (summary.spilled > 0)
+    out << ", " << summary.spilled << " spilled to salvage shards";
+  out << '\n';
+  // Degraded outcome variants get their own columns — folding DegradedAdmit
+  // into "fulfilled" or Deferred into nothing would hide exactly the jobs
+  // the overload catalog exists to account for (docs/OVERLOAD.md).
+  table::Table shard_table({"shard", "nodes", "routed", "spill in/out",
+                            "fulfilled %", "degraded", "deferred",
                             "avg slowdown", "near-miss 10%"});
   for (const federation::ShardSummary& s : summary.shards)
     shard_table.add_row({s.name, std::to_string(s.nodes),
                          std::to_string(s.routed),
+                         std::to_string(s.spilled_in) + "/" +
+                             std::to_string(s.spilled_out),
                          table::num(s.summary.fulfilled_pct, 2),
+                         std::to_string(s.admission.degraded_admits),
+                         std::to_string(s.admission.deferrals),
                          table::num(s.summary.avg_slowdown_fulfilled, 3),
                          std::to_string(s.admission.near_miss_10())});
   out << shard_table.str();
@@ -324,7 +362,31 @@ int cmd_replay(const std::vector<std::string>& args, std::ostream& out) {
       "comma-separated SPEC ratings cycled across shards (heterogeneous "
       "federation); empty = every shard at --rating",
       "");
+  auto& load_scale_opt = parser.add<double>(
+      "load-scale",
+      "scale inter-arrival gaps by this factor (< 1 compresses the trace "
+      "and raises offered load)",
+      1.0);
+  auto& overload_opt = parser.add<std::string>(
+      "overload-mode",
+      "graceful-degradation mode past the load knee: hard-reject | shed-tail "
+      "| relax-sigma | defer-to-salvage | downgrade-qos (docs/OVERLOAD.md)",
+      "hard-reject");
+  auto& activation_opt = parser.add<double>(
+      "activation-load",
+      "load-signal utilization at which the overload mode engages", 0.85);
   parser.parse(args);
+
+  if (load_scale_opt.value <= 0.0)
+    throw cli::ParseError("--load-scale must be > 0");
+  core::OverloadConfig overload;
+  try {
+    overload.mode = core::parse_degraded_mode(overload_opt.value);
+  } catch (const std::invalid_argument& e) {
+    throw cli::ParseError(e.what());
+  }
+  overload.activation_load = activation_opt.value;
+  overload.validate();
 
   if (trace_opt.value.empty()) throw cli::ParseError("replay requires --trace <file>");
 
@@ -342,6 +404,8 @@ int cmd_replay(const std::vector<std::string>& args, std::ostream& out) {
     f.high_urgency = high_urgency_opt.value;
     f.ratio = ratio_opt.value;
     f.threads = threads_opt.value;
+    f.load_scale = load_scale_opt.value;
+    f.overload = overload;
     if (f.threads < 0) throw cli::ParseError("--threads must be >= 0");
     f.shards = shards_opt.value;
     if (f.shards < 1) throw cli::ParseError("--shards must be >= 1");
@@ -395,6 +459,8 @@ int cmd_replay(const std::vector<std::string>& args, std::ostream& out) {
     workload::assign_deadlines(jobs, config, stream);
   }
   workload::apply_inaccuracy(jobs, inaccuracy_opt.value);
+  if (load_scale_opt.value != 1.0)
+    workload::scale_interarrivals(jobs, load_scale_opt.value);
   workload::validate_trace(jobs);
   workload::print_stats(out, workload::compute_stats(jobs));
   out << '\n';
@@ -402,6 +468,7 @@ int cmd_replay(const std::vector<std::string>& args, std::ostream& out) {
   exp::Scenario scenario;
   scenario.nodes = nodes_opt.value;
   scenario.rating = rating_opt.value;
+  scenario.options.overload = overload;
   std::vector<metrics::LabelledSummary> results;
   for (const core::Policy policy : core::all_policies()) {
     scenario.policy = policy;

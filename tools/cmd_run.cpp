@@ -2,6 +2,7 @@
 #include <ostream>
 
 #include "cluster/timeshared.hpp"
+#include "core/overload.hpp"
 #include "core/scheduler.hpp"
 #include "metrics/car.hpp"
 #include "metrics/report.hpp"
@@ -77,6 +78,13 @@ int cmd_run(const std::vector<std::string>& args, std::ostream& out) {
           << adm.near_miss_share_10 << ", sigma " << adm.near_miss_sigma_10
           << ", deadline " << adm.near_miss_deadline_10 << ")\n";
     }
+    if (adm.overload_activations > 0 || adm.degraded_admits > 0 ||
+        adm.deferrals > 0 || adm.shed_tail > 0)
+      out << "overload ("
+          << core::to_string(scenario.options.overload.mode) << "): "
+          << adm.overload_activations << " activations, "
+          << adm.degraded_admits << " degraded admits, " << adm.deferrals
+          << " deferrals, " << adm.shed_tail << " tail sheds\n";
   }
   const cluster::KernelStats kern = stack->kernel_stats();
   if (kern.settles > 0)

@@ -1,5 +1,8 @@
 #include "tools/common.hpp"
 
+#include <stdexcept>
+
+#include "core/overload.hpp"
 #include "workload/lublin.hpp"
 #include "workload/predictor.hpp"
 
@@ -23,6 +26,19 @@ ScenarioFlags add_scenario_flags(cli::Parser& parser) {
       "predictor", "correct estimates with the online per-user predictor", false);
   f.kill = &parser.add<bool>(
       "kill-at-estimate", "terminate jobs when their estimate elapses", false);
+  f.load_scale = &parser.add<double>(
+      "load-scale",
+      "scale inter-arrival gaps by this factor (< 1 compresses the trace and "
+      "raises offered load; applied after workload generation)",
+      1.0);
+  f.overload_mode = &parser.add<std::string>(
+      "overload-mode",
+      "graceful-degradation mode past the load knee: hard-reject | shed-tail "
+      "| relax-sigma | defer-to-salvage | downgrade-qos (docs/OVERLOAD.md)",
+      "hard-reject");
+  f.activation_load = &parser.add<double>(
+      "activation-load",
+      "load-signal utilization at which the overload mode engages", 0.85);
   return f;
 }
 
@@ -53,6 +69,17 @@ exp::Scenario scenario_from_flags(const ScenarioFlags& f, const json::Value& cfg
                              cfg.int_or("seed", static_cast<int>(f.seed->value)));
   s.options.share_model.kill_at_estimate =
       f.kill->set ? f.kill->value : cfg.bool_or("kill_at_estimate", f.kill->value);
+  const std::string mode = f.overload_mode->set
+                               ? f.overload_mode->value
+                               : cfg.string_or("overload_mode",
+                                               f.overload_mode->value);
+  try {
+    s.options.overload.mode = core::parse_degraded_mode(mode);
+  } catch (const std::invalid_argument& e) {
+    throw cli::ParseError(e.what());
+  }
+  s.options.overload.activation_load =
+      pick_double(f.activation_load, "activation_load");
   s.warmup_fraction = cfg.number_or("warmup_fraction", 0.0);
   s.cooldown_fraction = cfg.number_or("cooldown_fraction", 0.0);
   return s;
@@ -82,6 +109,10 @@ std::vector<workload::Job> workload_from_flags(const ScenarioFlags& f,
                           "'");
   }
   if (f.effective_predictor(cfg)) (void)workload::apply_predictor_causally(jobs);
+  const double load_scale = f.load_scale->set
+                                ? f.load_scale->value
+                                : cfg.number_or("load_scale", f.load_scale->value);
+  if (load_scale != 1.0) workload::scale_interarrivals(jobs, load_scale);
   return jobs;
 }
 

@@ -29,6 +29,9 @@ struct ScenarioFlags {
   cli::Option<std::string>* model;
   cli::Option<bool>* predictor;
   cli::Option<bool>* kill;
+  cli::Option<double>* load_scale;
+  cli::Option<std::string>* overload_mode;
+  cli::Option<double>* activation_load;
 
   /// Effective workload-model name (config, overridden by --model).
   [[nodiscard]] std::string effective_model(const json::Value& cfg) const {
